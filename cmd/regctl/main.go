@@ -1,0 +1,49 @@
+// Command regctl drives a regnode over its client port.
+//
+// Usage:
+//
+//	regctl -addr 127.0.0.1:7100 write <text...>
+//	regctl -addr 127.0.0.1:7102 read
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7100", "regnode client address")
+	flag.Parse()
+	if err := run(*addr, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "regctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("need a command: read | write <text>")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintln(conn, strings.Join(args, " ")); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		return fmt.Errorf("no response: %v", sc.Err())
+	}
+	resp := sc.Text()
+	fmt.Println(resp)
+	if strings.HasPrefix(resp, "err") {
+		os.Exit(1)
+	}
+	return nil
+}

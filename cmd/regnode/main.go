@@ -1,0 +1,123 @@
+// Command regnode runs one process of the two-bit atomic register over TCP.
+// Start n of them (in any order — peers retry dialing), then drive reads and
+// writes with regctl through the client port.
+//
+// Example 3-process cluster on one machine:
+//
+//	regnode -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -client 127.0.0.1:7100 &
+//	regnode -id 1 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -client 127.0.0.1:7101 &
+//	regnode -id 2 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -client 127.0.0.1:7102 &
+//	regctl -addr 127.0.0.1:7100 write hello     # process 0 is the writer
+//	regctl -addr 127.0.0.1:7102 read
+//
+// The client protocol is line-oriented: "read\n" or "write <text>\n",
+// answered with "ok <value>\n", "ok\n" or "err <reason>\n".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	"twobitreg/internal/cluster"
+	"twobitreg/internal/core"
+	"twobitreg/internal/proto"
+	"twobitreg/internal/transport"
+	"twobitreg/internal/wire"
+)
+
+func main() {
+	id := flag.Int("id", 0, "this process's index")
+	peers := flag.String("peers", "", "comma-separated mesh addresses, index = process id")
+	clientAddr := flag.String("client", "", "address to serve regctl clients on")
+	writer := flag.Int("writer", 0, "index of the writer process")
+	flag.Parse()
+
+	if err := run(*id, *peers, *clientAddr, *writer); err != nil {
+		fmt.Fprintln(os.Stderr, "regnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id int, peerList, clientAddr string, writer int) error {
+	addrs := strings.Split(peerList, ",")
+	if len(addrs) < 1 || peerList == "" {
+		return fmt.Errorf("need -peers with at least one address")
+	}
+	if id < 0 || id >= len(addrs) {
+		return fmt.Errorf("-id %d out of range for %d peers", id, len(addrs))
+	}
+	if clientAddr == "" {
+		return fmt.Errorf("need -client address")
+	}
+	n := len(addrs)
+
+	var node *cluster.Node
+	mesh, err := transport.NewMesh(id, n, addrs[id], wire.Codec{}, func(from int, msg proto.Message) {
+		node.Deliver(from, msg)
+	})
+	if err != nil {
+		return err
+	}
+	defer mesh.Close()
+	if err := mesh.SetPeers(addrs); err != nil {
+		return err
+	}
+	node = cluster.NewNode(id, n, writer, core.Algorithm(), func(to int, msg proto.Message) {
+		if err := mesh.Send(to, msg); err != nil {
+			log.Printf("send to %d: %v", to, err)
+		}
+	})
+	defer node.Stop()
+
+	ln, err := net.Listen("tcp", clientAddr)
+	if err != nil {
+		return fmt.Errorf("client listener: %w", err)
+	}
+	defer ln.Close()
+	log.Printf("process %d/%d up: mesh %s, clients %s, writer %d", id, n, addrs[id], clientAddr, writer)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go serveClient(conn, node, id == writer)
+	}
+}
+
+func serveClient(conn net.Conn, node *cluster.Node, isWriter bool) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch cmd {
+		case "read":
+			v, err := node.Read()
+			if err != nil {
+				fmt.Fprintf(conn, "err %v\n", err)
+				continue
+			}
+			fmt.Fprintf(conn, "ok %s\n", v)
+		case "write":
+			if !isWriter {
+				fmt.Fprintln(conn, "err this process is not the writer")
+				continue
+			}
+			if err := node.Write([]byte(rest)); err != nil {
+				fmt.Fprintf(conn, "err %v\n", err)
+				continue
+			}
+			fmt.Fprintln(conn, "ok")
+		case "quit", "":
+			return
+		default:
+			fmt.Fprintf(conn, "err unknown command %q (use: read | write <text>)\n", cmd)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command table1 regenerates the paper's Table 1: it measures message
+// counts, control sizes, local memory and Δ-unit latencies for all four
+// algorithms on the virtual-time simulator and prints them next to the
+// published entries.
+//
+// Usage:
+//
+//	table1 [-n 5] [-ops 10] [-verify] [-sweep]
+//
+// -verify exits non-zero unless every claim of the paper reproduces.
+// -sweep prints the n-sweep used for the asymptotic rows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twobitreg/internal/eval"
+)
+
+func main() {
+	n := flag.Int("n", 5, "number of processes")
+	ops := flag.Int("ops", 10, "operations per measurement")
+	verify := flag.Bool("verify", false, "fail unless every Table 1 claim reproduces")
+	sweep := flag.Bool("sweep", false, "print message-cost sweep over n")
+	flag.Parse()
+
+	if err := run(*n, *ops, *verify, *sweep); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, ops int, verify, sweep bool) error {
+	if n < 1 {
+		return fmt.Errorf("need -n >= 1, got %d", n)
+	}
+	tab := eval.RunTable1(n, ops)
+	fmt.Print(tab.Format())
+
+	if sweep {
+		fmt.Println("\nmessage-cost sweep (msgs per op)")
+		fmt.Printf("%-14s", "n")
+		for _, alg := range eval.Columns() {
+			fmt.Printf(" | %-22s", alg.Name()+" (w / r)")
+		}
+		fmt.Println()
+		for _, sn := range []int{3, 5, 10, 20, 40} {
+			fmt.Printf("%-14d", sn)
+			for _, alg := range eval.Columns() {
+				m := eval.MeasureMsgs(alg, sn, 3)
+				fmt.Printf(" | %-22s", fmt.Sprintf("%.0f / %.0f", m.PerWrite, m.PerRead))
+			}
+			fmt.Println()
+		}
+	}
+
+	if verify {
+		if err := tab.Verify(); err != nil {
+			return err
+		}
+		fmt.Println("\nall Table 1 claims reproduced ✓")
+	}
+	return nil
+}

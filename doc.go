@@ -1,0 +1,30 @@
+// Package twobitreg implements the atomic single-writer multi-reader
+// register of Mostéfaoui & Raynal, "Two-Bit Messages are Sufficient to
+// Implement Atomic Read/Write Registers in Crash-prone Systems" (2016),
+// together with the baselines its evaluation compares against and the
+// harnesses that regenerate that evaluation.
+//
+// The register runs over an asynchronous, reliable, non-FIFO message-passing
+// system of n processes of which any minority may crash (t < n/2). Its four
+// message types — WRITE0, WRITE1, READ, PROCEED — carry two bits of control
+// information and nothing else; sequence numbers exist only in process-local
+// memory, reconstructed from an alternating-bit discipline imposed on WRITE
+// traffic between every pair of processes.
+//
+// # Quick start
+//
+//	reg, err := twobitreg.Start(5)
+//	if err != nil { ... }
+//	defer reg.Stop()
+//
+//	if err := reg.Write([]byte("hello")); err != nil { ... }
+//	v, err := reg.Read(3) // read through process 3
+//
+// The facade runs every process in-memory on its own goroutine. The
+// internal packages expose the full machinery: the protocol state machine
+// (internal/core), the discrete-event simulator and instrumented transports
+// (internal/sim, internal/transport), the ABD baselines (internal/abd), the
+// bounded-cost comparators (internal/boundedabd, internal/attiya), the
+// linearizability checkers (internal/check), and the Table 1 reproduction
+// harness (internal/eval).
+package twobitreg

@@ -1,0 +1,52 @@
+// Crash tolerance: the register stays live and atomic while any minority of
+// processes crash — here 2 of 5, including one that crashes between a write
+// and the reads that must still see it.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"twobitreg"
+)
+
+func main() {
+	reg, err := twobitreg.Start(5, twobitreg.WithJitter(200*time.Microsecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reg.Stop()
+
+	if err := reg.Write([]byte("v1")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote v1 with all 5 processes up")
+
+	reg.Crash(4)
+	fmt.Println("crashed process 4")
+
+	if err := reg.Write([]byte("v2")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote v2 with 4/5 processes up")
+
+	reg.Crash(3)
+	fmt.Println("crashed process 3 — now at the t < n/2 limit")
+
+	for pid := 0; pid <= 2; pid++ {
+		v, err := reg.Read(pid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("survivor %d reads: %s\n", pid, v)
+	}
+
+	// Reading through a crashed process fails cleanly.
+	if _, err := reg.Read(4); errors.Is(err, twobitreg.ErrCrashed) {
+		fmt.Println("reading through crashed process 4: ErrCrashed (as expected)")
+	}
+
+	fmt.Println("\nliveness bound: one more crash would break t < n/2; operations would block forever")
+}

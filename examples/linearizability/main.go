@@ -1,0 +1,77 @@
+// Linearizability harness: run a writer and several readers concurrently on
+// the real goroutine runtime under delivery jitter, record the complete
+// operation history, and verify it against the paper's atomicity conditions
+// (Lemma 10's three claims) — the mechanised version of the paper's proof
+// obligations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"twobitreg/internal/check"
+	"twobitreg/internal/cluster"
+	"twobitreg/internal/core"
+	"twobitreg/internal/proto"
+)
+
+func main() {
+	start := time.Now()
+	rec := check.NewRecorder(nil, func() float64 { return time.Since(start).Seconds() })
+
+	c, err := cluster.New(cluster.Config{
+		N: 5, Writer: 0, Alg: core.Algorithm(),
+		MaxJitter: 300 * time.Microsecond, Seed: 2024,
+		OnInvoke: func(op proto.OpID, pid int, kind proto.OpKind, v proto.Value) {
+			rec.Invoke(op, pid, kind, v)
+		},
+		OnComplete: func(op proto.OpID, _ int, comp proto.Completion) {
+			rec.Respond(op, comp.Value)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	const writes, readers, readsEach = 30, 4, 20
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 1; k <= writes; k++ {
+			if err := c.Write(0, []byte(fmt.Sprintf("v%03d", k))); err != nil {
+				log.Printf("write: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 1; r <= readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < readsEach; k++ {
+				if _, err := c.Read(r); err != nil {
+					log.Printf("read: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	h := rec.History()
+	fmt.Printf("recorded %d operations (%d writes, %d reads) across %d processes\n",
+		len(h.Ops), writes, readers*readsEach, 5)
+
+	if err := check.CheckSWMR(h); err != nil {
+		log.Fatalf("ATOMICITY VIOLATION: %v", err)
+	}
+	fmt.Println("claim 1 (no read from the future)   ✓")
+	fmt.Println("claim 2 (no overwritten value read) ✓")
+	fmt.Println("claim 3 (no new/old inversion)      ✓")
+	fmt.Println("\nthe execution is atomic — Lemma 10's conditions verified mechanically")
+}

@@ -1,0 +1,31 @@
+// Read-dominated workloads: the paper's §5 argues the two-bit register suits
+// read-dominated applications because reads cost O(n) messages (2(n-1))
+// against ABD's 4(n-1), with constant two-bit control information. This
+// example sweeps read:write mixes on the virtual-time simulator and prints
+// the per-operation network cost of both algorithms.
+package main
+
+import (
+	"fmt"
+
+	"twobitreg/internal/abd"
+	"twobitreg/internal/core"
+	"twobitreg/internal/eval"
+	"twobitreg/internal/workload"
+)
+
+func main() {
+	const n, ops = 7, 200
+	fmt.Printf("n = %d processes, %d ops per mix\n\n", n, ops)
+	fmt.Printf("%-12s | %-24s | %-24s\n", "read mix", "twobit", "abd (unbounded)")
+	fmt.Printf("%-12s | %8s %13s | %8s %13s\n", "", "msgs/op", "ctrlbits/op", "msgs/op", "ctrlbits/op")
+	fmt.Println("-------------+--------------------------+-------------------------")
+	for _, frac := range workload.ReadMixes() {
+		tb := eval.MeasureMix(core.Algorithm(), n, ops, frac)
+		ab := eval.MeasureMix(abd.Algorithm(), n, ops, frac)
+		fmt.Printf("%9.0f%% r | %8.1f %13.1f | %8.1f %13.1f\n",
+			frac*100, tb.MsgsPerOp, tb.CtrlBitsPerOp, ab.MsgsPerOp, ab.CtrlBitsPerOp)
+	}
+	fmt.Println("\nshape: two-bit wins on messages when reads dominate (its writes are")
+	fmt.Println("O(n²)), and always wins on control volume — 2 bits/message, constant.")
+}

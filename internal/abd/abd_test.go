@@ -1,0 +1,241 @@
+package abd_test
+
+import (
+	"fmt"
+	"testing"
+
+	"twobitreg/internal/abd"
+	"twobitreg/internal/proto"
+	"twobitreg/internal/prototest"
+	"twobitreg/internal/transport"
+)
+
+func val(s string) proto.Value { return proto.Value(s) }
+
+func TestTimestampOrder(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		a, b abd.TS
+		less bool
+	}{
+		{abd.TS{1, 0}, abd.TS{2, 0}, true},
+		{abd.TS{2, 0}, abd.TS{1, 0}, false},
+		{abd.TS{1, 0}, abd.TS{1, 1}, true},
+		{abd.TS{1, 1}, abd.TS{1, 1}, false},
+		{abd.TS{3, 2}, abd.TS{3, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestSWMRWriteRead(t *testing.T) {
+	t.Parallel()
+	h := prototest.NewHarness(t, abd.Algorithm(), 3, 0)
+	h.Write(0, 1, val("a"))
+	h.MustNotComplete(1) // needs quorum 2: one ack besides self
+	h.DeliverAll()
+	h.MustComplete(1)
+	h.Read(2, 2)
+	h.DeliverAll()
+	if c := h.MustComplete(2); !c.Value.Equal(val("a")) {
+		t.Fatalf("read = %q, want a", c.Value)
+	}
+}
+
+func TestSWMRReadInitialValue(t *testing.T) {
+	t.Parallel()
+	h := prototest.NewHarness(t, abd.Algorithm(), 3, 0)
+	h.Read(1, 1)
+	h.DeliverAll()
+	if c := h.MustComplete(1); c.Value != nil {
+		t.Fatalf("read = %q, want nil initial value", c.Value)
+	}
+}
+
+func TestSWMRSequenceOfWrites(t *testing.T) {
+	t.Parallel()
+	h := prototest.NewHarness(t, abd.Algorithm(), 5, 0)
+	for k := 1; k <= 5; k++ {
+		h.Write(0, proto.OpID(k), val(fmt.Sprintf("v%d", k)))
+		h.DeliverAll()
+		h.MustComplete(proto.OpID(k))
+	}
+	h.Read(3, 99)
+	h.DeliverAll()
+	if c := h.MustComplete(99); !c.Value.Equal(val("v5")) {
+		t.Fatalf("read = %q, want v5", c.Value)
+	}
+}
+
+func TestSWMRNonWriterWritePanics(t *testing.T) {
+	t.Parallel()
+	h := prototest.NewHarness(t, abd.Algorithm(), 3, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Procs[1].StartWrite(1, val("x"))
+}
+
+func TestSWMRStaleAcksIgnored(t *testing.T) {
+	t.Parallel()
+	// A WriteAck for an older timestamp must not count toward the current
+	// write's quorum.
+	p := abd.New(0, 3, 0, nil)
+	p.StartWrite(1, val("v1"))
+	// Ack from p1 for ts {1,0} completes write 1 (quorum 2).
+	eff := p.Deliver(1, abd.WriteAck{TS: abd.TS{Num: 1, PID: 0}})
+	if len(eff.Done) != 1 {
+		t.Fatal("write 1 did not complete on first ack")
+	}
+	p.StartWrite(2, val("v2"))
+	// A duplicate stale ack for write 1 arrives; write 2 must not finish.
+	eff = p.Deliver(2, abd.WriteAck{TS: abd.TS{Num: 1, PID: 0}})
+	if len(eff.Done) != 0 {
+		t.Fatal("stale ack completed the wrong write")
+	}
+	eff = p.Deliver(2, abd.WriteAck{TS: abd.TS{Num: 2, PID: 0}})
+	if len(eff.Done) != 1 {
+		t.Fatal("fresh ack did not complete write 2")
+	}
+}
+
+func TestSWMRWriteLatencyTwoDelta(t *testing.T) {
+	t.Parallel()
+	r := prototest.NewSimRig(t, abd.Algorithm(), 5, 0, 1, transport.FixedDelay(1))
+	r.Net.StartWriteAt(0, 0, 1, val("x"))
+	r.Net.Run()
+	if d := r.MustDone(1); d.At != 2 {
+		t.Fatalf("ABD write latency = %vΔ, want 2Δ", d.At)
+	}
+}
+
+func TestSWMRReadLatencyFourDelta(t *testing.T) {
+	t.Parallel()
+	r := prototest.NewSimRig(t, abd.Algorithm(), 5, 0, 1, transport.FixedDelay(1))
+	r.Net.StartWriteAt(0, 0, 1, val("x"))
+	r.Net.StartReadAt(10, 2, 2)
+	r.Net.Run()
+	if d := r.MustDone(2); d.At-10 != 4 {
+		t.Fatalf("ABD read latency = %vΔ, want 4Δ (two phases)", d.At-10)
+	}
+}
+
+func TestSWMRMessageCounts(t *testing.T) {
+	t.Parallel()
+	// Write: 2(n-1) messages. Read: 4(n-1) messages.
+	for _, n := range []int{3, 5, 9} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			t.Parallel()
+			r := prototest.NewSimRig(t, abd.Algorithm(), n, 0, 1, transport.FixedDelay(1))
+			r.Net.StartWriteAt(0, 0, 1, val("x"))
+			r.Net.Run()
+			s := r.Col.Snapshot()
+			if want := int64(2 * (n - 1)); s.TotalMsgs != want {
+				t.Fatalf("write used %d msgs, want %d", s.TotalMsgs, want)
+			}
+			r.Col.Reset()
+			r.Net.StartReadAt(100, 1, 2)
+			r.Net.Run()
+			s = r.Col.Snapshot()
+			if want := int64(4 * (n - 1)); s.TotalMsgs != want {
+				t.Fatalf("read used %d msgs, want %d", s.TotalMsgs, want)
+			}
+		})
+	}
+}
+
+func TestSWMRCrashMinorityLiveness(t *testing.T) {
+	t.Parallel()
+	r := prototest.NewSimRig(t, abd.Algorithm(), 5, 0, 1, transport.FixedDelay(1))
+	r.Net.Crash(3)
+	r.Net.Crash(4)
+	r.Net.StartWriteAt(0, 0, 1, val("v"))
+	r.Net.StartReadAt(10, 1, 2)
+	r.Net.Run()
+	r.MustDone(1)
+	if d := r.MustDone(2); !d.C.Value.Equal(val("v")) {
+		t.Fatalf("read = %q, want v", d.C.Value)
+	}
+}
+
+// TestSWMRNoNewOldInversion drives the canonical atomicity scenario: reader A
+// sees the new value, reader B starts after A finished and must not see the
+// old one. The write-back phase is what guarantees this.
+func TestSWMRNoNewOldInversion(t *testing.T) {
+	t.Parallel()
+	r := prototest.NewSimRig(t, abd.Algorithm(), 5, 0, 1, transport.UniformDelay(0.5, 2))
+	r.Net.StartWriteAt(0, 0, 1, val("new"))
+	r.Net.StartReadAt(1, 1, 2)
+	r.Net.Run()
+	first := r.MustDone(2)
+	// The second read starts strictly after the first one finished.
+	r.Net.StartReadAt(r.Sched.Now()+0.1, 2, 3)
+	r.Net.Run()
+	second := r.MustDone(3)
+	if first.C.Value.Equal(val("new")) && !second.C.Value.Equal(val("new")) {
+		t.Fatal("new/old inversion: second read saw the older value")
+	}
+}
+
+func TestMWMRConcurrentWritersConverge(t *testing.T) {
+	t.Parallel()
+	h := prototest.NewHarness(t, abd.MWMRAlgorithm(), 5, 0)
+	// Two different processes write concurrently.
+	h.Write(1, 1, val("from1"))
+	h.Write(2, 2, val("from2"))
+	h.DeliverAll()
+	h.MustComplete(1)
+	h.MustComplete(2)
+	// Everyone must now read the same winner.
+	h.Read(3, 3)
+	h.Read(4, 4)
+	h.DeliverAll()
+	a := h.MustComplete(3)
+	b := h.MustComplete(4)
+	if !a.Value.Equal(b.Value) {
+		t.Fatalf("diverged reads: %q vs %q", a.Value, b.Value)
+	}
+	if !a.Value.Equal(val("from1")) && !a.Value.Equal(val("from2")) {
+		t.Fatalf("read returned a value nobody wrote: %q", a.Value)
+	}
+}
+
+func TestMWMRWriteLatencyFourDelta(t *testing.T) {
+	t.Parallel()
+	r := prototest.NewSimRig(t, abd.MWMRAlgorithm(), 5, 0, 1, transport.FixedDelay(1))
+	r.Net.StartWriteAt(0, 2, 1, val("x"))
+	r.Net.Run()
+	if d := r.MustDone(1); d.At != 4 {
+		t.Fatalf("MWMR write latency = %vΔ, want 4Δ (two phases)", d.At)
+	}
+}
+
+func TestMWMRTimestampsSupersede(t *testing.T) {
+	t.Parallel()
+	h := prototest.NewHarness(t, abd.MWMRAlgorithm(), 3, 0)
+	h.Write(0, 1, val("first"))
+	h.DeliverAll()
+	h.Write(1, 2, val("second"))
+	h.DeliverAll()
+	h.Read(2, 3)
+	h.DeliverAll()
+	if c := h.MustComplete(3); !c.Value.Equal(val("second")) {
+		t.Fatalf("read = %q, want second (later write must supersede)", c.Value)
+	}
+}
+
+func TestControlBitsIncludeTimestamp(t *testing.T) {
+	t.Parallel()
+	if bits := (abd.WriteReq{}).ControlBits(); bits <= 2 {
+		t.Fatalf("ABD WriteReq carries %d control bits; must exceed the two-bit algorithm", bits)
+	}
+	if bits := (abd.ReadAck{}).ControlBits(); bits <= (abd.ReadReq{}).ControlBits() {
+		t.Fatalf("ReadAck (%d bits) must carry more control than ReadReq", bits)
+	}
+}

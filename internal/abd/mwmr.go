@@ -1,0 +1,232 @@
+package abd
+
+import (
+	"fmt"
+
+	"twobitreg/internal/proto"
+)
+
+// MWMRProc is the multi-writer multi-reader extension of ABD: every process
+// may write. A write first queries a quorum for the highest timestamp, then
+// propagates (max+1, id) — two rounds, 4Δ. Reads are identical to the SWMR
+// variant. Timestamps order lexicographically by (counter, process id).
+//
+// The two-bit paper's algorithm is inherently SWMR (the alternating-bit
+// discipline assumes one value source); this baseline exists so the
+// linearizability checker and the cluster runtime are exercised on genuinely
+// concurrent writes too.
+type MWMRProc struct {
+	id, n int
+
+	ts  TS
+	val proto.Value
+
+	rcount uint64
+
+	cur *mwmrOp
+
+	msgsSent int
+}
+
+type mwmrOp struct {
+	op    proto.OpID
+	kind  proto.OpKind
+	phase mwmrPhase
+
+	rid  uint64
+	ts   TS
+	val  proto.Value
+	acks map[int]bool
+
+	maxTS  TS
+	maxVal proto.Value
+}
+
+type mwmrPhase uint8
+
+const (
+	mwmrWriteQuery mwmrPhase = iota + 1 // TsReq round before a write
+	mwmrWriteProp                       // WriteReq propagation round
+	mwmrReadQuery                       // ReadReq round
+	mwmrReadBack                        // write-back round
+)
+
+// NewMWMR returns the MWMR ABD process with index id of n.
+func NewMWMR(id, n int, initial proto.Value) *MWMRProc {
+	proto.Validate(id, n, 0)
+	return &MWMRProc{id: id, n: n, val: initial.Clone()}
+}
+
+// MWMRAlgorithm returns a proto.Algorithm building MWMR ABD processes.
+// The writer argument is ignored: every process may write.
+func MWMRAlgorithm() proto.Algorithm { return mwmrAlgorithm{} }
+
+type mwmrAlgorithm struct{}
+
+func (mwmrAlgorithm) Name() string { return "abd-mwmr" }
+func (mwmrAlgorithm) New(id, n, _ int) proto.Process {
+	return NewMWMR(id, n, nil)
+}
+
+// ID implements proto.Process.
+func (p *MWMRProc) ID() int { return p.id }
+
+func (p *MWMRProc) quorum() int { return proto.QuorumSize(p.n) }
+
+func (p *MWMRProc) adopt(ts TS, v proto.Value) {
+	if p.ts.Less(ts) {
+		p.ts = ts
+		p.val = v.Clone()
+	}
+}
+
+// StartWrite begins the timestamp-query round of a write.
+func (p *MWMRProc) StartWrite(id proto.OpID, v proto.Value) proto.Effects {
+	if p.cur != nil {
+		panic(fmt.Sprintf("abd: process %d invoked write during a %s", p.id, p.cur.kind))
+	}
+	var eff proto.Effects
+	p.rcount++
+	p.cur = &mwmrOp{
+		op: id, kind: proto.OpWrite, phase: mwmrWriteQuery,
+		rid: p.rcount, val: v.Clone(),
+		acks:  map[int]bool{p.id: true},
+		maxTS: p.ts,
+	}
+	for j := 0; j < p.n; j++ {
+		if j != p.id {
+			eff.AddSend(j, TsReq{RID: p.rcount})
+			p.msgsSent++
+		}
+	}
+	p.finishIfQuorum(&eff)
+	return eff
+}
+
+// StartRead begins the query round of a read.
+func (p *MWMRProc) StartRead(id proto.OpID) proto.Effects {
+	if p.cur != nil {
+		panic(fmt.Sprintf("abd: process %d invoked read during a %s", p.id, p.cur.kind))
+	}
+	var eff proto.Effects
+	p.rcount++
+	p.cur = &mwmrOp{
+		op: id, kind: proto.OpRead, phase: mwmrReadQuery,
+		rid: p.rcount, acks: map[int]bool{p.id: true},
+		maxTS: p.ts, maxVal: p.val.Clone(),
+	}
+	for j := 0; j < p.n; j++ {
+		if j != p.id {
+			eff.AddSend(j, ReadReq{RID: p.rcount})
+			p.msgsSent++
+		}
+	}
+	p.finishIfQuorum(&eff)
+	return eff
+}
+
+// Deliver implements the MWMR message handlers.
+func (p *MWMRProc) Deliver(from int, msg proto.Message) proto.Effects {
+	if from == p.id {
+		panic(fmt.Sprintf("abd: process %d received message from itself", p.id))
+	}
+	var eff proto.Effects
+	switch m := msg.(type) {
+	case TsReq:
+		eff.AddSend(from, TsAck{RID: m.RID, TS: p.ts})
+		p.msgsSent++
+	case TsAck:
+		c := p.cur
+		if c == nil || c.phase != mwmrWriteQuery || c.rid != m.RID {
+			break
+		}
+		c.acks[from] = true
+		if c.maxTS.Less(m.TS) {
+			c.maxTS = m.TS
+		}
+	case WriteReq:
+		p.adopt(m.TS, m.Val)
+		eff.AddSend(from, WriteAck{TS: m.TS})
+		p.msgsSent++
+	case WriteAck:
+		c := p.cur
+		if c == nil || c.ts != m.TS {
+			break
+		}
+		if c.phase == mwmrWriteProp || c.phase == mwmrReadBack {
+			c.acks[from] = true
+		}
+	case ReadReq:
+		eff.AddSend(from, ReadAck{RID: m.RID, TS: p.ts, Val: p.val})
+		p.msgsSent++
+	case ReadAck:
+		c := p.cur
+		if c == nil || c.phase != mwmrReadQuery || c.rid != m.RID {
+			break
+		}
+		c.acks[from] = true
+		if c.maxTS.Less(m.TS) {
+			c.maxTS = m.TS
+			c.maxVal = m.Val.Clone()
+		}
+		p.adopt(m.TS, m.Val)
+	default:
+		panic(fmt.Sprintf("abd: process %d received foreign message %T", p.id, msg))
+	}
+	p.finishIfQuorum(&eff)
+	return eff
+}
+
+func (p *MWMRProc) finishIfQuorum(eff *proto.Effects) {
+	c := p.cur
+	if c == nil || len(c.acks) < p.quorum() {
+		return
+	}
+	switch c.phase {
+	case mwmrWriteQuery:
+		// Claim the next timestamp and propagate.
+		c.phase = mwmrWriteProp
+		c.ts = TS{Num: c.maxTS.Num + 1, PID: p.id}
+		c.acks = map[int]bool{p.id: true}
+		p.adopt(c.ts, c.val)
+		for j := 0; j < p.n; j++ {
+			if j != p.id {
+				eff.AddSend(j, WriteReq{TS: c.ts, Val: c.val})
+				p.msgsSent++
+			}
+		}
+		p.finishIfQuorum(eff)
+	case mwmrWriteProp:
+		p.cur = nil
+		eff.AddDone(c.op, proto.OpWrite, nil)
+	case mwmrReadQuery:
+		c.phase = mwmrReadBack
+		c.ts = c.maxTS
+		c.val = c.maxVal
+		c.acks = map[int]bool{p.id: true}
+		p.adopt(c.ts, c.val)
+		for j := 0; j < p.n; j++ {
+			if j != p.id {
+				eff.AddSend(j, WriteReq{TS: c.ts, Val: c.val})
+				p.msgsSent++
+			}
+		}
+		p.finishIfQuorum(eff)
+	case mwmrReadBack:
+		p.cur = nil
+		eff.AddDone(c.op, proto.OpRead, c.val.Clone())
+	}
+}
+
+// LocalMemoryBits mirrors the SWMR accounting.
+func (p *MWMRProc) LocalMemoryBits() int {
+	return tsBits + len(p.val)*8 + 64
+}
+
+// MsgsSent returns the number of messages this process has emitted.
+func (p *MWMRProc) MsgsSent() int { return p.msgsSent }
+
+// Idle reports whether no operation is in flight.
+func (p *MWMRProc) Idle() bool { return p.cur == nil }
+
+var _ proto.Process = (*MWMRProc)(nil)

@@ -1,0 +1,100 @@
+// Package abp implements the classic alternating-bit protocol (Bartlett,
+// Scantlebury & Wilkinson 1969; Lynch 1968 — the paper's references [6,13]):
+// reliable in-order delivery over a lossy FIFO channel using a single
+// control bit per frame.
+//
+// The two-bit register embeds the same discipline — its WRITE0/WRITE1
+// exchange between each ordered pair of processes is exactly an
+// alternating-bit stream without retransmission (the register's channels are
+// reliable, only non-FIFO). This standalone version includes the
+// retransmission half so the protocol is demonstrated in its original
+// habitat, and is property-tested under loss and duplication.
+//
+// Sender and Receiver are pure state machines: callers deliver inbound
+// frames and clock ticks, and route the returned effects. That is the same
+// architecture as the register protocols, so the simulator drives them
+// unchanged.
+package abp
+
+// Frame is a data frame tagged with the alternating bit.
+type Frame struct {
+	Bit uint8
+	Val []byte
+}
+
+// Ack acknowledges the frame carrying Bit.
+type Ack struct {
+	Bit uint8
+}
+
+// Sender transmits a queue of values reliably. Drive it with Enqueue,
+// OnAck, and Tick (retransmission timer); every call returns the frames to
+// put on the wire.
+type Sender struct {
+	bit      uint8
+	queue    [][]byte
+	inflight bool
+	// Retransmits counts timer-driven resends, for tests and stats.
+	Retransmits int
+	// Delivered counts acknowledged values.
+	Delivered int
+}
+
+// Enqueue adds v to the send queue and returns frames to transmit now.
+func (s *Sender) Enqueue(v []byte) []Frame {
+	s.queue = append(s.queue, append([]byte(nil), v...))
+	return s.pump()
+}
+
+// OnAck processes an acknowledgement and returns frames to transmit now.
+func (s *Sender) OnAck(a Ack) []Frame {
+	if !s.inflight || a.Bit != s.bit {
+		return nil // stale or duplicate ack
+	}
+	s.inflight = false
+	s.Delivered++
+	s.queue = s.queue[1:]
+	s.bit ^= 1
+	return s.pump()
+}
+
+// Tick fires the retransmission timer: if a frame is unacknowledged it is
+// sent again.
+func (s *Sender) Tick() []Frame {
+	if !s.inflight {
+		return nil
+	}
+	s.Retransmits++
+	return []Frame{{Bit: s.bit, Val: s.queue[0]}}
+}
+
+// Pending reports whether unacknowledged or queued data remains.
+func (s *Sender) Pending() bool { return s.inflight || len(s.queue) > 0 }
+
+func (s *Sender) pump() []Frame {
+	if s.inflight || len(s.queue) == 0 {
+		return nil
+	}
+	s.inflight = true
+	return []Frame{{Bit: s.bit, Val: s.queue[0]}}
+}
+
+// Receiver accepts frames and emits acks plus exactly-once in-order
+// deliveries.
+type Receiver struct {
+	expect uint8
+	// Duplicates counts frames discarded as retransmissions.
+	Duplicates int
+}
+
+// OnFrame processes a frame. delivered is non-nil when the frame carried the
+// next value in sequence; ack must always be sent back.
+func (r *Receiver) OnFrame(f Frame) (delivered []byte, ack Ack) {
+	if f.Bit == r.expect {
+		r.expect ^= 1
+		return append([]byte(nil), f.Val...), Ack{Bit: f.Bit}
+	}
+	// Duplicate of the previous frame: re-ack it so the sender advances.
+	r.Duplicates++
+	return nil, Ack{Bit: f.Bit}
+}

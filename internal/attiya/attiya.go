@@ -1,0 +1,31 @@
+// Package attiya provides the cost-faithful comparator for H. Attiya's
+// bounded algorithm ("Efficient and robust sharing of memory in
+// message-passing systems", J. Algorithms 2000) — Table 1, column
+// "H. Attiya's algorithm".
+//
+// Published costs reproduced (from the paper's Table 1, itself citing
+// [1,19]): write O(n) messages / 14Δ, read O(n) messages / 18Δ, messages
+// carrying O(n³) bits of control information, O(n⁵) bits of local memory.
+// See internal/phased for what is genuinely executed versus accounted.
+package attiya
+
+import (
+	"twobitreg/internal/phased"
+	"twobitreg/internal/proto"
+)
+
+// Config returns Attiya's cost profile: seven direct request/ack rounds per
+// write, nine per read, with Θ(n³)-bit control payloads.
+func Config() phased.Config {
+	return phased.Config{
+		Name:        "attiya",
+		WritePhases: 7, // 14Δ
+		ReadPhases:  9, // 18Δ
+		EchoAll:     false,
+		CtrlBits:    func(n int) int { return n * n * n },
+		MemoryBits:  func(n int) int { return n * n * n * n * n },
+	}
+}
+
+// Algorithm returns the proto.Algorithm for the Attiya comparator.
+func Algorithm() proto.Algorithm { return phased.Algorithm(Config()) }

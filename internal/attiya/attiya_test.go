@@ -1,0 +1,34 @@
+package attiya
+
+import "testing"
+
+func TestConfigMatchesPublishedCosts(t *testing.T) {
+	t.Parallel()
+	cfg := Config()
+	if cfg.WritePhases != 7 || cfg.ReadPhases != 9 {
+		t.Fatalf("phases = %d/%d, want 7/9 (14Δ/18Δ)", cfg.WritePhases, cfg.ReadPhases)
+	}
+	if cfg.EchoAll {
+		t.Fatal("Attiya's algorithm must use direct acks (O(n) messages)")
+	}
+	cases := []struct{ n, bits, mem int }{
+		{2, 8, 32},
+		{3, 27, 243},
+		{10, 1000, 100000},
+	}
+	for _, c := range cases {
+		if got := cfg.CtrlBits(c.n); got != c.bits {
+			t.Errorf("CtrlBits(%d) = %d, want n³ = %d", c.n, got, c.bits)
+		}
+		if got := cfg.MemoryBits(c.n); got != c.mem {
+			t.Errorf("MemoryBits(%d) = %d, want n⁵ = %d", c.n, got, c.mem)
+		}
+	}
+}
+
+func TestAlgorithmName(t *testing.T) {
+	t.Parallel()
+	if got := Algorithm().Name(); got != "attiya" {
+		t.Fatalf("Name() = %q", got)
+	}
+}

@@ -1,0 +1,37 @@
+// Package boundedabd provides the cost-faithful comparator for the bounded
+// sequence-number version of ABD (Table 1, column "ABD95 bounded seq. nb").
+//
+// Published costs reproduced (from the paper's Table 1, itself citing
+// [1,19]): write O(n²) messages / 12Δ, read O(n²) messages / 12Δ, messages
+// carrying O(n⁵) bits of control information, O(n⁶) bits of local memory.
+// See internal/phased for what is genuinely executed versus accounted.
+package boundedabd
+
+import (
+	"twobitreg/internal/phased"
+	"twobitreg/internal/proto"
+)
+
+// Config returns the bounded-ABD cost profile: six all-to-all echo rounds
+// per operation with Θ(n⁵)-bit control payloads.
+func Config() phased.Config {
+	return phased.Config{
+		Name:        "bounded-abd",
+		WritePhases: 6, // 12Δ
+		ReadPhases:  6, // 12Δ
+		EchoAll:     true,
+		CtrlBits:    func(n int) int { return pow(n, 5) },
+		MemoryBits:  func(n int) int { return pow(n, 6) },
+	}
+}
+
+// Algorithm returns the proto.Algorithm for the bounded-ABD comparator.
+func Algorithm() proto.Algorithm { return phased.Algorithm(Config()) }
+
+func pow(n, k int) int {
+	out := 1
+	for i := 0; i < k; i++ {
+		out *= n
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package boundedabd
+
+import "testing"
+
+func TestConfigMatchesPublishedCosts(t *testing.T) {
+	t.Parallel()
+	cfg := Config()
+	if cfg.WritePhases != 6 || cfg.ReadPhases != 6 {
+		t.Fatalf("phases = %d/%d, want 6/6 (12Δ/12Δ)", cfg.WritePhases, cfg.ReadPhases)
+	}
+	if !cfg.EchoAll {
+		t.Fatal("bounded ABD must use all-to-all echoes (O(n²) messages)")
+	}
+	cases := []struct{ n, bits, mem int }{
+		{2, 32, 64},
+		{3, 243, 729},
+		{10, 100000, 1000000},
+	}
+	for _, c := range cases {
+		if got := cfg.CtrlBits(c.n); got != c.bits {
+			t.Errorf("CtrlBits(%d) = %d, want n⁵ = %d", c.n, got, c.bits)
+		}
+		if got := cfg.MemoryBits(c.n); got != c.mem {
+			t.Errorf("MemoryBits(%d) = %d, want n⁶ = %d", c.n, got, c.mem)
+		}
+	}
+}
+
+func TestAlgorithmName(t *testing.T) {
+	t.Parallel()
+	if got := Algorithm().Name(); got != "bounded-abd" {
+		t.Fatalf("Name() = %q", got)
+	}
+}

@@ -1,0 +1,301 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"twobitreg/internal/proto"
+)
+
+func val(s string) proto.Value { return proto.Value(s) }
+
+// hb (history builder) makes the test histories readable.
+type hb struct {
+	h    History
+	next proto.OpID
+}
+
+func newHB(initial proto.Value) *hb { return &hb{h: History{Initial: initial}, next: 1} }
+
+func (b *hb) add(proc int, kind proto.OpKind, v proto.Value, inv, res float64) *hb {
+	b.h.Ops = append(b.h.Ops, Op{
+		ID: b.next, Proc: proc, Kind: kind, Value: v,
+		Inv: inv, Res: res, Completed: true,
+	})
+	b.next++
+	return b
+}
+
+func (b *hb) addPending(proc int, kind proto.OpKind, v proto.Value, inv float64) *hb {
+	b.h.Ops = append(b.h.Ops, Op{
+		ID: b.next, Proc: proc, Kind: kind, Value: v, Inv: inv,
+	})
+	b.next++
+	return b
+}
+
+func (b *hb) write(inv, res float64, v string) *hb { return b.add(0, proto.OpWrite, val(v), inv, res) }
+func (b *hb) read(proc int, inv, res float64, v string) *hb {
+	return b.add(proc, proto.OpRead, val(v), inv, res)
+}
+
+// both runs both checkers and asserts they agree with want (nil = atomic).
+func both(t *testing.T, h History, wantAtomic bool) {
+	t.Helper()
+	errS := CheckSWMR(h)
+	errL := CheckLinearizable(h)
+	if (errS == nil) != wantAtomic {
+		t.Errorf("CheckSWMR = %v, want atomic=%v", errS, wantAtomic)
+	}
+	if (errL == nil) != wantAtomic {
+		t.Errorf("CheckLinearizable = %v, want atomic=%v", errL, wantAtomic)
+	}
+}
+
+func TestSequentialHistoryAtomic(t *testing.T) {
+	t.Parallel()
+	b := newHB(nil).
+		write(0, 1, "a").
+		read(1, 2, 3, "a").
+		write(4, 5, "b").
+		read(2, 6, 7, "b")
+	both(t, b.h, true)
+}
+
+func TestEmptyHistoryAtomic(t *testing.T) {
+	t.Parallel()
+	both(t, History{}, true)
+}
+
+func TestReadInitialValue(t *testing.T) {
+	t.Parallel()
+	b := newHB(val("init")).read(1, 0, 1, "init").write(2, 3, "a").read(1, 4, 5, "a")
+	both(t, b.h, true)
+}
+
+func TestConcurrentReadMaySeeEitherValue(t *testing.T) {
+	t.Parallel()
+	// Read overlaps the write: both old and new results are atomic.
+	old := newHB(nil).write(1, 3, "a").add(1, proto.OpRead, nil, 0, 2)
+	both(t, old.h, true)
+	new_ := newHB(nil).write(1, 3, "a").read(1, 0, 2, "a")
+	both(t, new_.h, true)
+}
+
+func TestClaim1ReadFromFuture(t *testing.T) {
+	t.Parallel()
+	// Read finishes before the write it returns was invoked.
+	b := newHB(nil).read(1, 0, 1, "a").write(2, 3, "a")
+	both(t, b.h, false)
+}
+
+func TestClaim2StaleRead(t *testing.T) {
+	t.Parallel()
+	// Write completed, then a read starts and returns the initial value.
+	b := newHB(nil).write(0, 1, "a").add(1, proto.OpRead, nil, 2, 3)
+	both(t, b.h, false)
+}
+
+func TestClaim2SkippedWrite(t *testing.T) {
+	t.Parallel()
+	// Two writes complete; a later read returns the first one.
+	b := newHB(nil).write(0, 1, "a").write(2, 3, "b").read(1, 4, 5, "a")
+	both(t, b.h, false)
+}
+
+func TestClaim3NewOldInversion(t *testing.T) {
+	t.Parallel()
+	// Both reads overlap the write; the first returns new, the second
+	// (strictly after the first) returns old. Classic inversion.
+	b := newHB(nil).
+		write(0, 10, "a"). // long write spanning both reads
+		read(1, 1, 2, "a").
+		add(2, proto.OpRead, nil, 3, 4)
+	both(t, b.h, false)
+}
+
+func TestPhantomValueRejected(t *testing.T) {
+	t.Parallel()
+	b := newHB(nil).write(0, 1, "a").read(1, 2, 3, "ghost")
+	both(t, b.h, false)
+}
+
+func TestPendingWriteMayBeRead(t *testing.T) {
+	t.Parallel()
+	// The writer crashed mid-write; a subsequent read returning it is
+	// legal (the write linearizes before the read).
+	b := newHB(nil).addPending(0, proto.OpWrite, val("a"), 0).read(1, 1, 2, "a")
+	both(t, b.h, true)
+}
+
+func TestPendingWriteMayBeIgnored(t *testing.T) {
+	t.Parallel()
+	b := newHB(nil).addPending(0, proto.OpWrite, val("a"), 0).add(1, proto.OpRead, nil, 1, 2)
+	both(t, b.h, true)
+}
+
+func TestPendingWriteCannotFlipFlop(t *testing.T) {
+	t.Parallel()
+	// Once read, a pending write is linearized; a later read cannot revert
+	// to the initial value.
+	b := newHB(nil).
+		addPending(0, proto.OpWrite, val("a"), 0).
+		read(1, 1, 2, "a").
+		add(2, proto.OpRead, nil, 3, 4)
+	both(t, b.h, false)
+}
+
+func TestPendingReadConstrainsNothing(t *testing.T) {
+	t.Parallel()
+	b := newHB(nil).write(0, 1, "a").addPending(1, proto.OpRead, nil, 2)
+	both(t, b.h, true)
+}
+
+func TestSWMRRejectsTwoWriters(t *testing.T) {
+	t.Parallel()
+	h := newHB(nil).write(0, 1, "a").h
+	h.Ops = append(h.Ops, Op{ID: 99, Proc: 1, Kind: proto.OpWrite, Value: val("b"), Inv: 2, Res: 3, Completed: true})
+	if err := CheckSWMR(h); err == nil {
+		t.Fatal("CheckSWMR accepted a two-writer history")
+	}
+}
+
+func TestSWMRRejectsOverlappingWrites(t *testing.T) {
+	t.Parallel()
+	b := newHB(nil).write(0, 5, "a").write(1, 6, "b")
+	if err := CheckSWMR(b.h); err == nil {
+		t.Fatal("CheckSWMR accepted overlapping writes")
+	}
+}
+
+// --- MWMR-only scenarios for the exhaustive checker ---
+
+func TestMWMRConcurrentWritesBothOrdersLegal(t *testing.T) {
+	t.Parallel()
+	// Writers race; a read after both may return either, but two
+	// sequential reads must agree on a final order.
+	mk := func(first, second string) History {
+		b := newHB(nil)
+		b.h.Ops = append(b.h.Ops,
+			Op{ID: 1, Proc: 0, Kind: proto.OpWrite, Value: val("a"), Inv: 0, Res: 10, Completed: true},
+			Op{ID: 2, Proc: 1, Kind: proto.OpWrite, Value: val("b"), Inv: 0, Res: 10, Completed: true},
+			Op{ID: 3, Proc: 2, Kind: proto.OpRead, Value: val(first), Inv: 11, Res: 12, Completed: true},
+			Op{ID: 4, Proc: 3, Kind: proto.OpRead, Value: val(second), Inv: 13, Res: 14, Completed: true},
+		)
+		return b.h
+	}
+	if err := CheckLinearizable(mk("a", "a")); err != nil {
+		t.Errorf("order a,a rejected: %v", err)
+	}
+	if err := CheckLinearizable(mk("b", "b")); err != nil {
+		t.Errorf("order b,b rejected: %v", err)
+	}
+	// Both writes completed before the first read started, so the final
+	// order is fixed by that read: a-then-b is an inversion here.
+	if err := CheckLinearizable(mk("a", "b")); err == nil {
+		t.Error("a then b accepted although both writes completed before the reads")
+	}
+	// If the first read overlaps the writes, a-then-b becomes legal: the
+	// second write may linearize between the two reads.
+	overlapping := mk("a", "b")
+	overlapping.Ops[2].Inv = 5
+	if err := CheckLinearizable(overlapping); err != nil {
+		t.Errorf("a then b with overlapping read rejected: %v", err)
+	}
+}
+
+func TestMWMRIllegalFlipFlop(t *testing.T) {
+	t.Parallel()
+	// After both writes completed, reads flip a->b->a: impossible.
+	b := newHB(nil)
+	b.h.Ops = append(b.h.Ops,
+		Op{ID: 1, Proc: 0, Kind: proto.OpWrite, Value: val("a"), Inv: 0, Res: 1, Completed: true},
+		Op{ID: 2, Proc: 1, Kind: proto.OpWrite, Value: val("b"), Inv: 2, Res: 3, Completed: true},
+		Op{ID: 3, Proc: 2, Kind: proto.OpRead, Value: val("a"), Inv: 4, Res: 5, Completed: true},
+		Op{ID: 4, Proc: 3, Kind: proto.OpRead, Value: val("b"), Inv: 6, Res: 7, Completed: true},
+	)
+	if err := CheckLinearizable(b.h); err == nil {
+		t.Fatal("accepted a->b flip after both writes completed in order a,b")
+	}
+}
+
+func TestDuplicateWrittenValues(t *testing.T) {
+	t.Parallel()
+	// The exhaustive checker must handle two writes of the same bytes.
+	b := newHB(nil)
+	b.h.Ops = append(b.h.Ops,
+		Op{ID: 1, Proc: 0, Kind: proto.OpWrite, Value: val("x"), Inv: 0, Res: 1, Completed: true},
+		Op{ID: 2, Proc: 1, Kind: proto.OpWrite, Value: val("x"), Inv: 2, Res: 3, Completed: true},
+		Op{ID: 3, Proc: 2, Kind: proto.OpRead, Value: val("x"), Inv: 4, Res: 5, Completed: true},
+	)
+	if err := CheckLinearizable(b.h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinRejectsOversizedHistory(t *testing.T) {
+	t.Parallel()
+	b := newHB(nil)
+	for i := 0; i < MaxLinOps+1; i++ {
+		b.write(float64(2*i), float64(2*i+1), fmt.Sprintf("v%d", i))
+	}
+	if err := CheckLinearizable(b.h); err == nil {
+		t.Fatal("accepted oversized history")
+	}
+}
+
+// TestCrossValidation generates random SWMR histories — legal and illegal —
+// and asserts both checkers always agree.
+func TestCrossValidation(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 200; seed++ {
+		h := randomSWMRHistory(rand.New(rand.NewSource(seed)))
+		errS := CheckSWMR(h)
+		errL := CheckLinearizable(h)
+		if (errS == nil) != (errL == nil) {
+			t.Fatalf("seed %d: checkers disagree: SWMR=%v Lin=%v\nhistory: %+v", seed, errS, errL, h.Ops)
+		}
+	}
+}
+
+// randomSWMRHistory builds a small history with a sequential writer and
+// sequential readers; read results are sampled from written indices with a
+// bias toward plausible values so both verdicts occur.
+func randomSWMRHistory(rng *rand.Rand) History {
+	h := History{Initial: nil}
+	var id proto.OpID = 1
+	nWrites := rng.Intn(4)
+	writeSpan := make([][2]float64, 0, nWrites)
+	tm := 0.0
+	for i := 0; i < nWrites; i++ {
+		inv := tm + rng.Float64()
+		res := inv + rng.Float64()*3
+		tm = res
+		writeSpan = append(writeSpan, [2]float64{inv, res})
+		h.Ops = append(h.Ops, Op{
+			ID: id, Proc: 0, Kind: proto.OpWrite,
+			Value: val(fmt.Sprintf("v%d", i+1)), Inv: inv, Res: res, Completed: true,
+		})
+		id++
+	}
+	for proc := 1; proc <= 2; proc++ {
+		tm := 0.0
+		for k := rng.Intn(3); k > 0; k-- {
+			inv := tm + rng.Float64()*3
+			res := inv + rng.Float64()*3
+			tm = res
+			idx := rng.Intn(nWrites + 1) // 0 = initial value
+			v := proto.Value(nil)
+			if idx > 0 {
+				v = val(fmt.Sprintf("v%d", idx))
+			}
+			h.Ops = append(h.Ops, Op{
+				ID: id, Proc: proc, Kind: proto.OpRead,
+				Value: v, Inv: inv, Res: res, Completed: true,
+			})
+			id++
+		}
+	}
+	return h
+}

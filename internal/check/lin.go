@@ -1,0 +1,120 @@
+package check
+
+import (
+	"fmt"
+
+	"twobitreg/internal/proto"
+)
+
+// MaxLinOps bounds the history size CheckLinearizable accepts: the search is
+// exponential in the worst case and masks are 64-bit.
+const MaxLinOps = 63
+
+// CheckLinearizable performs an exhaustive Wing–Gong search for a legal
+// linearization of a read/write register history. It supports multiple
+// writers and duplicate written values, and treats pending (crashed)
+// operations per the atomicity definition: a pending write may take effect
+// at any point after its invocation or never; a pending read constrains
+// nothing.
+//
+// It returns nil if a linearization exists, and an error otherwise. Use
+// CheckSWMR for long single-writer histories; this checker is meant for
+// small adversarial histories and cross-validation.
+func CheckLinearizable(h History) error {
+	// Drop pending reads: they impose no constraint.
+	var ops []Op
+	for _, op := range h.Ops {
+		if !op.Completed && op.Kind == proto.OpRead {
+			continue
+		}
+		ops = append(ops, op)
+	}
+	n := len(ops)
+	if n == 0 {
+		return nil
+	}
+	if n > MaxLinOps {
+		return fmt.Errorf("check: history has %d ops; CheckLinearizable accepts at most %d", n, MaxLinOps)
+	}
+
+	// Map values to small ids by content; id 0 is the initial value.
+	valID := map[string]int{}
+	keyOf := func(v proto.Value) string {
+		if v == nil {
+			return "\x00nil"
+		}
+		return "v:" + string(v)
+	}
+	valID[keyOf(h.Initial)] = 0
+	idOf := func(v proto.Value) int {
+		k := keyOf(v)
+		id, ok := valID[k]
+		if !ok {
+			id = len(valID)
+			valID[k] = id
+		}
+		return id
+	}
+	vals := make([]int, n)
+	for i, op := range ops {
+		vals[i] = idOf(op.Value)
+	}
+
+	// pred[i] = mask of ops that finished before op i started: they must
+	// be linearized before i.
+	pred := make([]uint64, n)
+	var completedMask uint64
+	for i, a := range ops {
+		if a.Completed {
+			completedMask |= 1 << i
+		}
+		for j, b := range ops {
+			if i != j && precedes(b, a) {
+				pred[i] |= 1 << j
+			}
+		}
+	}
+
+	type state struct {
+		mask uint64
+		val  int
+	}
+	visited := map[state]bool{}
+
+	var dfs func(mask uint64, val int) bool
+	dfs = func(mask uint64, val int) bool {
+		if mask&completedMask == completedMask {
+			return true
+		}
+		st := state{mask, val}
+		if visited[st] {
+			return false
+		}
+		visited[st] = true
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << i
+			if mask&bit != 0 {
+				continue
+			}
+			if pred[i]&^mask != 0 {
+				continue // a predecessor is not yet linearized
+			}
+			op := ops[i]
+			switch op.Kind {
+			case proto.OpWrite:
+				if dfs(mask|bit, vals[i]) {
+					return true
+				}
+			case proto.OpRead:
+				if vals[i] == val && dfs(mask|bit, val) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if dfs(0, 0) {
+		return nil
+	}
+	return fmt.Errorf("check: no linearization exists for %d-op history", n)
+}

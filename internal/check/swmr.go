@@ -1,0 +1,130 @@
+package check
+
+import (
+	"fmt"
+
+	"twobitreg/internal/proto"
+)
+
+// CheckSWMR verifies that a single-writer history is atomic, using the
+// characterisation the paper proves in Lemma 10. Requirements on the input:
+//
+//   - all writes are issued by one process, sequentially (they must not
+//     overlap each other in real time);
+//   - written values are pairwise distinct and distinct from h.Initial, so
+//     each read maps to a unique write index.
+//
+// Under those conditions (which every harness in this repository satisfies),
+// atomicity is equivalent to the conjunction of:
+//
+//	Claim 1 — no read from the future: a read returning the x-th written
+//	          value must start after write x was invoked... more precisely
+//	          it cannot terminate before write x starts.
+//	Claim 2 — no overwritten value: a read that starts after write x
+//	          terminated returns index >= x.
+//	Claim 3 — no new/old inversion: if read1 terminates before read2
+//	          starts, read2's index >= read1's index.
+//
+// Incomplete (crashed) operations: a pending write may or may not have taken
+// effect, so it imposes no Claim-2 lower bound but its value may legally be
+// read once invoked; a pending read constrains nothing.
+//
+// CheckSWMR returns nil if the history is atomic and a descriptive error for
+// the first violation found.
+func CheckSWMR(h History) error {
+	type write struct {
+		op  Op
+		idx int
+	}
+	var writes []write
+	// Index writes in invocation order; verify the writer is sequential
+	// and single.
+	writerProc := -1
+	for _, op := range h.Ops {
+		if op.Kind != proto.OpWrite {
+			continue
+		}
+		if writerProc == -1 {
+			writerProc = op.Proc
+		} else if op.Proc != writerProc {
+			return fmt.Errorf("check: two writers (%d and %d) in an SWMR history", writerProc, op.Proc)
+		}
+		if k := len(writes); k > 0 {
+			prev := writes[k-1].op
+			if prev.Completed && prev.Res > op.Inv {
+				return fmt.Errorf("check: writes %d and %d overlap; the writer must be sequential", prev.ID, op.ID)
+			}
+			if !prev.Completed {
+				// Only the writer's final write may be pending.
+				return fmt.Errorf("check: write %d invoked after pending write %d", op.ID, prev.ID)
+			}
+		}
+		writes = append(writes, write{op: op, idx: len(writes) + 1})
+	}
+
+	// valueIndex maps a value to its write index; 0 is the initial value.
+	valueIndex := func(v proto.Value) (int, error) {
+		if v.Equal(h.Initial) {
+			return 0, nil
+		}
+		for _, w := range writes {
+			if w.op.Value.Equal(v) {
+				return w.idx, nil
+			}
+		}
+		return 0, fmt.Errorf("value %q was never written", v)
+	}
+
+	type read struct {
+		op  Op
+		idx int
+	}
+	var reads []read
+	for _, op := range h.Ops {
+		if op.Kind != proto.OpRead || !op.Completed {
+			continue
+		}
+		idx, err := valueIndex(op.Value)
+		if err != nil {
+			return fmt.Errorf("check: read %d returned a phantom value: %w", op.ID, err)
+		}
+		reads = append(reads, read{op: op, idx: idx})
+	}
+
+	// Claim 1: a read cannot return a write that had not been invoked when
+	// the read completed.
+	for _, r := range reads {
+		if r.idx == 0 {
+			continue
+		}
+		w := writes[r.idx-1]
+		if r.op.Res < w.op.Inv {
+			return fmt.Errorf("check: claim 1 violated: read %d (idx %d) finished at %v before write %d started at %v",
+				r.op.ID, r.idx, r.op.Res, w.op.ID, w.op.Inv)
+		}
+	}
+
+	// Claim 2: a read that starts after write x completed returns >= x.
+	for _, r := range reads {
+		for _, w := range writes {
+			if precedes(w.op, r.op) && r.idx < w.idx {
+				return fmt.Errorf("check: claim 2 violated: read %d returned idx %d but write %d (idx %d) completed before it started",
+					r.op.ID, r.idx, w.op.ID, w.idx)
+			}
+		}
+	}
+
+	// Claim 3: reads ordered in real time return non-decreasing indices.
+	for i, r1 := range reads {
+		for j, r2 := range reads {
+			if i == j {
+				continue
+			}
+			if precedes(r1.op, r2.op) && r2.idx < r1.idx {
+				return fmt.Errorf("check: claim 3 violated (new/old inversion): read %d (idx %d) precedes read %d (idx %d)",
+					r1.op.ID, r1.idx, r2.op.ID, r2.idx)
+			}
+		}
+	}
+	return nil
+}

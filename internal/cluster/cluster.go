@@ -1,0 +1,337 @@
+// Package cluster runs a register protocol as a real concurrent system: one
+// goroutine per process, unbounded in-memory mailboxes between them, optional
+// random delivery jitter, crash injection, and a blocking client API.
+//
+// The discrete-event simulator (internal/transport.SimNet) answers "what does
+// the algorithm cost in Δ units"; this package answers "does the
+// implementation survive real schedulers" — it is the substrate for
+// race-detector stress tests, the linearizability harness, and the examples.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twobitreg/internal/metrics"
+	"twobitreg/internal/proto"
+)
+
+// Errors returned by client operations.
+var (
+	// ErrCrashed is returned for operations on (or pending at) a crashed
+	// process.
+	ErrCrashed = errors.New("cluster: process crashed")
+	// ErrStopped is returned for operations interrupted by Stop.
+	ErrStopped = errors.New("cluster: cluster stopped")
+)
+
+// Config configures a Cluster.
+type Config struct {
+	// N is the number of processes; Writer designates the SWMR writer.
+	N      int
+	Writer int
+	// Alg builds the protocol instances.
+	Alg proto.Algorithm
+	// Collector, if non-nil, sees every sent message and completed op.
+	Collector *metrics.Collector
+	// MaxJitter, if positive, delays each delivery by a uniform random
+	// duration in (0, MaxJitter], exercising non-FIFO channels.
+	MaxJitter time.Duration
+	// Seed drives the jitter randomness.
+	Seed int64
+	// OnInvoke/OnComplete, if non-nil, observe client operations at
+	// invocation and response time (the linearizability harness attaches
+	// its recorder here).
+	OnInvoke   func(op proto.OpID, pid int, kind proto.OpKind, v proto.Value)
+	OnComplete func(op proto.OpID, pid int, c proto.Completion)
+}
+
+// Cluster is a running protocol instance.
+type Cluster struct {
+	cfg   Config
+	nodes []*node
+	opSeq atomic.Uint64
+	wg    sync.WaitGroup
+
+	stopOnce sync.Once
+}
+
+// result is what a client operation ultimately receives.
+type result struct {
+	c   proto.Completion
+	err error
+}
+
+// event is a mailbox entry: either a peer message or a client op request.
+type event struct {
+	// message fields
+	from int
+	msg  proto.Message
+	// op fields (msg == nil means op request)
+	op    proto.OpID
+	kind  proto.OpKind
+	val   proto.Value
+	reply chan result
+}
+
+type node struct {
+	id   int
+	c    *Cluster
+	proc proto.Process
+	rng  *rand.Rand
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []event
+	crashed  bool
+	stopping bool
+}
+
+// New starts a cluster per cfg. Callers must Stop it.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("cluster: N = %d, need at least 1", cfg.N)
+	}
+	if cfg.Writer < 0 || cfg.Writer >= cfg.N {
+		return nil, fmt.Errorf("cluster: writer %d out of range [0,%d)", cfg.Writer, cfg.N)
+	}
+	if cfg.Alg == nil {
+		return nil, errors.New("cluster: Alg is required")
+	}
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < cfg.N; i++ {
+		nd := &node{
+			id:   i,
+			c:    c,
+			proc: cfg.Alg.New(i, cfg.N, cfg.Writer),
+			rng:  rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+		}
+		nd.cond = sync.NewCond(&nd.mu)
+		c.nodes = append(c.nodes, nd)
+	}
+	for _, nd := range c.nodes {
+		c.wg.Add(1)
+		go nd.run()
+	}
+	return c, nil
+}
+
+// N returns the number of processes.
+func (c *Cluster) N() int { return c.cfg.N }
+
+// Writer returns the writer's process index.
+func (c *Cluster) Writer() int { return c.cfg.Writer }
+
+// Stop shuts every node down and waits for all goroutines (including
+// in-flight jitter deliveries) to exit. Pending operations receive
+// ErrStopped. Stop is idempotent.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() {
+		for _, nd := range c.nodes {
+			nd.mu.Lock()
+			nd.stopping = true
+			nd.cond.Broadcast()
+			nd.mu.Unlock()
+		}
+	})
+	c.wg.Wait()
+}
+
+// Crash marks pid crashed: it processes nothing further, its pending and
+// future operations fail with ErrCrashed. Idempotent.
+func (c *Cluster) Crash(pid int) {
+	nd := c.nodes[pid]
+	nd.mu.Lock()
+	nd.crashed = true
+	nd.cond.Broadcast()
+	nd.mu.Unlock()
+}
+
+// Crashed reports whether pid has crashed.
+func (c *Cluster) Crashed(pid int) bool {
+	nd := c.nodes[pid]
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.crashed
+}
+
+// Write performs a blocking write through process pid (must be the writer
+// for SWMR algorithms).
+func (c *Cluster) Write(pid int, v proto.Value) error {
+	_, err := c.invoke(pid, proto.OpWrite, v)
+	return err
+}
+
+// Read performs a blocking read through process pid.
+func (c *Cluster) Read(pid int) (proto.Value, error) {
+	comp, err := c.invoke(pid, proto.OpRead, nil)
+	if err != nil {
+		return nil, err
+	}
+	return comp.Value, nil
+}
+
+func (c *Cluster) invoke(pid int, kind proto.OpKind, v proto.Value) (proto.Completion, error) {
+	op := proto.OpID(c.opSeq.Add(1))
+	reply := make(chan result, 1)
+	if c.cfg.OnInvoke != nil {
+		c.cfg.OnInvoke(op, pid, kind, v)
+	}
+	start := time.Now()
+	if err := c.nodes[pid].enqueue(event{op: op, kind: kind, val: v, reply: reply}); err != nil {
+		return proto.Completion{}, err
+	}
+	r := <-reply
+	if r.err != nil {
+		return proto.Completion{}, r.err
+	}
+	if c.cfg.OnComplete != nil {
+		c.cfg.OnComplete(op, pid, r.c)
+	}
+	if c.cfg.Collector != nil {
+		c.cfg.Collector.OnOp(kind, time.Since(start).Seconds())
+	}
+	return r.c, nil
+}
+
+// enqueue adds ev to the node's mailbox. It returns ErrCrashed or ErrStopped
+// if the node can no longer accept events (messages are silently dropped in
+// that case, op requests fail).
+func (nd *node) enqueue(ev event) error {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.crashed {
+		return ErrCrashed
+	}
+	if nd.stopping {
+		return ErrStopped
+	}
+	nd.queue = append(nd.queue, ev)
+	nd.cond.Signal()
+	return nil
+}
+
+// next blocks until an event is available. ok=false means the node must shut
+// down (stop or crash); the caller fails outstanding work.
+func (nd *node) next() (event, bool) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	for len(nd.queue) == 0 && !nd.stopping && !nd.crashed {
+		nd.cond.Wait()
+	}
+	if nd.stopping || nd.crashed {
+		return event{}, false
+	}
+	ev := nd.queue[0]
+	nd.queue = nd.queue[1:]
+	return ev, true
+}
+
+// run is the node's event loop: strictly serial execution of the protocol
+// state machine, with client requests queued behind the in-flight operation
+// (the paper's processes are sequential).
+func (nd *node) run() {
+	defer nd.c.wg.Done()
+
+	var (
+		busy     bool
+		curReply chan result
+		opQueue  []event
+	)
+
+	fail := func(err error) {
+		if busy {
+			curReply <- result{err: err}
+			busy = false
+		}
+		for _, ev := range opQueue {
+			ev.reply <- result{err: err}
+		}
+		opQueue = nil
+		// Drain mailbox op requests so no client blocks forever.
+		nd.mu.Lock()
+		queue := nd.queue
+		nd.queue = nil
+		nd.mu.Unlock()
+		for _, ev := range queue {
+			if ev.msg == nil {
+				ev.reply <- result{err: err}
+			}
+		}
+	}
+
+	handleEffects := func(eff proto.Effects) {
+		for _, s := range eff.Sends {
+			nd.c.deliver(nd.id, s.To, s.Msg)
+		}
+		for _, d := range eff.Done {
+			// The sequential discipline guarantees a completion
+			// always belongs to the node's current operation.
+			if busy {
+				curReply <- result{c: d}
+				busy = false
+			}
+		}
+	}
+
+	startNext := func() {
+		for !busy && len(opQueue) > 0 {
+			ev := opQueue[0]
+			opQueue = opQueue[1:]
+			busy = true
+			curReply = ev.reply
+			var eff proto.Effects
+			if ev.kind == proto.OpWrite {
+				eff = nd.proc.StartWrite(ev.op, ev.val)
+			} else {
+				eff = nd.proc.StartRead(ev.op)
+			}
+			handleEffects(eff)
+		}
+	}
+
+	for {
+		ev, ok := nd.next()
+		if !ok {
+			nd.mu.Lock()
+			crashed := nd.crashed
+			nd.mu.Unlock()
+			if crashed {
+				fail(ErrCrashed)
+			} else {
+				fail(ErrStopped)
+			}
+			return
+		}
+		if ev.msg != nil {
+			handleEffects(nd.proc.Deliver(ev.from, ev.msg))
+		} else {
+			opQueue = append(opQueue, ev)
+		}
+		startNext()
+	}
+}
+
+// deliver routes a protocol message, applying jitter if configured. Jitter
+// deliveries run on tracked goroutines so Stop can wait for them.
+func (c *Cluster) deliver(from, to int, msg proto.Message) {
+	if c.cfg.Collector != nil {
+		c.cfg.Collector.OnSend(msg)
+	}
+	if c.cfg.MaxJitter <= 0 {
+		c.nodes[to].enqueue(event{from: from, msg: msg})
+		return
+	}
+	nd := c.nodes[from]
+	d := time.Duration(nd.rng.Int63n(int64(c.cfg.MaxJitter))) + 1
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		time.Sleep(d)
+		c.nodes[to].enqueue(event{from: from, msg: msg})
+	}()
+}

@@ -1,0 +1,310 @@
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"twobitreg/internal/abd"
+	"twobitreg/internal/check"
+	"twobitreg/internal/cluster"
+	"twobitreg/internal/core"
+	"twobitreg/internal/metrics"
+	"twobitreg/internal/proto"
+)
+
+func val(s string) proto.Value { return proto.Value(s) }
+
+// rig couples a cluster with a linearizability recorder.
+type rig struct {
+	c   *cluster.Cluster
+	rec *check.Recorder
+}
+
+func newRig(t *testing.T, alg proto.Algorithm, n int, jitter time.Duration) *rig {
+	t.Helper()
+	start := time.Now()
+	rec := check.NewRecorder(nil, func() float64 { return time.Since(start).Seconds() })
+	c, err := cluster.New(cluster.Config{
+		N: n, Writer: 0, Alg: alg,
+		MaxJitter: jitter, Seed: 42,
+		OnInvoke: func(op proto.OpID, pid int, kind proto.OpKind, v proto.Value) {
+			rec.Invoke(op, pid, kind, v)
+		},
+		OnComplete: func(op proto.OpID, _ int, c proto.Completion) {
+			rec.Respond(op, c.Value)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return &rig{c: c, rec: rec}
+}
+
+func algorithms() map[string]proto.Algorithm {
+	return map[string]proto.Algorithm{
+		"twobit":   core.Algorithm(),
+		"abd":      abd.Algorithm(),
+		"abd-mwmr": abd.MWMRAlgorithm(),
+	}
+}
+
+func TestClusterBasicWriteRead(t *testing.T) {
+	t.Parallel()
+	for name, alg := range algorithms() {
+		name, alg := name, alg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			r := newRig(t, alg, 5, 0)
+			if err := r.c.Write(0, val("hello")); err != nil {
+				t.Fatal(err)
+			}
+			for pid := 0; pid < 5; pid++ {
+				got, err := r.c.Read(pid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(val("hello")) {
+					t.Fatalf("p%d read %q, want hello", pid, got)
+				}
+			}
+		})
+	}
+}
+
+func TestClusterReadInitialValue(t *testing.T) {
+	t.Parallel()
+	r := newRig(t, core.Algorithm(), 3, 0)
+	got, err := r.c.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("read %q, want nil initial value", got)
+	}
+}
+
+// TestClusterConcurrentLinearizable is the end-to-end atomicity test: a
+// writer and several readers race under delivery jitter; the recorded
+// history must pass the paper's SWMR atomicity conditions.
+func TestClusterConcurrentLinearizable(t *testing.T) {
+	t.Parallel()
+	for name, alg := range map[string]proto.Algorithm{
+		"twobit": core.Algorithm(),
+		"abd":    abd.Algorithm(),
+	} {
+		name, alg := name, alg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const (
+				n       = 5
+				writes  = 25
+				readers = 4
+				reads   = 15
+			)
+			r := newRig(t, alg, n, 300*time.Microsecond)
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 1; k <= writes; k++ {
+					if err := r.c.Write(0, val(fmt.Sprintf("v%d", k))); err != nil {
+						t.Errorf("write %d: %v", k, err)
+						return
+					}
+				}
+			}()
+			for rd := 1; rd <= readers; rd++ {
+				rd := rd
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for k := 0; k < reads; k++ {
+						if _, err := r.c.Read(rd); err != nil {
+							t.Errorf("reader %d: %v", rd, err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			h := r.rec.History()
+			if err := check.CheckSWMR(h); err != nil {
+				t.Fatalf("%s produced a non-atomic history: %v", name, err)
+			}
+			if got := len(h.Completed()); got != writes+readers*reads {
+				t.Fatalf("completed ops = %d, want %d", got, writes+readers*reads)
+			}
+		})
+	}
+}
+
+// TestClusterMWMRLinearizable races multiple writers on the MWMR baseline
+// and validates with the exhaustive checker.
+func TestClusterMWMRLinearizable(t *testing.T) {
+	t.Parallel()
+	r := newRig(t, abd.MWMRAlgorithm(), 4, 200*time.Microsecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 3; k++ {
+				if err := r.c.Write(w, val(fmt.Sprintf("w%d-%d", w, k))); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if _, err := r.c.Read(w); err != nil {
+					t.Errorf("reader %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := check.CheckLinearizable(r.rec.History()); err != nil {
+		t.Fatalf("MWMR history not linearizable: %v", err)
+	}
+}
+
+func TestClusterCrashMinority(t *testing.T) {
+	t.Parallel()
+	r := newRig(t, core.Algorithm(), 5, 0)
+	if err := r.c.Write(0, val("before")); err != nil {
+		t.Fatal(err)
+	}
+	r.c.Crash(3)
+	r.c.Crash(4)
+	if err := r.c.Write(0, val("after")); err != nil {
+		t.Fatalf("write with minority crashed: %v", err)
+	}
+	got, err := r.c.Read(1)
+	if err != nil {
+		t.Fatalf("read with minority crashed: %v", err)
+	}
+	if !got.Equal(val("after")) {
+		t.Fatalf("read %q, want after", got)
+	}
+	if _, err := r.c.Read(3); !errors.Is(err, cluster.ErrCrashed) {
+		t.Fatalf("read on crashed process returned %v, want ErrCrashed", err)
+	}
+	if err := check.CheckSWMR(r.rec.History()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterMajorityCrashBlocksThenStopUnblocks(t *testing.T) {
+	t.Parallel()
+	// With a majority crashed the model's t < n/2 precondition is violated
+	// and operations cannot terminate; Stop must still unblock the client.
+	r := newRig(t, core.Algorithm(), 3, 0)
+	r.c.Crash(1)
+	r.c.Crash(2)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- r.c.Write(0, val("doomed"))
+	}()
+	select {
+	case err := <-errCh:
+		t.Fatalf("write terminated despite majority crash: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	r.c.Stop()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, cluster.ErrStopped) {
+			t.Fatalf("unblocked write returned %v, want ErrStopped", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not unblock the pending write")
+	}
+}
+
+func TestClusterSequentialOpsQueuePerProcess(t *testing.T) {
+	t.Parallel()
+	// Concurrent client calls against one process must be serialized by
+	// the node, not panic the sequential state machine.
+	r := newRig(t, core.Algorithm(), 3, 100*time.Microsecond)
+	var wg sync.WaitGroup
+	for k := 1; k <= 10; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := r.c.Write(0, val(fmt.Sprintf("w%d", k))); err != nil {
+				t.Errorf("write %d: %v", k, err)
+			}
+		}()
+	}
+	for k := 0; k < 10; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.c.Read(1); err != nil {
+				t.Errorf("read: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := check.CheckLinearizable(r.rec.History()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterMetricsCollected(t *testing.T) {
+	t.Parallel()
+	col := &metrics.Collector{}
+	c, err := cluster.New(cluster.Config{
+		N: 3, Writer: 0, Alg: core.Algorithm(), Collector: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Write(0, val("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Snapshot()
+	if s.TotalMsgs == 0 {
+		t.Fatal("no messages collected")
+	}
+	if s.Writes != 1 || s.Reads != 1 {
+		t.Fatalf("ops collected: %d writes, %d reads; want 1 and 1", s.Writes, s.Reads)
+	}
+	if s.MaxCtrlBits != 2 {
+		t.Fatalf("max control bits = %d, want 2 for the two-bit algorithm", s.MaxCtrlBits)
+	}
+}
+
+func TestClusterRejectsBadConfig(t *testing.T) {
+	t.Parallel()
+	if _, err := cluster.New(cluster.Config{N: 0, Alg: core.Algorithm()}); err == nil {
+		t.Fatal("accepted N=0")
+	}
+	if _, err := cluster.New(cluster.Config{N: 3, Writer: 5, Alg: core.Algorithm()}); err == nil {
+		t.Fatal("accepted out-of-range writer")
+	}
+	if _, err := cluster.New(cluster.Config{N: 3}); err == nil {
+		t.Fatal("accepted nil algorithm")
+	}
+}
+
+func TestClusterStopIdempotent(t *testing.T) {
+	t.Parallel()
+	c, err := cluster.New(cluster.Config{N: 3, Writer: 0, Alg: core.Algorithm()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	c.Stop()
+	if err := c.Write(0, val("x")); !errors.Is(err, cluster.ErrStopped) {
+		t.Fatalf("write after stop returned %v, want ErrStopped", err)
+	}
+}

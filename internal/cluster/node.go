@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"sync"
+
+	"twobitreg/internal/proto"
+)
+
+// Node is a standalone single-process runtime for deployments where each
+// register process lives in its own OS process (or its own transport
+// endpoint): the same serial event loop as Cluster's internal nodes, but
+// with an injected outbound-send function instead of sibling mailboxes.
+// cmd/regnode pairs a Node with a transport.Mesh.
+type Node struct {
+	id   int
+	proc proto.Process
+	send func(to int, msg proto.Message)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []event
+	stopping bool
+	wg       sync.WaitGroup
+	opSeq    proto.OpID
+	opMu     sync.Mutex
+}
+
+// NewNode starts the event loop for process id of an n-process instance.
+// send is invoked (from the node's event loop) for every outbound message;
+// inbound messages arrive via Deliver. Callers must Stop the node.
+func NewNode(id, n, writer int, alg proto.Algorithm, send func(to int, msg proto.Message)) *Node {
+	nd := &Node{
+		id:   id,
+		proc: alg.New(id, n, writer),
+		send: send,
+	}
+	nd.cond = sync.NewCond(&nd.mu)
+	nd.wg.Add(1)
+	go nd.run()
+	return nd
+}
+
+// ID returns the node's process index.
+func (nd *Node) ID() int { return nd.id }
+
+// Deliver hands the node a message from peer `from`. Safe for concurrent
+// use; this is the transport's inbound callback.
+func (nd *Node) Deliver(from int, msg proto.Message) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.stopping {
+		return
+	}
+	nd.queue = append(nd.queue, event{from: from, msg: msg})
+	nd.cond.Signal()
+}
+
+// Write performs a blocking write (the node must be the writer).
+func (nd *Node) Write(v proto.Value) error {
+	_, err := nd.invoke(proto.OpWrite, v)
+	return err
+}
+
+// Read performs a blocking read.
+func (nd *Node) Read() (proto.Value, error) {
+	c, err := nd.invoke(proto.OpRead, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Value, nil
+}
+
+func (nd *Node) invoke(kind proto.OpKind, v proto.Value) (proto.Completion, error) {
+	nd.opMu.Lock()
+	nd.opSeq++
+	op := nd.opSeq
+	nd.opMu.Unlock()
+	reply := make(chan result, 1)
+	nd.mu.Lock()
+	if nd.stopping {
+		nd.mu.Unlock()
+		return proto.Completion{}, ErrStopped
+	}
+	nd.queue = append(nd.queue, event{op: op, kind: kind, val: v, reply: reply})
+	nd.cond.Signal()
+	nd.mu.Unlock()
+	r := <-reply
+	if r.err != nil {
+		return proto.Completion{}, r.err
+	}
+	return r.c, nil
+}
+
+// Stop shuts the node down, failing pending operations with ErrStopped.
+func (nd *Node) Stop() {
+	nd.mu.Lock()
+	if !nd.stopping {
+		nd.stopping = true
+		nd.cond.Broadcast()
+	}
+	nd.mu.Unlock()
+	nd.wg.Wait()
+}
+
+func (nd *Node) next() (event, bool) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	for len(nd.queue) == 0 && !nd.stopping {
+		nd.cond.Wait()
+	}
+	if nd.stopping {
+		return event{}, false
+	}
+	ev := nd.queue[0]
+	nd.queue = nd.queue[1:]
+	return ev, true
+}
+
+func (nd *Node) run() {
+	defer nd.wg.Done()
+	var (
+		busy     bool
+		curReply chan result
+		opQueue  []event
+	)
+
+	handleEffects := func(eff proto.Effects) {
+		for _, s := range eff.Sends {
+			nd.send(s.To, s.Msg)
+		}
+		for _, d := range eff.Done {
+			if busy {
+				curReply <- result{c: d}
+				busy = false
+			}
+		}
+	}
+
+	startNext := func() {
+		for !busy && len(opQueue) > 0 {
+			ev := opQueue[0]
+			opQueue = opQueue[1:]
+			busy = true
+			curReply = ev.reply
+			if ev.kind == proto.OpWrite {
+				handleEffects(nd.proc.StartWrite(ev.op, ev.val))
+			} else {
+				handleEffects(nd.proc.StartRead(ev.op))
+			}
+		}
+	}
+
+	for {
+		ev, ok := nd.next()
+		if !ok {
+			if busy {
+				curReply <- result{err: ErrStopped}
+			}
+			for _, q := range opQueue {
+				q.reply <- result{err: ErrStopped}
+			}
+			nd.mu.Lock()
+			rest := nd.queue
+			nd.queue = nil
+			nd.mu.Unlock()
+			for _, q := range rest {
+				if q.msg == nil {
+					q.reply <- result{err: ErrStopped}
+				}
+			}
+			return
+		}
+		if ev.msg != nil {
+			handleEffects(nd.proc.Deliver(ev.from, ev.msg))
+		} else {
+			opQueue = append(opQueue, ev)
+		}
+		startNext()
+	}
+}

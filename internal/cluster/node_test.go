@@ -1,0 +1,106 @@
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"twobitreg/internal/cluster"
+	"twobitreg/internal/core"
+	"twobitreg/internal/proto"
+)
+
+// nodeMesh wires standalone Nodes directly (no TCP): the transport is a
+// function call, which isolates Node's event-loop behaviour from transport
+// concerns.
+func nodeMesh(t *testing.T, n int) []*cluster.Node {
+	t.Helper()
+	nodes := make([]*cluster.Node, n)
+	for i := 0; i < n; i++ {
+		i := i
+		nodes[i] = cluster.NewNode(i, n, 0, core.Algorithm(), func(to int, msg proto.Message) {
+			nodes[to].Deliver(i, msg)
+		})
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	})
+	return nodes
+}
+
+func TestNodeWriteRead(t *testing.T) {
+	t.Parallel()
+	nodes := nodeMesh(t, 3)
+	if err := nodes[0].Write(val("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i, nd := range nodes {
+		got, err := nd.Read()
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		if !got.Equal(val("x")) {
+			t.Fatalf("node %d read %q, want x", i, got)
+		}
+	}
+}
+
+func TestNodeConcurrentClients(t *testing.T) {
+	t.Parallel()
+	nodes := nodeMesh(t, 5)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 1; k <= 15; k++ {
+			if err := nodes[0].Write(val(fmt.Sprintf("v%d", k))); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 1; r < 5; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 8; k++ {
+				if _, err := nodes[r].Read(); err != nil {
+					t.Errorf("node %d read: %v", r, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNodeStopFailsPendingAndFutureOps(t *testing.T) {
+	t.Parallel()
+	// A single node of a 3-process instance can never reach quorum alone:
+	// its write parks forever until Stop.
+	var nd *cluster.Node
+	nd = cluster.NewNode(0, 3, 0, core.Algorithm(), func(int, proto.Message) {})
+	done := make(chan error, 1)
+	go func() { done <- nd.Write(val("stuck")) }()
+	nd.Stop()
+	if err := <-done; !errors.Is(err, cluster.ErrStopped) {
+		t.Fatalf("pending write: %v, want ErrStopped", err)
+	}
+	if err := nd.Write(val("late")); !errors.Is(err, cluster.ErrStopped) {
+		t.Fatalf("post-stop write: %v, want ErrStopped", err)
+	}
+	if _, err := nd.Read(); !errors.Is(err, cluster.ErrStopped) {
+		t.Fatalf("post-stop read: %v, want ErrStopped", err)
+	}
+}
+
+func TestNodeDeliverAfterStopIsNoop(t *testing.T) {
+	t.Parallel()
+	nd := cluster.NewNode(0, 3, 0, core.Algorithm(), func(int, proto.Message) {})
+	nd.Stop()
+	nd.Deliver(1, core.ReadMsg{}) // must not panic or block
+}

@@ -1,0 +1,542 @@
+// Package core implements the paper's contribution: a single-writer
+// multi-reader atomic register for CAMP_{n,t}[t < n/2] whose messages carry
+// two bits of control information (their type) and nothing else.
+//
+// The implementation is a line-by-line transcription of Figure 1 of
+// Mostéfaoui & Raynal, "Two-Bit Messages are Sufficient to Implement Atomic
+// Read/Write Registers in Crash-prone Systems" (2016), restructured as an
+// event-driven state machine: each of the paper's `wait` statements (lines 3,
+// 7, 9, 11 and 20) becomes a predicate-gated pending queue that is re-examined
+// after every state change, so no call ever blocks.
+//
+// Line references in comments are to Figure 1 of the paper.
+package core
+
+import (
+	"fmt"
+
+	"twobitreg/internal/proto"
+)
+
+type options struct {
+	initial         proto.Value
+	explicitSeqnums bool
+	writerLocalRead bool
+	gcHistory       bool
+}
+
+// Option configures a Proc.
+type Option func(*options)
+
+// WithInitial sets v0, the register's initial value (default nil).
+func WithInitial(v proto.Value) Option {
+	return func(o *options) { o.initial = v.Clone() }
+}
+
+// WithExplicitSeqnums enables the ablation mode in which WRITE messages carry
+// their sequence number explicitly (64 extra control bits) and the receiver
+// sequences messages by that number instead of reconstructing it from the
+// alternating bit. Behaviour is otherwise identical; the mode exists to
+// measure what the two-bit encoding saves (experiment E5).
+func WithExplicitSeqnums() Option {
+	return func(o *options) { o.explicitSeqnums = true }
+}
+
+// WithWriterLocalRead controls the writer's read fast path. The paper notes
+// (Figure 1, line 5 comment) that the writer can return
+// history[w_sync[w]] directly; that fast path is on by default. Disabling it
+// forces the writer through the full read protocol, which some experiments
+// use for uniformity.
+func WithWriterLocalRead(enabled bool) Option {
+	return func(o *options) { o.writerLocalRead = enabled }
+}
+
+// WithHistoryGC enables garbage collection of the local history prefix — an
+// extension addressing the unbounded-local-memory property the paper's
+// concluding remarks discuss. Entries strictly below
+//
+//	min( min_j w_sync[j],  sn of any read in its line-9 wait )
+//
+// are discarded. This is safe: every history access the algorithm performs
+// (line 2/15 forwards at w_sync[i], line 16 catch-ups at w_sync[j]+2, line
+// 10 returns at a pinned sn) addresses an index at or above that floor, and
+// w_sync entries never decrease.
+//
+// Failure-free, retained state becomes bounded by the propagation lag
+// between the fastest and slowest process. A crashed process freezes the
+// floor, so memory grows again from the crash point — without failure
+// detection this is inherent, which is exactly the paper's open problem.
+func WithHistoryGC() Option {
+	return func(o *options) { o.gcHistory = true }
+}
+
+// Proc is one process of the two-bit register protocol. It implements
+// proto.Process and must be driven by a single goroutine.
+type Proc struct {
+	id, n, writer int
+	opts          options
+
+	// history is the local prefix of the written-value sequence;
+	// logically history[0] = v0 (Figure 1, local initialization). With
+	// WithHistoryGC, entries below histBase have been discarded and
+	// history[x] is stored at history[x - histBase].
+	history  []proto.Value
+	histBase int
+	// wSync[j] = α: to this process's knowledge, p_j knows the prefix of
+	// the writer's history up to index α. wSync[id] is this process's own
+	// most recent value index.
+	wSync []int
+	// rSync[j] counts PROCEED() messages received from p_j; rSync[id]
+	// counts this process's own read invocations (line 5).
+	rSync []int
+
+	// pendingW buffers, per peer, WRITE messages that arrived out of order
+	// and are parked on the line-11 parity guard. Property P1 bounds its
+	// depth at 1 per peer; maxPendingW records the observed maximum so
+	// tests can verify that bound.
+	pendingW    [][]WriteMsg
+	maxPendingW int
+
+	// pendingReads holds READ requests parked on the line-20 guard
+	// w_sync[from] >= sn.
+	pendingReads []pendingRead
+
+	// cur is the in-flight client operation, if any. Processes are
+	// sequential (one operation at a time); violating that is a harness
+	// bug and panics.
+	cur *pendingOp
+
+	// msgsSent counts WRITE/READ/PROCEED messages this process emitted,
+	// for per-process accounting in tests.
+	msgsSent int
+}
+
+type pendingRead struct {
+	from int
+	sn   int // w_sync[id] captured when the READ arrived (line 19)
+}
+
+type opPhase uint8
+
+const (
+	phaseWriteWait opPhase = iota + 1 // line 3
+	phaseReadAck                      // line 7
+	phaseReadSync                     // line 9
+)
+
+type pendingOp struct {
+	op    proto.OpID
+	kind  proto.OpKind
+	phase opPhase
+	wsn   int // write: sequence number being written
+	rsn   int // read: request sequence number (line 5)
+	sn    int // read: history index chosen at line 8
+}
+
+// New returns the process with index id of an n-process instance whose
+// single writer is process writer.
+func New(id, n, writer int, opts ...Option) *Proc {
+	proto.Validate(id, n, writer)
+	o := options{writerLocalRead: true}
+	for _, op := range opts {
+		op(&o)
+	}
+	p := &Proc{
+		id:       id,
+		n:        n,
+		writer:   writer,
+		opts:     o,
+		history:  []proto.Value{o.initial.Clone()},
+		wSync:    make([]int, n),
+		rSync:    make([]int, n),
+		pendingW: make([][]WriteMsg, n),
+	}
+	return p
+}
+
+// Algorithm returns a proto.Algorithm that builds two-bit processes with the
+// given options.
+func Algorithm(opts ...Option) proto.Algorithm { return algorithm{opts: opts} }
+
+type algorithm struct{ opts []Option }
+
+func (algorithm) Name() string { return "twobit" }
+
+func (a algorithm) New(id, n, writer int) proto.Process {
+	return New(id, n, writer, a.opts...)
+}
+
+// ID implements proto.Process.
+func (p *Proc) ID() int { return p.id }
+
+// Writer returns the index of the designated writer.
+func (p *Proc) Writer() int { return p.writer }
+
+// quorum returns n-t, the completion threshold of every wait predicate.
+func (p *Proc) quorum() int { return proto.QuorumSize(p.n) }
+
+// StartWrite implements Figure 1 lines 1-2 and arms the line-3 wait.
+func (p *Proc) StartWrite(op proto.OpID, v proto.Value) proto.Effects {
+	if p.id != p.writer {
+		panic(fmt.Sprintf("core: StartWrite on non-writer process %d (writer is %d)", p.id, p.writer))
+	}
+	if p.cur != nil {
+		panic(fmt.Sprintf("core: process %d invoked write while a %s is in flight (processes are sequential)", p.id, p.cur.kind))
+	}
+	var eff proto.Effects
+	// Line 1: wsn <- w_sync[w]+1; w_sync[w] <- wsn; history[wsn] <- v.
+	wsn := p.wSync[p.id] + 1
+	p.wSync[p.id] = wsn
+	p.appendHistory(wsn, v.Clone())
+	// Line 2: send WRITE(wsn mod 2, v) to every p_j believed to know
+	// exactly the first wsn-1 values.
+	p.forwardTo(wsn, &eff)
+	// Line 3: wait until n-t processes are known to hold value wsn.
+	p.cur = &pendingOp{op: op, kind: proto.OpWrite, phase: phaseWriteWait, wsn: wsn}
+	p.drain(&eff)
+	return eff
+}
+
+// StartRead implements Figure 1 lines 5-6 and arms the line-7 wait
+// (then line 9 via drain). The writer answers from its own history when the
+// fast path is enabled.
+func (p *Proc) StartRead(op proto.OpID) proto.Effects {
+	if p.cur != nil {
+		panic(fmt.Sprintf("core: process %d invoked read while a %s is in flight (processes are sequential)", p.id, p.cur.kind))
+	}
+	var eff proto.Effects
+	if p.id == p.writer && p.opts.writerLocalRead {
+		// Figure 1, line 5 comment: the writer may return
+		// history[w_sync[w]] directly — its own value is always the
+		// most recent one.
+		eff.AddDone(op, proto.OpRead, p.histAt(p.wSync[p.id]).Clone())
+		return eff
+	}
+	// Line 5: rsn <- r_sync[i]+1.
+	rsn := p.rSync[p.id] + 1
+	p.rSync[p.id] = rsn
+	// Line 6: broadcast READ() to everyone else.
+	for j := 0; j < p.n; j++ {
+		if j != p.id {
+			eff.AddSend(j, ReadMsg{})
+			p.msgsSent++
+		}
+	}
+	// Line 7: wait until n-t processes answered request rsn.
+	p.cur = &pendingOp{op: op, kind: proto.OpRead, phase: phaseReadAck, rsn: rsn}
+	p.drain(&eff)
+	return eff
+}
+
+// Deliver implements the message handlers of Figure 1 (lines 11-22).
+func (p *Proc) Deliver(from int, msg proto.Message) proto.Effects {
+	if from == p.id {
+		panic(fmt.Sprintf("core: process %d received message from itself", p.id))
+	}
+	var eff proto.Effects
+	switch m := msg.(type) {
+	case WriteMsg:
+		p.deliverWrite(from, m, &eff)
+	case ReadMsg:
+		// Line 19: capture the freshness bar sn = w_sync[i].
+		sn := p.wSync[p.id]
+		// Line 20 wait: park until w_sync[from] >= sn, then PROCEED.
+		p.pendingReads = append(p.pendingReads, pendingRead{from: from, sn: sn})
+	case ProceedMsg:
+		// Line 22: one more of our READ requests has been answered.
+		p.rSync[from]++
+	default:
+		panic(fmt.Sprintf("core: process %d received foreign message %T", p.id, msg))
+	}
+	p.drain(&eff)
+	return eff
+}
+
+// deliverWrite enqueues m behind the line-11 parity guard; drain processes
+// whatever has become processable.
+func (p *Proc) deliverWrite(from int, m WriteMsg, eff *proto.Effects) {
+	p.pendingW[from] = append(p.pendingW[from], m)
+}
+
+// nextFromPending pops a buffered WRITE from peer j if it passes the line-11
+// guard: its parity must equal (w_sync[j]+1) mod 2 — or, in the ablation
+// mode, its explicit sequence number must be exactly w_sync[j]+1.
+func (p *Proc) nextFromPending(j int) (WriteMsg, bool) {
+	queue := p.pendingW[j]
+	for k, m := range queue {
+		if p.guardLine11(j, m) {
+			p.pendingW[j] = append(queue[:k:k], queue[k+1:]...)
+			return m, true
+		}
+	}
+	return WriteMsg{}, false
+}
+
+func (p *Proc) guardLine11(j int, m WriteMsg) bool {
+	if p.opts.explicitSeqnums {
+		return m.Seq == p.wSync[j]+1
+	}
+	return int(m.Bit) == (p.wSync[j]+1)%2
+}
+
+// processWrite is Figure 1 lines 12-18, run once the line-11 guard passed.
+func (p *Proc) processWrite(from int, m WriteMsg, eff *proto.Effects) {
+	// Line 12: reconstruct the sequence number locally.
+	wsn := p.wSync[from] + 1
+	switch {
+	case wsn == p.wSync[p.id]+1:
+		// Lines 13-15: this is our next value; adopt and forward
+		// (Rule R1). Note the forward loop runs BEFORE w_sync[from] is
+		// updated at line 18, so `from` itself still satisfies
+		// w_sync[from] == wsn-1 and receives the forward — that echo is
+		// the alternating-bit acknowledgement.
+		p.wSync[p.id] = wsn
+		p.appendHistory(wsn, m.Val.Clone())
+		p.forwardTo(wsn, eff)
+	case wsn < p.wSync[p.id]:
+		// Line 16 (Rule R2): the sender lags by at least two values;
+		// send it the single next value it is missing.
+		next := wsn + 1
+		p.sendWrite(from, next, eff)
+	default:
+		// wsn == w_sync[i]: the sender caught up to us; only the
+		// line-18 bookkeeping applies.
+	}
+	// Line 18.
+	p.wSync[from] = wsn
+}
+
+// forwardTo sends WRITE(wsn mod 2, history[wsn]) to every process believed to
+// know exactly wsn-1 values (Figure 1 lines 2 and 15).
+func (p *Proc) forwardTo(wsn int, eff *proto.Effects) {
+	for j := 0; j < p.n; j++ {
+		if j != p.id && p.wSync[j] == wsn-1 {
+			p.sendWrite(j, wsn, eff)
+		}
+	}
+}
+
+func (p *Proc) sendWrite(to, wsn int, eff *proto.Effects) {
+	m := WriteMsg{Bit: uint8(wsn % 2), Val: p.histAt(wsn)}
+	if p.opts.explicitSeqnums {
+		m.Seq = wsn
+	}
+	eff.AddSend(to, m)
+	p.msgsSent++
+}
+
+// drain re-evaluates every parked guard until no further progress is
+// possible. It is called after every state change, making the paper's
+// blocking `wait` statements non-blocking.
+func (p *Proc) drain(eff *proto.Effects) {
+	for progress := true; progress; {
+		progress = false
+
+		// Line 11 guards: process buffered WRITEs that became in-order.
+		for j := 0; j < p.n; j++ {
+			for {
+				m, ok := p.nextFromPending(j)
+				if !ok {
+					break
+				}
+				p.processWrite(j, m, eff)
+				progress = true
+			}
+		}
+
+		// Line 20 guards: answer READs whose requester caught up.
+		if p.flushPendingReads(eff) {
+			progress = true
+		}
+
+		// Lines 3, 7, 9: advance the in-flight client operation.
+		if p.advanceOp(eff) {
+			progress = true
+		}
+	}
+	// Property P1 probe: after the fixpoint, count messages still parked
+	// on the line-11 guard. The alternating-bit discipline bounds this at
+	// one per peer; transient depths during drain do not count.
+	for _, q := range p.pendingW {
+		if len(q) > p.maxPendingW {
+			p.maxPendingW = len(q)
+		}
+	}
+	p.maybeGC()
+}
+
+func (p *Proc) flushPendingReads(eff *proto.Effects) bool {
+	progress := false
+	kept := p.pendingReads[:0]
+	for _, pr := range p.pendingReads {
+		if p.wSync[pr.from] >= pr.sn {
+			// Line 21.
+			eff.AddSend(pr.from, ProceedMsg{})
+			p.msgsSent++
+			progress = true
+		} else {
+			kept = append(kept, pr)
+		}
+	}
+	p.pendingReads = kept
+	return progress
+}
+
+// advanceOp evaluates the wait predicate of the current operation phase and
+// moves it forward when satisfied. Returns true on any state change.
+func (p *Proc) advanceOp(eff *proto.Effects) bool {
+	if p.cur == nil {
+		return false
+	}
+	switch p.cur.phase {
+	case phaseWriteWait:
+		// Line 3: z >= n-t processes with w_sync[j] == wsn.
+		if p.countWSyncEq(p.cur.wsn) >= p.quorum() {
+			op := p.cur
+			p.cur = nil
+			eff.AddDone(op.op, proto.OpWrite, nil)
+			return true
+		}
+	case phaseReadAck:
+		// Line 7: z >= n-t processes with r_sync[j] == rsn.
+		if p.countRSyncEq(p.cur.rsn) >= p.quorum() {
+			// Line 8: fix the returned index.
+			p.cur.sn = p.wSync[p.id]
+			p.cur.phase = phaseReadSync
+			return true
+		}
+	case phaseReadSync:
+		// Line 9: z >= n-t processes with w_sync[j] >= sn.
+		if p.countWSyncGE(p.cur.sn) >= p.quorum() {
+			op := p.cur
+			p.cur = nil
+			// Line 10.
+			eff.AddDone(op.op, proto.OpRead, p.histAt(op.sn).Clone())
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Proc) countWSyncEq(x int) int {
+	z := 0
+	for _, v := range p.wSync {
+		if v == x {
+			z++
+		}
+	}
+	return z
+}
+
+func (p *Proc) countWSyncGE(x int) int {
+	z := 0
+	for _, v := range p.wSync {
+		if v >= x {
+			z++
+		}
+	}
+	return z
+}
+
+func (p *Proc) countRSyncEq(x int) int {
+	z := 0
+	for _, v := range p.rSync {
+		if v == x {
+			z++
+		}
+	}
+	return z
+}
+
+// appendHistory stores history[wsn] = v, asserting the prefix discipline
+// (values are adopted strictly in order — Lemma 4's mechanism).
+func (p *Proc) appendHistory(wsn int, v proto.Value) {
+	if wsn != p.histBase+len(p.history) {
+		panic(fmt.Sprintf("core: process %d history gap: appending %d with %d entries above base %d",
+			p.id, wsn, len(p.history), p.histBase))
+	}
+	p.history = append(p.history, v)
+}
+
+// histAt returns history[x]. Accessing a garbage-collected index is a bug in
+// the GC floor computation and panics.
+func (p *Proc) histAt(x int) proto.Value {
+	if x < p.histBase || x >= p.histBase+len(p.history) {
+		panic(fmt.Sprintf("core: process %d history[%d] out of retained range [%d,%d)",
+			p.id, x, p.histBase, p.histBase+len(p.history)))
+	}
+	return p.history[x-p.histBase]
+}
+
+// maybeGC discards history entries below the safe floor (see WithHistoryGC).
+func (p *Proc) maybeGC() {
+	if !p.opts.gcHistory {
+		return
+	}
+	floor := p.wSync[0]
+	for _, v := range p.wSync[1:] {
+		if v < floor {
+			floor = v
+		}
+	}
+	if p.cur != nil && p.cur.phase == phaseReadSync && p.cur.sn < floor {
+		floor = p.cur.sn // a parked read still needs history[sn]
+	}
+	if floor <= p.histBase {
+		return
+	}
+	drop := floor - p.histBase
+	// Copy the tail so the discarded prefix becomes collectable.
+	kept := make([]proto.Value, len(p.history)-drop)
+	copy(kept, p.history[drop:])
+	p.history = kept
+	p.histBase = floor
+}
+
+// LocalMemoryBits implements the Table 1 row 4 probe: the bits held in
+// retained history (values) plus 64 bits per sequence-number cell. Without
+// WithHistoryGC the history term grows without bound with the number of
+// writes — the "unbounded" entry in the paper's table.
+func (p *Proc) LocalMemoryBits() int {
+	bits := 0
+	for _, v := range p.history {
+		bits += len(v) * 8
+	}
+	bits += 64 * len(p.history) // per-entry index bookkeeping
+	bits += 64 * (len(p.wSync) + len(p.rSync))
+	return bits
+}
+
+// --- introspection for tests, invariant checkers and the eval harness ---
+
+// WSync returns w_sync[j].
+func (p *Proc) WSync(j int) int { return p.wSync[j] }
+
+// RSync returns r_sync[j].
+func (p *Proc) RSync(j int) int { return p.rSync[j] }
+
+// HistoryLen returns the number of known values including v0 (logical
+// length: garbage-collected entries still count).
+func (p *Proc) HistoryLen() int { return p.histBase + len(p.history) }
+
+// HistoryAt returns history[x]; x must be retained (>= HistoryBase).
+func (p *Proc) HistoryAt(x int) proto.Value { return p.histAt(x) }
+
+// HistoryBase returns the lowest retained history index (0 unless
+// WithHistoryGC discarded a prefix).
+func (p *Proc) HistoryBase() int { return p.histBase }
+
+// RetainedValues returns the number of history entries currently held.
+func (p *Proc) RetainedValues() int { return len(p.history) }
+
+// MaxPendingDepth reports the deepest line-11 reorder buffer observed; the
+// alternating-bit discipline (Property P1) bounds it at 1.
+func (p *Proc) MaxPendingDepth() int { return p.maxPendingW }
+
+// MsgsSent returns the number of messages this process has emitted.
+func (p *Proc) MsgsSent() int { return p.msgsSent }
+
+// Idle reports whether the process has no in-flight client operation.
+func (p *Proc) Idle() bool { return p.cur == nil }
+
+var _ proto.Process = (*Proc)(nil)

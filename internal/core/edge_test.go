@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"twobitreg/internal/proto"
+	"twobitreg/internal/transport"
+)
+
+// TestNTwoNoFaultBudget: n=2 gives t=0 — the protocol works but tolerates
+// nothing; both processes are needed for every quorum.
+func TestNTwoNoFaultBudget(t *testing.T) {
+	t.Parallel()
+	r := newSimRig(t, 2, 0, 1, transport.FixedDelay(1))
+	r.net.StartWriteAt(0, 0, 1, val("v1"))
+	r.net.StartReadAt(10, 1, 2)
+	r.net.Run()
+	if d := r.mustDone(1); d.at != 2 {
+		t.Fatalf("n=2 write latency %vΔ, want 2Δ", d.at)
+	}
+	if d := r.mustDone(2); !d.c.Value.Equal(val("v1")) {
+		t.Fatalf("n=2 read = %q", d.c.Value)
+	}
+}
+
+func TestNTwoCrashBlocksEverything(t *testing.T) {
+	t.Parallel()
+	r := newSimRig(t, 2, 0, 1, transport.FixedDelay(1))
+	r.net.Crash(1)
+	r.net.StartWriteAt(0, 0, 1, val("v1"))
+	r.net.Run()
+	if _, ok := r.done[1]; ok {
+		t.Fatal("write completed with the single peer crashed (t=0 exceeded)")
+	}
+}
+
+// TestConsecutiveReadsIncrementRsn: each read uses a fresh request number
+// and a fresh PROCEED quorum; stale PROCEEDs from earlier reads must not
+// satisfy later ones.
+func TestConsecutiveReadsIncrementRsn(t *testing.T) {
+	t.Parallel()
+	h := newHarness(t, 3, 0)
+	for k := 1; k <= 5; k++ {
+		h.read(1, proto.OpID(k))
+		h.deliverAll()
+		h.mustComplete(proto.OpID(k))
+	}
+	if got := h.procs[1].RSync(1); got != 5 {
+		t.Fatalf("reader's rsn = %d after 5 reads, want 5", got)
+	}
+	// Every peer answered every read exactly once.
+	for _, j := range []int{0, 2} {
+		if got := h.procs[1].RSync(j); got != 5 {
+			t.Fatalf("rSync[%d] = %d, want 5", j, got)
+		}
+	}
+}
+
+// TestStaleProceedDoesNotUnblockNewRead: a PROCEED for read k arriving
+// during read k+1 brings r_sync[j] to k only — short of the k+1 the new
+// read's line-7 guard needs.
+func TestStaleProceedDoesNotUnblockNewRead(t *testing.T) {
+	t.Parallel()
+	// n=5: quorum 3, so a read needs two PROCEEDs besides the reader's
+	// own r_sync entry.
+	p := New(1, 5, 0)
+	p.StartRead(1)
+	if eff := p.Deliver(0, ProceedMsg{}); len(eff.Done) != 0 {
+		t.Fatal("read 1 completed with a single PROCEED (quorum is 3 incl. self)")
+	}
+	if eff := p.Deliver(2, ProceedMsg{}); len(eff.Done) != 1 {
+		t.Fatal("read 1 did not complete at its quorum")
+	}
+	// A late PROCEED for read 1 arrives from p3 before read 2 starts: it
+	// raises r_sync[3] to 1 only. Read 2 (rsn=2) must still gather two
+	// PROCEEDs at level 2 — the lagging entry cannot be double-counted.
+	p.Deliver(3, ProceedMsg{})
+	p.StartRead(2)
+	if eff := p.Deliver(0, ProceedMsg{}); len(eff.Done) != 0 {
+		t.Fatal("read 2 completed with one fresh PROCEED; the stale level-1 entry was miscounted")
+	}
+	if eff := p.Deliver(2, ProceedMsg{}); len(eff.Done) != 1 {
+		t.Fatal("read 2 did not complete at its quorum")
+	}
+}
+
+// TestPendingReadServedLater: a READ arriving while the requester lags is
+// parked on the line-20 guard and answered as soon as the requester's
+// catch-up becomes visible.
+func TestPendingReadServedLater(t *testing.T) {
+	t.Parallel()
+	// p0 (writer) has written v1 locally; p2 asks p0 for a read before
+	// p0 has seen any evidence p2 knows v1.
+	p := New(0, 3, 0)
+	p.StartWrite(1, val("v1")) // w_sync[0]=1, history[1]=v1
+	eff := p.Deliver(2, ReadMsg{})
+	for _, s := range eff.Sends {
+		if _, isProceed := s.Msg.(ProceedMsg); isProceed {
+			t.Fatal("PROCEED sent before the requester caught up")
+		}
+	}
+	// p2's WRITE echo arrives: now w_sync[2] = 1 >= sn and the parked
+	// READ must be answered.
+	eff = p.Deliver(2, WriteMsg{Bit: 1, Val: val("v1")})
+	found := false
+	for _, s := range eff.Sends {
+		if _, isProceed := s.Msg.(ProceedMsg); isProceed && s.To == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("parked READ was not answered after catch-up")
+	}
+}
+
+// TestHistoryConvergenceManyWritersReaders is a larger soak: every reader
+// reads after every write; all values observed are monotone per reader.
+func TestReadMonotonicityPerReader(t *testing.T) {
+	t.Parallel()
+	r := newSimRig(t, 5, 0, 11, transport.UniformDelay(0.1, 1.9))
+	id := proto.OpID(0)
+	readsByOp := map[proto.OpID]int{}
+	tm := 0.0
+	for k := 1; k <= 15; k++ {
+		tm += 15
+		id++
+		r.net.StartWriteAt(tm, 0, id, val(fmt.Sprintf("v%02d", k)))
+		for reader := 1; reader <= 4; reader++ {
+			id++
+			readsByOp[id] = reader
+			r.net.StartReadAt(tm+1+float64(reader)*0.01, reader, id)
+		}
+	}
+	r.net.Run()
+	last := map[int]string{}
+	for op := proto.OpID(1); op <= id; op++ {
+		reader, isRead := readsByOp[op]
+		if !isRead {
+			continue
+		}
+		d := r.mustDone(op)
+		got := string(d.c.Value)
+		if prev, ok := last[reader]; ok && got < prev && got != "" {
+			t.Fatalf("reader %d went backwards: %q after %q", reader, got, prev)
+		}
+		last[reader] = got
+	}
+}

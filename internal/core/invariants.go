@@ -1,0 +1,72 @@
+package core
+
+import "fmt"
+
+// CheckGlobalInvariants verifies, across a full set of processes, the
+// invariants the paper's proof establishes:
+//
+//	Lemma 2:    w_sync_i[i] >= w_sync_j[i] for all i, j.
+//	Lemma 3:    w_sync_i[i] == max_j w_sync_i[j].
+//	Lemma 4:    every history_i is a prefix of the writer's history.
+//	Property P2: |w_sync_i[j] - w_sync_j[i]| <= 1 for all pairs.
+//	Property P1: the line-11 reorder buffer never held more than one
+//	             message per peer.
+//
+// It is intended as a post-delivery hook under the simulator (the checks read
+// shared state and are only sound between atomic steps). It returns the first
+// violation found, or nil.
+func CheckGlobalInvariants(procs []*Proc) error {
+	if len(procs) == 0 {
+		return nil
+	}
+	w := procs[0].writer
+	writer := procs[w]
+	n := len(procs)
+
+	for i, pi := range procs {
+		// Lemma 3.
+		maxSeen := 0
+		for j := 0; j < n; j++ {
+			if pi.wSync[j] > maxSeen {
+				maxSeen = pi.wSync[j]
+			}
+		}
+		if pi.wSync[i] != maxSeen {
+			return fmt.Errorf("lemma 3 violated at p%d: w_sync[%d]=%d but max=%d", i, i, pi.wSync[i], maxSeen)
+		}
+
+		// Property P1.
+		if pi.maxPendingW > 1 {
+			return fmt.Errorf("property P1 violated at p%d: reorder buffer depth %d > 1", i, pi.maxPendingW)
+		}
+
+		// Lemma 4: history_i must be a prefix of history_w (compared on
+		// the range both processes still retain, when GC is active).
+		if pi.HistoryLen() > writer.HistoryLen() {
+			return fmt.Errorf("lemma 4 violated: p%d has %d entries, writer has %d", i, pi.HistoryLen(), writer.HistoryLen())
+		}
+		lo := pi.histBase
+		if writer.histBase > lo {
+			lo = writer.histBase
+		}
+		for x := lo; x < pi.HistoryLen(); x++ {
+			if !pi.histAt(x).Equal(writer.histAt(x)) {
+				return fmt.Errorf("lemma 4 violated: p%d history[%d] differs from writer", i, x)
+			}
+		}
+
+		for j, pj := range procs {
+			// Lemma 2.
+			if pi.wSync[i] < pj.wSync[i] {
+				return fmt.Errorf("lemma 2 violated: w_sync_%d[%d]=%d < w_sync_%d[%d]=%d",
+					i, i, pi.wSync[i], j, i, pj.wSync[i])
+			}
+			// Property P2.
+			if d := pi.wSync[j] - pj.wSync[i]; d > 1 || d < -1 {
+				return fmt.Errorf("property P2 violated: |w_sync_%d[%d]-w_sync_%d[%d]| = |%d-%d| > 1",
+					i, j, j, i, pi.wSync[j], pj.wSync[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import "twobitreg/internal/proto"
+
+// The paper's four message types. WRITE0/WRITE1 carry a data value plus one
+// parity bit folded into the type; READ and PROCEED carry nothing but their
+// type. Two bits therefore encode the entire control state of any message:
+//
+//	00 WRITE0   01 WRITE1   10 READ   11 PROCEED
+//
+// Wire encoding lives in internal/wire; these structs are the in-memory form.
+
+// WriteMsg is WRITE0(v) when Bit == 0 and WRITE1(v) when Bit == 1.
+//
+// When the process runs in the explicit-sequence-number ablation mode
+// (WithExplicitSeqnums), Seq carries the write's sequence number and counts
+// toward ControlBits; otherwise Seq is zero and ignored.
+type WriteMsg struct {
+	Bit uint8
+	Val proto.Value
+	Seq int // ablation mode only
+}
+
+// TypeName returns "WRITE0" or "WRITE1".
+func (m WriteMsg) TypeName() string {
+	if m.Bit == 0 {
+		return "WRITE0"
+	}
+	return "WRITE1"
+}
+
+// ControlBits is 2, or 2+64 in the explicit-seqnum ablation.
+func (m WriteMsg) ControlBits() int {
+	if m.Seq != 0 {
+		return 2 + 64
+	}
+	return 2
+}
+
+// DataBytes is the size of the written value.
+func (m WriteMsg) DataBytes() int { return len(m.Val) }
+
+// ReadMsg is READ(): a read request carrying only its type.
+type ReadMsg struct{}
+
+// TypeName returns "READ".
+func (ReadMsg) TypeName() string { return "READ" }
+
+// ControlBits is 2.
+func (ReadMsg) ControlBits() int { return 2 }
+
+// DataBytes is 0.
+func (ReadMsg) DataBytes() int { return 0 }
+
+// ProceedMsg is PROCEED(): the read acknowledgement carrying only its type.
+type ProceedMsg struct{}
+
+// TypeName returns "PROCEED".
+func (ProceedMsg) TypeName() string { return "PROCEED" }
+
+// ControlBits is 2.
+func (ProceedMsg) ControlBits() int { return 2 }
+
+// DataBytes is 0.
+func (ProceedMsg) DataBytes() int { return 0 }
+
+var (
+	_ proto.Message = WriteMsg{}
+	_ proto.Message = ReadMsg{}
+	_ proto.Message = ProceedMsg{}
+)

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twobitreg/internal/proto"
+	"twobitreg/internal/sim"
+	"twobitreg/internal/transport"
+)
+
+// simRig bundles a SimNet over *Proc state machines with completion capture
+// and continuous invariant checking.
+type simRig struct {
+	t     *testing.T
+	sched *sim.Scheduler
+	net   *transport.SimNet
+	procs []*Proc
+	// done[op] = completion time and record
+	done map[proto.OpID]completionAt
+}
+
+type completionAt struct {
+	c  proto.Completion
+	at float64
+}
+
+func newSimRig(t *testing.T, n, writer int, seed int64, delay transport.DelayFn, opts ...Option) *simRig {
+	t.Helper()
+	r := &simRig{t: t, sched: sim.New(seed), done: make(map[proto.OpID]completionAt)}
+	ps := make([]proto.Process, n)
+	for i := 0; i < n; i++ {
+		p := New(i, n, writer, opts...)
+		r.procs = append(r.procs, p)
+		ps[i] = p
+	}
+	r.net = transport.NewSimNet(r.sched, ps,
+		transport.WithDelay(delay),
+		transport.WithCompletion(func(_ int, c proto.Completion, at float64) {
+			if _, dup := r.done[c.Op]; dup {
+				t.Errorf("operation %d completed twice", c.Op)
+			}
+			r.done[c.Op] = completionAt{c: c, at: at}
+		}),
+		transport.WithPostDelivery(func() {
+			if err := CheckGlobalInvariants(r.procs); err != nil {
+				t.Fatalf("invariant violated at t=%v: %v", r.sched.Now(), err)
+			}
+		}),
+	)
+	return r
+}
+
+func (r *simRig) mustDone(op proto.OpID) completionAt {
+	r.t.Helper()
+	d, ok := r.done[op]
+	if !ok {
+		r.t.Fatalf("operation %d never completed", op)
+	}
+	return d
+}
+
+func TestSimWriteLatencyIsTwoDelta(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{3, 5, 11} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			t.Parallel()
+			r := newSimRig(t, n, 0, 1, transport.FixedDelay(1))
+			r.net.StartWriteAt(0, 0, 1, val("v1"))
+			r.net.Run()
+			d := r.mustDone(1)
+			if d.at != 2 {
+				t.Fatalf("write latency = %vΔ, want 2Δ (paper Table 1 row 5)", d.at)
+			}
+		})
+	}
+}
+
+func TestSimQuiescentReadLatencyIsTwoDelta(t *testing.T) {
+	t.Parallel()
+	r := newSimRig(t, 5, 0, 1, transport.FixedDelay(1))
+	r.net.StartWriteAt(0, 0, 1, val("v1"))
+	r.net.Run() // quiesce fully
+	start := r.sched.Now()
+	r.net.StartReadAt(start, 1, 2)
+	r.net.Run()
+	d := r.mustDone(2)
+	if got := d.at - start; got != 2 {
+		t.Fatalf("quiescent read latency = %vΔ, want 2Δ", got)
+	}
+	if !d.c.Value.Equal(val("v1")) {
+		t.Fatalf("read = %q, want v1", d.c.Value)
+	}
+}
+
+// TestSimConcurrentReadLatencyAtMostFourDelta reproduces the paper's
+// worst-case read bound: a read racing a fresh write needs the full
+// READ -> (freshness sync) -> PROCEED chain, 4Δ in total.
+func TestSimConcurrentReadLatencyAtMostFourDelta(t *testing.T) {
+	t.Parallel()
+	r := newSimRig(t, 5, 0, 1, transport.FixedDelay(1))
+	r.net.StartWriteAt(0, 0, 1, val("v1"))
+	r.net.StartReadAt(0, 1, 2)
+	r.net.Run()
+	rd := r.mustDone(2)
+	if rd.at > 4 {
+		t.Fatalf("concurrent read latency = %vΔ, want <= 4Δ (paper Table 1 row 6)", rd.at)
+	}
+	if rd.at <= 2 {
+		t.Fatalf("concurrent read latency = %vΔ; expected the race to exercise the slow path (> 2Δ)", rd.at)
+	}
+	// Atomicity: the write completed at 2Δ < read completion, so the read
+	// must return v1 (claim 2 of Lemma 10).
+	if !rd.c.Value.Equal(val("v1")) {
+		t.Fatalf("concurrent read = %q, want v1", rd.c.Value)
+	}
+}
+
+func TestSimReorderingAdversary(t *testing.T) {
+	t.Parallel()
+	// AlternatingDelay forces every second WRITE per channel to overtake
+	// its predecessor — the maximum Property P1 allows.
+	r := newSimRig(t, 5, 0, 7, transport.AlternatingDelay(0.5, 3))
+	for k := 1; k <= 20; k++ {
+		op := proto.OpID(k)
+		v := val(fmt.Sprintf("v%d", k))
+		r.sched.At(float64(k)*10, func() { r.net.StartWrite(0, op, v) })
+	}
+	r.net.Run()
+	for k := 1; k <= 20; k++ {
+		r.mustDone(proto.OpID(k))
+	}
+	for i, p := range r.procs {
+		if p.WSync(i) != 20 {
+			t.Fatalf("p%d converged to %d values, want 20", i, p.WSync(i))
+		}
+		if p.MaxPendingDepth() > 1 {
+			t.Fatalf("p%d reorder buffer depth %d violates P1", i, p.MaxPendingDepth())
+		}
+	}
+}
+
+func TestSimCrashMinorityLiveness(t *testing.T) {
+	t.Parallel()
+	// n=5 tolerates t=2. Crash two processes before any traffic.
+	r := newSimRig(t, 5, 0, 3, transport.FixedDelay(1))
+	r.net.Crash(3)
+	r.net.Crash(4)
+	r.net.StartWriteAt(0, 0, 1, val("v1"))
+	r.net.StartReadAt(10, 1, 2)
+	r.net.Run()
+	r.mustDone(1)
+	if d := r.mustDone(2); !d.c.Value.Equal(val("v1")) {
+		t.Fatalf("read under crashes = %q, want v1", d.c.Value)
+	}
+}
+
+func TestSimCrashMidWrite(t *testing.T) {
+	t.Parallel()
+	// Crash a reader after it received the WRITE but (possibly) before its
+	// echo is delivered: the remaining majority still completes everything.
+	r := newSimRig(t, 5, 0, 4, transport.FixedDelay(1))
+	r.net.StartWriteAt(0, 0, 1, val("v1"))
+	r.net.CrashAt(1.5, 4) // p4 received WRITE at t=1, crashes before more
+	r.net.StartWriteAt(5, 0, 2, val("v2"))
+	r.net.StartReadAt(10, 2, 3)
+	r.net.Run()
+	r.mustDone(1)
+	r.mustDone(2)
+	if d := r.mustDone(3); !d.c.Value.Equal(val("v2")) {
+		t.Fatalf("read = %q, want v2", d.c.Value)
+	}
+}
+
+func TestSimCrashedReaderDoesNotBlockOthers(t *testing.T) {
+	t.Parallel()
+	r := newSimRig(t, 5, 0, 5, transport.FixedDelay(1))
+	// p1 starts a read then crashes immediately; its READ messages are in
+	// flight (the "arbitrary subset" case of line 6). Other processes'
+	// pendingReads entries for p1 may park forever — that must not block
+	// anyone else.
+	r.net.StartReadAt(0, 1, 1)
+	r.net.CrashAt(0.5, 1)
+	r.net.StartWriteAt(1, 0, 2, val("v1"))
+	r.net.StartReadAt(6, 2, 3)
+	r.net.Run()
+	r.mustDone(2)
+	if d := r.mustDone(3); !d.c.Value.Equal(val("v1")) {
+		t.Fatalf("read = %q, want v1", d.c.Value)
+	}
+	if _, ok := r.done[1]; ok {
+		t.Fatal("crashed process's read reported completion")
+	}
+}
+
+// TestSimRandomScheduleInvariants drives random mixes of writes and reads
+// under random delays, with invariants checked after every delivery, and
+// verifies per-value read monotonicity (reads never go backwards).
+func TestSimRandomScheduleInvariants(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runRandomSchedule(t, seed, 5, 30, false)
+		})
+	}
+}
+
+// TestSimRandomScheduleWithCrashes adds minority crash injection.
+func TestSimRandomScheduleWithCrashes(t *testing.T) {
+	t.Parallel()
+	for seed := int64(100); seed < 106; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runRandomSchedule(t, seed, 5, 30, true)
+		})
+	}
+}
+
+func runRandomSchedule(t *testing.T, seed int64, n, ops int, crash bool) {
+	t.Helper()
+	r := newSimRig(t, n, 0, seed, transport.UniformDelay(0.1, 2.5))
+	rng := rand.New(rand.NewSource(seed))
+	// Sequential writes from the writer, reads from random readers.
+	// Per-process sequentiality is enforced by spacing invocations wider
+	// than the worst-case op latency (4Δmax = 10 time units here).
+	tm := 0.0
+	id := proto.OpID(1)
+	var readers []int
+	for i := 1; i < n; i++ {
+		readers = append(readers, i)
+	}
+	writeOps := map[proto.OpID]bool{}
+	writes := 0
+	for k := 0; k < ops; k++ {
+		tm += 20 + rng.Float64()*5
+		if rng.Intn(2) == 0 {
+			writes++
+			v := val(fmt.Sprintf("v%d", writes))
+			r.net.StartWriteAt(tm, 0, id, v)
+			writeOps[id] = true
+		} else {
+			reader := readers[rng.Intn(len(readers))]
+			r.net.StartReadAt(tm, reader, id)
+		}
+		id++
+	}
+	if crash {
+		// Crash t = MaxFaulty(n) non-writer processes at random times.
+		nCrash := proto.MaxFaulty(n)
+		perm := rng.Perm(len(readers))
+		for c := 0; c < nCrash; c++ {
+			r.net.CrashAt(tm*rng.Float64(), readers[perm[c]])
+		}
+	}
+	r.net.Run()
+
+	// The writer never crashes, so every write must terminate (Lemma 8).
+	for op := range writeOps {
+		if _, ok := r.done[op]; !ok {
+			t.Fatalf("write op %d never completed", op)
+		}
+	}
+	if !crash {
+		// Failure-free: every operation terminates (Lemmas 8-9).
+		for k := proto.OpID(1); k < id; k++ {
+			if _, ok := r.done[k]; !ok {
+				t.Fatalf("op %d never completed in failure-free run", k)
+			}
+		}
+	}
+	if err := CheckGlobalInvariants(r.procs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under arbitrary uniform delays and any seed, a burst of writes
+// converges and every invariant holds throughout.
+func TestQuickConvergenceUnderRandomDelays(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64, nWrites uint8) bool {
+		writes := int(nWrites%10) + 1
+		r := newSimRig(t, 4, 0, seed, transport.UniformDelay(0.1, 3))
+		for k := 1; k <= writes; k++ {
+			op := proto.OpID(k)
+			v := val(fmt.Sprintf("v%d", k))
+			r.sched.At(float64(k)*20, func() { r.net.StartWrite(0, op, v) })
+		}
+		r.net.Run()
+		for k := 1; k <= writes; k++ {
+			if _, ok := r.done[proto.OpID(k)]; !ok {
+				return false
+			}
+		}
+		for i, p := range r.procs {
+			if p.WSync(i) != writes {
+				return false
+			}
+		}
+		return CheckGlobalInvariants(r.procs) == nil
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"twobitreg/internal/abd"
+	"twobitreg/internal/core"
+)
+
+func TestTable1ReproducesAtSmallN(t *testing.T) {
+	t.Parallel()
+	tab := RunTable1(5, 5)
+	if err := tab.Verify(); err != nil {
+		t.Fatalf("Table 1 verification failed:\n%s\n%v", tab.Format(), err)
+	}
+}
+
+func TestTable1ReproducesAtMediumN(t *testing.T) {
+	t.Parallel()
+	tab := RunTable1(9, 3)
+	if err := tab.Verify(); err != nil {
+		t.Fatalf("Table 1 verification failed:\n%s\n%v", tab.Format(), err)
+	}
+}
+
+func TestFormatMentionsEveryRow(t *testing.T) {
+	t.Parallel()
+	out := RunTable1(3, 2).Format()
+	for _, row := range []string{"#msgs: write", "#msgs: read", "msg size", "local memory", "Time: write", "Time: read"} {
+		if !strings.Contains(out, row) {
+			t.Errorf("formatted table missing row %q:\n%s", row, out)
+		}
+	}
+	for _, col := range []string{"abd", "bounded-abd", "attiya", "twobit"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("formatted table missing column %q", col)
+		}
+	}
+}
+
+func TestMeasureMsgsShapes(t *testing.T) {
+	t.Parallel()
+	// Two-bit: write = n(n-1) messages (broadcast + echo/forward mesh),
+	// read = 2(n-1).
+	for _, n := range []int{3, 5, 8} {
+		m := MeasureMsgs(core.Algorithm(), n, 4)
+		wantWrite := float64(n * (n - 1))
+		if m.PerWrite != wantWrite {
+			t.Errorf("two-bit write msgs at n=%d: got %.1f, want %.1f", n, m.PerWrite, wantWrite)
+		}
+		if want := float64(2 * (n - 1)); m.PerRead != want {
+			t.Errorf("two-bit read msgs at n=%d: got %.1f, want %.1f", n, m.PerRead, want)
+		}
+	}
+}
+
+func TestMeasureTimeTwoBit(t *testing.T) {
+	t.Parallel()
+	tc := MeasureTime(core.Algorithm(), 5)
+	if tc.Write != 2 {
+		t.Errorf("write time = %vΔ, want 2Δ", tc.Write)
+	}
+	if tc.ReadQuiescent != 2 {
+		t.Errorf("quiescent read time = %vΔ, want 2Δ", tc.ReadQuiescent)
+	}
+	if tc.ReadConcurrent <= 2 || tc.ReadConcurrent > 4 {
+		t.Errorf("concurrent read time = %vΔ, want in (2Δ, 4Δ]", tc.ReadConcurrent)
+	}
+}
+
+func TestMeasureMixReadDominatedFavorsTwoBit(t *testing.T) {
+	t.Parallel()
+	// E3: at 99% reads the two-bit register must use fewer messages per
+	// op than ABD (2(n-1) vs 4(n-1) per read); at 50% the quadratic
+	// writes flip the comparison for message counts.
+	n, ops := 7, 60
+	tb99 := MeasureMix(core.Algorithm(), n, ops, 0.99)
+	abd99 := MeasureMix(abd.Algorithm(), n, ops, 0.99)
+	if tb99.MsgsPerOp >= abd99.MsgsPerOp {
+		t.Errorf("99%% reads: two-bit %.1f msgs/op >= abd %.1f", tb99.MsgsPerOp, abd99.MsgsPerOp)
+	}
+	tb50 := MeasureMix(core.Algorithm(), n, ops, 0.50)
+	abd50 := MeasureMix(abd.Algorithm(), n, ops, 0.50)
+	if tb50.MsgsPerOp <= abd50.MsgsPerOp {
+		t.Errorf("50%% reads: expected ABD to win on msgs/op (two-bit %.1f vs abd %.1f)", tb50.MsgsPerOp, abd50.MsgsPerOp)
+	}
+	// Control volume: two-bit always wins.
+	if tb50.CtrlBitsPerOp >= abd50.CtrlBitsPerOp {
+		t.Errorf("control bits/op: two-bit %.1f >= abd %.1f", tb50.CtrlBitsPerOp, abd50.CtrlBitsPerOp)
+	}
+}
+
+func TestMeasureCrashKeepsLatency(t *testing.T) {
+	t.Parallel()
+	// Crashing the slowest minority must not raise the two-bit latencies.
+	for f := 0; f <= 2; f++ {
+		c := MeasureCrash(core.Algorithm(), 5, f)
+		if !c.AllComplete {
+			t.Fatalf("f=%d: operations did not complete", f)
+		}
+		if c.WriteDelta != 2 {
+			t.Errorf("f=%d: write = %vΔ, want 2Δ", f, c.WriteDelta)
+		}
+		if c.ReadDelta > 4 {
+			t.Errorf("f=%d: read = %vΔ, want ≤4Δ", f, c.ReadDelta)
+		}
+	}
+}
+
+func TestMeasureCrashRejectsMajority(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for f > t")
+		}
+	}()
+	MeasureCrash(core.Algorithm(), 5, 3)
+}
+
+func TestMeasureMemoryGrowth(t *testing.T) {
+	t.Parallel()
+	mem := MeasureMemory(core.Algorithm(), 3, []int{5, 50}, 8)
+	if mem[50] <= mem[5] {
+		t.Errorf("two-bit memory after 50 writes (%d bits) not larger than after 5 (%d bits)", mem[50], mem[5])
+	}
+	flat := MeasureMemory(abd.Algorithm(), 3, []int{5, 50}, 8)
+	if flat[50] != flat[5] {
+		t.Errorf("ABD memory should be flat: %d vs %d bits", flat[5], flat[50])
+	}
+}
+
+func TestTheorem2Census(t *testing.T) {
+	t.Parallel()
+	bits := MeasureBits(core.Algorithm(), 5, 40)
+	if bits.DistinctTypes != 4 {
+		t.Errorf("distinct message types = %d, want 4 (Theorem 2)", bits.DistinctTypes)
+	}
+	if bits.MaxCtrlBits != 2 || bits.MeanCtrlBits != 2 {
+		t.Errorf("control bits max=%d mean=%.2f, want exactly 2 (Theorem 2)", bits.MaxCtrlBits, bits.MeanCtrlBits)
+	}
+}

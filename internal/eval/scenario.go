@@ -1,0 +1,170 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"twobitreg/internal/check"
+	"twobitreg/internal/core"
+	"twobitreg/internal/metrics"
+	"twobitreg/internal/proto"
+	"twobitreg/internal/sim"
+	"twobitreg/internal/transport"
+	"twobitreg/internal/workload"
+)
+
+// ScenarioSpec describes a randomized end-to-end simulation: a seeded
+// workload over a delay-randomized network, optional minority crashes,
+// invariant checking (for the two-bit register) and history recording.
+type ScenarioSpec struct {
+	N            int
+	Ops          int
+	ReadFraction float64
+	Seed         int64
+	// Crashes is the number of non-writer processes to crash at random
+	// times; it is capped at MaxFaulty(N).
+	Crashes int
+	// DelayLo/DelayHi bound the per-message delay (uniform). The default
+	// (0,0) means fixed Δ = 1.
+	DelayLo, DelayHi float64
+	ValueSize        int
+}
+
+// ScenarioResult is what a scenario run produces.
+type ScenarioResult struct {
+	History check.History
+	Metrics metrics.Snapshot
+	// InvariantErr is the first proof-invariant violation observed
+	// (two-bit register only; nil otherwise and for clean runs).
+	InvariantErr error
+	// AtomicityErr is the SWMR checker's verdict on the recorded history.
+	AtomicityErr error
+	// Completed counts operations that terminated.
+	Completed int
+	// Events is the number of simulator events executed.
+	Events int64
+}
+
+// RunScenario executes spec against alg and returns everything needed to
+// judge the run: the recorded history, its atomicity verdict, invariant
+// status, and traffic metrics.
+func RunScenario(alg proto.Algorithm, spec ScenarioSpec) (ScenarioResult, error) {
+	if spec.N < 1 {
+		return ScenarioResult{}, fmt.Errorf("eval: scenario needs N >= 1, got %d", spec.N)
+	}
+	if spec.DelayHi <= 0 {
+		spec.DelayLo, spec.DelayHi = 1, 1
+	}
+	if maxF := proto.MaxFaulty(spec.N); spec.Crashes > maxF {
+		spec.Crashes = maxF
+	}
+
+	sched := sim.New(spec.Seed)
+	col := &metrics.Collector{}
+
+	procs := make([]proto.Process, spec.N)
+	var coreProcs []*core.Proc
+	for i := 0; i < spec.N; i++ {
+		p := alg.New(i, spec.N, 0)
+		procs[i] = p
+		if cp, ok := p.(*core.Proc); ok {
+			coreProcs = append(coreProcs, cp)
+		}
+	}
+
+	res := ScenarioResult{}
+	type opInfo struct {
+		pid  int
+		kind proto.OpKind
+		val  proto.Value
+		inv  float64
+	}
+	invoked := map[proto.OpID]*opInfo{}
+	completions := map[proto.OpID]struct {
+		at  float64
+		val proto.Value
+	}{}
+
+	var net *transport.SimNet
+	opts := []transport.Option{
+		transport.WithDelay(transport.UniformDelay(spec.DelayLo, spec.DelayHi)),
+		transport.WithCollector(col),
+		transport.WithCompletion(func(_ int, c proto.Completion, at float64) {
+			completions[c.Op] = struct {
+				at  float64
+				val proto.Value
+			}{at, c.Value}
+			if info := invoked[c.Op]; info != nil {
+				col.OnOp(c.Kind, at-info.inv)
+			}
+		}),
+	}
+	if len(coreProcs) == spec.N {
+		opts = append(opts, transport.WithPostDelivery(func() {
+			if res.InvariantErr == nil {
+				res.InvariantErr = core.CheckGlobalInvariants(coreProcs)
+			}
+		}))
+	}
+	net = transport.NewSimNet(sched, procs, opts...)
+
+	ops, err := workload.Generate(workload.Spec{
+		Seed: spec.Seed, Ops: spec.Ops, ReadFraction: spec.ReadFraction,
+		Writer: 0, Readers: readers(spec.N), ValueSize: spec.ValueSize,
+	})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+
+	// Space invocations wider than the worst-case latency of any
+	// algorithm in the repository (18Δ for Attiya reads) so per-process
+	// sequentiality holds without feedback scheduling.
+	gap := 20 * spec.DelayHi
+	tm := 0.0
+	var id proto.OpID
+	for _, w := range ops {
+		id++
+		tm += gap
+		info := &opInfo{pid: w.PID, kind: w.Kind, val: w.Value, inv: tm}
+		invoked[id] = info
+		if w.Kind == proto.OpWrite {
+			net.StartWriteAt(tm, w.PID, id, w.Value)
+		} else {
+			net.StartReadAt(tm, w.PID, id)
+		}
+	}
+
+	if spec.Crashes > 0 {
+		rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
+		perm := rng.Perm(spec.N - 1)
+		for c := 0; c < spec.Crashes; c++ {
+			pid := 1 + perm[c]
+			net.CrashAt(tm*rng.Float64(), pid)
+		}
+	}
+
+	res.Events = net.Run()
+	res.Metrics = col.Snapshot()
+
+	// Assemble the history.
+	h := check.History{}
+	for op := proto.OpID(1); op <= id; op++ {
+		info := invoked[op]
+		rec := check.Op{
+			ID: op, Proc: info.pid, Kind: info.kind,
+			Value: info.val, Inv: info.inv,
+		}
+		if c, ok := completions[op]; ok {
+			rec.Completed = true
+			rec.Res = c.at
+			if info.kind == proto.OpRead {
+				rec.Value = c.val
+			}
+			res.Completed++
+		}
+		h.Ops = append(h.Ops, rec)
+	}
+	res.History = h
+	res.AtomicityErr = check.CheckSWMR(h)
+	return res, nil
+}

@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"twobitreg/internal/abd"
+	"twobitreg/internal/attiya"
+	"twobitreg/internal/boundedabd"
+	"twobitreg/internal/core"
+	"twobitreg/internal/proto"
+)
+
+func TestScenarioFailureFreeAllAlgorithms(t *testing.T) {
+	t.Parallel()
+	algs := []proto.Algorithm{
+		core.Algorithm(), abd.Algorithm(), boundedabd.Algorithm(), attiya.Algorithm(),
+	}
+	for _, alg := range algs {
+		alg := alg
+		t.Run(alg.Name(), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunScenario(alg, ScenarioSpec{
+				N: 5, Ops: 40, ReadFraction: 0.6, Seed: 9,
+				DelayLo: 0.2, DelayHi: 2.0, ValueSize: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Completed != 40 {
+				t.Fatalf("completed %d/40 ops in a failure-free run", res.Completed)
+			}
+			if res.AtomicityErr != nil {
+				t.Fatalf("non-atomic history: %v", res.AtomicityErr)
+			}
+			if res.InvariantErr != nil {
+				t.Fatalf("invariant violation: %v", res.InvariantErr)
+			}
+		})
+	}
+}
+
+func TestScenarioWithCrashes(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunScenario(core.Algorithm(), ScenarioSpec{
+				N: 5, Ops: 30, ReadFraction: 0.5, Seed: seed,
+				Crashes: 2, DelayLo: 0.2, DelayHi: 1.5, ValueSize: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.AtomicityErr != nil {
+				t.Fatalf("non-atomic history under crashes: %v", res.AtomicityErr)
+			}
+			if res.InvariantErr != nil {
+				t.Fatalf("invariant violation under crashes: %v", res.InvariantErr)
+			}
+		})
+	}
+}
+
+func TestScenarioABDWithCrashes(t *testing.T) {
+	t.Parallel()
+	for seed := int64(20); seed < 26; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunScenario(abd.Algorithm(), ScenarioSpec{
+				N: 5, Ops: 30, ReadFraction: 0.5, Seed: seed,
+				Crashes: 2, DelayLo: 0.2, DelayHi: 1.5, ValueSize: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.AtomicityErr != nil {
+				t.Fatalf("ABD produced a non-atomic history under crashes: %v", res.AtomicityErr)
+			}
+		})
+	}
+}
+
+func TestScenarioCapsCrashes(t *testing.T) {
+	t.Parallel()
+	// Requesting more crashes than t is capped, keeping the run live.
+	res, err := RunScenario(core.Algorithm(), ScenarioSpec{
+		N: 5, Ops: 10, ReadFraction: 0, Seed: 3, Crashes: 99, ValueSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes come from the never-crashed writer and must all complete.
+	if res.Completed != 10 {
+		t.Fatalf("completed %d/10 writes with capped crashes", res.Completed)
+	}
+}
+
+func TestScenarioRejectsBadSpec(t *testing.T) {
+	t.Parallel()
+	if _, err := RunScenario(core.Algorithm(), ScenarioSpec{N: 0}); err == nil {
+		t.Fatal("accepted N=0")
+	}
+}

@@ -1,0 +1,162 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"twobitreg/internal/proto"
+)
+
+// Column is one algorithm's measured Table 1 entries.
+type Column struct {
+	Name   string
+	Msgs   MsgCost
+	Bits   BitCost
+	Memory map[int]int // bits after k writes
+	Time   TimeCost
+}
+
+// Table1 aggregates the measured reproduction of the paper's Table 1.
+type Table1 struct {
+	N        int
+	MemoryKs []int
+	Cols     []Column
+}
+
+// paperRow holds the published asymptotic entries, column order as in
+// Columns(): ABD unbounded, bounded ABD, Attiya, proposed.
+var paperRows = map[string][4]string{
+	"#msgs: write":    {"O(n)", "O(n²)", "O(n)", "O(n²)"},
+	"#msgs: read":     {"O(n)", "O(n²)", "O(n)", "O(n)"},
+	"msg size (bits)": {"unbounded", "O(n⁵)", "O(n³)", "2"},
+	"local memory":    {"unbounded", "O(n⁶)", "O(n⁵)", "unbounded"},
+	"Time: write":     {"2Δ", "12Δ", "14Δ", "2Δ"},
+	"Time: read":      {"4Δ", "12Δ", "18Δ", "4Δ"},
+}
+
+// RunTable1 measures every row of Table 1 at system size n, averaging
+// message counts over ops operations.
+func RunTable1(n, ops int) Table1 {
+	t := Table1{N: n, MemoryKs: []int{10, 100, 1000}}
+	for _, alg := range Columns() {
+		t.Cols = append(t.Cols, Column{
+			Name:   alg.Name(),
+			Msgs:   MeasureMsgs(alg, n, ops),
+			Bits:   MeasureBits(alg, n, 2*ops),
+			Memory: MeasureMemory(alg, n, t.MemoryKs, 16),
+			Time:   MeasureTime(alg, n),
+		})
+	}
+	return t
+}
+
+// Verify checks the reproduction against the paper's claims: exact where the
+// paper is exact (latencies, the two-bit control size, the four-type
+// census), shape-level where the paper is asymptotic (who is linear, who is
+// quadratic, what grows). A nil return means every claim reproduced.
+func (t Table1) Verify() error {
+	col := map[string]Column{}
+	for _, c := range t.Cols {
+		col[c.Name] = c
+	}
+	twobit, abd := col["twobit"], col["abd"]
+	bounded, attiya := col["bounded-abd"], col["attiya"]
+	n := float64(t.N)
+
+	checks := []struct {
+		ok   bool
+		desc string
+	}{
+		// Row 1: two-bit writes are quadratic, ABD/Attiya linear.
+		{twobit.Msgs.PerWrite > 3*(n-1), "two-bit write msgs grow superlinearly"},
+		{abd.Msgs.PerWrite <= 2*(n-1)+0.5, "ABD write msgs are 2(n-1)"},
+		{attiya.Msgs.PerWrite <= 14*(n-1)+0.5, "Attiya write msgs are O(n)"},
+		{bounded.Msgs.PerWrite >= (n-1)*(n-1), "bounded-ABD write msgs are O(n²)"},
+		// Row 2: two-bit reads beat ABD reads; bounded-ABD is quadratic.
+		{twobit.Msgs.PerRead < abd.Msgs.PerRead, "two-bit reads cost less than ABD reads"},
+		{twobit.Msgs.PerRead <= 2*(n-1)+0.5, "two-bit reads are 2(n-1)"},
+		{bounded.Msgs.PerRead >= (n-1)*(n-1), "bounded-ABD read msgs are O(n²)"},
+		// Row 3: control sizes.
+		{twobit.Bits.MaxCtrlBits == 2, "two-bit control is exactly 2 bits"},
+		{twobit.Bits.DistinctTypes == 4, "two-bit uses exactly 4 message types"},
+		{abd.Bits.MaxCtrlBits > 2, "ABD control exceeds 2 bits"},
+		{bounded.Bits.MaxCtrlBits == pow(t.N, 5), "bounded-ABD control is n⁵ bits"},
+		{attiya.Bits.MaxCtrlBits == t.N*t.N*t.N, "Attiya control is n³ bits"},
+		// Row 4: two-bit memory grows with the number of writes.
+		{twobit.Memory[1000] > twobit.Memory[10], "two-bit local memory grows with writes (unbounded)"},
+		{abd.Memory[1000] == abd.Memory[10], "ABD local memory is flat in writes"},
+		// Rows 5-6: exact latencies.
+		{twobit.Time.Write == 2, "two-bit write takes 2Δ"},
+		{twobit.Time.ReadConcurrent <= 4 && twobit.Time.ReadQuiescent <= 4, "two-bit read takes ≤4Δ"},
+		{abd.Time.Write == 2 && abd.Time.ReadQuiescent == 4, "ABD takes 2Δ/4Δ"},
+		{bounded.Time.Write == 12 && bounded.Time.ReadQuiescent == 12, "bounded-ABD takes 12Δ/12Δ"},
+		{attiya.Time.Write == 14 && attiya.Time.ReadQuiescent == 18, "Attiya takes 14Δ/18Δ"},
+	}
+	for _, c := range checks {
+		if !c.ok {
+			return fmt.Errorf("eval: Table 1 claim failed: %s", c.desc)
+		}
+	}
+	return nil
+}
+
+// Format renders the measured table next to the paper's published entries.
+func (t Table1) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 reproduction — n = %d, t = %d (quorum %d)\n",
+		t.N, proto.MaxFaulty(t.N), proto.QuorumSize(t.N))
+	fmt.Fprintf(&b, "paper entry in brackets; measured value before it\n\n")
+
+	names := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		names[i] = c.Name
+	}
+	w := 24
+	row := func(label string, cells []string) {
+		fmt.Fprintf(&b, "%-16s", label)
+		for _, c := range cells {
+			fmt.Fprintf(&b, " | %-*s", w, c)
+		}
+		b.WriteByte('\n')
+	}
+	row("", names)
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 16+len(t.Cols)*(w+3)))
+
+	cells := func(f func(Column) string, paperKey string) []string {
+		out := make([]string, len(t.Cols))
+		for i, c := range t.Cols {
+			out[i] = fmt.Sprintf("%s  [%s]", f(c), paperRows[paperKey][i])
+		}
+		return out
+	}
+	row("#msgs: write", cells(func(c Column) string { return fmt.Sprintf("%.1f", c.Msgs.PerWrite) }, "#msgs: write"))
+	row("#msgs: read", cells(func(c Column) string { return fmt.Sprintf("%.1f", c.Msgs.PerRead) }, "#msgs: read"))
+	row("msg size (bits)", cells(func(c Column) string { return fmt.Sprintf("max %d", c.Bits.MaxCtrlBits) }, "msg size (bits)"))
+	row("local memory", cells(func(c Column) string {
+		ks := make([]int, 0, len(c.Memory))
+		for k := range c.Memory {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		parts := make([]string, len(ks))
+		for i, k := range ks {
+			parts[i] = fmt.Sprintf("%d", c.Memory[k])
+		}
+		return strings.Join(parts, "/")
+	}, "local memory"))
+	row("Time: write", cells(func(c Column) string { return fmt.Sprintf("%.0fΔ", c.Time.Write) }, "Time: write"))
+	row("Time: read", cells(func(c Column) string {
+		return fmt.Sprintf("%.0fΔ..%.0fΔ", c.Time.ReadQuiescent, c.Time.ReadConcurrent)
+	}, "Time: read"))
+	fmt.Fprintf(&b, "\nlocal memory cells are bits after %v writes of 16-byte values\n", t.MemoryKs)
+	return b.String()
+}
+
+func pow(n, k int) int {
+	out := 1
+	for i := 0; i < k; i++ {
+		out *= n
+	}
+	return out
+}

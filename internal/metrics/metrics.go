@@ -1,0 +1,163 @@
+// Package metrics collects the quantities the paper's Table 1 compares:
+// message counts per type, control-bit and data-byte volume, operation
+// latencies, and local-memory probes.
+//
+// A Collector is safe for concurrent use so the same type serves both the
+// single-threaded simulator and the goroutine cluster runtime.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"twobitreg/internal/proto"
+)
+
+// Collector accumulates transport- and operation-level statistics.
+// The zero value is ready to use.
+type Collector struct {
+	mu sync.Mutex
+
+	msgsByType  map[string]int64
+	controlBits int64
+	dataBytes   int64
+	totalMsgs   int64
+	maxCtrlBits int
+
+	reads, writes   int64
+	readLat, wrtLat latencyAgg
+}
+
+type latencyAgg struct {
+	count int64
+	sum   float64
+	max   float64
+}
+
+func (l *latencyAgg) add(v float64) {
+	l.count++
+	l.sum += v
+	if v > l.max {
+		l.max = v
+	}
+}
+
+func (l *latencyAgg) mean() float64 {
+	if l.count == 0 {
+		return 0
+	}
+	return l.sum / float64(l.count)
+}
+
+// OnSend records one transmitted message. Transports call this once per
+// delivery attempt.
+func (c *Collector) OnSend(msg proto.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.msgsByType == nil {
+		c.msgsByType = make(map[string]int64)
+	}
+	c.msgsByType[msg.TypeName()]++
+	c.totalMsgs++
+	cb := msg.ControlBits()
+	c.controlBits += int64(cb)
+	if cb > c.maxCtrlBits {
+		c.maxCtrlBits = cb
+	}
+	c.dataBytes += int64(msg.DataBytes())
+}
+
+// OnOp records a completed operation and its latency. The latency unit is
+// whatever the caller measures in (Δ units under the simulator, seconds under
+// the cluster runtime); Snapshot reports it back unchanged.
+func (c *Collector) OnOp(kind proto.OpKind, latency float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch kind {
+	case proto.OpRead:
+		c.reads++
+		c.readLat.add(latency)
+	case proto.OpWrite:
+		c.writes++
+		c.wrtLat.add(latency)
+	}
+}
+
+// Snapshot is a point-in-time copy of collected statistics.
+type Snapshot struct {
+	TotalMsgs   int64
+	MsgsByType  map[string]int64
+	ControlBits int64
+	DataBytes   int64
+	MaxCtrlBits int
+
+	Reads, Writes        int64
+	ReadMean, ReadMax    float64
+	WriteMean, WriteMax  float64
+	MeanCtrlBitsPerMsg   float64
+	DistinctMessageTypes int
+}
+
+// Snapshot returns a copy of the current counters.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	byType := make(map[string]int64, len(c.msgsByType))
+	for k, v := range c.msgsByType {
+		byType[k] = v
+	}
+	s := Snapshot{
+		TotalMsgs:            c.totalMsgs,
+		MsgsByType:           byType,
+		ControlBits:          c.controlBits,
+		DataBytes:            c.dataBytes,
+		MaxCtrlBits:          c.maxCtrlBits,
+		Reads:                c.reads,
+		Writes:               c.writes,
+		ReadMean:             c.readLat.mean(),
+		ReadMax:              c.readLat.max,
+		WriteMean:            c.wrtLat.mean(),
+		WriteMax:             c.wrtLat.max,
+		DistinctMessageTypes: len(c.msgsByType),
+	}
+	if c.totalMsgs > 0 {
+		s.MeanCtrlBitsPerMsg = float64(c.controlBits) / float64(c.totalMsgs)
+	}
+	return s
+}
+
+// Reset zeroes all counters.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgsByType = nil
+	c.controlBits = 0
+	c.dataBytes = 0
+	c.totalMsgs = 0
+	c.maxCtrlBits = 0
+	c.reads = 0
+	c.writes = 0
+	c.readLat = latencyAgg{}
+	c.wrtLat = latencyAgg{}
+}
+
+// String renders the snapshot as a compact single-line summary.
+func (s Snapshot) String() string {
+	types := make([]string, 0, len(s.MsgsByType))
+	for k := range s.MsgsByType {
+		types = append(types, k)
+	}
+	sort.Strings(types)
+	var b strings.Builder
+	fmt.Fprintf(&b, "msgs=%d ctrlBits=%d dataBytes=%d types=[", s.TotalMsgs, s.ControlBits, s.DataBytes)
+	for i, t := range types {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", t, s.MsgsByType[t])
+	}
+	fmt.Fprintf(&b, "] reads=%d writes=%d", s.Reads, s.Writes)
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"twobitreg/internal/proto"
+)
+
+type msg struct {
+	name string
+	ctrl int
+	data int
+}
+
+func (m msg) TypeName() string { return m.name }
+func (m msg) ControlBits() int { return m.ctrl }
+func (m msg) DataBytes() int   { return m.data }
+
+func TestCollectorCounts(t *testing.T) {
+	t.Parallel()
+	var c Collector
+	c.OnSend(msg{"A", 2, 10})
+	c.OnSend(msg{"A", 2, 0})
+	c.OnSend(msg{"B", 64, 5})
+	s := c.Snapshot()
+	if s.TotalMsgs != 3 {
+		t.Fatalf("TotalMsgs = %d, want 3", s.TotalMsgs)
+	}
+	if s.MsgsByType["A"] != 2 || s.MsgsByType["B"] != 1 {
+		t.Fatalf("by-type = %v", s.MsgsByType)
+	}
+	if s.ControlBits != 68 || s.DataBytes != 15 {
+		t.Fatalf("bits=%d bytes=%d, want 68 and 15", s.ControlBits, s.DataBytes)
+	}
+	if s.MaxCtrlBits != 64 {
+		t.Fatalf("MaxCtrlBits = %d, want 64", s.MaxCtrlBits)
+	}
+	if s.DistinctMessageTypes != 2 {
+		t.Fatalf("DistinctMessageTypes = %d, want 2", s.DistinctMessageTypes)
+	}
+	if want := 68.0 / 3; s.MeanCtrlBitsPerMsg != want {
+		t.Fatalf("MeanCtrlBitsPerMsg = %v, want %v", s.MeanCtrlBitsPerMsg, want)
+	}
+}
+
+func TestCollectorOps(t *testing.T) {
+	t.Parallel()
+	var c Collector
+	c.OnOp(proto.OpRead, 1.0)
+	c.OnOp(proto.OpRead, 3.0)
+	c.OnOp(proto.OpWrite, 2.0)
+	s := c.Snapshot()
+	if s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("reads=%d writes=%d", s.Reads, s.Writes)
+	}
+	if s.ReadMean != 2.0 || s.ReadMax != 3.0 {
+		t.Fatalf("read latency mean=%v max=%v", s.ReadMean, s.ReadMax)
+	}
+	if s.WriteMean != 2.0 || s.WriteMax != 2.0 {
+		t.Fatalf("write latency mean=%v max=%v", s.WriteMean, s.WriteMax)
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	t.Parallel()
+	var c Collector
+	c.OnSend(msg{"A", 2, 1})
+	c.OnOp(proto.OpWrite, 1)
+	c.Reset()
+	s := c.Snapshot()
+	if s.TotalMsgs != 0 || s.Writes != 0 || s.MaxCtrlBits != 0 || len(s.MsgsByType) != 0 {
+		t.Fatalf("reset left state: %+v", s)
+	}
+	// The collector must remain usable after Reset (regression: Reset once
+	// clobbered the mutex).
+	c.OnSend(msg{"A", 2, 1})
+	if c.Snapshot().TotalMsgs != 1 {
+		t.Fatal("collector unusable after Reset")
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	t.Parallel()
+	var c Collector
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.OnSend(msg{"X", 2, 1})
+				c.OnOp(proto.OpRead, 0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.TotalMsgs != 8000 || s.Reads != 8000 {
+		t.Fatalf("concurrent counts wrong: %+v", s)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	t.Parallel()
+	var c Collector
+	c.OnSend(msg{"WRITE0", 2, 4})
+	c.OnSend(msg{"READ", 2, 0})
+	out := c.Snapshot().String()
+	for _, want := range []string{"msgs=2", "WRITE0:1", "READ:1", "ctrlBits=4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q, missing %q", out, want)
+		}
+	}
+}
+
+func TestSnapshotOfEmptyCollector(t *testing.T) {
+	t.Parallel()
+	var c Collector
+	s := c.Snapshot()
+	if s.MeanCtrlBitsPerMsg != 0 || s.ReadMean != 0 {
+		t.Fatalf("empty snapshot has nonzero means: %+v", s)
+	}
+}

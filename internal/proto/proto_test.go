@@ -1,0 +1,114 @@
+package proto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueClone(t *testing.T) {
+	t.Parallel()
+	v := Value("abc")
+	c := v.Clone()
+	c[0] = 'z'
+	if v[0] != 'a' {
+		t.Fatal("Clone shares backing storage")
+	}
+	if Value(nil).Clone() != nil {
+		t.Fatal("Clone(nil) != nil")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, Value{}, false},
+		{Value{}, Value{}, true},
+		{Value("a"), Value("a"), true},
+		{Value("a"), Value("b"), false},
+		{Value("a"), Value("ab"), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%q.Equal(%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestQuickEqualIsSymmetric(t *testing.T) {
+	t.Parallel()
+	f := func(a, b []byte) bool {
+		return Value(a).Equal(Value(b)) == Value(b).Equal(Value(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	t.Parallel()
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Fatal("OpKind strings wrong")
+	}
+	if OpKind(9).String() == "" {
+		t.Fatal("unknown kind has empty string")
+	}
+}
+
+func TestEffectsAppend(t *testing.T) {
+	t.Parallel()
+	var e Effects
+	e.AddSend(1, nil)
+	var o Effects
+	o.AddSend(2, nil)
+	o.AddDone(7, OpRead, Value("x"))
+	e.Append(o)
+	if len(e.Sends) != 2 || len(e.Done) != 1 {
+		t.Fatalf("append result: %d sends, %d done", len(e.Sends), len(e.Done))
+	}
+	if e.Sends[1].To != 2 || e.Done[0].Op != 7 {
+		t.Fatal("append order wrong")
+	}
+}
+
+func TestMaxFaultyQuorumInvariant(t *testing.T) {
+	t.Parallel()
+	// For every n: t < n/2, quorum > n/2, and two quorums intersect.
+	for n := 1; n <= 100; n++ {
+		tt := MaxFaulty(n)
+		q := QuorumSize(n)
+		if 2*tt >= n {
+			t.Fatalf("n=%d: t=%d violates t < n/2", n, tt)
+		}
+		if 2*q <= n {
+			t.Fatalf("n=%d: quorum %d does not guarantee intersection", n, q)
+		}
+		if q+tt != n {
+			t.Fatalf("n=%d: q+t = %d != n", n, q+tt)
+		}
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	t.Parallel()
+	ok := func(f func()) (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		f()
+		return false
+	}
+	if !ok(func() { Validate(0, 0, 0) }) {
+		t.Error("n=0 accepted")
+	}
+	if !ok(func() { Validate(3, 3, 0) }) {
+		t.Error("id out of range accepted")
+	}
+	if !ok(func() { Validate(0, 3, 3) }) {
+		t.Error("writer out of range accepted")
+	}
+	if ok(func() { Validate(2, 3, 0) }) {
+		t.Error("valid args panicked")
+	}
+}

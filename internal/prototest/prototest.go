@@ -1,0 +1,145 @@
+// Package prototest provides shared test scaffolding for register protocols:
+// a synchronous FIFO harness for deterministic unit tests and a simulator rig
+// for timing, reordering and crash tests. It is imported only from _test
+// files.
+package prototest
+
+import (
+	"testing"
+
+	"twobitreg/internal/metrics"
+	"twobitreg/internal/proto"
+	"twobitreg/internal/sim"
+	"twobitreg/internal/transport"
+)
+
+// Harness routes effects between processes synchronously in FIFO order.
+type Harness struct {
+	TB    testing.TB
+	Procs []proto.Process
+	Queue []Queued
+	Done  []proto.Completion
+}
+
+// Queued is one in-flight message.
+type Queued struct {
+	From, To int
+	Msg      proto.Message
+}
+
+// NewHarness builds n processes of alg with the given writer.
+func NewHarness(tb testing.TB, alg proto.Algorithm, n, writer int) *Harness {
+	tb.Helper()
+	h := &Harness{TB: tb}
+	for i := 0; i < n; i++ {
+		h.Procs = append(h.Procs, alg.New(i, n, writer))
+	}
+	return h
+}
+
+// Absorb records the effects produced by process from.
+func (h *Harness) Absorb(from int, eff proto.Effects) {
+	for _, s := range eff.Sends {
+		h.Queue = append(h.Queue, Queued{From: from, To: s.To, Msg: s.Msg})
+	}
+	h.Done = append(h.Done, eff.Done...)
+}
+
+// DeliverAll drains the queue in FIFO order.
+func (h *Harness) DeliverAll() {
+	for len(h.Queue) > 0 {
+		q := h.Queue[0]
+		h.Queue = h.Queue[1:]
+		h.Absorb(q.To, h.Procs[q.To].Deliver(q.From, q.Msg))
+	}
+}
+
+// Write invokes a write on process pid.
+func (h *Harness) Write(pid int, op proto.OpID, v proto.Value) {
+	h.Absorb(pid, h.Procs[pid].StartWrite(op, v))
+}
+
+// Read invokes a read on process pid.
+func (h *Harness) Read(pid int, op proto.OpID) {
+	h.Absorb(pid, h.Procs[pid].StartRead(op))
+}
+
+// Completed looks up a completion by op id.
+func (h *Harness) Completed(op proto.OpID) (proto.Completion, bool) {
+	for _, c := range h.Done {
+		if c.Op == op {
+			return c, true
+		}
+	}
+	return proto.Completion{}, false
+}
+
+// MustComplete fails the test if op has not completed.
+func (h *Harness) MustComplete(op proto.OpID) proto.Completion {
+	h.TB.Helper()
+	c, ok := h.Completed(op)
+	if !ok {
+		h.TB.Fatalf("operation %d did not complete", op)
+	}
+	return c
+}
+
+// MustNotComplete fails the test if op has completed.
+func (h *Harness) MustNotComplete(op proto.OpID) {
+	h.TB.Helper()
+	if _, ok := h.Completed(op); ok {
+		h.TB.Fatalf("operation %d completed unexpectedly", op)
+	}
+}
+
+// CompletionAt pairs a completion with its virtual completion time.
+type CompletionAt struct {
+	PID int
+	C   proto.Completion
+	At  float64
+}
+
+// SimRig couples a SimNet with completion capture and a metrics collector.
+type SimRig struct {
+	TB    testing.TB
+	Sched *sim.Scheduler
+	Net   *transport.SimNet
+	Col   *metrics.Collector
+	Done  map[proto.OpID]CompletionAt
+}
+
+// NewSimRig builds n processes of alg under a seeded simulator.
+func NewSimRig(tb testing.TB, alg proto.Algorithm, n, writer int, seed int64, delay transport.DelayFn) *SimRig {
+	tb.Helper()
+	r := &SimRig{
+		TB:    tb,
+		Sched: sim.New(seed),
+		Col:   &metrics.Collector{},
+		Done:  make(map[proto.OpID]CompletionAt),
+	}
+	procs := make([]proto.Process, n)
+	for i := 0; i < n; i++ {
+		procs[i] = alg.New(i, n, writer)
+	}
+	r.Net = transport.NewSimNet(r.Sched, procs,
+		transport.WithDelay(delay),
+		transport.WithCollector(r.Col),
+		transport.WithCompletion(func(pid int, c proto.Completion, at float64) {
+			if _, dup := r.Done[c.Op]; dup {
+				tb.Errorf("operation %d completed twice", c.Op)
+			}
+			r.Done[c.Op] = CompletionAt{PID: pid, C: c, At: at}
+		}),
+	)
+	return r
+}
+
+// MustDone fails the test if op has not completed.
+func (r *SimRig) MustDone(op proto.OpID) CompletionAt {
+	r.TB.Helper()
+	d, ok := r.Done[op]
+	if !ok {
+		r.TB.Fatalf("operation %d never completed", op)
+	}
+	return d
+}

@@ -1,0 +1,319 @@
+// Package regmap multiplexes many named two-bit registers over one set of
+// processes: a single-writer configuration/metadata store, the kind of
+// read-dominated application the paper's conclusion targets.
+//
+// Each key is an independent SWMR register instance (internal/core) with its
+// own alternating-bit discipline and its own local sequence numbers; every
+// process hosts one instance per key, created lazily on first use. On the
+// wire, a message is the register's own two-bit message wrapped with its
+// key, so the per-register control information is still exactly two bits —
+// the key is addressing, the price of multiplexing, and is accounted
+// separately (KeyedMsg.ControlBits includes it; the census keeps the claim
+// honest rather than overstating it).
+package regmap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"twobitreg/internal/core"
+	"twobitreg/internal/metrics"
+	"twobitreg/internal/proto"
+)
+
+// Errors returned by Store operations.
+var (
+	// ErrStopped reports an operation on a stopped store.
+	ErrStopped = errors.New("regmap: store stopped")
+	// ErrCrashed reports an operation on a crashed process.
+	ErrCrashed = errors.New("regmap: process crashed")
+	// ErrKeyTooLong rejects keys above MaxKeyLen.
+	ErrKeyTooLong = errors.New("regmap: key too long")
+)
+
+// MaxKeyLen bounds key sizes (they travel in every message).
+const MaxKeyLen = 255
+
+// KeyedMsg wraps a register message with its key.
+type KeyedMsg struct {
+	Key   string
+	Inner proto.Message
+}
+
+// TypeName implements proto.Message.
+func (m KeyedMsg) TypeName() string { return m.Inner.TypeName() }
+
+// ControlBits is the inner register's control information (two bits) plus
+// the multiplexing key.
+func (m KeyedMsg) ControlBits() int { return m.Inner.ControlBits() + 8*len(m.Key) }
+
+// DataBytes implements proto.Message.
+func (m KeyedMsg) DataBytes() int { return m.Inner.DataBytes() }
+
+var _ proto.Message = KeyedMsg{}
+
+// Store is a running keyed register store. Process 0 is the writer for
+// every key. Methods are safe for concurrent use; operations on the same
+// key through the same process serialize (each register's processes are
+// sequential), while different keys proceed independently.
+type Store struct {
+	n        int
+	coreOpts []core.Option
+	col      *metrics.Collector
+	nodes    []*storeNode
+	opSeq    uint64
+	opMu     sync.Mutex
+
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Config configures a Store.
+type Config struct {
+	// N is the number of processes (writer is process 0).
+	N int
+	// Collector, if non-nil, sees every sent message.
+	Collector *metrics.Collector
+	// HistoryGC enables per-register history garbage collection.
+	HistoryGC bool
+}
+
+type storeEvent struct {
+	// message fields
+	from int
+	key  string
+	msg  proto.Message
+	// op fields (msg == nil)
+	kind  proto.OpKind
+	val   proto.Value
+	reply chan storeResult
+}
+
+type storeResult struct {
+	val proto.Value
+	err error
+}
+
+type keyState struct {
+	proc    *core.Proc
+	busy    bool
+	reply   chan storeResult
+	kind    proto.OpKind
+	pending []storeEvent
+}
+
+type storeNode struct {
+	id int
+	s  *Store
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []storeEvent
+	crashed  bool
+	stopping bool
+
+	// regs is touched only by the node's event loop.
+	regs map[string]*keyState
+}
+
+// New starts an n-process store. Callers must Stop it.
+func New(cfg Config) (*Store, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("regmap: N = %d, need at least 1", cfg.N)
+	}
+	s := &Store{n: cfg.N, col: cfg.Collector}
+	if cfg.HistoryGC {
+		s.coreOpts = append(s.coreOpts, core.WithHistoryGC())
+	}
+	for i := 0; i < cfg.N; i++ {
+		nd := &storeNode{id: i, s: s, regs: make(map[string]*keyState)}
+		nd.cond = sync.NewCond(&nd.mu)
+		s.nodes = append(s.nodes, nd)
+	}
+	for _, nd := range s.nodes {
+		s.wg.Add(1)
+		go nd.run()
+	}
+	return s, nil
+}
+
+// N returns the number of processes.
+func (s *Store) N() int { return s.n }
+
+// Writer returns the writer's process index (always 0).
+func (s *Store) Writer() int { return 0 }
+
+// Stop shuts the store down; pending operations fail with ErrStopped.
+func (s *Store) Stop() {
+	s.stopOnce.Do(func() {
+		for _, nd := range s.nodes {
+			nd.mu.Lock()
+			nd.stopping = true
+			nd.cond.Broadcast()
+			nd.mu.Unlock()
+		}
+	})
+	s.wg.Wait()
+}
+
+// Crash stops process pid (crash-stop); every register hosted there stops
+// with it.
+func (s *Store) Crash(pid int) {
+	nd := s.nodes[pid]
+	nd.mu.Lock()
+	nd.crashed = true
+	nd.cond.Broadcast()
+	nd.mu.Unlock()
+}
+
+// Write stores val under key via the writer process.
+func (s *Store) Write(key string, val []byte) error {
+	_, err := s.invoke(0, key, proto.OpWrite, val)
+	return err
+}
+
+// Read returns key's value as seen through process pid; a never-written key
+// reads as nil.
+func (s *Store) Read(pid int, key string) ([]byte, error) {
+	v, err := s.invoke(pid, key, proto.OpRead, nil)
+	return v, err
+}
+
+func (s *Store) invoke(pid int, key string, kind proto.OpKind, val []byte) (proto.Value, error) {
+	if len(key) > MaxKeyLen {
+		return nil, ErrKeyTooLong
+	}
+	if pid < 0 || pid >= s.n {
+		return nil, fmt.Errorf("regmap: process %d out of range [0,%d)", pid, s.n)
+	}
+	reply := make(chan storeResult, 1)
+	if err := s.nodes[pid].enqueue(storeEvent{key: key, kind: kind, val: val, reply: reply}); err != nil {
+		return nil, err
+	}
+	r := <-reply
+	return r.val, r.err
+}
+
+func (nd *storeNode) enqueue(ev storeEvent) error {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.crashed {
+		return ErrCrashed
+	}
+	if nd.stopping {
+		return ErrStopped
+	}
+	nd.queue = append(nd.queue, ev)
+	nd.cond.Signal()
+	return nil
+}
+
+func (nd *storeNode) next() (storeEvent, bool) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	for len(nd.queue) == 0 && !nd.stopping && !nd.crashed {
+		nd.cond.Wait()
+	}
+	if nd.stopping || nd.crashed {
+		return storeEvent{}, false
+	}
+	ev := nd.queue[0]
+	nd.queue = nd.queue[1:]
+	return ev, true
+}
+
+// reg returns (creating if needed) the register instance for key.
+func (nd *storeNode) reg(key string) *keyState {
+	ks, ok := nd.regs[key]
+	if !ok {
+		ks = &keyState{proc: core.New(nd.id, nd.s.n, 0, nd.s.coreOpts...)}
+		nd.regs[key] = ks
+	}
+	return ks
+}
+
+func (nd *storeNode) run() {
+	defer nd.s.wg.Done()
+
+	handleEffects := func(key string, ks *keyState, eff proto.Effects) {
+		for _, snd := range eff.Sends {
+			wrapped := KeyedMsg{Key: key, Inner: snd.Msg}
+			if nd.s.col != nil {
+				nd.s.col.OnSend(wrapped)
+			}
+			nd.s.nodes[snd.To].enqueue(storeEvent{from: nd.id, key: key, msg: snd.Msg})
+		}
+		for _, d := range eff.Done {
+			if ks.busy {
+				ks.busy = false
+				ks.reply <- storeResult{val: d.Value}
+			}
+		}
+	}
+
+	startNext := func(key string, ks *keyState) {
+		for !ks.busy && len(ks.pending) > 0 {
+			ev := ks.pending[0]
+			ks.pending = ks.pending[1:]
+			ks.busy = true
+			ks.reply = ev.reply
+			ks.kind = ev.kind
+			nd.s.opMu.Lock()
+			nd.s.opSeq++
+			op := proto.OpID(nd.s.opSeq)
+			nd.s.opMu.Unlock()
+			var eff proto.Effects
+			if ev.kind == proto.OpWrite {
+				eff = ks.proc.StartWrite(op, ev.val)
+			} else {
+				eff = ks.proc.StartRead(op)
+			}
+			handleEffects(key, ks, eff)
+		}
+	}
+
+	fail := func(err error) {
+		for _, ks := range nd.regs {
+			if ks.busy {
+				ks.busy = false
+				ks.reply <- storeResult{err: err}
+			}
+			for _, ev := range ks.pending {
+				ev.reply <- storeResult{err: err}
+			}
+			ks.pending = nil
+		}
+		nd.mu.Lock()
+		rest := nd.queue
+		nd.queue = nil
+		nd.mu.Unlock()
+		for _, ev := range rest {
+			if ev.msg == nil {
+				ev.reply <- storeResult{err: err}
+			}
+		}
+	}
+
+	for {
+		ev, ok := nd.next()
+		if !ok {
+			nd.mu.Lock()
+			crashed := nd.crashed
+			nd.mu.Unlock()
+			if crashed {
+				fail(ErrCrashed)
+			} else {
+				fail(ErrStopped)
+			}
+			return
+		}
+		ks := nd.reg(ev.key)
+		if ev.msg != nil {
+			handleEffects(ev.key, ks, ks.proc.Deliver(ev.from, ev.msg))
+		} else {
+			ks.pending = append(ks.pending, ev)
+		}
+		startNext(ev.key, ks)
+	}
+}

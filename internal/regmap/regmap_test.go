@@ -1,0 +1,213 @@
+package regmap_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"twobitreg/internal/metrics"
+	"twobitreg/internal/regmap"
+)
+
+func newStore(t *testing.T, n int) *regmap.Store {
+	t.Helper()
+	s, err := regmap.New(regmap.Config{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func TestStoreWriteRead(t *testing.T) {
+	t.Parallel()
+	s := newStore(t, 5)
+	if err := s.Write("alpha", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("beta", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	for pid := 0; pid < 5; pid++ {
+		a, err := s.Read(pid, "alpha")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Read(pid, "beta")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != "1" || string(b) != "2" {
+			t.Fatalf("p%d read alpha=%q beta=%q", pid, a, b)
+		}
+	}
+}
+
+func TestStoreKeysAreIndependent(t *testing.T) {
+	t.Parallel()
+	s := newStore(t, 3)
+	if err := s.Write("k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// A never-written key reads nil even after other keys were written.
+	v, err := s.Read(2, "unwritten")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("unwritten key read %q, want nil", v)
+	}
+}
+
+func TestStoreOverwrite(t *testing.T) {
+	t.Parallel()
+	s := newStore(t, 3)
+	for k := 1; k <= 10; k++ {
+		if err := s.Write("cfg", []byte(fmt.Sprintf("rev%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := s.Read(1, "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "rev10" {
+		t.Fatalf("read %q, want rev10", v)
+	}
+}
+
+func TestStoreConcurrentKeys(t *testing.T) {
+	t.Parallel()
+	s := newStore(t, 5)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%d", w)
+			for k := 1; k <= 10; k++ {
+				if err := s.Write(key, []byte(fmt.Sprintf("%d", k))); err != nil {
+					t.Errorf("write %s: %v", key, err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%d", w)
+			for k := 0; k < 10; k++ {
+				if _, err := s.Read(1+(w+k)%4, key); err != nil {
+					t.Errorf("read %s: %v", key, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Final values converge.
+	for w := 0; w < 8; w++ {
+		v, err := s.Read(4, fmt.Sprintf("key-%d", w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v) != "10" {
+			t.Fatalf("key-%d = %q, want 10", w, v)
+		}
+	}
+}
+
+func TestStoreCrashMinority(t *testing.T) {
+	t.Parallel()
+	s := newStore(t, 5)
+	if err := s.Write("k", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	s.Crash(3)
+	s.Crash(4)
+	if err := s.Write("k", []byte("after")); err != nil {
+		t.Fatalf("write with minority crashed: %v", err)
+	}
+	v, err := s.Read(1, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "after" {
+		t.Fatalf("read %q, want after", v)
+	}
+	if _, err := s.Read(4, "k"); !errors.Is(err, regmap.ErrCrashed) {
+		t.Fatalf("read via crashed process: %v, want ErrCrashed", err)
+	}
+}
+
+func TestStoreControlBitsAccounting(t *testing.T) {
+	t.Parallel()
+	col := &metrics.Collector{}
+	s, err := regmap.New(regmap.Config{N: 3, Collector: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if err := s.Write("ab", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	snap := col.Snapshot()
+	// Every message carries the register's 2 bits + 16 key bits.
+	if snap.MaxCtrlBits != 2+16 {
+		t.Fatalf("max control bits = %d, want 18 (2 register + 16 key)", snap.MaxCtrlBits)
+	}
+}
+
+func TestStoreRejectsBadInput(t *testing.T) {
+	t.Parallel()
+	if _, err := regmap.New(regmap.Config{N: 0}); err == nil {
+		t.Fatal("accepted N=0")
+	}
+	s := newStore(t, 3)
+	long := make([]byte, regmap.MaxKeyLen+1)
+	if err := s.Write(string(long), []byte("v")); !errors.Is(err, regmap.ErrKeyTooLong) {
+		t.Fatalf("oversized key: %v, want ErrKeyTooLong", err)
+	}
+	if _, err := s.Read(99, "k"); err == nil {
+		t.Fatal("accepted out-of-range pid")
+	}
+}
+
+func TestStoreStopUnblocksPending(t *testing.T) {
+	t.Parallel()
+	s, err := regmap.New(regmap.Config{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Crash(1)
+	s.Crash(2) // majority gone: writes cannot finish
+	done := make(chan error, 1)
+	go func() { done <- s.Write("k", []byte("stuck")) }()
+	s.Stop()
+	if err := <-done; !errors.Is(err, regmap.ErrStopped) && !errors.Is(err, regmap.ErrCrashed) {
+		t.Fatalf("unblocked write: %v, want ErrStopped/ErrCrashed", err)
+	}
+}
+
+func TestStoreWithHistoryGC(t *testing.T) {
+	t.Parallel()
+	s, err := regmap.New(regmap.Config{N: 3, HistoryGC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	for k := 1; k <= 50; k++ {
+		if err := s.Write("hot", []byte(fmt.Sprintf("%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := s.Read(2, "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "50" {
+		t.Fatalf("read %q, want 50", v)
+	}
+}

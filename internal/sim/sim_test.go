@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerOrdersByTime(t *testing.T) {
+	t.Parallel()
+	s := New(1)
+	var got []int
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("Run() = %d events, want 3", n)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", s.Now())
+	}
+}
+
+func TestSchedulerFIFOTieBreak(t *testing.T) {
+	t.Parallel()
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v, want scheduling order", got)
+		}
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	t.Parallel()
+	s := New(1)
+	var trace []string
+	s.At(1, func() {
+		trace = append(trace, "a")
+		s.After(1, func() { trace = append(trace, "c") })
+		s.After(0, func() { trace = append(trace, "b") })
+	})
+	s.Run()
+	want := "a,b,c"
+	gotStr := ""
+	for i, e := range trace {
+		if i > 0 {
+			gotStr += ","
+		}
+		gotStr += e
+	}
+	if gotStr != want {
+		t.Fatalf("trace = %q, want %q", gotStr, want)
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	t.Parallel()
+	s := New(1)
+	s.At(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	t.Parallel()
+	s := New(1)
+	ran := false
+	s.At(2, func() { ran = true })
+	s.At(9, func() { t.Error("event at 9 must not run") })
+	if n := s.RunUntil(5); n != 1 {
+		t.Fatalf("RunUntil ran %d events, want 1", n)
+	}
+	if !ran {
+		t.Fatal("event at 2 did not run")
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now() = %v, want 5", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", s.Pending())
+	}
+}
+
+func TestRunLimitBounds(t *testing.T) {
+	t.Parallel()
+	s := New(1)
+	// A self-perpetuating event chain must be stoppable.
+	var step func()
+	step = func() { s.After(1, step) }
+	s.After(1, step)
+	if n := s.RunLimit(100); n != 100 {
+		t.Fatalf("RunLimit(100) ran %d, want 100", n)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	t.Parallel()
+	run := func(seed int64) []float64 {
+		s := New(seed)
+		var times []float64
+		var spawn func()
+		spawn = func() {
+			times = append(times, s.Now())
+			if len(times) < 50 {
+				s.After(s.Rand().Float64(), spawn)
+			}
+		}
+		s.After(0, spawn)
+		s.Run()
+		return times
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any batch of events with random timestamps, execution order
+// is non-decreasing in time.
+func TestQuickMonotoneExecution(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64, raw []uint16) bool {
+		s := New(seed)
+		var last float64 = -1
+		ok := true
+		rng := rand.New(rand.NewSource(seed))
+		for range raw {
+			at := float64(rng.Intn(1000))
+			s.At(at, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

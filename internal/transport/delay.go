@@ -1,0 +1,47 @@
+package transport
+
+import "math/rand"
+
+// DelayFn computes the in-flight time of a message sent from process `from`
+// to process `to`. Implementations must be deterministic given the rng.
+//
+// The paper's channels are reliable, asynchronous, and NOT first-in/first-out.
+// Any DelayFn whose values vary per message yields non-FIFO delivery, which is
+// exactly the adversity the alternating-bit discipline must absorb.
+type DelayFn func(from, to int, rng *rand.Rand) float64
+
+// FixedDelay returns a DelayFn where every message takes exactly d. This is
+// the failure-free Δ model used for the paper's rows 5–6 (Time: write/read).
+func FixedDelay(d float64) DelayFn {
+	return func(_, _ int, _ *rand.Rand) float64 { return d }
+}
+
+// UniformDelay returns delays uniform in [lo, hi]. Successive messages on one
+// channel routinely overtake each other under this model.
+func UniformDelay(lo, hi float64) DelayFn {
+	if hi < lo {
+		panic("transport: UniformDelay hi < lo")
+	}
+	return func(_, _ int, rng *rand.Rand) float64 {
+		return lo + rng.Float64()*(hi-lo)
+	}
+}
+
+// AlternatingDelay is a deterministic reordering adversary: per ordered pair
+// it alternates a slow delay and a fast delay, so every second message
+// overtakes its predecessor — the maximum bypass Property P1 allows the
+// two-bit algorithm to tolerate.
+func AlternatingDelay(fast, slow float64) DelayFn {
+	if fast > slow {
+		fast, slow = slow, fast
+	}
+	seen := make(map[[2]int]int)
+	return func(from, to int, _ *rand.Rand) float64 {
+		k := [2]int{from, to}
+		seen[k]++
+		if seen[k]%2 == 1 {
+			return slow
+		}
+		return fast
+	}
+}

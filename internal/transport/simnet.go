@@ -1,0 +1,172 @@
+// Package transport moves protocol messages between processes.
+//
+// It provides three carriers with one routing contract:
+//
+//   - SimNet: deterministic virtual-time delivery over a sim.Scheduler, used
+//     for every quantitative experiment (exact Δ timing, seeded reordering).
+//   - Router/ChanRouter (channet.go): real-time in-memory delivery on
+//     goroutines, used by the cluster runtime and race-detector stress tests.
+//   - TCP listener/dialer helpers (tcpnet.go): length-framed delivery over
+//     loopback or real networks using the 2-bit wire codec.
+package transport
+
+import (
+	"fmt"
+
+	"twobitreg/internal/metrics"
+	"twobitreg/internal/proto"
+	"twobitreg/internal/sim"
+)
+
+// CompletionFn observes a finished operation: which process completed it,
+// the completion record, and the virtual time at which it completed.
+type CompletionFn func(pid int, c proto.Completion, at float64)
+
+// SimNet routes messages between proto.Process state machines in virtual
+// time. It owns effect routing: processes never talk to the network
+// directly — every Effects value returned by a process is dispatched here.
+//
+// Crash semantics follow the paper's crash-stop model: a crashed process
+// takes no further steps; messages already in flight to it are discarded at
+// delivery time, while its own previously sent messages still arrive.
+type SimNet struct {
+	sched   *sim.Scheduler
+	procs   []proto.Process
+	delay   DelayFn
+	crashed []bool
+	col     *metrics.Collector
+	onDone  CompletionFn
+	// postDelivery, if set, runs after every delivery event — the hook the
+	// invariant checkers use to inspect global state between atomic steps.
+	postDelivery func()
+	// inFlight[from][to] counts undelivered messages per ordered pair,
+	// exposed for Property P1 assertions in tests.
+	inFlight [][]int
+}
+
+// Option configures a SimNet.
+type Option func(*SimNet)
+
+// WithDelay sets the delay model. Default: FixedDelay(1), i.e. Δ = 1.
+func WithDelay(d DelayFn) Option { return func(n *SimNet) { n.delay = d } }
+
+// WithCollector attaches a metrics collector that sees every send.
+func WithCollector(c *metrics.Collector) Option { return func(n *SimNet) { n.col = c } }
+
+// WithCompletion attaches a completion observer.
+func WithCompletion(f CompletionFn) Option { return func(n *SimNet) { n.onDone = f } }
+
+// WithPostDelivery attaches a hook run after every delivery event.
+func WithPostDelivery(f func()) Option { return func(n *SimNet) { n.postDelivery = f } }
+
+// NewSimNet wires procs to the scheduler. procs[i].ID() must equal i.
+func NewSimNet(sched *sim.Scheduler, procs []proto.Process, opts ...Option) *SimNet {
+	n := &SimNet{
+		sched:   sched,
+		procs:   procs,
+		delay:   FixedDelay(1),
+		crashed: make([]bool, len(procs)),
+	}
+	n.inFlight = make([][]int, len(procs))
+	for i := range n.inFlight {
+		n.inFlight[i] = make([]int, len(procs))
+	}
+	for i, p := range procs {
+		if p.ID() != i {
+			panic(fmt.Sprintf("transport: procs[%d].ID() = %d", i, p.ID()))
+		}
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Scheduler returns the underlying scheduler.
+func (n *SimNet) Scheduler() *sim.Scheduler { return n.sched }
+
+// Proc returns process pid's state machine (for test inspection).
+func (n *SimNet) Proc(pid int) proto.Process { return n.procs[pid] }
+
+// N returns the number of processes.
+func (n *SimNet) N() int { return len(n.procs) }
+
+// Crash marks pid crashed. Idempotent.
+func (n *SimNet) Crash(pid int) { n.crashed[pid] = true }
+
+// Crashed reports whether pid has crashed.
+func (n *SimNet) Crashed(pid int) bool { return n.crashed[pid] }
+
+// InFlight returns the number of undelivered messages from->to.
+func (n *SimNet) InFlight(from, to int) int { return n.inFlight[from][to] }
+
+// StartRead injects a read invocation at process pid.
+func (n *SimNet) StartRead(pid int, op proto.OpID) {
+	if n.crashed[pid] {
+		return
+	}
+	n.route(pid, n.procs[pid].StartRead(op))
+}
+
+// StartWrite injects a write invocation at process pid.
+func (n *SimNet) StartWrite(pid int, op proto.OpID, v proto.Value) {
+	if n.crashed[pid] {
+		return
+	}
+	n.route(pid, n.procs[pid].StartWrite(op, v))
+}
+
+// StartReadAt schedules a read invocation at virtual time t.
+func (n *SimNet) StartReadAt(t float64, pid int, op proto.OpID) {
+	n.sched.At(t, func() { n.StartRead(pid, op) })
+}
+
+// StartWriteAt schedules a write invocation at virtual time t.
+func (n *SimNet) StartWriteAt(t float64, pid int, op proto.OpID, v proto.Value) {
+	n.sched.At(t, func() { n.StartWrite(pid, op, v) })
+}
+
+// CrashAt schedules a crash of pid at virtual time t.
+func (n *SimNet) CrashAt(t float64, pid int) {
+	n.sched.At(t, func() { n.Crash(pid) })
+}
+
+// Run drives the simulation to quiescence and returns events executed.
+func (n *SimNet) Run() int64 { return n.sched.Run() }
+
+// route dispatches the effects produced by process from.
+func (n *SimNet) route(from int, eff proto.Effects) {
+	for _, s := range eff.Sends {
+		n.send(from, s.To, s.Msg)
+	}
+	for _, d := range eff.Done {
+		if n.onDone != nil {
+			n.onDone(from, d, n.sched.Now())
+		}
+	}
+}
+
+func (n *SimNet) send(from, to int, msg proto.Message) {
+	if to == from {
+		panic(fmt.Sprintf("transport: process %d sent %s to itself", from, msg.TypeName()))
+	}
+	if to < 0 || to >= len(n.procs) {
+		panic(fmt.Sprintf("transport: send to unknown process %d", to))
+	}
+	if n.col != nil {
+		n.col.OnSend(msg)
+	}
+	n.inFlight[from][to]++
+	d := n.delay(from, to, n.sched.Rand())
+	n.sched.After(d, func() {
+		n.inFlight[from][to]--
+		if n.crashed[to] {
+			return // crash-stop: the recipient takes no further steps
+		}
+		eff := n.procs[to].Deliver(from, msg)
+		n.route(to, eff)
+		if n.postDelivery != nil {
+			n.postDelivery()
+		}
+	})
+}

@@ -1,0 +1,268 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"twobitreg/internal/proto"
+)
+
+// Codec serializes protocol messages for byte-stream transports. The
+// two-bit register's codec lives in internal/wire; injecting it here keeps
+// this package protocol-agnostic (and free of import cycles).
+type Codec interface {
+	Encode(msg proto.Message) ([]byte, error)
+	Decode(b []byte) (proto.Message, error)
+}
+
+// maxFrame bounds inbound frames against corrupt or malicious peers.
+const maxFrame = 1 << 24
+
+// Mesh is one process's TCP endpoint in a fully connected cluster running
+// the two-bit register. Messages travel length-framed in the two-bit wire
+// format (internal/wire); a one-byte handshake identifies the sender of each
+// inbound connection.
+//
+// Construction is two-phase so clusters can bind ephemeral ports first and
+// exchange the resulting addresses afterwards: NewMesh starts the listener,
+// SetPeers supplies the full address table, and only then may Send be used.
+//
+// The mesh provides exactly the paper's channel model over TCP: reliable, no
+// duplication, and — because each ordered pair uses an independent
+// connection while the runtime interleaves deliveries — no cross-channel
+// ordering guarantees beyond what the protocol itself enforces.
+type Mesh struct {
+	self    int
+	n       int
+	codec   Codec
+	deliver func(from int, msg proto.Message)
+	ln      net.Listener
+
+	mu      sync.Mutex
+	peers   []string
+	conns   map[int]net.Conn      // outbound, lazily dialed
+	inbound map[net.Conn]struct{} // accepted, closed on shutdown
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// Dial behaviour: Send waits for peers to come up, backing off between
+// attempts.
+const (
+	DialRetries = 40
+	DialBackoff = 250 * time.Millisecond
+)
+
+// NewMesh starts listening for process self of an n-process cluster on
+// listenAddr (which may name an ephemeral port, e.g. "127.0.0.1:0").
+// Inbound messages are decoded with codec and passed to deliver from
+// connection goroutines; the consumer must be thread-safe. Callers must
+// Close the mesh.
+func NewMesh(self, n int, listenAddr string, codec Codec, deliver func(from int, msg proto.Message)) (*Mesh, error) {
+	if self < 0 || self >= n {
+		return nil, fmt.Errorf("transport: self %d out of range [0,%d)", self, n)
+	}
+	if codec == nil {
+		return nil, errors.New("transport: codec is required")
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	m := &Mesh{
+		self:    self,
+		n:       n,
+		codec:   codec,
+		deliver: deliver,
+		ln:      ln,
+		conns:   make(map[int]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the mesh's bound listen address.
+func (m *Mesh) Addr() string { return m.ln.Addr().String() }
+
+// SetPeers supplies the cluster's address table (index = process id). It
+// must be called before the first Send.
+func (m *Mesh) SetPeers(addrs []string) error {
+	if len(addrs) != m.n {
+		return fmt.Errorf("transport: %d peer addrs for an %d-process mesh", len(addrs), m.n)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.peers = append([]string(nil), addrs...)
+	return nil
+}
+
+func (m *Mesh) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			select {
+			case <-m.done:
+				return
+			default:
+			}
+			continue // transient accept failure: keep serving
+		}
+		m.wg.Add(1)
+		go m.serveConn(conn)
+	}
+}
+
+func (m *Mesh) serveConn(conn net.Conn) {
+	defer m.wg.Done()
+	defer conn.Close()
+	// Register so Close can unblock the read below; bail if shutdown
+	// already started.
+	m.mu.Lock()
+	select {
+	case <-m.done:
+		m.mu.Unlock()
+		return
+	default:
+	}
+	m.inbound[conn] = struct{}{}
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.inbound, conn)
+		m.mu.Unlock()
+	}()
+	var hs [1]byte
+	if _, err := conn.Read(hs[:]); err != nil {
+		return
+	}
+	from := int(hs[0])
+	if from < 0 || from >= m.n || from == m.self {
+		return
+	}
+	for {
+		msg, err := m.readFrame(conn)
+		if err != nil {
+			return // EOF or broken peer: the dialer reconnects if needed
+		}
+		select {
+		case <-m.done:
+			return
+		default:
+		}
+		m.deliver(from, msg)
+	}
+}
+
+func (m *Mesh) readFrame(r io.Reader) (proto.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size == 0 || size > maxFrame {
+		return nil, fmt.Errorf("transport: bad frame size %d", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return m.codec.Decode(body)
+}
+
+func (m *Mesh) writeFrame(w io.Writer, msg proto.Message) error {
+	body, err := m.codec.Encode(msg)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// Send transmits msg to peer `to`, dialing (with retry) on first use. It is
+// safe for concurrent use; frames to one peer are written under a lock and
+// never interleave.
+func (m *Mesh) Send(to int, msg proto.Message) error {
+	if to == m.self || to < 0 || to >= m.n {
+		return fmt.Errorf("transport: bad destination %d", to)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.peers == nil {
+		return errors.New("transport: Send before SetPeers")
+	}
+	conn, err := m.conn(to)
+	if err != nil {
+		return err
+	}
+	if err := m.writeFrame(conn, msg); err != nil {
+		// Drop the broken connection; the next Send redials.
+		conn.Close()
+		delete(m.conns, to)
+		return fmt.Errorf("transport: send to %d: %w", to, err)
+	}
+	return nil
+}
+
+// conn returns the outbound connection to peer, dialing if necessary.
+// Callers hold m.mu.
+func (m *Mesh) conn(to int) (net.Conn, error) {
+	if c, ok := m.conns[to]; ok {
+		return c, nil
+	}
+	var lastErr error
+	for attempt := 0; attempt < DialRetries; attempt++ {
+		select {
+		case <-m.done:
+			return nil, errors.New("transport: mesh closed")
+		default:
+		}
+		c, err := net.Dial("tcp", m.peers[to])
+		if err == nil {
+			if _, werr := c.Write([]byte{byte(m.self)}); werr != nil {
+				c.Close()
+				lastErr = werr
+				continue
+			}
+			m.conns[to] = c
+			return c, nil
+		}
+		lastErr = err
+		time.Sleep(DialBackoff)
+	}
+	return nil, fmt.Errorf("transport: dial peer %d at %s: %w", to, m.peers[to], lastErr)
+}
+
+// Close shuts the mesh down and waits for its goroutines.
+func (m *Mesh) Close() error {
+	select {
+	case <-m.done:
+	default:
+		close(m.done)
+	}
+	err := m.ln.Close()
+	m.mu.Lock()
+	for to, c := range m.conns {
+		c.Close()
+		delete(m.conns, to)
+	}
+	for c := range m.inbound {
+		c.Close() // unblocks serveConn reads
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+	return err
+}

@@ -1,0 +1,155 @@
+package transport_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"twobitreg/internal/cluster"
+	"twobitreg/internal/core"
+	"twobitreg/internal/proto"
+	"twobitreg/internal/transport"
+	"twobitreg/internal/wire"
+)
+
+// tcpRig wires n cluster.Nodes over loopback TCP meshes — the full
+// production stack (state machine + event loop + 2-bit wire format + TCP)
+// inside one test process.
+type tcpRig struct {
+	nodes  []*cluster.Node
+	meshes []*transport.Mesh
+}
+
+func startTCPRig(t *testing.T, n int) *tcpRig {
+	t.Helper()
+	rig := &tcpRig{
+		nodes:  make([]*cluster.Node, n),
+		meshes: make([]*transport.Mesh, n),
+	}
+	// Phase 1: bind every listener on an ephemeral port. The deliver
+	// closure indirects through rig.nodes, which is filled in phase 2
+	// before any traffic can arrive (nodes send only when driven).
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		i := i
+		m, err := transport.NewMesh(i, n, "127.0.0.1:0", wire.Codec{}, func(from int, msg proto.Message) {
+			rig.nodes[i].Deliver(from, msg)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rig.meshes[i] = m
+		addrs[i] = m.Addr()
+	}
+	for _, m := range rig.meshes {
+		if err := m.SetPeers(addrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Phase 2: the nodes, sending through their mesh.
+	for i := 0; i < n; i++ {
+		i := i
+		rig.nodes[i] = cluster.NewNode(i, n, 0, core.Algorithm(), func(to int, msg proto.Message) {
+			if err := rig.meshes[i].Send(to, msg); err != nil {
+				t.Errorf("node %d send to %d: %v", i, to, err)
+			}
+		})
+	}
+	t.Cleanup(func() {
+		for _, nd := range rig.nodes {
+			nd.Stop()
+		}
+		for _, m := range rig.meshes {
+			m.Close()
+		}
+	})
+	return rig
+}
+
+func TestTCPWriteReadAcrossMesh(t *testing.T) {
+	t.Parallel()
+	rig := startTCPRig(t, 3)
+	if err := rig.nodes[0].Write([]byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := rig.nodes[i].Read()
+		if err != nil {
+			t.Fatalf("node %d read: %v", i, err)
+		}
+		if string(got) != "over tcp" {
+			t.Fatalf("node %d read %q, want 'over tcp'", i, got)
+		}
+	}
+}
+
+func TestTCPSequenceOfWrites(t *testing.T) {
+	t.Parallel()
+	rig := startTCPRig(t, 3)
+	for k := 1; k <= 10; k++ {
+		if err := rig.nodes[0].Write([]byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatalf("write %d: %v", k, err)
+		}
+	}
+	got, err := rig.nodes[2].Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v10" {
+		t.Fatalf("read %q, want v10", got)
+	}
+}
+
+func TestTCPConcurrentReaders(t *testing.T) {
+	t.Parallel()
+	rig := startTCPRig(t, 5)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 1; k <= 10; k++ {
+			if err := rig.nodes[0].Write([]byte(fmt.Sprintf("v%d", k))); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 1; r < 5; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 5; k++ {
+				if _, err := rig.nodes[r].Read(); err != nil {
+					t.Errorf("node %d read: %v", r, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMeshRejectsBadConfig(t *testing.T) {
+	t.Parallel()
+	if _, err := transport.NewMesh(5, 3, "127.0.0.1:0", wire.Codec{}, nil); err == nil {
+		t.Fatal("accepted self out of range")
+	}
+	m, err := transport.NewMesh(0, 3, "127.0.0.1:0", wire.Codec{}, func(int, proto.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.SetPeers([]string{"a"}); err == nil {
+		t.Fatal("accepted short peer table")
+	}
+	if err := m.Send(1, core.ReadMsg{}); err == nil {
+		t.Fatal("Send before SetPeers succeeded")
+	}
+	if err := m.SetPeers([]string{m.Addr(), m.Addr(), m.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Send(0, core.ReadMsg{}); err == nil {
+		t.Fatal("Send to self succeeded")
+	}
+}

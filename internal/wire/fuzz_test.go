@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"twobitreg/internal/core"
+	"twobitreg/internal/proto"
+)
+
+func mkWrite(bit bool, val []byte) core.WriteMsg {
+	m := core.WriteMsg{Val: proto.Value(val)}
+	if bit {
+		m.Bit = 1
+	}
+	return m
+}
+
+// FuzzDecode throws arbitrary bytes at the decoder: it must never panic, and
+// everything it accepts must re-encode to the identical bytes (the format
+// has no redundancy to normalize away).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x01, 'v'})
+	f.Add([]byte{0x02})
+	f.Add([]byte{0x03})
+	f.Add([]byte{0xFF, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		out, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("re-encode changed bytes: %x -> %x", data, out)
+		}
+	})
+}
+
+// FuzzEncodeDecodeWrite round-trips arbitrary write payloads.
+func FuzzEncodeDecodeWrite(f *testing.F) {
+	f.Add(true, []byte("hello"))
+	f.Add(false, []byte{})
+	f.Fuzz(func(t *testing.T, bit bool, val []byte) {
+		m := mkWrite(bit, val)
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TypeName() != m.TypeName() {
+			t.Fatalf("type changed: %s -> %s", m.TypeName(), got.TypeName())
+		}
+	})
+}

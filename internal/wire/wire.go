@@ -1,0 +1,141 @@
+// Package wire encodes the two-bit register's messages for byte-stream
+// transports.
+//
+// The entire control information of a message occupies the two low bits of
+// its first byte:
+//
+//	00 WRITE0   01 WRITE1   10 READ   11 PROCEED
+//
+// WRITE0/WRITE1 are followed by the raw value bytes; READ and PROCEED are a
+// single byte. The six high bits of the first byte are zero — nothing else
+// about the protocol state is on the wire, which is the paper's headline
+// claim made literal. (Stream framing — a length prefix — is transport
+// bookkeeping, the same for every algorithm, and excluded from the control
+// accounting exactly as the paper excludes it.)
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"twobitreg/internal/core"
+	"twobitreg/internal/proto"
+)
+
+// Two-bit type codes.
+const (
+	codeWrite0 = 0b00
+	codeWrite1 = 0b01
+	codeRead   = 0b10
+	codeProc   = 0b11
+)
+
+// Codec adapts this package to transport.Codec (stream transports inject it
+// so they stay protocol-agnostic).
+type Codec struct{}
+
+// Encode implements the codec interface.
+func (Codec) Encode(msg proto.Message) ([]byte, error) { return Encode(msg) }
+
+// Decode implements the codec interface.
+func (Codec) Decode(b []byte) (proto.Message, error) { return Decode(b) }
+
+// ErrTruncated reports a message shorter than its header.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// MaxValueLen bounds decoded value sizes to keep a malicious or corrupt peer
+// from forcing huge allocations.
+const MaxValueLen = 1 << 24
+
+// Encode renders a two-bit register message. It rejects messages of other
+// protocols and the explicit-seqnum ablation form (which is not two-bit by
+// construction).
+func Encode(msg proto.Message) ([]byte, error) {
+	switch m := msg.(type) {
+	case core.WriteMsg:
+		if m.Seq != 0 {
+			return nil, errors.New("wire: explicit-seqnum ablation messages are not wire-encodable")
+		}
+		if m.Bit > 1 {
+			return nil, fmt.Errorf("wire: invalid write bit %d", m.Bit)
+		}
+		out := make([]byte, 1+len(m.Val))
+		out[0] = m.Bit // codeWrite0 / codeWrite1
+		copy(out[1:], m.Val)
+		return out, nil
+	case core.ReadMsg:
+		return []byte{codeRead}, nil
+	case core.ProceedMsg:
+		return []byte{codeProc}, nil
+	default:
+		return nil, fmt.Errorf("wire: cannot encode %T", msg)
+	}
+}
+
+// Decode parses a message produced by Encode.
+func Decode(b []byte) (proto.Message, error) {
+	if len(b) == 0 {
+		return nil, ErrTruncated
+	}
+	if b[0]>>2 != 0 {
+		return nil, fmt.Errorf("wire: corrupt header byte %#x (high six bits must be zero)", b[0])
+	}
+	switch b[0] & 0b11 {
+	case codeWrite0, codeWrite1:
+		var v proto.Value
+		if len(b) > 1 {
+			v = make(proto.Value, len(b)-1)
+			copy(v, b[1:])
+		}
+		return core.WriteMsg{Bit: b[0] & 1, Val: v}, nil
+	case codeRead:
+		if len(b) != 1 {
+			return nil, fmt.Errorf("wire: READ with %d trailing bytes", len(b)-1)
+		}
+		return core.ReadMsg{}, nil
+	default: // codeProc
+		if len(b) != 1 {
+			return nil, fmt.Errorf("wire: PROCEED with %d trailing bytes", len(b)-1)
+		}
+		return core.ProceedMsg{}, nil
+	}
+}
+
+// WriteFrame writes one length-prefixed message to w.
+func WriteFrame(w io.Writer, msg proto.Message) error {
+	body, err := Encode(msg)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed message from r.
+func ReadFrame(r io.Reader) (proto.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, ErrTruncated
+	}
+	if n > MaxValueLen {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	return Decode(body)
+}

@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"twobitreg/internal/core"
+	"twobitreg/internal/proto"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	t.Parallel()
+	msgs := []proto.Message{
+		core.WriteMsg{Bit: 0, Val: proto.Value("hello")},
+		core.WriteMsg{Bit: 1, Val: proto.Value("")},
+		core.WriteMsg{Bit: 1, Val: nil},
+		core.ReadMsg{},
+		core.ProceedMsg{},
+	}
+	for _, m := range msgs {
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode(%s): %v", m.TypeName(), err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode(%s): %v", m.TypeName(), err)
+		}
+		if got.TypeName() != m.TypeName() {
+			t.Fatalf("round trip changed type: %s -> %s", m.TypeName(), got.TypeName())
+		}
+	}
+}
+
+func TestControlOccupiesTwoBits(t *testing.T) {
+	t.Parallel()
+	// The header byte of every message must use only its two low bits.
+	for _, m := range []proto.Message{
+		core.WriteMsg{Bit: 0, Val: proto.Value("x")},
+		core.WriteMsg{Bit: 1, Val: proto.Value("x")},
+		core.ReadMsg{},
+		core.ProceedMsg{},
+	} {
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b[0]>>2 != 0 {
+			t.Fatalf("%s header %#08b uses more than two bits", m.TypeName(), b[0])
+		}
+	}
+}
+
+func TestControlMessagesAreOneByte(t *testing.T) {
+	t.Parallel()
+	for _, m := range []proto.Message{core.ReadMsg{}, core.ProceedMsg{}} {
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != 1 {
+			t.Fatalf("%s encodes to %d bytes, want 1", m.TypeName(), len(b))
+		}
+	}
+}
+
+func TestWritePayloadIsValueOnly(t *testing.T) {
+	t.Parallel()
+	v := proto.Value("abcdef")
+	b, err := Encode(core.WriteMsg{Bit: 1, Val: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 1+len(v) {
+		t.Fatalf("WRITE1 encodes to %d bytes, want 1 type byte + %d value bytes", len(b), len(v))
+	}
+	if !bytes.Equal(b[1:], v) {
+		t.Fatal("value bytes corrupted")
+	}
+}
+
+func TestRejectAblationMessages(t *testing.T) {
+	t.Parallel()
+	if _, err := Encode(core.WriteMsg{Bit: 1, Seq: 7}); err == nil {
+		t.Fatal("encoded an explicit-seqnum message as two-bit wire format")
+	}
+}
+
+func TestRejectForeignMessages(t *testing.T) {
+	t.Parallel()
+	if _, err := Encode(fake{}); err == nil {
+		t.Fatal("encoded a foreign message type")
+	}
+}
+
+type fake struct{}
+
+func (fake) TypeName() string { return "FAKE" }
+func (fake) ControlBits() int { return 0 }
+func (fake) DataBytes() int   { return 0 }
+
+func TestDecodeRejectsCorruptHeader(t *testing.T) {
+	t.Parallel()
+	if _, err := Decode([]byte{0b0000_0100}); err == nil {
+		t.Fatal("accepted header with high bits set")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("accepted empty message")
+	}
+	if _, err := Decode([]byte{codeRead, 0x1}); err == nil {
+		t.Fatal("accepted READ with trailing bytes")
+	}
+	if _, err := Decode([]byte{codeProc, 0x1}); err == nil {
+		t.Fatal("accepted PROCEED with trailing bytes")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	in := []proto.Message{
+		core.WriteMsg{Bit: 1, Val: proto.Value("v1")},
+		core.ReadMsg{},
+		core.ProceedMsg{},
+		core.WriteMsg{Bit: 0, Val: proto.Value("v2")},
+	}
+	for _, m := range in {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range in {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TypeName() != want.TypeName() {
+			t.Fatalf("frame order: got %s, want %s", got.TypeName(), want.TypeName())
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("draining empty stream: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("accepted oversized frame")
+	}
+}
+
+// Property: every WriteMsg round-trips value bytes exactly and never leaks
+// more than 2 bits of control.
+func TestQuickWriteRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(bit bool, v []byte) bool {
+		m := core.WriteMsg{Val: v}
+		if bit {
+			m.Bit = 1
+		}
+		b, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		if b[0]>>2 != 0 {
+			return false
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		w, ok := got.(core.WriteMsg)
+		if !ok || w.Bit != m.Bit {
+			return false
+		}
+		return bytes.Equal(w.Val, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

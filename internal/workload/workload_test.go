@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"twobitreg/internal/proto"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
+	spec := Spec{Seed: 5, Ops: 100, ReadFraction: 0.7, Writer: 0, Readers: []int{1, 2}, ValueSize: 16}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) != 100 {
+		t.Fatalf("lengths %d, %d; want 100", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].PID != b[i].PID || !a[i].Value.Equal(b[i].Value) {
+			t.Fatalf("op %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateDistinctWriteValues(t *testing.T) {
+	t.Parallel()
+	ops, err := Generate(Spec{Seed: 1, Ops: 200, ReadFraction: 0.3, Writer: 0, Readers: []int{1}, ValueSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, op := range ops {
+		if op.Kind != proto.OpWrite {
+			continue
+		}
+		k := string(op.Value)
+		if seen[k] {
+			t.Fatalf("duplicate written value %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestGenerateRespectsRoles(t *testing.T) {
+	t.Parallel()
+	ops, err := Generate(Spec{Seed: 2, Ops: 300, ReadFraction: 0.5, Writer: 7, Readers: []int{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case proto.OpWrite:
+			if op.PID != 7 {
+				t.Fatalf("write issued by %d, want writer 7", op.PID)
+			}
+		case proto.OpRead:
+			if op.PID < 1 || op.PID > 3 {
+				t.Fatalf("read issued by %d, want a reader in 1..3", op.PID)
+			}
+		}
+	}
+}
+
+func TestGenerateValuePadding(t *testing.T) {
+	t.Parallel()
+	ops, err := Generate(Spec{Seed: 3, Ops: 10, ReadFraction: 0, Writer: 0, ValueSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if len(op.Value) != 64 {
+			t.Fatalf("value size %d, want 64", len(op.Value))
+		}
+	}
+}
+
+func TestGenerateRejectsBadSpecs(t *testing.T) {
+	t.Parallel()
+	cases := []Spec{
+		{Ops: -1},
+		{Ops: 1, ReadFraction: 1.5},
+		{Ops: 1, ReadFraction: 0.5, Writer: 0, Readers: nil},
+		{Ops: 1, ReadFraction: 0, Writer: -1},
+	}
+	for i, s := range cases {
+		if _, err := Generate(s); err == nil {
+			t.Errorf("case %d: bad spec accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestQuickReadFraction(t *testing.T) {
+	t.Parallel()
+	// The realized read fraction converges on the requested one.
+	f := func(seed int64) bool {
+		frac := 0.9
+		ops, err := Generate(Spec{Seed: seed, Ops: 2000, ReadFraction: frac, Writer: 0, Readers: []int{1}})
+		if err != nil {
+			return false
+		}
+		reads := 0
+		for _, op := range ops {
+			if op.Kind == proto.OpRead {
+				reads++
+			}
+		}
+		got := float64(reads) / float64(len(ops))
+		return got > frac-0.05 && got < frac+0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

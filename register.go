@@ -1,0 +1,113 @@
+package twobitreg
+
+import (
+	"time"
+
+	"twobitreg/internal/cluster"
+	"twobitreg/internal/core"
+	"twobitreg/internal/metrics"
+)
+
+// Errors returned by Register operations.
+var (
+	// ErrCrashed reports an operation on a crashed process.
+	ErrCrashed = cluster.ErrCrashed
+	// ErrStopped reports an operation on a stopped register.
+	ErrStopped = cluster.ErrStopped
+)
+
+type options struct {
+	initial         []byte
+	jitter          time.Duration
+	seed            int64
+	writerLocalRead bool
+}
+
+// Option configures Start.
+type Option func(*options)
+
+// WithInitial sets the register's initial value v0 (default nil).
+func WithInitial(v []byte) Option {
+	return func(o *options) { o.initial = append([]byte(nil), v...) }
+}
+
+// WithJitter delays each message delivery by a random duration up to d,
+// exercising the protocol's tolerance to non-FIFO channels. Default: no
+// artificial delay.
+func WithJitter(d time.Duration) Option {
+	return func(o *options) { o.jitter = d }
+}
+
+// WithSeed fixes the jitter randomness (default 1).
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithWriterProtocolReads forces the writer through the full read protocol
+// instead of answering reads from its own history (Figure 1, line 5 comment).
+func WithWriterProtocolReads() Option {
+	return func(o *options) { o.writerLocalRead = false }
+}
+
+// Register is a running n-process two-bit atomic register. Process 0 is the
+// writer; every process serves reads. All methods are safe for concurrent
+// use; operations issued through the same process are serialized, matching
+// the paper's sequential-process model.
+type Register struct {
+	c   *cluster.Cluster
+	col *metrics.Collector
+}
+
+// Start launches an n-process register (n >= 1); the caller must Stop it.
+func Start(n int, opts ...Option) (*Register, error) {
+	o := options{seed: 1, writerLocalRead: true}
+	for _, op := range opts {
+		op(&o)
+	}
+	var coreOpts []core.Option
+	if o.initial != nil {
+		coreOpts = append(coreOpts, core.WithInitial(o.initial))
+	}
+	coreOpts = append(coreOpts, core.WithWriterLocalRead(o.writerLocalRead))
+	col := &metrics.Collector{}
+	c, err := cluster.New(cluster.Config{
+		N:         n,
+		Writer:    0,
+		Alg:       core.Algorithm(coreOpts...),
+		Collector: col,
+		MaxJitter: o.jitter,
+		Seed:      o.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Register{c: c, col: col}, nil
+}
+
+// Write stores v in the register via the writer process. It blocks until a
+// majority of processes provably hold v.
+func (r *Register) Write(v []byte) error {
+	return r.c.Write(r.c.Writer(), v)
+}
+
+// Read returns the register's value as seen through process pid.
+func (r *Register) Read(pid int) ([]byte, error) {
+	return r.c.Read(pid)
+}
+
+// Crash stops process pid (crash-stop). The register remains live while
+// fewer than half the processes have crashed.
+func (r *Register) Crash(pid int) { r.c.Crash(pid) }
+
+// N returns the number of processes.
+func (r *Register) N() int { return r.c.N() }
+
+// Writer returns the writer's process index (always 0).
+func (r *Register) Writer() int { return r.c.Writer() }
+
+// Stats returns a snapshot of message and operation counters.
+func (r *Register) Stats() metrics.Snapshot { return r.col.Snapshot() }
+
+// Stop shuts the register down, unblocking pending operations with
+// ErrStopped. Idempotent.
+func (r *Register) Stop() { r.c.Stop() }
