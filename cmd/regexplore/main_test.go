@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"twobitreg/internal/explore"
+)
+
+func TestRunSweepJSON(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := config{algs: "twobit", strategies: "pct,race", n: 5, ops: 12,
+		reads: 0.5, crashes: 1, budget: 6, seed0: 1, jsonOut: true}
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("clean sweep reported failure: %v\n%s", err, buf.String())
+	}
+	var res explore.SweepResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if res.Runs != 6 || res.Clean != 6 {
+		t.Fatalf("expected 6 clean runs, got %+v", res)
+	}
+}
+
+func TestRunSweepCatchesMutantAndExitsNonZero(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := config{algs: "mut-stale-read", n: 5, ops: 30, reads: 0.6,
+		crashes: 1, budget: 60, seed0: 1, doShrink: true}
+	err := run(cfg, &buf)
+	if err == nil {
+		t.Fatalf("sweep over a mutant reported success:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "FAIL xb1:mut-stale-read") {
+		t.Fatalf("failure report carries no replay token:\n%s", buf.String())
+	}
+}
+
+func TestRunReplayToken(t *testing.T) {
+	tok := explore.Schedule{Alg: "twobit", Strategy: "asym", Seed: 3, N: 5,
+		Ops: 15, ReadFrac: 0.5, Crashes: 1}.Token()
+	var buf bytes.Buffer
+	if err := run(config{replay: tok, jsonOut: true}, &buf); err != nil {
+		t.Fatalf("replay of a clean schedule failed: %v", err)
+	}
+	var res explore.Result
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("replay output is not JSON: %v\n%s", err, buf.String())
+	}
+	if res.Token != tok || res.Fingerprint == "" {
+		t.Fatalf("replay result does not describe the token: %+v", res)
+	}
+
+	if err := run(config{replay: "not-a-token"}, &buf); err == nil {
+		t.Fatal("garbage token accepted")
+	}
+}

@@ -7,24 +7,25 @@
 // Usage:
 //
 //	regsim [-alg twobit] [-n 5] [-ops 50] [-reads 0.6] [-seed 1]
-//	       [-crashes 0] [-dmin 0.2] [-dmax 2.0]
+//	       [-crashes 0] [-dmin 0.2] [-dmax 2.0] [-adversary slowquorum]
+//
+// -adversary replaces the uniform delay model with one of the schedule
+// explorer's adversary profiles (see internal/explore.StrategyNames).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"twobitreg/internal/abd"
-	"twobitreg/internal/attiya"
-	"twobitreg/internal/boundedabd"
-	"twobitreg/internal/core"
 	"twobitreg/internal/eval"
+	"twobitreg/internal/explore"
 	"twobitreg/internal/proto"
 )
 
 func main() {
-	alg := flag.String("alg", "twobit", "algorithm: twobit, twobit-oracle, abd, bounded-abd, attiya")
+	alg := flag.String("alg", "twobit", "algorithm: twobit, twobit-oracle, twobit-gc, abd, abd-mwmr, bounded-abd, attiya (or a mut-* variant to watch the checkers catch it)")
 	n := flag.Int("n", 5, "number of processes")
 	ops := flag.Int("ops", 50, "operations in the workload")
 	reads := flag.Float64("reads", 0.6, "read fraction in [0,1]")
@@ -32,42 +33,43 @@ func main() {
 	crashes := flag.Int("crashes", 0, "non-writer processes to crash (capped at t)")
 	dmin := flag.Float64("dmin", 0.2, "minimum message delay")
 	dmax := flag.Float64("dmax", 2.0, "maximum message delay")
+	adversary := flag.String("adversary", "", "adversary delay profile (default: uniform delays)")
 	flag.Parse()
 
-	if err := run(*alg, *n, *ops, *reads, *seed, *crashes, *dmin, *dmax); err != nil {
+	if err := run(*alg, *n, *ops, *reads, *seed, *crashes, *dmin, *dmax, *adversary); err != nil {
 		fmt.Fprintln(os.Stderr, "regsim:", err)
 		os.Exit(1)
 	}
 }
 
 func algorithm(name string) (proto.Algorithm, error) {
-	switch name {
-	case "twobit":
-		return core.Algorithm(), nil
-	case "twobit-oracle":
-		return core.Algorithm(core.WithExplicitSeqnums()), nil
-	case "abd":
-		return abd.Algorithm(), nil
-	case "abd-mwmr":
-		return abd.MWMRAlgorithm(), nil
-	case "bounded-abd":
-		return boundedabd.Algorithm(), nil
-	case "attiya":
-		return attiya.Algorithm(), nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
+	if alg, ok := explore.ByName(name); ok {
+		return alg, nil
 	}
+	return nil, fmt.Errorf("unknown algorithm %q (have %s and mutants %s)",
+		name, strings.Join(explore.AlgorithmNames(), ", "), strings.Join(explore.MutantNames(), ", "))
 }
 
-func run(algName string, n, ops int, reads float64, seed int64, crashes int, dmin, dmax float64) error {
+func run(algName string, n, ops int, reads float64, seed int64, crashes int, dmin, dmax float64, adversary string) error {
 	alg, err := algorithm(algName)
 	if err != nil {
 		return err
 	}
-	res, err := eval.RunScenario(alg, eval.ScenarioSpec{
+	spec := eval.ScenarioSpec{
 		N: n, Ops: ops, ReadFraction: reads, Seed: seed,
 		Crashes: crashes, DelayLo: dmin, DelayHi: dmax, ValueSize: 16,
-	})
+	}
+	delayDesc := fmt.Sprintf("U[%.2g,%.2g]", dmin, dmax)
+	if adversary != "" {
+		fn, maxDelay, err := explore.ProfileDelay(adversary, n, seed)
+		if err != nil {
+			return err
+		}
+		spec.Delay = fn
+		spec.DelayHi = maxDelay // worst-case estimate for invocation spacing
+		delayDesc = fmt.Sprintf("adversary %q (max %.2g)", adversary, maxDelay)
+	}
+	res, err := eval.RunScenario(alg, spec)
 	if err != nil {
 		return err
 	}
@@ -75,8 +77,8 @@ func run(algName string, n, ops int, reads float64, seed int64, crashes int, dmi
 	fmt.Printf("algorithm     %s\n", algName)
 	fmt.Printf("processes     n=%d t=%d quorum=%d crashes=%d\n",
 		n, proto.MaxFaulty(n), proto.QuorumSize(n), crashes)
-	fmt.Printf("workload      %d ops, %.0f%% reads, seed %d, delay U[%.2g,%.2g]\n",
-		ops, reads*100, seed, dmin, dmax)
+	fmt.Printf("workload      %d ops, %.0f%% reads, seed %d, delay %s\n",
+		ops, reads*100, seed, delayDesc)
 	fmt.Printf("events        %d simulator events\n", res.Events)
 	fmt.Printf("completed     %d/%d operations\n", res.Completed, ops)
 	fmt.Printf("traffic       %s\n", res.Metrics)
@@ -87,7 +89,7 @@ func run(algName string, n, ops int, reads float64, seed int64, crashes int, dmi
 		return fmt.Errorf("NON-ATOMIC HISTORY: %w", res.AtomicityErr)
 	}
 	fmt.Println("atomicity     history passes the SWMR checker ✓")
-	if algName == "twobit" || algName == "twobit-oracle" {
+	if algName == "twobit" || algName == "twobit-oracle" || algName == "twobit-gc" {
 		fmt.Println("invariants    Lemmas 1-4 and Properties P1-P2 held throughout ✓")
 	}
 	return nil

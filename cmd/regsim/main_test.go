@@ -1,0 +1,72 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and returns
+// what it printed. Not safe for parallel subtests.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), runErr
+}
+
+func TestRunSmoke(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run("twobit", 3, 8, 0.5, 1, 0, 0.2, 2.0, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"algorithm     twobit",
+		"processes     n=3 t=1 quorum=2",
+		"completed     8/8 operations",
+		"atomicity     history passes the SWMR checker",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAdversaryProfile(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run("abd", 5, 10, 0.6, 3, 1, 0.2, 2.0, "slowquorum")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `adversary "slowquorum"`) {
+		t.Fatalf("output does not mention the adversary profile:\n%s", out)
+	}
+}
+
+func TestRunRejectsUnknownNames(t *testing.T) {
+	if _, err := captureStdout(t, func() error {
+		return run("nope", 3, 4, 0.5, 1, 0, 0.2, 2.0, "")
+	}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := captureStdout(t, func() error {
+		return run("twobit", 3, 4, 0.5, 1, 0, 0.2, 2.0, "nope")
+	}); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+}

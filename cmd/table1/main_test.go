@@ -1,0 +1,49 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and returns
+// what it printed. Not safe for parallel subtests.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), runErr
+}
+
+func TestRunSmoke(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run(3, 2, false, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The table must name every column and every row.
+	for _, want := range []string{"twobit", "abd", "bounded-abd", "attiya",
+		"#msgs: write", "#msgs: read", "msg size (bits)", "local memory",
+		"Time: write", "Time: read"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadN(t *testing.T) {
+	if _, err := captureStdout(t, func() error { return run(0, 2, false, false) }); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}

@@ -25,6 +25,32 @@
 // (internal/core), the discrete-event simulator and instrumented transports
 // (internal/sim, internal/transport), the ABD baselines (internal/abd), the
 // bounded-cost comparators (internal/boundedabd, internal/attiya), the
-// linearizability checkers (internal/check), and the Table 1 reproduction
-// harness (internal/eval).
+// linearizability checkers (internal/check), the Table 1 reproduction
+// harness (internal/eval), and the adversarial schedule explorer
+// (internal/explore).
+//
+// # Adversarial schedule exploration
+//
+// The paper's atomicity claim quantifies over every asynchronous schedule
+// with a crashing minority, so internal/explore stress-tests the protocols
+// under a family of adversary strategies rather than only uniform-random
+// delays: per-link asymmetric speeds (asym), targeted quorum-slowing
+// (slowquorum), writer/reader phase races (race), burst reordering (burst),
+// crash-at-protocol-phase triggers (crashphase), and PCT-style
+// random-priority scheduling (pct). Every explored run is described by a
+// compact descriptor — algorithm, strategy, seed, sizes — that serializes
+// to a one-line replay token such as
+//
+//	xb1:twobit:slowquorum:7:5:30:0.6:1
+//
+// Any failure reproduces byte for byte via
+//
+//	go test ./internal/explore -run TestReplay -replay=<token>
+//
+// and shrinks by bisecting the descriptor. The cmd/regexplore command runs
+// budgeted sweeps (with JSON output), and the explorer's detection power is
+// itself verified by mutation tests: deliberately broken protocol variants
+// (a write acknowledging before its quorum, a PROCEED that skips the
+// freshness wait, a stale read cache) must be caught within a fixed
+// schedule budget.
 package twobitreg

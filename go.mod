@@ -1,0 +1,3 @@
+module twobitreg
+
+go 1.24

@@ -1,0 +1,116 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"twobitreg/internal/proto"
+)
+
+// genSWMRHistory builds a random small history satisfying CheckSWMR's
+// preconditions: one writer (process 0) issuing sequential, pairwise
+// distinct writes (only the last may be pending), and per-process
+// sequential readers returning values drawn from {initial, v1..vk} — some
+// plausible, some deliberately wrong, some pending.
+func genSWMRHistory(rng *rand.Rand) History {
+	nWrites := 1 + rng.Intn(4)
+	nReaders := 1 + rng.Intn(3)
+	h := History{} // initial value v0 = nil
+
+	var id proto.OpID
+	t := 0.0
+	type write struct{ inv, res float64 }
+	writes := make([]write, 0, nWrites)
+	for k := 1; k <= nWrites; k++ {
+		id++
+		inv := t + rng.Float64()*2
+		res := inv + 0.1 + rng.Float64()*3
+		h.Ops = append(h.Ops, Op{
+			ID: id, Proc: 0, Kind: proto.OpWrite,
+			Value: []byte(fmt.Sprintf("v%d", k)), Inv: inv, Res: res, Completed: true,
+		})
+		writes = append(writes, write{inv, res})
+		t = res
+	}
+	if rng.Intn(3) == 0 { // the writer crashed mid-final-write
+		last := &h.Ops[len(h.Ops)-1]
+		last.Completed = false
+		last.Res = 0
+	}
+	horizon := t + 2
+
+	valueOf := func(idx int) proto.Value {
+		if idx == 0 {
+			return nil
+		}
+		return []byte(fmt.Sprintf("v%d", idx))
+	}
+	for r := 1; r <= nReaders; r++ {
+		tr := rng.Float64() * 2
+		for o := 1 + rng.Intn(3); o > 0; o-- {
+			id++
+			inv := tr + rng.Float64()*horizon/2
+			res := inv + 0.1 + rng.Float64()*3
+			// Plausible value: the last write invoked before this read
+			// finished; wrong value: any index at all.
+			idx := 0
+			if rng.Float64() < 0.6 {
+				for w, ww := range writes {
+					if ww.inv < res {
+						idx = w + 1
+					}
+				}
+				if idx > 0 && rng.Intn(4) == 0 {
+					idx-- // off by one, sometimes legal, sometimes stale
+				}
+			} else {
+				idx = rng.Intn(nWrites + 1)
+			}
+			op := Op{
+				ID: id, Proc: r, Kind: proto.OpRead,
+				Value: valueOf(idx), Inv: inv, Res: res, Completed: true,
+			}
+			if rng.Intn(8) == 0 { // the reader crashed mid-read
+				op.Completed = false
+				op.Res = 0
+			}
+			h.Ops = append(h.Ops, op)
+			tr = res
+		}
+	}
+	return h
+}
+
+// TestSWMRAgreesWithExhaustiveSearch cross-validates the paper's
+// characterisation (CheckSWMR, Lemma 10) against the exhaustive Wing–Gong
+// search on random small histories, including histories with pending crashed
+// operations: under the SWMR preconditions the two oracles must return the
+// same verdict on every input.
+func TestSWMRAgreesWithExhaustiveSearch(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(20260728))
+	atomic, nonAtomic := 0, 0
+	for i := 0; i < 1500; i++ {
+		h := genSWMRHistory(rng)
+		if len(h.Ops) > MaxLinOps {
+			t.Fatalf("generator produced %d ops, exhaustive checker takes %d", len(h.Ops), MaxLinOps)
+		}
+		swmrErr := CheckSWMR(h)
+		linErr := CheckLinearizable(h)
+		if (swmrErr == nil) != (linErr == nil) {
+			t.Fatalf("oracles disagree on history %d:\n  swmr: %v\n  lin:  %v\n  ops: %+v",
+				i, swmrErr, linErr, h.Ops)
+		}
+		if swmrErr == nil {
+			atomic++
+		} else {
+			nonAtomic++
+		}
+	}
+	// The generator must exercise both verdicts, or the agreement above is
+	// vacuous.
+	if atomic < 50 || nonAtomic < 50 {
+		t.Fatalf("generator is lopsided: %d atomic vs %d non-atomic histories", atomic, nonAtomic)
+	}
+}

@@ -23,6 +23,7 @@ type options struct {
 	explicitSeqnums bool
 	writerLocalRead bool
 	gcHistory       bool
+	fault           Fault
 }
 
 // Option configures a Proc.
@@ -369,7 +370,7 @@ func (p *Proc) flushPendingReads(eff *proto.Effects) bool {
 	progress := false
 	kept := p.pendingReads[:0]
 	for _, pr := range p.pendingReads {
-		if p.wSync[pr.from] >= pr.sn {
+		if p.opts.fault == FaultSkipProceedWait || p.wSync[pr.from] >= pr.sn {
 			// Line 21.
 			eff.AddSend(pr.from, ProceedMsg{})
 			p.msgsSent++
@@ -391,7 +392,11 @@ func (p *Proc) advanceOp(eff *proto.Effects) bool {
 	switch p.cur.phase {
 	case phaseWriteWait:
 		// Line 3: z >= n-t processes with w_sync[j] == wsn.
-		if p.countWSyncEq(p.cur.wsn) >= p.quorum() {
+		need := p.quorum()
+		if p.opts.fault == FaultAckBeforeQuorum {
+			need--
+		}
+		if p.countWSyncEq(p.cur.wsn) >= need {
 			op := p.cur
 			p.cur = nil
 			eff.AddDone(op.op, proto.OpWrite, nil)

@@ -27,7 +27,13 @@ type ScenarioSpec struct {
 	// DelayLo/DelayHi bound the per-message delay (uniform). The default
 	// (0,0) means fixed Δ = 1.
 	DelayLo, DelayHi float64
-	ValueSize        int
+	// Delay, when non-nil, replaces the uniform model with a custom delay
+	// function — typically an adversary profile from
+	// internal/explore.ProfileDelay. Callers must still set DelayHi to the
+	// profile's maximum delay: it remains the worst-case estimate used to
+	// space invocations.
+	Delay     transport.DelayFn
+	ValueSize int
 }
 
 // ScenarioResult is what a scenario run produces.
@@ -85,9 +91,13 @@ func RunScenario(alg proto.Algorithm, spec ScenarioSpec) (ScenarioResult, error)
 		val proto.Value
 	}{}
 
+	delay := transport.UniformDelay(spec.DelayLo, spec.DelayHi)
+	if spec.Delay != nil {
+		delay = spec.Delay
+	}
 	var net *transport.SimNet
 	opts := []transport.Option{
-		transport.WithDelay(transport.UniformDelay(spec.DelayLo, spec.DelayHi)),
+		transport.WithDelay(delay),
 		transport.WithCollector(col),
 		transport.WithCompletion(func(_ int, c proto.Completion, at float64) {
 			completions[c.Op] = struct {

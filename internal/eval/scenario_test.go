@@ -8,6 +8,7 @@ import (
 	"twobitreg/internal/attiya"
 	"twobitreg/internal/boundedabd"
 	"twobitreg/internal/core"
+	"twobitreg/internal/explore"
 	"twobitreg/internal/proto"
 )
 
@@ -102,5 +103,30 @@ func TestScenarioRejectsBadSpec(t *testing.T) {
 	t.Parallel()
 	if _, err := RunScenario(core.Algorithm(), ScenarioSpec{N: 0}); err == nil {
 		t.Fatal("accepted N=0")
+	}
+}
+
+// TestScenarioAdversaryDelayOverride: a scenario must honor a custom delay
+// model (here an explorer adversary profile) and still produce an atomic
+// history — the Table-1/scenario reuse path for adversary profiles.
+func TestScenarioAdversaryDelayOverride(t *testing.T) {
+	t.Parallel()
+	delay, maxDelay, err := explore.ProfileDelay("slowquorum", 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(core.Algorithm(), ScenarioSpec{
+		N: 5, Ops: 20, ReadFraction: 0.6, Seed: 3,
+		Delay: delay, DelayHi: maxDelay, ValueSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 20 {
+		t.Fatalf("completed %d/20 ops under the adversary profile", res.Completed)
+	}
+	if res.AtomicityErr != nil || res.InvariantErr != nil {
+		t.Fatalf("adversary profile broke the run: atomicity=%v invariants=%v",
+			res.AtomicityErr, res.InvariantErr)
 	}
 }

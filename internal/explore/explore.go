@@ -1,0 +1,364 @@
+// Package explore is an adversarial schedule-exploration engine for the
+// register protocols in this repository.
+//
+// The paper's atomicity theorem quantifies over every asynchronous schedule
+// with a crashing minority, but a uniform-random scenario runner samples a
+// vanishingly thin slice of that space. This package generates the hostile
+// slices systematically: a family of adversary strategies (per-link
+// asymmetric delays, targeted quorum-slowing, writer/reader phase races,
+// burst reordering, crash-at-protocol-phase triggers, and PCT-style
+// random-priority scheduling — see StrategyNames and the per-strategy docs
+// in strategies.go) layered on the deterministic simulator (sim.Scheduler)
+// and the transport delay hooks, driving every registered algorithm and
+// judging each run with the linearizability checkers and, for the two-bit
+// register, the proof invariants.
+//
+// # Replay tokens
+//
+// Every run is described completely by a Schedule — algorithm, strategy,
+// seed, and sizes — which serializes to a one-line token such as
+//
+//	xb1:twobit:slowquorum:7:5:30:0.6:1
+//
+// Failures reproduce byte for byte from their token:
+//
+//	go test ./internal/explore -run TestReplay -replay=xb1:twobit:slowquorum:7:5:30:0.6:1
+//
+// and shrink by bisecting the descriptor (Shrink), not the trace: candidate
+// schedules with fewer operations, processes, or crashes are re-run and kept
+// while they still fail.
+//
+// # Detection power
+//
+// The explorer's teeth are validated by mutation testing: the registry
+// carries deliberately broken protocol variants (MutantNames — a write that
+// acknowledges before its quorum, a reader-side PROCEED that skips the
+// freshness wait, a stale read cache), and mutation_test.go asserts each is
+// caught within a fixed schedule budget.
+package explore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+
+	"twobitreg/internal/check"
+	"twobitreg/internal/core"
+	"twobitreg/internal/metrics"
+	"twobitreg/internal/proto"
+	"twobitreg/internal/sim"
+	"twobitreg/internal/transport"
+	"twobitreg/internal/workload"
+)
+
+// Seed salts decorrelate the random streams a run derives from its one
+// descriptor seed. Changing any of them changes what every token replays, so
+// they are part of the token-version contract (see tokenVersion).
+const (
+	seedSaltStrategy = 0x5712a7e6
+	seedSaltPump     = 0x0070c4b1
+	seedSaltCrash    = 0x0000c4a5
+	seedSaltTies     = 0x00007133
+)
+
+// eventLimit is the runaway valve: a correct run quiesces far below it, so
+// exhausting it is reported as a liveness failure (Result.Truncated).
+const eventLimit = 2_000_000
+
+// maxCrossCheckOps bounds the histories cross-validated against the
+// exhaustive Wing–Gong checker; beyond it only the linear-time SWMR oracle
+// runs.
+const maxCrossCheckOps = 20
+
+// Result is the judged outcome of one explored schedule. The three
+// *Violation fields and Truncated are empty/false for a clean run.
+type Result struct {
+	Schedule Schedule `json:"schedule"`
+	Token    string   `json:"token"`
+	// Completed and Pending count operations that terminated and that were
+	// invoked but cut off (e.g. by a crash).
+	Completed int `json:"completed"`
+	Pending   int `json:"pending"`
+	// Events, Msgs and EndTime describe the run's extent: simulator events
+	// executed, protocol messages sent, and the final virtual time.
+	Events  int64   `json:"events"`
+	Msgs    int64   `json:"msgs"`
+	EndTime float64 `json:"end_time"`
+	// Truncated reports that the run hit the event limit without
+	// quiescing — a liveness failure.
+	Truncated bool `json:"truncated,omitempty"`
+	// Invariant is the first proof-invariant violation (two-bit register
+	// runs only).
+	Invariant string `json:"invariant_violation,omitempty"`
+	// Atomicity is the SWMR checker's verdict on the recorded history.
+	Atomicity string `json:"atomicity_violation,omitempty"`
+	// CrossCheck reports a disagreement between the SWMR oracle and the
+	// exhaustive linearizability search on a small history — a checker bug,
+	// whichever way it points.
+	CrossCheck string `json:"crosscheck_violation,omitempty"`
+	// Fingerprint is a stable hash of the recorded history and run extent;
+	// equal descriptors must reproduce equal fingerprints.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Failed reports whether the run violated anything the explorer checks.
+func (r Result) Failed() bool {
+	return r.Truncated || r.Invariant != "" || r.Atomicity != "" || r.CrossCheck != ""
+}
+
+// Violation returns a human-readable description of the first failure, or
+// "" for a clean run.
+func (r Result) Violation() string {
+	switch {
+	case r.Invariant != "":
+		return "invariant: " + r.Invariant
+	case r.Atomicity != "":
+		return "atomicity: " + r.Atomicity
+	case r.CrossCheck != "":
+		return "crosscheck: " + r.CrossCheck
+	case r.Truncated:
+		return fmt.Sprintf("liveness: run truncated after %d events", r.Events)
+	}
+	return ""
+}
+
+// Run executes the schedule described by s and judges it. The returned error
+// covers descriptor problems only (unknown names, bad sizes); protocol
+// failures are reported inside the Result.
+func Run(s Schedule) (Result, error) {
+	if err := s.validate(); err != nil {
+		return Result{}, err
+	}
+	alg, ok := ByName(s.Alg)
+	if !ok {
+		return Result{}, fmt.Errorf("explore: unknown algorithm %q (have %v + mutants %v)",
+			s.Alg, AlgorithmNames(), MutantNames())
+	}
+	strat, ok := strategyByName(s.Strategy)
+	if !ok {
+		return Result{}, fmt.Errorf("explore: unknown strategy %q (have %v)", s.Strategy, StrategyNames())
+	}
+	if maxF := proto.MaxFaulty(s.N); s.Crashes > maxF {
+		s.Crashes = maxF
+	}
+
+	sched := sim.New(s.Seed)
+	if strat.ties {
+		sched.RandomizeTies(s.Seed ^ seedSaltTies)
+	}
+	stratRng := rand.New(rand.NewSource(s.Seed ^ seedSaltStrategy))
+	pumpRng := rand.New(rand.NewSource(s.Seed ^ seedSaltPump))
+	crashRng := rand.New(rand.NewSource(s.Seed ^ seedSaltCrash))
+
+	procs := make([]proto.Process, s.N)
+	var coreProcs []*core.Proc
+	for i := range procs {
+		p := alg.New(i, s.N, 0)
+		procs[i] = p
+		if cp, ok := p.(*core.Proc); ok {
+			coreProcs = append(coreProcs, cp)
+		}
+	}
+
+	res := Result{Schedule: s, Token: s.Token()}
+
+	ops, err := workload.Generate(workload.Spec{
+		Seed: s.Seed, Ops: s.Ops, ReadFraction: s.ReadFrac,
+		Writer: 0, Readers: readers(s.N), ValueSize: 8,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Per-process operation queues, pumped by completions: the next
+	// operation on a process starts one adversary-chosen gap after its
+	// previous one finishes, which keeps processes sequential while letting
+	// different processes overlap as tightly as the strategy wants.
+	type opInfo struct {
+		pid     int
+		kind    proto.OpKind
+		val     proto.Value
+		inv     float64
+		invoked bool
+	}
+	infos := make([]opInfo, len(ops))
+	queues := make([][]proto.OpID, s.N)
+	for i, w := range ops {
+		infos[i] = opInfo{pid: w.PID, kind: w.Kind, val: w.Value}
+		queues[w.PID] = append(queues[w.PID], proto.OpID(i+1))
+	}
+	next := make([]int, s.N)
+	completions := make(map[proto.OpID]struct {
+		at  float64
+		val proto.Value
+	})
+
+	col := &metrics.Collector{}
+	var net *transport.SimNet
+	var inject func(pid int)
+	inject = func(pid int) {
+		if next[pid] >= len(queues[pid]) || net.Crashed(pid) {
+			return
+		}
+		id := queues[pid][next[pid]]
+		next[pid]++
+		sched.After(strat.gap(pumpRng), func() {
+			if net.Crashed(pid) {
+				return // the op is never invoked; the queue stalls
+			}
+			info := &infos[id-1]
+			info.inv = sched.Now()
+			info.invoked = true
+			if info.kind == proto.OpWrite {
+				net.StartWrite(pid, id, info.val)
+			} else {
+				net.StartRead(pid, id)
+			}
+		})
+	}
+
+	// Crash plan: victims are non-writers; crashphase trips a victim on its
+	// k-th message delivery, every other strategy trips it on the k-th
+	// completed operation anywhere in the system — both are
+	// schedule-relative, so crashes land at protocol phases rather than at
+	// arbitrary wall-clock instants.
+	crashes := s.Crashes
+	if crashes > s.N-1 {
+		crashes = s.N - 1
+	}
+	victims := make(map[int]int) // victim pid -> trigger count
+	if crashes > 0 {
+		perm := crashRng.Perm(s.N - 1)
+		for c := 0; c < crashes; c++ {
+			pid := 1 + perm[c]
+			if strat.phaseCrash {
+				victims[pid] = 1 + crashRng.Intn(6*s.N)
+			} else {
+				victims[pid] = 1 + crashRng.Intn(max(1, s.Ops))
+			}
+		}
+	}
+
+	completedCount := 0
+	opts := []transport.Option{
+		transport.WithDelay(strat.delay(s.N, stratRng)),
+		transport.WithCollector(col),
+		transport.WithCompletion(func(pid int, c proto.Completion, at float64) {
+			completions[c.Op] = struct {
+				at  float64
+				val proto.Value
+			}{at, c.Value}
+			completedCount++
+			if !strat.phaseCrash {
+				for victim, trig := range victims {
+					if completedCount == trig {
+						net.Crash(victim)
+					}
+				}
+			}
+			inject(pid)
+		}),
+	}
+	if strat.phaseCrash && len(victims) > 0 {
+		delivered := make([]int, s.N)
+		opts = append(opts, transport.WithDeliveryObserver(func(_, to int, _ proto.Message, _ float64) {
+			delivered[to]++
+			if trig, ok := victims[to]; ok && delivered[to] == trig {
+				net.Crash(to)
+			}
+		}))
+	}
+	if len(coreProcs) == s.N {
+		opts = append(opts, transport.WithPostDelivery(func() {
+			if res.Invariant == "" {
+				if err := core.CheckGlobalInvariants(coreProcs); err != nil {
+					res.Invariant = err.Error()
+				}
+			}
+		}))
+	}
+	net = transport.NewSimNet(sched, procs, opts...)
+
+	for pid := 0; pid < s.N; pid++ {
+		inject(pid)
+	}
+
+	res.Events = sched.RunLimit(eventLimit)
+	res.Truncated = sched.Pending() > 0
+	res.EndTime = sched.Now()
+	res.Msgs = col.Snapshot().TotalMsgs
+
+	// Assemble and judge the history. Operations never invoked (their
+	// process crashed first) are not part of it.
+	h := check.History{}
+	for i := range infos {
+		info := &infos[i]
+		if !info.invoked {
+			continue
+		}
+		rec := check.Op{
+			ID: proto.OpID(i + 1), Proc: info.pid, Kind: info.kind,
+			Value: info.val, Inv: info.inv,
+		}
+		if c, ok := completions[rec.ID]; ok {
+			rec.Completed = true
+			rec.Res = c.at
+			if info.kind == proto.OpRead {
+				rec.Value = c.val
+			}
+			res.Completed++
+		} else {
+			res.Pending++
+		}
+		h.Ops = append(h.Ops, rec)
+	}
+	swmrErr := check.CheckSWMR(h)
+	if swmrErr != nil {
+		res.Atomicity = swmrErr.Error()
+	}
+	if eligible := linEligibleOps(h); eligible > 0 && eligible <= maxCrossCheckOps {
+		linErr := check.CheckLinearizable(h)
+		if (swmrErr != nil) != (linErr != nil) {
+			res.CrossCheck = fmt.Sprintf("oracles disagree on a %d-op history: swmr=%v lin=%v", eligible, swmrErr, linErr)
+		}
+	}
+	res.Fingerprint = fingerprint(h, res)
+	return res, nil
+}
+
+// linEligibleOps counts the operations CheckLinearizable would search over
+// (pending reads are dropped by that checker).
+func linEligibleOps(h check.History) int {
+	n := 0
+	for _, op := range h.Ops {
+		if op.Completed || op.Kind == proto.OpWrite {
+			n++
+		}
+	}
+	return n
+}
+
+// fingerprint hashes the recorded history and run extent. Two runs of the
+// same descriptor must produce identical fingerprints — that is the
+// byte-identical replay guarantee the tokens rest on.
+func fingerprint(h check.History, r Result) string {
+	hash := sha256.New()
+	fmt.Fprintf(hash, "events=%d msgs=%d end=%.17g\n", r.Events, r.Msgs, r.EndTime)
+	for _, op := range h.Ops {
+		fmt.Fprintf(hash, "%d|%d|%d|%x|%.17g|%.17g|%v\n",
+			op.ID, op.Proc, op.Kind, []byte(op.Value), op.Inv, op.Res, op.Completed)
+	}
+	return hex.EncodeToString(hash.Sum(nil))[:16]
+}
+
+func readers(n int) []int {
+	var out []int
+	for i := 1; i < n; i++ {
+		out = append(out, i)
+	}
+	if len(out) == 0 {
+		out = []int{0}
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package explore
+
+import "testing"
+
+// mutationBudget is the fixed schedule budget within which every seeded
+// protocol bug must be caught — the acceptance bar for the explorer's
+// detection power. It spans all strategies over consecutive seeds.
+const mutationBudget = 140
+
+// TestMutantsAreCaughtWithinBudget is the explorer's completeness half:
+// each deliberately broken variant must produce at least one detected
+// violation within the budget, and the failing run must reproduce
+// byte-identically from its replay token.
+func TestMutantsAreCaughtWithinBudget(t *testing.T) {
+	t.Parallel()
+	for _, mutant := range MutantNames() {
+		mutant := mutant
+		t.Run(mutant, func(t *testing.T) {
+			t.Parallel()
+			sw, err := Sweep(SweepSpec{
+				Algs: []string{mutant}, N: 5, Ops: 30, ReadFrac: 0.6,
+				Crashes: 1, Budget: mutationBudget, Seed0: 1, StopEarly: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sw.Failures) == 0 {
+				t.Fatalf("mutant %s survived %d schedules — the explorer has no teeth for this bug class", mutant, sw.Runs)
+			}
+			fail := sw.Failures[0]
+			t.Logf("%s caught after %d runs by %s: %s", mutant, sw.Runs, fail.Schedule.Strategy, fail.Violation())
+
+			// The failure must replay byte-identically from its token
+			// alone.
+			s, err := ParseToken(fail.Token)
+			if err != nil {
+				t.Fatalf("failure token %q does not parse: %v", fail.Token, err)
+			}
+			replayed, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !replayed.Failed() {
+				t.Fatalf("replaying %s lost the failure", fail.Token)
+			}
+			if replayed.Fingerprint != fail.Fingerprint || replayed.Events != fail.Events {
+				t.Fatalf("replay of %s diverged: fingerprint %s/%d vs %s/%d",
+					fail.Token, fail.Fingerprint, fail.Events, replayed.Fingerprint, replayed.Events)
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package explore
+
+import (
+	"sort"
+
+	"twobitreg/internal/abd"
+	"twobitreg/internal/attiya"
+	"twobitreg/internal/boundedabd"
+	"twobitreg/internal/core"
+	"twobitreg/internal/phased"
+	"twobitreg/internal/proto"
+)
+
+// registry maps Schedule.Alg names to constructors. It includes every
+// correct algorithm in the repository plus the deliberately broken mutants
+// used to verify the explorer's detection power.
+func registry() map[string]proto.Algorithm {
+	return map[string]proto.Algorithm{
+		// Correct algorithms.
+		"twobit":        core.Algorithm(),
+		"twobit-gc":     proto.Alg("twobit-gc", core.Algorithm(core.WithHistoryGC()).New),
+		"twobit-oracle": proto.Alg("twobit-oracle", core.Algorithm(core.WithExplicitSeqnums()).New),
+		"abd":           abd.Algorithm(),
+		"abd-mwmr":      abd.MWMRAlgorithm(),
+		"bounded-abd":   boundedabd.Algorithm(),
+		"attiya":        attiya.Algorithm(),
+		// The phased engine in its minimal configuration (1 write phase,
+		// 2 read phases — ABD's exchange): bounded-abd and attiya are
+		// deeper phase schedules of the same engine, but this entry
+		// exercises its base case directly.
+		"phased": phased.Algorithm(phased.Config{
+			Name: "phased", WritePhases: 1, ReadPhases: 2,
+			CtrlBits:   func(n int) int { return 64 },
+			MemoryBits: func(n int) int { return 128 },
+		}),
+
+		// Mutants: each is a seeded protocol bug the explorer must catch
+		// within a bounded schedule budget (see mutation_test.go). Never
+		// run these outside detection tests.
+		"mut-ack-early":    proto.Alg("mut-ack-early", core.Algorithm(core.WithFault(core.FaultAckBeforeQuorum)).New),
+		"mut-skip-proceed": proto.Alg("mut-skip-proceed", core.Algorithm(core.WithFault(core.FaultSkipProceedWait)).New),
+		"mut-stale-read":   proto.Alg("mut-stale-read", newStaleReader),
+	}
+}
+
+// ByName resolves an algorithm (or mutant) name from a Schedule.
+func ByName(name string) (proto.Algorithm, bool) {
+	a, ok := registry()[name]
+	return a, ok
+}
+
+// AlgorithmNames returns the correct (non-mutant) algorithm names, sorted.
+func AlgorithmNames() []string {
+	var out []string
+	for name := range registry() {
+		if !isMutant(name) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MutantNames returns the deliberately broken variants, sorted.
+func MutantNames() []string {
+	var out []string
+	for name := range registry() {
+		if isMutant(name) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func isMutant(name string) bool { return len(name) > 4 && name[:4] == "mut-" }
+
+// staleReader wraps a correct process with a broken read cache: once it has
+// seen any read complete, later reads return that value immediately without
+// running the protocol. This mutant exercises the wrapper path (proto.Alg)
+// and violates Claims 2/3 as soon as a newer write completes elsewhere.
+type staleReader struct {
+	proto.Process
+	cached proto.Value
+	has    bool
+}
+
+func newStaleReader(id, n, writer int) proto.Process {
+	return &staleReader{Process: core.New(id, n, writer)}
+}
+
+func (s *staleReader) StartRead(op proto.OpID) proto.Effects {
+	if s.has {
+		var eff proto.Effects
+		eff.AddDone(op, proto.OpRead, s.cached.Clone())
+		return eff
+	}
+	return s.observe(s.Process.StartRead(op))
+}
+
+func (s *staleReader) Deliver(from int, msg proto.Message) proto.Effects {
+	return s.observe(s.Process.Deliver(from, msg))
+}
+
+func (s *staleReader) observe(eff proto.Effects) proto.Effects {
+	for _, d := range eff.Done {
+		if d.Kind == proto.OpRead {
+			s.cached = d.Value.Clone()
+			s.has = true
+		}
+	}
+	return eff
+}

@@ -1,0 +1,44 @@
+package explore
+
+import (
+	"flag"
+	"testing"
+)
+
+// replayToken replays one explored schedule from its one-line token:
+//
+//	go test ./internal/explore -run TestReplay -replay=xb1:twobit:pct:1:5:30:0.6:1
+//
+// The test fails (with the full violation) iff the replayed run fails, so a
+// token harvested from a sweep failure reproduces that failure exactly.
+var replayToken = flag.String("replay", "", "replay token to execute (see package doc)")
+
+func TestReplay(t *testing.T) {
+	tok := *replayToken
+	if tok == "" {
+		// Self-check mode: pipeline a known schedule through
+		// token -> parse -> run twice and demand identical results.
+		tok = Schedule{Alg: "twobit", Strategy: "burst", Seed: 9, N: 5, Ops: 25, ReadFrac: 0.5, Crashes: 1}.Token()
+	}
+	s, err := ParseToken(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint || a.Events != b.Events {
+		t.Fatalf("replay is not byte-identical: fingerprint %s/%d vs %s/%d",
+			a.Fingerprint, a.Events, b.Fingerprint, b.Events)
+	}
+	t.Logf("replayed %s: %d/%d ops completed, %d events, %d msgs, fingerprint %s",
+		a.Token, a.Completed, s.Ops, a.Events, a.Msgs, a.Fingerprint)
+	if a.Failed() {
+		t.Fatalf("replayed failure on %s: %s", a.Token, a.Violation())
+	}
+}

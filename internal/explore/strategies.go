@@ -1,0 +1,213 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"twobitreg/internal/transport"
+)
+
+// strategy is one adversary family. Its closures draw all persistent
+// choices (link speeds, victim sets, burst periods) from the rng handed to
+// them, which Run derives from the Schedule seed — so a strategy instance is
+// a pure function of the descriptor.
+type strategy struct {
+	name string
+	doc  string
+	// delay builds the adversary's delay model for an n-process run with
+	// writer 0. The returned DelayFn may additionally use the per-message
+	// rng the transport passes (the scheduler's seeded source).
+	delay func(n int, rng *rand.Rand) transport.DelayFn
+	// maxDelay bounds the delays the strategy generates, for callers that
+	// need a worst-case estimate (eval invocation spacing).
+	maxDelay float64
+	// gap draws the pause between an operation completing and the next
+	// operation starting on the same process.
+	gap func(rng *rand.Rand) float64
+	// ties, when true, randomizes the scheduler's equal-timestamp
+	// tie-breaking (the PCT-style interleaving adversary).
+	ties bool
+	// phaseCrash, when true, places crashes by delivery count (a protocol
+	// phase trigger) instead of by completed-operation count.
+	phaseCrash bool
+}
+
+// strategies returns the adversary families, in stable order.
+//
+//	uniform     — baseline: iid uniform delays, relaxed op spacing.
+//	asym        — per-link asymmetric speeds: each ordered link gets a fixed
+//	              log-uniform base delay, so some routes are consistently
+//	              ~100x slower than others and gossip takes lopsided paths.
+//	slowquorum  — targeted quorum-slowing: a random writer-side set A keeps
+//	              fast links internally, but every link leaving A toward the
+//	              rest is slow. Completions on A's side race propagation to
+//	              the complement — the schedule family that separates
+//	              quorum-waiting protocols from almost-quorum ones.
+//	race        — writer/reader phase races: near-zero op spacing, so every
+//	              read overlaps a write phase boundary somewhere.
+//	burst       — burst reordering: links run nearly instantaneous but every
+//	              k-th message per link is a straggler, yielding maximal
+//	              overtaking within each burst window.
+//	crashphase  — crashes triggered at protocol phases: a victim dies upon
+//	              its k-th message delivery (k seeded), e.g. mid-quorum.
+//	pct         — random-priority scheduling: delays quantized to a small
+//	              integer grid so deliveries pile onto the same instants,
+//	              and the scheduler breaks those ties by seeded random
+//	              priority (PCT-style interleaving exploration).
+func strategies() []strategy {
+	return []strategy{
+		{
+			name:     "uniform",
+			doc:      "iid uniform delays in [0.1, 2.0]",
+			maxDelay: 2.0,
+			delay: func(_ int, _ *rand.Rand) transport.DelayFn {
+				return func(_, _ int, mrng *rand.Rand) float64 {
+					return 0.1 + 1.9*mrng.Float64()
+				}
+			},
+			gap: func(rng *rand.Rand) float64 { return 0.5 + 2*rng.Float64() },
+		},
+		{
+			name:     "asym",
+			doc:      "fixed per-link log-uniform base delays with jitter",
+			maxDelay: 6.0,
+			delay: func(n int, rng *rand.Rand) transport.DelayFn {
+				base := make([][]float64, n)
+				for i := range base {
+					base[i] = make([]float64, n)
+					for j := range base[i] {
+						// Log-uniform over [0.05, 5]: two orders of
+						// magnitude between the fastest and slowest link.
+						base[i][j] = math.Exp(math.Log(0.05) + rng.Float64()*math.Log(5/0.05))
+					}
+				}
+				return func(from, to int, mrng *rand.Rand) float64 {
+					return base[from][to] * (0.9 + 0.2*mrng.Float64())
+				}
+			},
+			gap: func(rng *rand.Rand) float64 { return 0.1 + rng.Float64() },
+		},
+		{
+			name:     "slowquorum",
+			doc:      "slow every link leaving a random writer-side set",
+			maxDelay: 12.0,
+			delay: func(n int, rng *rand.Rand) transport.DelayFn {
+				inA := make([]bool, n)
+				inA[0] = true // the writer anchors the fast set
+				if n > 2 {
+					sizeA := 1 + rng.Intn(n-2) // 1..n-2, leaving >= 2 outside
+					perm := rng.Perm(n - 1)
+					for k := 0; k < sizeA-1; k++ {
+						inA[1+perm[k]] = true
+					}
+				}
+				return func(from, to int, mrng *rand.Rand) float64 {
+					if inA[from] && !inA[to] {
+						return 8 + 4*mrng.Float64()
+					}
+					return 0.1 + 0.1*mrng.Float64()
+				}
+			},
+			gap: func(rng *rand.Rand) float64 { return 0.2 + 0.8*rng.Float64() },
+		},
+		{
+			name:     "race",
+			doc:      "near-zero op spacing so reads race write phases",
+			maxDelay: 1.5,
+			delay: func(_ int, _ *rand.Rand) transport.DelayFn {
+				return func(_, _ int, mrng *rand.Rand) float64 {
+					return 0.5 + mrng.Float64()
+				}
+			},
+			gap: func(rng *rand.Rand) float64 { return 0.01 + 0.05*rng.Float64() },
+		},
+		{
+			name:     "burst",
+			doc:      "fast links with a periodic straggler per link",
+			maxDelay: 12.0,
+			delay: func(n int, rng *rand.Rand) transport.DelayFn {
+				period := make([][]int, n)
+				count := make([][]int, n)
+				for i := range period {
+					period[i] = make([]int, n)
+					count[i] = make([]int, n)
+					for j := range period[i] {
+						period[i][j] = 3 + rng.Intn(4)
+					}
+				}
+				return func(from, to int, mrng *rand.Rand) float64 {
+					count[from][to]++
+					if count[from][to]%period[from][to] == 0 {
+						return 6 + 6*mrng.Float64() // straggler overtaken by the next burst
+					}
+					return 0.02 + 0.03*mrng.Float64()
+				}
+			},
+			gap: func(rng *rand.Rand) float64 { return 0.2 + 0.4*rng.Float64() },
+		},
+		{
+			name:     "crashphase",
+			doc:      "victims crash on their k-th message delivery",
+			maxDelay: 2.0,
+			delay: func(_ int, _ *rand.Rand) transport.DelayFn {
+				return func(_, _ int, mrng *rand.Rand) float64 {
+					return 0.2 + 1.8*mrng.Float64()
+				}
+			},
+			gap:        func(rng *rand.Rand) float64 { return 0.3 + rng.Float64() },
+			phaseCrash: true,
+		},
+		{
+			name:     "pct",
+			doc:      "quantized delays + random-priority tie-breaking",
+			maxDelay: 3.0,
+			delay: func(_ int, _ *rand.Rand) transport.DelayFn {
+				return func(_, _ int, mrng *rand.Rand) float64 {
+					return float64(1 + mrng.Intn(3))
+				}
+			},
+			gap:  func(rng *rand.Rand) float64 { return float64(1 + rng.Intn(3)) },
+			ties: true,
+		},
+	}
+}
+
+// StrategyNames returns every adversary strategy name, sorted.
+func StrategyNames() []string {
+	var out []string
+	for _, s := range strategies() {
+		out = append(out, s.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StrategyDoc returns a one-line description of the named strategy.
+func StrategyDoc(name string) (string, bool) {
+	s, ok := strategyByName(name)
+	return s.doc, ok
+}
+
+func strategyByName(name string) (strategy, bool) {
+	for _, s := range strategies() {
+		if s.name == name {
+			return s, true
+		}
+	}
+	return strategy{}, false
+}
+
+// ProfileDelay builds just the delay model of the named strategy for an
+// n-process run, so eval scenarios and Table-1 sweeps can reuse adversary
+// profiles (eval.ScenarioSpec.Delay). The second return is the strategy's
+// maximum delay, which such callers should use as their worst-case Δ
+// estimate when spacing invocations.
+func ProfileDelay(name string, n int, seed int64) (transport.DelayFn, float64, error) {
+	s, ok := strategyByName(name)
+	if !ok {
+		return nil, 0, fmt.Errorf("explore: unknown strategy %q (have %v)", name, StrategyNames())
+	}
+	return s.delay(n, rand.New(rand.NewSource(seed^seedSaltStrategy))), s.maxDelay, nil
+}

@@ -1,0 +1,143 @@
+package explore
+
+import "fmt"
+
+// SweepSpec parameterizes a budgeted exploration sweep: the cross product of
+// algorithms and strategies, swept over consecutive seeds until the run
+// budget is exhausted.
+type SweepSpec struct {
+	// Algs and Strategies default to all correct algorithms and all
+	// strategies when empty.
+	Algs       []string `json:"algs"`
+	Strategies []string `json:"strategies"`
+	// N, Ops, ReadFrac, Crashes shape every explored schedule. N and Ops
+	// default to 5 and 30 when zero.
+	N        int     `json:"n"`
+	Ops      int     `json:"ops"`
+	ReadFrac float64 `json:"read_frac"`
+	Crashes  int     `json:"crashes"`
+	// Budget is the total number of runs; it defaults to 100.
+	Budget int `json:"budget"`
+	// Seed0 is the first seed; round k uses Seed0+k.
+	Seed0 int64 `json:"seed0"`
+	// StopEarly returns at the first failure instead of spending the whole
+	// budget — what the mutation tests use to measure detection latency.
+	StopEarly bool `json:"stop_early,omitempty"`
+}
+
+// SweepResult aggregates a sweep: how many runs executed, how many were
+// clean, and every failure (each carrying its replay token).
+type SweepResult struct {
+	Runs     int      `json:"runs"`
+	Clean    int      `json:"clean"`
+	Failures []Result `json:"failures"`
+}
+
+// Sweep explores spec's schedule family within its budget.
+func Sweep(spec SweepSpec) (SweepResult, error) {
+	if len(spec.Algs) == 0 {
+		spec.Algs = AlgorithmNames()
+	}
+	if len(spec.Strategies) == 0 {
+		spec.Strategies = StrategyNames()
+	}
+	if spec.N < 1 {
+		spec.N = 5
+	}
+	if spec.Ops < 1 {
+		spec.Ops = 30
+	}
+	if spec.Budget < 1 {
+		spec.Budget = 100
+	}
+	var out SweepResult
+	for round := int64(0); ; round++ {
+		for _, alg := range spec.Algs {
+			for _, st := range spec.Strategies {
+				if out.Runs >= spec.Budget {
+					return out, nil
+				}
+				r, err := Run(Schedule{
+					Alg: alg, Strategy: st, Seed: spec.Seed0 + round,
+					N: spec.N, Ops: spec.Ops, ReadFrac: spec.ReadFrac,
+					Crashes: spec.Crashes,
+				})
+				if err != nil {
+					return out, fmt.Errorf("explore: sweep run %d: %w", out.Runs, err)
+				}
+				out.Runs++
+				if r.Failed() {
+					out.Failures = append(out.Failures, r)
+					if spec.StopEarly {
+						return out, nil
+					}
+				} else {
+					out.Clean++
+				}
+			}
+		}
+	}
+}
+
+// Shrink minimizes a failing schedule by bisecting the descriptor, not the
+// trace: candidates with fewer operations, processes, or crashes are re-run
+// and adopted while they still fail. budget bounds the candidate runs. It
+// returns the smallest failing schedule found with its result; if s itself
+// does not fail, it is returned unchanged.
+func Shrink(s Schedule, budget int) (Schedule, Result, error) {
+	res, err := Run(s)
+	if err != nil || !res.Failed() {
+		return s, res, err
+	}
+	cur, curRes := s, res
+	for budget > 0 {
+		improved := false
+		for _, cand := range shrinkCandidates(cur) {
+			if budget <= 0 {
+				break
+			}
+			budget--
+			cr, err := Run(cand)
+			if err != nil {
+				continue
+			}
+			if cr.Failed() {
+				cur, curRes = cand, cr
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, curRes, nil
+}
+
+// shrinkCandidates proposes strictly smaller descriptors, most aggressive
+// first.
+func shrinkCandidates(s Schedule) []Schedule {
+	var out []Schedule
+	add := func(c Schedule) { out = append(out, c) }
+	if s.Ops > 3 {
+		c := s
+		c.Ops = s.Ops / 2
+		add(c)
+	}
+	if s.Ops > 1 {
+		c := s
+		c.Ops = s.Ops - 1
+		add(c)
+	}
+	if s.N > 3 {
+		c := s
+		c.N = s.N - 2 // keep n odd so the crash budget shrinks smoothly
+		add(c)
+	}
+	if s.Crashes > 0 {
+		c := s
+		c.Crashes = s.Crashes - 1
+		add(c)
+	}
+	return out
+}

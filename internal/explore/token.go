@@ -1,0 +1,102 @@
+package explore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokenVersion prefixes every replay token. Bump it whenever a change to the
+// explorer alters what a descriptor reproduces (field set, strategy
+// semantics, workload derivation): an old token must fail to parse rather
+// than silently replay a different run.
+const tokenVersion = "xb1"
+
+// Schedule is the compact descriptor of one adversarial run: algorithm,
+// adversary strategy, and the seeds and sizes that make the run
+// reproducible byte for byte. A Schedule serializes to a one-line replay
+// token (Token/ParseToken); failure reports carry the token, and
+// `go test -run TestReplay -replay=<token> ./internal/explore` replays it.
+type Schedule struct {
+	// Alg names the algorithm under test (see AlgorithmNames and
+	// MutantNames).
+	Alg string `json:"alg"`
+	// Strategy names the adversary (see StrategyNames).
+	Strategy string `json:"strategy"`
+	// Seed drives every random choice of the run: the workload, the
+	// adversary's delay draws, crash placement, and (for pct) tie-breaking.
+	Seed int64 `json:"seed"`
+	// N is the number of processes; process 0 is the writer.
+	N int `json:"n"`
+	// Ops is the total number of client operations in the workload.
+	Ops int `json:"ops"`
+	// ReadFrac is the read fraction of the workload, in [0, 1].
+	ReadFrac float64 `json:"read_frac"`
+	// Crashes is the number of non-writer processes the adversary crashes;
+	// Run caps it at proto.MaxFaulty(N).
+	Crashes int `json:"crashes"`
+}
+
+// Token serializes s to its one-line replay token.
+func (s Schedule) Token() string {
+	return strings.Join([]string{
+		tokenVersion,
+		s.Alg,
+		s.Strategy,
+		strconv.FormatInt(s.Seed, 10),
+		strconv.Itoa(s.N),
+		strconv.Itoa(s.Ops),
+		strconv.FormatFloat(s.ReadFrac, 'g', -1, 64),
+		strconv.Itoa(s.Crashes),
+	}, ":")
+}
+
+// ParseToken is the inverse of Token. It validates shape only; Run validates
+// that the algorithm and strategy names resolve.
+func ParseToken(tok string) (Schedule, error) {
+	parts := strings.Split(strings.TrimSpace(tok), ":")
+	if len(parts) != 8 {
+		return Schedule{}, fmt.Errorf("explore: token needs 8 fields, got %d in %q", len(parts), tok)
+	}
+	if parts[0] != tokenVersion {
+		return Schedule{}, fmt.Errorf("explore: token version %q, this explorer speaks %q", parts[0], tokenVersion)
+	}
+	s := Schedule{Alg: parts[1], Strategy: parts[2]}
+	var err error
+	if s.Seed, err = strconv.ParseInt(parts[3], 10, 64); err != nil {
+		return Schedule{}, fmt.Errorf("explore: bad seed in token: %w", err)
+	}
+	if s.N, err = strconv.Atoi(parts[4]); err != nil {
+		return Schedule{}, fmt.Errorf("explore: bad n in token: %w", err)
+	}
+	if s.Ops, err = strconv.Atoi(parts[5]); err != nil {
+		return Schedule{}, fmt.Errorf("explore: bad ops in token: %w", err)
+	}
+	if s.ReadFrac, err = strconv.ParseFloat(parts[6], 64); err != nil {
+		return Schedule{}, fmt.Errorf("explore: bad read fraction in token: %w", err)
+	}
+	if s.Crashes, err = strconv.Atoi(parts[7]); err != nil {
+		return Schedule{}, fmt.Errorf("explore: bad crash count in token: %w", err)
+	}
+	return s, nil
+}
+
+// validate rejects descriptors Run cannot execute.
+func (s Schedule) validate() error {
+	if s.N < 1 {
+		return fmt.Errorf("explore: schedule needs N >= 1, got %d", s.N)
+	}
+	if s.Ops < 0 {
+		return fmt.Errorf("explore: negative op count %d", s.Ops)
+	}
+	if s.ReadFrac < 0 || s.ReadFrac > 1 {
+		return fmt.Errorf("explore: read fraction %v outside [0,1]", s.ReadFrac)
+	}
+	if s.Crashes < 0 {
+		return fmt.Errorf("explore: negative crash count %d", s.Crashes)
+	}
+	if strings.Contains(s.Alg, ":") || strings.Contains(s.Strategy, ":") {
+		return fmt.Errorf("explore: names must not contain ':' (alg %q, strategy %q)", s.Alg, s.Strategy)
+	}
+	return nil
+}

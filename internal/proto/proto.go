@@ -153,6 +153,23 @@ type Algorithm interface {
 	New(id, n, writer int) Process
 }
 
+// Alg adapts a name and a constructor function to Algorithm. It is the
+// lightweight way to define algorithm variants — renamed configurations,
+// wrappers, or the deliberately broken mutants the schedule explorer uses to
+// test its own detection power.
+func Alg(name string, newFn func(id, n, writer int) Process) Algorithm {
+	return algFunc{name: name, newFn: newFn}
+}
+
+type algFunc struct {
+	name  string
+	newFn func(id, n, writer int) Process
+}
+
+func (a algFunc) Name() string { return a.name }
+
+func (a algFunc) New(id, n, writer int) Process { return a.newFn(id, n, writer) }
+
 // Validate checks common constructor arguments and panics on misuse: these
 // are programmer errors, not runtime conditions.
 func Validate(id, n, writer int) {

@@ -22,6 +22,7 @@ type Scheduler struct {
 	seq    uint64
 	events eventHeap
 	rng    *rand.Rand
+	tieRng *rand.Rand
 	// Executed counts events run so far; useful as a progress metric and
 	// for runaway detection in tests.
 	executed int64
@@ -29,7 +30,8 @@ type Scheduler struct {
 
 type event struct {
 	at  float64
-	seq uint64 // FIFO tie-break for equal timestamps
+	tie uint64 // tie-break for equal timestamps: seq (FIFO) or random priority
+	seq uint64 // scheduling order; final tie-break and FIFO default
 	fn  func()
 }
 
@@ -39,6 +41,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].tie != h[j].tie {
+		return h[i].tie < h[j].tie
 	}
 	return h[i].seq < h[j].seq
 }
@@ -64,6 +69,16 @@ func (s *Scheduler) Now() float64 { return s.now }
 // Rand returns the scheduler's deterministic random source.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
+// RandomizeTies switches the tie-break rule for equal-timestamp events from
+// FIFO scheduling order to a seeded random priority drawn per event. With
+// quantized delays this turns every batch of simultaneous deliveries into a
+// fresh interleaving per seed — the PCT-style adversary the schedule
+// explorer uses. Call it before scheduling any events; runs stay
+// reproducible from (scheduler seed, tie seed).
+func (s *Scheduler) RandomizeTies(seed int64) {
+	s.tieRng = rand.New(rand.NewSource(seed))
+}
+
 // Executed returns the number of events run so far.
 func (s *Scheduler) Executed() int64 { return s.executed }
 
@@ -77,7 +92,11 @@ func (s *Scheduler) At(t float64, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	tie := s.seq
+	if s.tieRng != nil {
+		tie = s.tieRng.Uint64()
+	}
+	heap.Push(&s.events, &event{at: t, tie: tie, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d time units from now. d must be >= 0.

@@ -22,6 +22,12 @@ import (
 // the completion record, and the virtual time at which it completed.
 type CompletionFn func(pid int, c proto.Completion, at float64)
 
+// DeliveryFn observes a message about to be delivered. It runs before the
+// recipient's Deliver step; if it crashes the recipient (fault injection),
+// the message is dropped — that is how the schedule explorer realizes
+// crash-at-protocol-phase triggers.
+type DeliveryFn func(from, to int, msg proto.Message, at float64)
+
 // SimNet routes messages between proto.Process state machines in virtual
 // time. It owns effect routing: processes never talk to the network
 // directly — every Effects value returned by a process is dispatched here.
@@ -30,12 +36,13 @@ type CompletionFn func(pid int, c proto.Completion, at float64)
 // takes no further steps; messages already in flight to it are discarded at
 // delivery time, while its own previously sent messages still arrive.
 type SimNet struct {
-	sched   *sim.Scheduler
-	procs   []proto.Process
-	delay   DelayFn
-	crashed []bool
-	col     *metrics.Collector
-	onDone  CompletionFn
+	sched     *sim.Scheduler
+	procs     []proto.Process
+	delay     DelayFn
+	crashed   []bool
+	col       *metrics.Collector
+	onDone    CompletionFn
+	onDeliver DeliveryFn
 	// postDelivery, if set, runs after every delivery event — the hook the
 	// invariant checkers use to inspect global state between atomic steps.
 	postDelivery func()
@@ -58,6 +65,9 @@ func WithCompletion(f CompletionFn) Option { return func(n *SimNet) { n.onDone =
 
 // WithPostDelivery attaches a hook run after every delivery event.
 func WithPostDelivery(f func()) Option { return func(n *SimNet) { n.postDelivery = f } }
+
+// WithDeliveryObserver attaches a hook run immediately before each delivery.
+func WithDeliveryObserver(f DeliveryFn) Option { return func(n *SimNet) { n.onDeliver = f } }
 
 // NewSimNet wires procs to the scheduler. procs[i].ID() must equal i.
 func NewSimNet(sched *sim.Scheduler, procs []proto.Process, opts ...Option) *SimNet {
@@ -162,6 +172,12 @@ func (n *SimNet) send(from, to int, msg proto.Message) {
 		n.inFlight[from][to]--
 		if n.crashed[to] {
 			return // crash-stop: the recipient takes no further steps
+		}
+		if n.onDeliver != nil {
+			n.onDeliver(from, to, msg, n.sched.Now())
+			if n.crashed[to] {
+				return // the observer crashed the recipient mid-phase
+			}
 		}
 		eff := n.procs[to].Deliver(from, msg)
 		n.route(to, eff)

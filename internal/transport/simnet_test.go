@@ -196,3 +196,54 @@ func (*selfSender) StartRead(proto.OpID) proto.Effects {
 }
 func (*selfSender) StartWrite(proto.OpID, proto.Value) proto.Effects { return proto.Effects{} }
 func (*selfSender) LocalMemoryBits() int                             { return 0 }
+
+func TestSimNetDeliveryObserver(t *testing.T) {
+	t.Parallel()
+	type seen struct {
+		from, to int
+		name     string
+		at       float64
+	}
+	var log []seen
+	var net *transport.SimNet
+	net, procs, _ := newEchoNet(t, transport.WithDeliveryObserver(
+		func(from, to int, msg proto.Message, at float64) {
+			log = append(log, seen{from, to, msg.TypeName(), at})
+		}))
+	net.StartRead(0, 1)
+	net.Run()
+	want := []seen{{0, 1, "PING", 1}, {1, 0, "PONG", 2}}
+	if len(log) != len(want) {
+		t.Fatalf("observer saw %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("observer event %d = %v, want %v", i, log[i], want[i])
+		}
+	}
+	_ = procs
+}
+
+// TestSimNetObserverCrashDropsMessage: crashing the recipient from inside
+// the delivery observer must drop that very message — the mechanism behind
+// the explorer's crash-at-protocol-phase triggers.
+func TestSimNetObserverCrashDropsMessage(t *testing.T) {
+	t.Parallel()
+	var net *transport.SimNet
+	var opts []transport.Option
+	opts = append(opts, transport.WithDeliveryObserver(
+		func(_, to int, _ proto.Message, _ float64) {
+			if to == 1 {
+				net.Crash(1)
+			}
+		}))
+	net, procs, _ := newEchoNet(t, opts...)
+	net.StartRead(0, 1)
+	net.Run()
+	if len(procs[1].received) != 0 {
+		t.Fatalf("p1 received %v despite crashing in the observer", procs[1].received)
+	}
+	if len(procs[0].received) != 0 {
+		t.Fatal("a dropped ping still produced a pong")
+	}
+}
