@@ -10,12 +10,15 @@
 // Usage:
 //
 //	regexplore [-algs twobit,abd] [-strategies slowquorum,pct] [-n 5]
-//	           [-ops 30] [-reads 0.6] [-crashes 1] [-budget 100]
-//	           [-seed0 1] [-shrink] [-json]
+//	           [-ops 30] [-reads 0.6] [-crashes 1] [-writers 1]
+//	           [-budget 100] [-seed0 1] [-shrink] [-json]
 //	regexplore -replay <token> [-json]
 //
-// The sweep exits non-zero if any schedule failed; -shrink additionally
-// minimizes each failing descriptor before reporting it.
+// -writers 2..4 sweeps true multi-writer workloads (concurrent writer
+// streams with distinct tagged values, judged by the near-linear MWMR
+// cluster checker); the algorithm list then defaults to the MWMR-capable
+// algorithms. The sweep exits non-zero if any schedule failed; -shrink
+// additionally minimizes each failing descriptor before reporting it.
 package main
 
 import (
@@ -34,6 +37,7 @@ type config struct {
 	n, ops            int
 	reads             float64
 	crashes, budget   int
+	writers           int
 	seed0             int64
 	jsonOut, doShrink bool
 	replay            string
@@ -47,6 +51,7 @@ func main() {
 	flag.IntVar(&cfg.ops, "ops", 30, "operations per run")
 	flag.Float64Var(&cfg.reads, "reads", 0.6, "read fraction in [0,1]")
 	flag.IntVar(&cfg.crashes, "crashes", 1, "non-writer crashes per run (capped at t)")
+	flag.IntVar(&cfg.writers, "writers", 1, "concurrent writers; >= 2 sweeps multi-writer workloads over MWMR-capable algorithms")
 	flag.IntVar(&cfg.budget, "budget", 100, "total runs in the sweep")
 	flag.Int64Var(&cfg.seed0, "seed0", 1, "first seed")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit JSON instead of text")
@@ -67,7 +72,7 @@ func run(cfg config, out io.Writer) error {
 	spec := explore.SweepSpec{
 		Algs: csv(cfg.algs), Strategies: csv(cfg.strategies),
 		N: cfg.n, Ops: cfg.ops, ReadFrac: cfg.reads, Crashes: cfg.crashes,
-		Budget: cfg.budget, Seed0: cfg.seed0,
+		Writers: cfg.writers, Budget: cfg.budget, Seed0: cfg.seed0,
 	}
 	res, err := explore.Sweep(spec)
 	if err != nil {

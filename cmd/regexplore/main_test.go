@@ -38,6 +38,46 @@ func TestRunSweepCatchesMutantAndExitsNonZero(t *testing.T) {
 	}
 }
 
+// TestRunSweepMultiWriter: a -writers sweep must default to the
+// MWMR-capable algorithms, run clean, and report at least two writer
+// processes per run.
+func TestRunSweepMultiWriter(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := config{strategies: "race,pct", n: 5, ops: 16, reads: 0.4,
+		crashes: 1, writers: 3, budget: 4, seed0: 1, jsonOut: true}
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("clean multi-writer sweep reported failure: %v\n%s", err, buf.String())
+	}
+	var res explore.SweepResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if res.Runs != 4 || res.Clean != 4 {
+		t.Fatalf("expected 4 clean runs, got %+v", res)
+	}
+}
+
+// TestRunReplayMultiWriterToken: a 9-field multi-writer token replays
+// through the CLI and the result reports the writer interleaving.
+func TestRunReplayMultiWriterToken(t *testing.T) {
+	tok := explore.Schedule{Alg: "abd-mwmr", Strategy: "race", Seed: 3, N: 5,
+		Ops: 15, ReadFrac: 0.4, Crashes: 1, Writers: 3}.Token()
+	if !strings.HasSuffix(tok, ":3") {
+		t.Fatalf("token %q does not carry the writer count", tok)
+	}
+	var buf bytes.Buffer
+	if err := run(config{replay: tok, jsonOut: true}, &buf); err != nil {
+		t.Fatalf("replay of a clean multi-writer schedule failed: %v", err)
+	}
+	var res explore.Result
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("replay output is not JSON: %v\n%s", err, buf.String())
+	}
+	if res.Token != tok || res.WriterProcs < 2 {
+		t.Fatalf("replay result does not describe a multi-writer run: %+v", res)
+	}
+}
+
 func TestRunReplayToken(t *testing.T) {
 	tok := explore.Schedule{Alg: "twobit", Strategy: "asym", Seed: 3, N: 5,
 		Ops: 15, ReadFrac: 0.5, Crashes: 1}.Token()

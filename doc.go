@@ -25,9 +25,11 @@
 // (internal/core), the discrete-event simulator and instrumented transports
 // (internal/sim, internal/transport), the ABD baselines (internal/abd), the
 // bounded-cost comparators (internal/boundedabd, internal/attiya), the
-// linearizability checkers (internal/check), the Table 1 reproduction
-// harness (internal/eval), and the adversarial schedule explorer
-// (internal/explore).
+// linearizability checkers (internal/check — a Checker interface over the
+// paper's Lemma-10 SWMR fast path, a near-linear Gibbons–Korach multi-writer
+// fast path, and the exhaustive Wing–Gong differential oracle), the Table 1
+// reproduction harness (internal/eval), and the adversarial schedule
+// explorer (internal/explore).
 //
 // # Adversarial schedule exploration
 //
@@ -51,6 +53,15 @@
 // budgeted sweeps (with JSON output), and the explorer's detection power is
 // itself verified by mutation tests: deliberately broken protocol variants
 // (a write acknowledging before its quorum, a PROCEED that skips the
-// freshness wait, a stale read cache) must be caught within a fixed
-// schedule budget.
+// freshness wait, stale read caches on both the two-bit register and the
+// MWMR baseline) must be caught within a fixed schedule budget.
+//
+// Multi-writer schedules (Writers >= 2, token field 9, regexplore -writers)
+// drive the MWMR-capable baselines with concurrent writer streams carrying
+// per-writer tagged distinct values; their histories are judged by the
+// O(n + k log k) cluster checker check.CheckMWMR, which replaces the
+// exhaustive search as the default judge for large histories. A nightly CI
+// workflow (.github/workflows/nightly.yml) sweeps every registered
+// algorithm — single- and multi-writer — on a budget and archives the JSON
+// sweep reports; a benchmark job tracks checker cost across PRs.
 package twobitreg

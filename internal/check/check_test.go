@@ -40,13 +40,20 @@ func (b *hb) read(proc int, inv, res float64, v string) *hb {
 	return b.add(proc, proto.OpRead, val(v), inv, res)
 }
 
-// both runs both checkers and asserts they agree with want (nil = atomic).
+// both runs all three checkers and asserts they agree with want
+// (nil = atomic). Every history built with hb satisfies the fast checkers'
+// preconditions (single sequential writer, distinct values), so the MWMR
+// cluster checker must agree too.
 func both(t *testing.T, h History, wantAtomic bool) {
 	t.Helper()
 	errS := CheckSWMR(h)
+	errM := CheckMWMR(h)
 	errL := CheckLinearizable(h)
 	if (errS == nil) != wantAtomic {
 		t.Errorf("CheckSWMR = %v, want atomic=%v", errS, wantAtomic)
+	}
+	if (errM == nil) != wantAtomic {
+		t.Errorf("CheckMWMR = %v, want atomic=%v", errM, wantAtomic)
 	}
 	if (errL == nil) != wantAtomic {
 		t.Errorf("CheckLinearizable = %v, want atomic=%v", errL, wantAtomic)

@@ -1,15 +1,22 @@
 // Package check verifies that recorded executions are atomic
 // (linearizable).
 //
-// It provides two independent oracles:
+// It provides three independent oracles behind one Checker interface
+// (checker.go):
 //
 //   - CheckSWMR (swmr.go): the paper's own characterisation. Lemma 10 proves
 //     atomicity of an SWMR register from three claims about read/write
 //     real-time order; with a sequential single writer and distinct values,
 //     those claims are also sufficient, giving a linear-time checker.
+//   - CheckMWMR (mwmr.go): a Gibbons–Korach-style cluster serializability
+//     test for multi-writer histories with distinct written values, in
+//     O(n + k log k) for n operations and k written values — the default
+//     judge for large multi-writer histories.
 //   - CheckLinearizable (lin.go): an exhaustive Wing–Gong search over small
-//     histories, usable for MWMR registers as well. The two oracles
-//     cross-validate each other in tests.
+//     histories, free of preconditions (duplicate values, any writers). The
+//     fast oracles are differentially validated against it in tests.
+//
+// For(h) picks the fast path matching a history's writer structure.
 package check
 
 import (

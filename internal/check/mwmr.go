@@ -1,0 +1,216 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"twobitreg/internal/proto"
+)
+
+// CheckMWMR verifies that a multi-writer register history is atomic, in
+// O(n + k log k) time for n operations forming k write-clusters. It is the
+// Gibbons–Korach construction for unambiguous histories: because written
+// values are pairwise distinct, every legal linearization is a sequence of
+// "clusters" — a write immediately followed by the reads that return its
+// value — so atomicity reduces to ordering clusters, not operations.
+//
+// Requirements on the input (shared with CheckSWMR, and satisfied by every
+// workload generator in this repository):
+//
+//   - written values are pairwise distinct and distinct from h.Initial, so
+//     each read maps to a unique write ("unambiguous" in Gibbons–Korach
+//     terms). Violations are reported as errors; use CheckLinearizable for
+//     ambiguous histories.
+//
+// Unlike CheckSWMR it accepts any number of writers, overlapping writes,
+// and writes interleaved with reads on the same process.
+//
+// The check has two parts:
+//
+//  1. Reads-from sanity: every completed read returns h.Initial, a written
+//     value, or the value of a pending (crashed) write, and no read
+//     terminates before the write it returns was invoked.
+//
+//  2. Cluster serializability: cluster u must precede cluster v whenever
+//     some operation of u terminates before some operation of v starts
+//     (the real-time order of the atomicity definition). That precedence
+//     relation is induced by two scalars per cluster —
+//
+//     minRes(u) = earliest response of a completed operation in u,
+//     maxInv(u) = latest invocation of an operation in u,
+//
+//     with edge u -> v iff minRes(u) < maxInv(v). A total cluster order
+//     exists iff this digraph is acyclic, and (key to the near-linear
+//     bound) a cycle always contains a 2-cycle: take the cycle member m
+//     minimizing minRes; every member w has an in-edge from its
+//     predecessor, so minRes(m) <= minRes(pred(w)) < maxInv(w) gives
+//     m -> w for all w, and m's own in-edge closes a 2-cycle. Detecting a
+//     2-cycle is a pairwise-overlap test on the (minRes, maxInv) scalars,
+//     done with one sort and a prefix maximum.
+//
+// Pending (crashed) operations follow the atomicity definition: a pending
+// write that no read returns is dropped (it may legally never take effect);
+// a pending write that is read joins its cluster (it took effect) but,
+// having no response, precedes nothing; a pending read constrains nothing.
+//
+// The initial value forms cluster 0, which must precede every other
+// cluster; that is encoded by minRes = -inf, so the same 2-cycle test
+// rejects stale reads of the initial value.
+func CheckMWMR(h History) error {
+	keyOf := func(v proto.Value) string {
+		if v == nil {
+			return "\x00nil"
+		}
+		return "v:" + string(v)
+	}
+	initKey := keyOf(h.Initial)
+
+	// Map each written value to its unique write.
+	writeByKey := make(map[string]*Op, len(h.Ops))
+	for i := range h.Ops {
+		op := &h.Ops[i]
+		if op.Kind != proto.OpWrite {
+			continue
+		}
+		k := keyOf(op.Value)
+		if k == initKey {
+			return fmt.Errorf("check: write %d wrote the initial value %q; CheckMWMR needs distinct values", op.ID, op.Value)
+		}
+		if prev, dup := writeByKey[k]; dup {
+			return fmt.Errorf("check: writes %d and %d both wrote %q; CheckMWMR needs pairwise distinct values", prev.ID, op.ID, op.Value)
+		}
+		writeByKey[k] = op
+	}
+
+	clusters := make(map[string]*cluster, len(writeByKey)+1)
+	get := func(k string, write *Op) *cluster {
+		c, ok := clusters[k]
+		if !ok {
+			c = &cluster{write: write, minRes: math.Inf(1), maxInv: math.Inf(-1)}
+			clusters[k] = c
+		}
+		return c
+	}
+	for k, w := range writeByKey {
+		c := get(k, w)
+		c.noteInv(w)
+		if w.Completed {
+			c.noteRes(w)
+		}
+	}
+
+	// Assign reads to clusters; reject phantoms and reads from the future.
+	for i := range h.Ops {
+		op := &h.Ops[i]
+		if op.Kind != proto.OpRead || !op.Completed {
+			continue
+		}
+		k := keyOf(op.Value)
+		if k == initKey {
+			c := get(k, nil)
+			c.reads++
+			c.noteInv(op)
+			c.noteRes(op)
+			continue
+		}
+		w, ok := writeByKey[k]
+		if !ok {
+			return fmt.Errorf("check: read %d returned a phantom value: value %q was never written", op.ID, op.Value)
+		}
+		if op.Res < w.Inv {
+			return fmt.Errorf("check: read %d finished at %v before write %d of %q started at %v",
+				op.ID, op.Res, w.ID, op.Value, w.Inv)
+		}
+		c := clusters[k]
+		c.reads++
+		c.noteInv(op)
+		c.noteRes(op)
+	}
+
+	// Collect the clusters that are part of the linearization. A pending
+	// write nobody read may never take effect: drop it. The initial-value
+	// cluster precedes everything: force minRes = -inf.
+	list := make([]*cluster, 0, len(clusters))
+	for k, c := range clusters {
+		if c.write != nil && !c.write.Completed && c.reads == 0 {
+			continue
+		}
+		if k == initKey {
+			c.minRes = math.Inf(-1)
+		}
+		list = append(list, c)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].minRes < list[j].minRes })
+
+	// 2-cycle sweep: for each cluster v in minRes order, a conflict with an
+	// earlier u needs maxInv(u) > minRes(v) and minRes(u) < maxInv(v). When
+	// maxInv(v) > minRes(v) the second condition is implied, so the running
+	// maximum of maxInv decides; otherwise only the prefix with
+	// minRes(u) < maxInv(v) qualifies, found by binary search over the
+	// sorted minRes values with a prefix maximum of maxInv.
+	as := make([]float64, len(list))      // minRes, ascending
+	prefMax := make([]float64, len(list)) // prefix max of maxInv
+	argMax := make([]int, len(list))
+	for i, c := range list {
+		as[i] = c.minRes
+		prefMax[i] = c.maxInv
+		argMax[i] = i
+		if i > 0 && prefMax[i-1] > c.maxInv {
+			prefMax[i] = prefMax[i-1]
+			argMax[i] = argMax[i-1]
+		}
+	}
+	for i := 1; i < len(list); i++ {
+		v := list[i]
+		var u *cluster
+		if v.maxInv > v.minRes {
+			if prefMax[i-1] > v.minRes {
+				u = list[argMax[i-1]]
+			}
+		} else if j := sort.SearchFloat64s(as[:i], v.maxInv); j > 0 && prefMax[j-1] > v.minRes {
+			u = list[argMax[j-1]]
+		}
+		if u != nil {
+			if u.write == nil {
+				return fmt.Errorf("check: stale read of %s: read %d started at %v after op %d of %s finished at %v",
+					u.label(h), u.maxInvID, u.maxInv, v.minResID, v.label(h), v.minRes)
+			}
+			return fmt.Errorf("check: no write order serializes %s and %s: op %d finished at %v before op %d started at %v, and op %d finished at %v before op %d started at %v",
+				u.label(h), v.label(h),
+				u.minResID, u.minRes, v.maxInvID, v.maxInv,
+				v.minResID, v.minRes, u.maxInvID, u.maxInv)
+		}
+	}
+	return nil
+}
+
+// cluster aggregates one written value's write and the reads returning it.
+// minRes/maxInv are the two scalars the serializability test runs on.
+type cluster struct {
+	write    *Op // nil for the initial-value cluster
+	reads    int
+	minRes   float64
+	minResID proto.OpID
+	maxInv   float64
+	maxInvID proto.OpID
+}
+
+func (c *cluster) noteInv(op *Op) {
+	if op.Inv > c.maxInv {
+		c.maxInv, c.maxInvID = op.Inv, op.ID
+	}
+}
+
+func (c *cluster) noteRes(op *Op) {
+	if op.Res < c.minRes {
+		c.minRes, c.minResID = op.Res, op.ID
+	}
+}
+
+func (c *cluster) label(h History) string {
+	if c.write == nil {
+		return fmt.Sprintf("the initial value %q", h.Initial)
+	}
+	return fmt.Sprintf("value %q (write %d)", c.write.Value, c.write.ID)
+}

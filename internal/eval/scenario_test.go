@@ -84,6 +84,44 @@ func TestScenarioABDWithCrashes(t *testing.T) {
 	}
 }
 
+// TestScenarioMultiWriter drives the MWMR baseline with concurrent writer
+// streams: the history must be judged atomic by the multi-writer cluster
+// checker, complete fully, and contain writes from several processes.
+func TestScenarioMultiWriter(t *testing.T) {
+	t.Parallel()
+	for _, writers := range []int{2, 3} {
+		writers := writers
+		t.Run(fmt.Sprintf("writers=%d", writers), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunScenario(abd.MWMRAlgorithm(), ScenarioSpec{
+				N: 5, Ops: 40, ReadFraction: 0.5, Seed: 17,
+				DelayLo: 0.2, DelayHi: 2.0, ValueSize: 8, Writers: writers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Completed != 40 {
+				t.Fatalf("completed %d/40 ops in a failure-free multi-writer run", res.Completed)
+			}
+			if res.AtomicityErr != nil {
+				t.Fatalf("non-atomic multi-writer history: %v", res.AtomicityErr)
+			}
+			procs := map[int]bool{}
+			for _, op := range res.History.Ops {
+				if op.Kind == proto.OpWrite {
+					procs[op.Proc] = true
+				}
+			}
+			if len(procs) < 2 {
+				t.Fatalf("only %d writer processes in a %d-writer scenario", len(procs), writers)
+			}
+		})
+	}
+	if _, err := RunScenario(abd.MWMRAlgorithm(), ScenarioSpec{N: 3, Ops: 5, Writers: 4}); err == nil {
+		t.Fatal("accepted more writers than processes")
+	}
+}
+
 func TestScenarioCapsCrashes(t *testing.T) {
 	t.Parallel()
 	// Requesting more crashes than t is capped, keeping the run live.

@@ -13,6 +13,16 @@
 // judging each run with the linearizability checkers and, for the two-bit
 // register, the proof invariants.
 //
+// # Multi-writer workloads
+//
+// Schedules with Writers >= 2 run true multi-writer workloads against
+// MWMR-capable algorithms (MWMRAlgorithmNames): pids 0..Writers-1 issue
+// concurrent writer streams with per-writer tagged distinct values, every
+// process reads, and the history is judged by the near-linear
+// Gibbons–Korach cluster checker (check.CheckMWMR) instead of the paper's
+// single-writer characterisation — the exhaustive Wing–Gong search remains
+// the differential oracle on small histories.
+//
 // # Replay tokens
 //
 // Every run is described completely by a Schedule — algorithm, strategy,
@@ -20,7 +30,9 @@
 //
 //	xb1:twobit:slowquorum:7:5:30:0.6:1
 //
-// Failures reproduce byte for byte from their token:
+// (multi-writer schedules carry the writer count as a 9th field, e.g.
+// xb1:abd-mwmr:race:7:5:30:0.6:1:3). Failures reproduce byte for byte from
+// their token:
 //
 //	go test ./internal/explore -run TestReplay -replay=xb1:twobit:slowquorum:7:5:30:0.6:1
 //
@@ -88,10 +100,18 @@ type Result struct {
 	// Truncated reports that the run hit the event limit without
 	// quiescing — a liveness failure.
 	Truncated bool `json:"truncated,omitempty"`
+	// WriterProcs counts the distinct processes that invoked at least one
+	// write, and WriteOverlaps the pairs of writes from different processes
+	// that overlapped in real time — the evidence that a multi-writer
+	// schedule actually interleaved its writer streams.
+	WriterProcs   int `json:"writer_procs,omitempty"`
+	WriteOverlaps int `json:"write_overlaps,omitempty"`
 	// Invariant is the first proof-invariant violation (two-bit register
 	// runs only).
 	Invariant string `json:"invariant_violation,omitempty"`
-	// Atomicity is the SWMR checker's verdict on the recorded history.
+	// Checker names the fast oracle that judged the history (see
+	// check.For), and Atomicity its verdict.
+	Checker   string `json:"checker,omitempty"`
 	Atomicity string `json:"atomicity_violation,omitempty"`
 	// CrossCheck reports a disagreement between the SWMR oracle and the
 	// exhaustive linearizability search on a small history — a checker bug,
@@ -127,6 +147,9 @@ func (r Result) Violation() string {
 // covers descriptor problems only (unknown names, bad sizes); protocol
 // failures are reported inside the Result.
 func Run(s Schedule) (Result, error) {
+	if s.Writers == 1 {
+		s.Writers = 0 // canonical single-writer form, token-compatible
+	}
 	if err := s.validate(); err != nil {
 		return Result{}, err
 	}
@@ -134,6 +157,11 @@ func Run(s Schedule) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("explore: unknown algorithm %q (have %v + mutants %v)",
 			s.Alg, AlgorithmNames(), MutantNames())
+	}
+	mwmr := s.Writers >= 2
+	if mwmr && !MWMRCapable(s.Alg) {
+		return Result{}, fmt.Errorf("explore: algorithm %q is single-writer; %d-writer schedules need one of %v",
+			s.Alg, s.Writers, MWMRAlgorithmNames())
 	}
 	strat, ok := strategyByName(s.Strategy)
 	if !ok {
@@ -163,10 +191,18 @@ func Run(s Schedule) (Result, error) {
 
 	res := Result{Schedule: s, Token: s.Token()}
 
-	ops, err := workload.Generate(workload.Spec{
+	// Single-writer schedules keep the original derivation byte for byte so
+	// historical tokens replay unchanged; multi-writer schedules make pids
+	// 0..Writers-1 concurrent writer streams and let every process read.
+	wspec := workload.Spec{
 		Seed: s.Seed, Ops: s.Ops, ReadFraction: s.ReadFrac,
 		Writer: 0, Readers: readers(s.N), ValueSize: 8,
-	})
+	}
+	if mwmr {
+		wspec.Writers = pids(s.Writers)
+		wspec.Readers = pids(s.N)
+	}
+	ops, err := workload.Generate(wspec)
 	if err != nil {
 		return Result{}, err
 	}
@@ -218,11 +254,13 @@ func Run(s Schedule) (Result, error) {
 		})
 	}
 
-	// Crash plan: victims are non-writers; crashphase trips a victim on its
-	// k-th message delivery, every other strategy trips it on the k-th
-	// completed operation anywhere in the system — both are
-	// schedule-relative, so crashes land at protocol phases rather than at
-	// arbitrary wall-clock instants.
+	// Crash plan: victims are drawn from processes 1..N-1 (in multi-writer
+	// runs that may include writers, leaving pending writes the checker
+	// must reason about); crashphase trips a victim on its k-th message
+	// delivery, every other strategy trips it on the k-th completed
+	// operation anywhere in the system — both are schedule-relative, so
+	// crashes land at protocol phases rather than at arbitrary wall-clock
+	// instants.
 	crashes := s.Crashes
 	if crashes > s.N-1 {
 		crashes = s.N - 1
@@ -313,18 +351,56 @@ func Run(s Schedule) (Result, error) {
 		}
 		h.Ops = append(h.Ops, rec)
 	}
-	swmrErr := check.CheckSWMR(h)
-	if swmrErr != nil {
-		res.Atomicity = swmrErr.Error()
+	res.WriterProcs, res.WriteOverlaps = writerInterleaving(h)
+
+	judge := check.For(h)
+	res.Checker = judge.Name()
+	fastErr := judge.Check(h)
+	if fastErr != nil {
+		res.Atomicity = fastErr.Error()
 	}
 	if eligible := linEligibleOps(h); eligible > 0 && eligible <= maxCrossCheckOps {
 		linErr := check.CheckLinearizable(h)
-		if (swmrErr != nil) != (linErr != nil) {
-			res.CrossCheck = fmt.Sprintf("oracles disagree on a %d-op history: swmr=%v lin=%v", eligible, swmrErr, linErr)
+		if (fastErr != nil) != (linErr != nil) {
+			res.CrossCheck = fmt.Sprintf("oracles disagree on a %d-op history: %s=%v lin=%v", eligible, judge.Name(), fastErr, linErr)
 		}
 	}
 	res.Fingerprint = fingerprint(h, res)
 	return res, nil
+}
+
+// writerInterleaving summarizes a history's multi-writer structure: how
+// many distinct processes invoked writes, and how many pairs of writes from
+// different processes overlapped in real time (a pending write overlaps
+// everything after its invocation).
+func writerInterleaving(h check.History) (procs, overlaps int) {
+	type w struct {
+		proc     int
+		inv, res float64
+		pending  bool
+	}
+	var ws []w
+	seen := map[int]bool{}
+	for _, op := range h.Ops {
+		if op.Kind != proto.OpWrite {
+			continue
+		}
+		ws = append(ws, w{op.Proc, op.Inv, op.Res, !op.Completed})
+		seen[op.Proc] = true
+	}
+	for i := range ws {
+		for j := i + 1; j < len(ws); j++ {
+			if ws[i].proc == ws[j].proc {
+				continue
+			}
+			iBeforeJ := !ws[i].pending && ws[i].res < ws[j].inv
+			jBeforeI := !ws[j].pending && ws[j].res < ws[i].inv
+			if !iBeforeJ && !jBeforeI {
+				overlaps++
+			}
+		}
+	}
+	return len(seen), overlaps
 }
 
 // linEligibleOps counts the operations CheckLinearizable would search over
@@ -359,6 +435,15 @@ func readers(n int) []int {
 	}
 	if len(out) == 0 {
 		out = []int{0}
+	}
+	return out
+}
+
+// pids returns 0..n-1.
+func pids(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
 	}
 	return out
 }

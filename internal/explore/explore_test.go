@@ -94,6 +94,11 @@ func TestTokenRoundTrip(t *testing.T) {
 			ReadFrac: rng.Float64(),
 			Crashes:  rng.Intn(5),
 		}
+		// Writers is 0 (canonical single-writer) or >= 2; 1 normalizes to 0
+		// inside Run and never appears in a token.
+		if w := 2 + rng.Intn(3); w <= s.N && rng.Intn(2) == 0 {
+			s.Writers = w
+		}
 		got, err := ParseToken(s.Token())
 		if err != nil {
 			t.Fatalf("token %q failed to parse: %v", s.Token(), err)
@@ -102,10 +107,19 @@ func TestTokenRoundTrip(t *testing.T) {
 			t.Fatalf("round trip changed the schedule: %+v -> %+v", s, got)
 		}
 	}
-	for _, bad := range []string{"", "xb1", "xb0:twobit:pct:1:5:30:0.5:0", "xb1:a:b:x:5:30:0.5:0", "xb1:a:b:1:5:30:0.5:0:extra"} {
+	for _, bad := range []string{"", "xb1", "xb0:twobit:pct:1:5:30:0.5:0", "xb1:a:b:x:5:30:0.5:0",
+		"xb1:a:b:1:5:30:0.5:0:w", "xb1:a:b:1:5:30:0.5:0:1", "xb1:a:b:1:5:30:0.5:0:2:extra"} {
 		if _, err := ParseToken(bad); err == nil {
 			t.Fatalf("ParseToken(%q) accepted garbage", bad)
 		}
+	}
+	// Pre-Writers 8-field tokens still parse, as single-writer schedules.
+	old, err := ParseToken("xb1:twobit:slowquorum:7:5:30:0.6:1")
+	if err != nil {
+		t.Fatalf("legacy 8-field token rejected: %v", err)
+	}
+	if old.Writers != 0 {
+		t.Fatalf("legacy token parsed with %d writers, want 0", old.Writers)
 	}
 }
 

@@ -40,7 +40,36 @@ func registry() map[string]proto.Algorithm {
 		"mut-ack-early":    proto.Alg("mut-ack-early", core.Algorithm(core.WithFault(core.FaultAckBeforeQuorum)).New),
 		"mut-skip-proceed": proto.Alg("mut-skip-proceed", core.Algorithm(core.WithFault(core.FaultSkipProceedWait)).New),
 		"mut-stale-read":   proto.Alg("mut-stale-read", newStaleReader),
+		"mut-mwmr-stale":   proto.Alg("mut-mwmr-stale", newMWMRStaleReader),
 	}
+}
+
+// mwmrCapable marks the algorithms whose protocol tolerates concurrent
+// writers. Everything else implements the paper's single-writer register:
+// exploring it under a multi-writer workload would report violations of an
+// assumption, not bugs, so Run refuses the combination.
+func mwmrCapable() map[string]bool {
+	return map[string]bool{
+		"abd-mwmr":       true,
+		"mut-mwmr-stale": true,
+	}
+}
+
+// MWMRCapable reports whether the named algorithm supports concurrent
+// writers (and may therefore be explored with Schedule.Writers >= 2).
+func MWMRCapable(name string) bool { return mwmrCapable()[name] }
+
+// MWMRAlgorithmNames returns the correct (non-mutant) multi-writer-capable
+// algorithm names, sorted.
+func MWMRAlgorithmNames() []string {
+	var out []string
+	for name := range mwmrCapable() {
+		if _, ok := registry()[name]; ok && !isMutant(name) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ByName resolves an algorithm (or mutant) name from a Schedule.
@@ -78,7 +107,9 @@ func isMutant(name string) bool { return len(name) > 4 && name[:4] == "mut-" }
 // staleReader wraps a correct process with a broken read cache: once it has
 // seen any read complete, later reads return that value immediately without
 // running the protocol. This mutant exercises the wrapper path (proto.Alg)
-// and violates Claims 2/3 as soon as a newer write completes elsewhere.
+// and violates Claims 2/3 as soon as a newer write completes elsewhere. Its
+// MWMR variant wraps the multi-writer ABD baseline, giving the cluster
+// checker a seeded bug it must catch under true multi-writer workloads.
 type staleReader struct {
 	proto.Process
 	cached proto.Value
@@ -87,6 +118,10 @@ type staleReader struct {
 
 func newStaleReader(id, n, writer int) proto.Process {
 	return &staleReader{Process: core.New(id, n, writer)}
+}
+
+func newMWMRStaleReader(id, n, writer int) proto.Process {
+	return &staleReader{Process: abd.MWMRAlgorithm().New(id, n, writer)}
 }
 
 func (s *staleReader) StartRead(op proto.OpID) proto.Effects {

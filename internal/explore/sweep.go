@@ -16,6 +16,9 @@ type SweepSpec struct {
 	Ops      int     `json:"ops"`
 	ReadFrac float64 `json:"read_frac"`
 	Crashes  int     `json:"crashes"`
+	// Writers >= 2 sweeps true multi-writer workloads; Algs then defaults
+	// to the MWMR-capable algorithms instead of all correct ones.
+	Writers int `json:"writers,omitempty"`
 	// Budget is the total number of runs; it defaults to 100.
 	Budget int `json:"budget"`
 	// Seed0 is the first seed; round k uses Seed0+k.
@@ -36,7 +39,11 @@ type SweepResult struct {
 // Sweep explores spec's schedule family within its budget.
 func Sweep(spec SweepSpec) (SweepResult, error) {
 	if len(spec.Algs) == 0 {
-		spec.Algs = AlgorithmNames()
+		if spec.Writers >= 2 {
+			spec.Algs = MWMRAlgorithmNames()
+		} else {
+			spec.Algs = AlgorithmNames()
+		}
 	}
 	if len(spec.Strategies) == 0 {
 		spec.Strategies = StrategyNames()
@@ -60,7 +67,7 @@ func Sweep(spec SweepSpec) (SweepResult, error) {
 				r, err := Run(Schedule{
 					Alg: alg, Strategy: st, Seed: spec.Seed0 + round,
 					N: spec.N, Ops: spec.Ops, ReadFrac: spec.ReadFrac,
-					Crashes: spec.Crashes,
+					Crashes: spec.Crashes, Writers: spec.Writers,
 				})
 				if err != nil {
 					return out, fmt.Errorf("explore: sweep run %d: %w", out.Runs, err)
@@ -137,6 +144,11 @@ func shrinkCandidates(s Schedule) []Schedule {
 	if s.Crashes > 0 {
 		c := s
 		c.Crashes = s.Crashes - 1
+		add(c)
+	}
+	if s.Writers > 2 {
+		c := s
+		c.Writers = s.Writers - 1
 		add(c)
 	}
 	return out

@@ -32,14 +32,23 @@ type Schedule struct {
 	Ops int `json:"ops"`
 	// ReadFrac is the read fraction of the workload, in [0, 1].
 	ReadFrac float64 `json:"read_frac"`
-	// Crashes is the number of non-writer processes the adversary crashes;
-	// Run caps it at proto.MaxFaulty(N).
+	// Crashes is the number of processes other than process 0 the adversary
+	// crashes; Run caps it at proto.MaxFaulty(N). In multi-writer runs the
+	// victims may include writers, leaving pending writes in the history.
 	Crashes int `json:"crashes"`
+	// Writers is the number of concurrent writer processes (pids
+	// 0..Writers-1). 0 and 1 both mean the classic single-writer workload,
+	// which reproduces byte-identically to pre-Writers tokens; >= 2 selects
+	// a true multi-writer workload (distinct per-writer tagged values,
+	// every process also reading) and requires an MWMR-capable algorithm.
+	Writers int `json:"writers,omitempty"`
 }
 
-// Token serializes s to its one-line replay token.
+// Token serializes s to its one-line replay token. Single-writer schedules
+// keep the original 8-field form, so historical tokens stay canonical;
+// multi-writer schedules append the writer count as a 9th field.
 func (s Schedule) Token() string {
-	return strings.Join([]string{
+	parts := []string{
 		tokenVersion,
 		s.Alg,
 		s.Strategy,
@@ -48,15 +57,19 @@ func (s Schedule) Token() string {
 		strconv.Itoa(s.Ops),
 		strconv.FormatFloat(s.ReadFrac, 'g', -1, 64),
 		strconv.Itoa(s.Crashes),
-	}, ":")
+	}
+	if s.Writers > 1 {
+		parts = append(parts, strconv.Itoa(s.Writers))
+	}
+	return strings.Join(parts, ":")
 }
 
 // ParseToken is the inverse of Token. It validates shape only; Run validates
 // that the algorithm and strategy names resolve.
 func ParseToken(tok string) (Schedule, error) {
 	parts := strings.Split(strings.TrimSpace(tok), ":")
-	if len(parts) != 8 {
-		return Schedule{}, fmt.Errorf("explore: token needs 8 fields, got %d in %q", len(parts), tok)
+	if len(parts) != 8 && len(parts) != 9 {
+		return Schedule{}, fmt.Errorf("explore: token needs 8 or 9 fields, got %d in %q", len(parts), tok)
 	}
 	if parts[0] != tokenVersion {
 		return Schedule{}, fmt.Errorf("explore: token version %q, this explorer speaks %q", parts[0], tokenVersion)
@@ -78,6 +91,14 @@ func ParseToken(tok string) (Schedule, error) {
 	if s.Crashes, err = strconv.Atoi(parts[7]); err != nil {
 		return Schedule{}, fmt.Errorf("explore: bad crash count in token: %w", err)
 	}
+	if len(parts) == 9 {
+		if s.Writers, err = strconv.Atoi(parts[8]); err != nil {
+			return Schedule{}, fmt.Errorf("explore: bad writer count in token: %w", err)
+		}
+		if s.Writers < 2 {
+			return Schedule{}, fmt.Errorf("explore: 9-field token carries writer count %d; single-writer tokens have 8 fields", s.Writers)
+		}
+	}
 	return s, nil
 }
 
@@ -94,6 +115,12 @@ func (s Schedule) validate() error {
 	}
 	if s.Crashes < 0 {
 		return fmt.Errorf("explore: negative crash count %d", s.Crashes)
+	}
+	if s.Writers < 0 {
+		return fmt.Errorf("explore: negative writer count %d", s.Writers)
+	}
+	if s.Writers > s.N {
+		return fmt.Errorf("explore: %d writers exceed %d processes", s.Writers, s.N)
 	}
 	if strings.Contains(s.Alg, ":") || strings.Contains(s.Strategy, ":") {
 		return fmt.Errorf("explore: names must not contain ':' (alg %q, strategy %q)", s.Alg, s.Strategy)

@@ -30,6 +30,14 @@ type Spec struct {
 	// Writer issues all writes; Readers are chosen uniformly per read.
 	Writer  int
 	Readers []int
+	// Writers, when non-empty, switches the schedule to multi-writer mode
+	// and overrides Writer: each write is issued by a uniformly chosen
+	// process from this list, and written values are tagged with the
+	// writer's pid plus a per-writer sequence number so they stay pairwise
+	// distinct (the precondition of the fast MWMR atomicity checker).
+	// Every writer's own stream is sequential; streams from different
+	// writers interleave freely.
+	Writers []int
 	// ValueSize pads written values to this many bytes (minimum large
 	// enough for a distinct counter prefix).
 	ValueSize int
@@ -43,7 +51,7 @@ func (s Spec) Validate() error {
 	if s.ReadFraction < 0 || s.ReadFraction > 1 {
 		return fmt.Errorf("workload: read fraction %v outside [0,1]", s.ReadFraction)
 	}
-	if s.ReadFraction < 1 && s.Writer < 0 {
+	if s.ReadFraction < 1 && s.Writer < 0 && len(s.Writers) == 0 {
 		return fmt.Errorf("workload: writes requested but no writer")
 	}
 	if s.ReadFraction > 0 && len(s.Readers) == 0 {
@@ -52,8 +60,14 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// Generate produces the schedule for s. Written values are pairwise distinct
-// (a requirement of the SWMR atomicity checker).
+// Generate produces the schedule for s. Written values are pairwise
+// distinct (a requirement of the fast atomicity checkers): single-writer
+// schedules use a global write counter, multi-writer schedules tag each
+// value with the issuing writer's pid and its per-writer sequence number.
+//
+// The single-writer path consumes the seeded rng exactly as it always has,
+// so existing seeds (and explorer replay tokens) reproduce byte-identical
+// schedules.
 func Generate(s Spec) ([]Op, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -61,11 +75,20 @@ func Generate(s Spec) ([]Op, error) {
 	rng := rand.New(rand.NewSource(s.Seed))
 	ops := make([]Op, 0, s.Ops)
 	writeSeq := 0
+	perWriter := make(map[int]int, len(s.Writers))
 	for i := 0; i < s.Ops; i++ {
 		if rng.Float64() < s.ReadFraction {
 			ops = append(ops, Op{
 				Kind: proto.OpRead,
 				PID:  s.Readers[rng.Intn(len(s.Readers))],
+			})
+		} else if len(s.Writers) > 0 {
+			pid := s.Writers[rng.Intn(len(s.Writers))]
+			perWriter[pid]++
+			ops = append(ops, Op{
+				Kind:  proto.OpWrite,
+				PID:   pid,
+				Value: taggedValue(pid, perWriter[pid], s.ValueSize),
 			})
 		} else {
 			writeSeq++
@@ -81,13 +104,23 @@ func Generate(s Spec) ([]Op, error) {
 
 // value builds a distinct value with the requested padding.
 func value(seq, size int) proto.Value {
-	v := []byte(fmt.Sprintf("w%08d", seq))
+	return pad([]byte(fmt.Sprintf("w%08d", seq)), size)
+}
+
+// taggedValue builds a writer-tagged distinct value with the requested
+// padding: distinct writers can never collide because the pid prefix
+// differs, and one writer's stream counts its own sequence numbers.
+func taggedValue(pid, seq, size int) proto.Value {
+	return pad([]byte(fmt.Sprintf("w%d.%06d", pid, seq)), size)
+}
+
+func pad(v []byte, size int) proto.Value {
 	if len(v) < size {
-		pad := make([]byte, size-len(v))
-		for i := range pad {
-			pad[i] = '.'
+		p := make([]byte, size-len(v))
+		for i := range p {
+			p[i] = '.'
 		}
-		v = append(v, pad...)
+		v = append(v, p...)
 	}
 	return v
 }
