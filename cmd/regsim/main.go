@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	alg := flag.String("alg", "twobit", "algorithm: twobit, twobit-oracle, twobit-gc, abd, abd-mwmr, bounded-abd, attiya (or a mut-* variant to watch the checkers catch it)")
+	alg := flag.String("alg", "twobit", "algorithm: twobit, twobit-oracle, twobit-gc, twobit-mwmr, abd, abd-mwmr, bounded-abd, attiya (or a mut-* variant to watch the checkers catch it)")
 	n := flag.Int("n", 5, "number of processes")
 	ops := flag.Int("ops", 50, "operations in the workload")
 	reads := flag.Float64("reads", 0.6, "read fraction in [0,1]")

@@ -27,9 +27,33 @@
 // bounded-cost comparators (internal/boundedabd, internal/attiya), the
 // linearizability checkers (internal/check — a Checker interface over the
 // paper's Lemma-10 SWMR fast path, a near-linear Gibbons–Korach multi-writer
-// fast path, and the exhaustive Wing–Gong differential oracle), the Table 1
+// fast path, and the exhaustive Wing–Gong differential oracle; since the
+// Lemma-10 claims are checked by a single sweep, the SWMR path judges
+// histories of any size with the paper's error vocabulary), the Table 1
 // reproduction harness (internal/eval), and the adversarial schedule
 // explorer (internal/explore).
+//
+// # The lane engine and the multi-writer register
+//
+// The pairwise alternating-bit discipline at the heart of the protocol —
+// sender-side parity flip, receiver-side sequence-number reconstruction,
+// parity-gated reorder buffers, forward/catch-up rules — is factored into a
+// reusable engine (core.Lane): one lane carries one writer's value stream at
+// one process. The paper's SWMR register is a single lane plus the client
+// protocol; core.MWMRAlgorithm ("twobit-mwmr") extends it to multiple
+// writers by running one lane per process and arbitrating with
+// (lane index, writer id) last-writer-wins order, the Attiya–Bar-Noy–Dolev
+// timestamp construction made two-bit-compatible: a write first runs a
+// READ/PROCEED freshness round (so its local lane tops dominate every
+// previously completed write, by quorum intersection — no sequence number
+// crosses the wire), then appends its value at every own-lane index up to a
+// dominating one, keeping indices consecutive for the alternating bit. Lane
+// WRITEs carry the two protocol bits plus a one-byte lane-owner id,
+// accounted honestly in the control-bit census exactly as regmap accounts
+// its multiplexing key. The per-lane proof invariants (Lemmas 2-4,
+// Properties P1-P2) are checked lane-by-lane during exploration
+// (core.CheckMWGlobalInvariants), and cluster.Config generalizes its single
+// Writer to a validated writer set with per-writer client handles.
 //
 // # Adversarial schedule exploration
 //
@@ -57,11 +81,16 @@
 // MWMR baseline) must be caught within a fixed schedule budget.
 //
 // Multi-writer schedules (Writers >= 2, token field 9, regexplore -writers)
-// drive the MWMR-capable baselines with concurrent writer streams carrying
-// per-writer tagged distinct values; their histories are judged by the
-// O(n + k log k) cluster checker check.CheckMWMR, which replaces the
-// exhaustive search as the default judge for large histories. A nightly CI
-// workflow (.github/workflows/nightly.yml) sweeps every registered
-// algorithm — single- and multi-writer — on a budget and archives the JSON
-// sweep reports; a benchmark job tracks checker cost across PRs.
+// drive the MWMR-capable algorithms — the twobit-mwmr register and the ABD
+// baseline — with concurrent writer streams carrying per-writer tagged
+// distinct values; their histories are judged by the O(n + k log k) cluster
+// checker check.CheckMWMR, which replaces the exhaustive search as the
+// default judge for large histories. The pct strategy optionally runs as a
+// true d-bounded PCT (Schedule.PCT / regexplore -pct, token field 10):
+// per-process delivery priorities with d seeded priority change points
+// instead of the legacy per-event random tie-break. A nightly CI workflow
+// (.github/workflows/nightly.yml) sweeps every registered algorithm —
+// single- and multi-writer, plus a depth-3 pct pass — on a budget and
+// archives the JSON sweep reports; a benchmark job tracks checker cost
+// across PRs.
 package twobitreg

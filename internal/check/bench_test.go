@@ -12,7 +12,11 @@ import (
 // across PRs.
 
 func BenchmarkCheckSWMR(b *testing.B) {
-	for _, n := range []int{1_000, 10_000} {
+	// 100k ops covers the post-sweep regime: since the claim-2/3 rewrite,
+	// check.For keeps large single-writer histories on this path instead of
+	// bailing to CheckMWMR at 2048 ops, so its large-history cost is now a
+	// tracked trajectory too.
+	for _, n := range []int{1_000, 10_000, 100_000} {
 		h := genLargeMWMRHistory(n, 1)
 		b.Run(fmt.Sprintf("ops=%d", n), func(b *testing.B) {
 			b.ReportAllocs()

@@ -37,19 +37,15 @@ func MWMR() Checker { return checkerFunc{"mwmr-cluster", CheckMWMR} }
 // Exhaustive returns the Wing–Gong differential oracle.
 func Exhaustive() Checker { return checkerFunc{"wing-gong", CheckLinearizable} }
 
-// maxSWMROps is the history size beyond which For prefers the cluster
-// checker even for single-writer histories: CheckSWMR's claim-2/claim-3
-// loops are quadratic in the number of reads (~800ms at 10k ops), while
-// CheckMWMR — sound for single-writer histories too, which are a special
-// case of multi-writer — stays near-linear (~2ms at 10k ops).
-const maxSWMROps = 2048
-
-// For selects the fastest sound fast-path checker for h: the Lemma-10 path
-// for small single-writer histories (its errors cite the paper's claims),
-// the multi-writer cluster path for everything else. Both require pairwise
-// distinct written values.
+// For selects the fast-path checker matching h's writer structure: the
+// Lemma-10 path for single-writer histories (its errors cite the paper's
+// claims), the multi-writer cluster path otherwise. Both require pairwise
+// distinct written values. Since the Lemma-10 claims are checked by a single
+// sweep (O(n log n), see CheckSWMR), single-writer histories keep the
+// paper-specific error messages at any size — the former 2048-op bail-out to
+// the cluster checker is gone.
 func For(h History) Checker {
-	if MultiWriter(h) || len(h.Ops) > maxSWMROps {
+	if MultiWriter(h) {
 		return MWMR()
 	}
 	return SWMR()

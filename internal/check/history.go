@@ -133,3 +133,13 @@ func (h History) Completed() []Op {
 func precedes(a, b Op) bool {
 	return a.Completed && a.Res < b.Inv
 }
+
+// valueKey encodes a Value as a map key with the same identity semantics as
+// Value.Equal (nil equals only nil, never the empty value). Both fast
+// checkers key their distinct-written-values preconditions on it.
+func valueKey(v proto.Value) string {
+	if v == nil {
+		return "\x00nil"
+	}
+	return "v:" + string(v)
+}

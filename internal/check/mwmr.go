@@ -58,12 +58,7 @@ import (
 // cluster; that is encoded by minRes = -inf, so the same 2-cycle test
 // rejects stale reads of the initial value.
 func CheckMWMR(h History) error {
-	keyOf := func(v proto.Value) string {
-		if v == nil {
-			return "\x00nil"
-		}
-		return "v:" + string(v)
-	}
+	keyOf := valueKey
 	initKey := keyOf(h.Initial)
 
 	// Map each written value to its unique write.

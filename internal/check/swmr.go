@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"sort"
 
 	"twobitreg/internal/proto"
 )
@@ -28,6 +29,16 @@ import (
 // Incomplete (crashed) operations: a pending write may or may not have taken
 // effect, so it imposes no Claim-2 lower bound but its value may legally be
 // read once invoked; a pending read constrains nothing.
+//
+// All three claims are checked in one sweep over the reads in invocation
+// order, O(n log n) overall: because the writer is sequential, the writes
+// that precede a read in real time are exactly a prefix of the write
+// sequence, so Claim 2 reduces to comparing against the length of that
+// prefix, and Claim 3 to a running maximum of returned indices over the
+// reads that responded before the current read's invocation. (The quadratic
+// pairwise formulation this replaces capped the Lemma-10 path at small
+// histories; the sweep keeps the paper-specific error messages at any
+// scale.)
 //
 // CheckSWMR returns nil if the history is atomic and a descriptive error for
 // the first violation found.
@@ -63,14 +74,24 @@ func CheckSWMR(h History) error {
 	}
 
 	// valueIndex maps a value to its write index; 0 is the initial value.
+	// Written values are pairwise distinct by precondition; if the input
+	// violates that, the first write of a value wins, matching the linear
+	// scan this map replaces.
+	initKey := valueKey(h.Initial)
+	idxByKey := make(map[string]int, len(writes))
+	for _, w := range writes {
+		k := valueKey(w.op.Value)
+		if _, dup := idxByKey[k]; !dup {
+			idxByKey[k] = w.idx
+		}
+	}
 	valueIndex := func(v proto.Value) (int, error) {
-		if v.Equal(h.Initial) {
+		k := valueKey(v)
+		if k == initKey {
 			return 0, nil
 		}
-		for _, w := range writes {
-			if w.op.Value.Equal(v) {
-				return w.idx, nil
-			}
+		if idx, ok := idxByKey[k]; ok {
+			return idx, nil
 		}
 		return 0, fmt.Errorf("value %q was never written", v)
 	}
@@ -104,26 +125,45 @@ func CheckSWMR(h History) error {
 		}
 	}
 
-	// Claim 2: a read that starts after write x completed returns >= x.
-	for _, r := range reads {
-		for _, w := range writes {
-			if precedes(w.op, r.op) && r.idx < w.idx {
-				return fmt.Errorf("check: claim 2 violated: read %d returned idx %d but write %d (idx %d) completed before it started",
-					r.op.ID, r.idx, w.op.ID, w.idx)
-			}
-		}
+	// Claims 2 and 3, single sweep over reads in invocation order. byInv
+	// orders the reads being judged; byRes orders the same reads by
+	// response time, feeding the Claim-3 running maximum of indices already
+	// returned before the current read started.
+	byInv := make([]int, len(reads))
+	byRes := make([]int, len(reads))
+	for i := range reads {
+		byInv[i], byRes[i] = i, i
 	}
+	sort.SliceStable(byInv, func(a, b int) bool { return reads[byInv[a]].op.Inv < reads[byInv[b]].op.Inv })
+	sort.SliceStable(byRes, func(a, b int) bool { return reads[byRes[a]].op.Res < reads[byRes[b]].op.Res })
 
-	// Claim 3: reads ordered in real time return non-decreasing indices.
-	for i, r1 := range reads {
-		for j, r2 := range reads {
-			if i == j {
-				continue
+	wp := 0           // writes with Res < current read's Inv form writes[:wp]
+	rp := 0           // reads with Res < current read's Inv, consumed from byRes
+	maxIdx := -1      // largest index returned by any such read
+	var maxRead *read // the read that returned it
+	for _, ri := range byInv {
+		r := &reads[ri]
+		for wp < len(writes) && writes[wp].op.Completed && writes[wp].op.Res < r.op.Inv {
+			wp++
+		}
+		for rp < len(byRes) && reads[byRes[rp]].op.Res < r.op.Inv {
+			if e := &reads[byRes[rp]]; e.idx > maxIdx {
+				maxIdx, maxRead = e.idx, e
 			}
-			if precedes(r1.op, r2.op) && r2.idx < r1.idx {
-				return fmt.Errorf("check: claim 3 violated (new/old inversion): read %d (idx %d) precedes read %d (idx %d)",
-					r1.op.ID, r1.idx, r2.op.ID, r2.idx)
-			}
+			rp++
+		}
+		// Claim 2: every write in writes[:wp] completed before r started,
+		// so r must return at least index wp.
+		if r.idx < wp {
+			w := writes[wp-1]
+			return fmt.Errorf("check: claim 2 violated: read %d returned idx %d but write %d (idx %d) completed before it started",
+				r.op.ID, r.idx, w.op.ID, w.idx)
+		}
+		// Claim 3: every read counted into maxIdx responded before r
+		// started, so r must not return an older index.
+		if maxIdx > r.idx {
+			return fmt.Errorf("check: claim 3 violated (new/old inversion): read %d (idx %d) precedes read %d (idx %d)",
+				maxRead.op.ID, maxRead.idx, r.op.ID, r.idx)
 		}
 	}
 	return nil

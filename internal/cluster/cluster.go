@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,10 @@ var (
 	ErrCrashed = errors.New("cluster: process crashed")
 	// ErrStopped is returned for operations interrupted by Stop.
 	ErrStopped = errors.New("cluster: cluster stopped")
+	// ErrNotWriter is returned for writes through a process outside the
+	// cluster's writer set. SWMR protocols would panic their node goroutine
+	// on such a write; the cluster rejects it first.
+	ErrNotWriter = errors.New("cluster: process is not in the writer set")
 )
 
 // Config configures a Cluster.
@@ -34,6 +39,14 @@ type Config struct {
 	// N is the number of processes; Writer designates the SWMR writer.
 	N      int
 	Writer int
+	// Writers, when non-empty, generalizes Writer to a writer set for
+	// multi-writer algorithms: writes are accepted through exactly these
+	// processes (validated by proto.ValidateWriters; a typed
+	// *proto.WriterSetError reports mistakes at New time). When empty, the
+	// writer set is {Writer} — the SWMR configuration. The protocol
+	// instances still receive Writer as the designated writer; MWMR
+	// algorithms ignore it.
+	Writers []int
 	// Alg builds the protocol instances.
 	Alg proto.Algorithm
 	// Collector, if non-nil, sees every sent message and completed op.
@@ -52,10 +65,11 @@ type Config struct {
 
 // Cluster is a running protocol instance.
 type Cluster struct {
-	cfg   Config
-	nodes []*node
-	opSeq atomic.Uint64
-	wg    sync.WaitGroup
+	cfg     Config
+	writers map[int]bool // the validated writer set
+	nodes   []*node
+	opSeq   atomic.Uint64
+	wg      sync.WaitGroup
 
 	stopOnce sync.Once
 }
@@ -96,13 +110,25 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.N < 1 {
 		return nil, fmt.Errorf("cluster: N = %d, need at least 1", cfg.N)
 	}
-	if cfg.Writer < 0 || cfg.Writer >= cfg.N {
-		return nil, fmt.Errorf("cluster: writer %d out of range [0,%d)", cfg.Writer, cfg.N)
-	}
 	if cfg.Alg == nil {
 		return nil, errors.New("cluster: Alg is required")
 	}
-	c := &Cluster{cfg: cfg}
+	// One validation point for both the legacy single-writer field and the
+	// writer set: the effective set must pass proto.ValidateWriters.
+	ws := cfg.Writers
+	if len(ws) == 0 {
+		ws = []int{cfg.Writer}
+	}
+	if err := proto.ValidateWriters(cfg.N, ws); err != nil {
+		return nil, err
+	}
+	if cfg.Writer < 0 || cfg.Writer >= cfg.N {
+		return nil, fmt.Errorf("cluster: writer %d out of range [0,%d)", cfg.Writer, cfg.N)
+	}
+	c := &Cluster{cfg: cfg, writers: make(map[int]bool, len(ws))}
+	for _, w := range ws {
+		c.writers[w] = true
+	}
 	for i := 0; i < cfg.N; i++ {
 		nd := &node{
 			id:   i,
@@ -123,8 +149,58 @@ func New(cfg Config) (*Cluster, error) {
 // N returns the number of processes.
 func (c *Cluster) N() int { return c.cfg.N }
 
-// Writer returns the writer's process index.
+// Writer returns the writer's process index (the single SWMR writer, or the
+// Config.Writer field of a multi-writer cluster).
 func (c *Cluster) Writer() int { return c.cfg.Writer }
+
+// Writers returns the cluster's writer set, sorted ascending.
+func (c *Cluster) Writers() []int {
+	out := make([]int, 0, len(c.writers))
+	for w := range c.writers {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsWriter reports whether writes are accepted through process pid.
+func (c *Cluster) IsWriter(pid int) bool { return c.writers[pid] }
+
+// Handle is a client bound to one process of the cluster — the per-writer
+// (and per-reader) client object multi-writer harnesses hand to their
+// workload goroutines.
+type Handle struct {
+	c   *Cluster
+	pid int
+}
+
+// Handle returns a client bound to process pid.
+func (c *Cluster) Handle(pid int) *Handle {
+	if pid < 0 || pid >= c.cfg.N {
+		panic(fmt.Sprintf("cluster: handle for unknown process %d", pid))
+	}
+	return &Handle{c: c, pid: pid}
+}
+
+// WriterHandles returns one client handle per member of the writer set,
+// sorted by process index.
+func (c *Cluster) WriterHandles() []*Handle {
+	ws := c.Writers()
+	out := make([]*Handle, len(ws))
+	for i, w := range ws {
+		out[i] = c.Handle(w)
+	}
+	return out
+}
+
+// PID returns the process this handle is bound to.
+func (h *Handle) PID() int { return h.pid }
+
+// Write performs a blocking write through the handle's process.
+func (h *Handle) Write(v proto.Value) error { return h.c.Write(h.pid, v) }
+
+// Read performs a blocking read through the handle's process.
+func (h *Handle) Read() (proto.Value, error) { return h.c.Read(h.pid) }
 
 // Stop shuts every node down and waits for all goroutines (including
 // in-flight jitter deliveries) to exit. Pending operations receive
@@ -159,9 +235,12 @@ func (c *Cluster) Crashed(pid int) bool {
 	return nd.crashed
 }
 
-// Write performs a blocking write through process pid (must be the writer
-// for SWMR algorithms).
+// Write performs a blocking write through process pid, which must belong to
+// the cluster's writer set (ErrNotWriter otherwise).
 func (c *Cluster) Write(pid int, v proto.Value) error {
+	if !c.writers[pid] {
+		return fmt.Errorf("%w: process %d (writers: %v)", ErrNotWriter, pid, c.Writers())
+	}
 	_, err := c.invoke(pid, proto.OpWrite, v)
 	return err
 }

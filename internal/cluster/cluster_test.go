@@ -23,12 +23,12 @@ type rig struct {
 	rec *check.Recorder
 }
 
-func newRig(t *testing.T, alg proto.Algorithm, n int, jitter time.Duration) *rig {
+func newRig(t *testing.T, alg proto.Algorithm, n int, jitter time.Duration, writers ...int) *rig {
 	t.Helper()
 	start := time.Now()
 	rec := check.NewRecorder(nil, func() float64 { return time.Since(start).Seconds() })
 	c, err := cluster.New(cluster.Config{
-		N: n, Writer: 0, Alg: alg,
+		N: n, Writer: 0, Writers: writers, Alg: alg,
 		MaxJitter: jitter, Seed: 42,
 		OnInvoke: func(op proto.OpID, pid int, kind proto.OpKind, v proto.Value) {
 			rec.Invoke(op, pid, kind, v)
@@ -146,7 +146,7 @@ func TestClusterConcurrentLinearizable(t *testing.T) {
 // and validates with the exhaustive checker.
 func TestClusterMWMRLinearizable(t *testing.T) {
 	t.Parallel()
-	r := newRig(t, abd.MWMRAlgorithm(), 4, 200*time.Microsecond)
+	r := newRig(t, abd.MWMRAlgorithm(), 4, 200*time.Microsecond, 0, 1, 2, 3)
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
 		w := w

@@ -9,6 +9,13 @@
 // 7, 9, 11 and 20) becomes a predicate-gated pending queue that is re-examined
 // after every state change, so no call ever blocks.
 //
+// The pairwise alternating-bit sequencing discipline — sender-side parity
+// flip, receiver-side sequence-number reconstruction, the parity-gated
+// reorder buffers, and the forward/catch-up rules — lives in the reusable
+// Lane engine (lane.go). The SWMR Proc below is a single lane plus the
+// read/write client protocol; the multi-writer extension (mwmr.go) runs one
+// lane per writer over the same engine.
+//
 // Line references in comments are to Figure 1 of the paper.
 package core
 
@@ -77,26 +84,13 @@ type Proc struct {
 	id, n, writer int
 	opts          options
 
-	// history is the local prefix of the written-value sequence;
-	// logically history[0] = v0 (Figure 1, local initialization). With
-	// WithHistoryGC, entries below histBase have been discarded and
-	// history[x] is stored at history[x - histBase].
-	history  []proto.Value
-	histBase int
-	// wSync[j] = α: to this process's knowledge, p_j knows the prefix of
-	// the writer's history up to index α. wSync[id] is this process's own
-	// most recent value index.
-	wSync []int
+	// lane carries the writer's value stream: history, per-peer knowledge
+	// (w_sync), and the parity-gated reorder buffers (see Lane).
+	lane *Lane
+
 	// rSync[j] counts PROCEED() messages received from p_j; rSync[id]
 	// counts this process's own read invocations (line 5).
 	rSync []int
-
-	// pendingW buffers, per peer, WRITE messages that arrived out of order
-	// and are parked on the line-11 parity guard. Property P1 bounds its
-	// depth at 1 per peer; maxPendingW records the observed maximum so
-	// tests can verify that bound.
-	pendingW    [][]WriteMsg
-	maxPendingW int
 
 	// pendingReads holds READ requests parked on the line-20 guard
 	// w_sync[from] >= sn.
@@ -143,14 +137,12 @@ func New(id, n, writer int, opts ...Option) *Proc {
 		op(&o)
 	}
 	p := &Proc{
-		id:       id,
-		n:        n,
-		writer:   writer,
-		opts:     o,
-		history:  []proto.Value{o.initial.Clone()},
-		wSync:    make([]int, n),
-		rSync:    make([]int, n),
-		pendingW: make([][]WriteMsg, n),
+		id:     id,
+		n:      n,
+		writer: writer,
+		opts:   o,
+		lane:   NewLane(id, n, o.initial, o.explicitSeqnums),
+		rSync:  make([]int, n),
 	}
 	return p
 }
@@ -176,6 +168,15 @@ func (p *Proc) Writer() int { return p.writer }
 // quorum returns n-t, the completion threshold of every wait predicate.
 func (p *Proc) quorum() int { return proto.QuorumSize(p.n) }
 
+// emit returns the lane emit callback that routes WRITEs into eff and keeps
+// the per-process message count.
+func (p *Proc) emit(eff *proto.Effects) emitFn {
+	return func(to int, m WriteMsg) {
+		eff.AddSend(to, m)
+		p.msgsSent++
+	}
+}
+
 // StartWrite implements Figure 1 lines 1-2 and arms the line-3 wait.
 func (p *Proc) StartWrite(op proto.OpID, v proto.Value) proto.Effects {
 	if p.id != p.writer {
@@ -186,12 +187,10 @@ func (p *Proc) StartWrite(op proto.OpID, v proto.Value) proto.Effects {
 	}
 	var eff proto.Effects
 	// Line 1: wsn <- w_sync[w]+1; w_sync[w] <- wsn; history[wsn] <- v.
-	wsn := p.wSync[p.id] + 1
-	p.wSync[p.id] = wsn
-	p.appendHistory(wsn, v.Clone())
+	wsn := p.lane.Append(v)
 	// Line 2: send WRITE(wsn mod 2, v) to every p_j believed to know
 	// exactly the first wsn-1 values.
-	p.forwardTo(wsn, &eff)
+	p.lane.Forward(wsn, p.emit(&eff))
 	// Line 3: wait until n-t processes are known to hold value wsn.
 	p.cur = &pendingOp{op: op, kind: proto.OpWrite, phase: phaseWriteWait, wsn: wsn}
 	p.drain(&eff)
@@ -210,7 +209,7 @@ func (p *Proc) StartRead(op proto.OpID) proto.Effects {
 		// Figure 1, line 5 comment: the writer may return
 		// history[w_sync[w]] directly — its own value is always the
 		// most recent one.
-		eff.AddDone(op, proto.OpRead, p.histAt(p.wSync[p.id]).Clone())
+		eff.AddDone(op, proto.OpRead, p.lane.HistAt(p.lane.Top()).Clone())
 		return eff
 	}
 	// Line 5: rsn <- r_sync[i]+1.
@@ -237,10 +236,12 @@ func (p *Proc) Deliver(from int, msg proto.Message) proto.Effects {
 	var eff proto.Effects
 	switch m := msg.(type) {
 	case WriteMsg:
-		p.deliverWrite(from, m, &eff)
+		// Line 11: park behind the parity guard; drain processes
+		// whatever has become processable.
+		p.lane.Enqueue(from, m)
 	case ReadMsg:
 		// Line 19: capture the freshness bar sn = w_sync[i].
-		sn := p.wSync[p.id]
+		sn := p.lane.Top()
 		// Line 20 wait: park until w_sync[from] >= sn, then PROCEED.
 		p.pendingReads = append(p.pendingReads, pendingRead{from: from, sn: sn})
 	case ProceedMsg:
@@ -253,96 +254,17 @@ func (p *Proc) Deliver(from int, msg proto.Message) proto.Effects {
 	return eff
 }
 
-// deliverWrite enqueues m behind the line-11 parity guard; drain processes
-// whatever has become processable.
-func (p *Proc) deliverWrite(from int, m WriteMsg, eff *proto.Effects) {
-	p.pendingW[from] = append(p.pendingW[from], m)
-}
-
-// nextFromPending pops a buffered WRITE from peer j if it passes the line-11
-// guard: its parity must equal (w_sync[j]+1) mod 2 — or, in the ablation
-// mode, its explicit sequence number must be exactly w_sync[j]+1.
-func (p *Proc) nextFromPending(j int) (WriteMsg, bool) {
-	queue := p.pendingW[j]
-	for k, m := range queue {
-		if p.guardLine11(j, m) {
-			p.pendingW[j] = append(queue[:k:k], queue[k+1:]...)
-			return m, true
-		}
-	}
-	return WriteMsg{}, false
-}
-
-func (p *Proc) guardLine11(j int, m WriteMsg) bool {
-	if p.opts.explicitSeqnums {
-		return m.Seq == p.wSync[j]+1
-	}
-	return int(m.Bit) == (p.wSync[j]+1)%2
-}
-
-// processWrite is Figure 1 lines 12-18, run once the line-11 guard passed.
-func (p *Proc) processWrite(from int, m WriteMsg, eff *proto.Effects) {
-	// Line 12: reconstruct the sequence number locally.
-	wsn := p.wSync[from] + 1
-	switch {
-	case wsn == p.wSync[p.id]+1:
-		// Lines 13-15: this is our next value; adopt and forward
-		// (Rule R1). Note the forward loop runs BEFORE w_sync[from] is
-		// updated at line 18, so `from` itself still satisfies
-		// w_sync[from] == wsn-1 and receives the forward — that echo is
-		// the alternating-bit acknowledgement.
-		p.wSync[p.id] = wsn
-		p.appendHistory(wsn, m.Val.Clone())
-		p.forwardTo(wsn, eff)
-	case wsn < p.wSync[p.id]:
-		// Line 16 (Rule R2): the sender lags by at least two values;
-		// send it the single next value it is missing.
-		next := wsn + 1
-		p.sendWrite(from, next, eff)
-	default:
-		// wsn == w_sync[i]: the sender caught up to us; only the
-		// line-18 bookkeeping applies.
-	}
-	// Line 18.
-	p.wSync[from] = wsn
-}
-
-// forwardTo sends WRITE(wsn mod 2, history[wsn]) to every process believed to
-// know exactly wsn-1 values (Figure 1 lines 2 and 15).
-func (p *Proc) forwardTo(wsn int, eff *proto.Effects) {
-	for j := 0; j < p.n; j++ {
-		if j != p.id && p.wSync[j] == wsn-1 {
-			p.sendWrite(j, wsn, eff)
-		}
-	}
-}
-
-func (p *Proc) sendWrite(to, wsn int, eff *proto.Effects) {
-	m := WriteMsg{Bit: uint8(wsn % 2), Val: p.histAt(wsn)}
-	if p.opts.explicitSeqnums {
-		m.Seq = wsn
-	}
-	eff.AddSend(to, m)
-	p.msgsSent++
-}
-
 // drain re-evaluates every parked guard until no further progress is
 // possible. It is called after every state change, making the paper's
 // blocking `wait` statements non-blocking.
 func (p *Proc) drain(eff *proto.Effects) {
+	emit := p.emit(eff)
 	for progress := true; progress; {
 		progress = false
 
 		// Line 11 guards: process buffered WRITEs that became in-order.
-		for j := 0; j < p.n; j++ {
-			for {
-				m, ok := p.nextFromPending(j)
-				if !ok {
-					break
-				}
-				p.processWrite(j, m, eff)
-				progress = true
-			}
+		if p.lane.Drain(emit) {
+			progress = true
 		}
 
 		// Line 20 guards: answer READs whose requester caught up.
@@ -358,11 +280,7 @@ func (p *Proc) drain(eff *proto.Effects) {
 	// Property P1 probe: after the fixpoint, count messages still parked
 	// on the line-11 guard. The alternating-bit discipline bounds this at
 	// one per peer; transient depths during drain do not count.
-	for _, q := range p.pendingW {
-		if len(q) > p.maxPendingW {
-			p.maxPendingW = len(q)
-		}
-	}
+	p.lane.NoteQuiesced()
 	p.maybeGC()
 }
 
@@ -370,7 +288,7 @@ func (p *Proc) flushPendingReads(eff *proto.Effects) bool {
 	progress := false
 	kept := p.pendingReads[:0]
 	for _, pr := range p.pendingReads {
-		if p.opts.fault == FaultSkipProceedWait || p.wSync[pr.from] >= pr.sn {
+		if p.opts.fault == FaultSkipProceedWait || p.lane.WSync(pr.from) >= pr.sn {
 			// Line 21.
 			eff.AddSend(pr.from, ProceedMsg{})
 			p.msgsSent++
@@ -396,7 +314,7 @@ func (p *Proc) advanceOp(eff *proto.Effects) bool {
 		if p.opts.fault == FaultAckBeforeQuorum {
 			need--
 		}
-		if p.countWSyncEq(p.cur.wsn) >= need {
+		if p.lane.CountEq(p.cur.wsn) >= need {
 			op := p.cur
 			p.cur = nil
 			eff.AddDone(op.op, proto.OpWrite, nil)
@@ -406,41 +324,21 @@ func (p *Proc) advanceOp(eff *proto.Effects) bool {
 		// Line 7: z >= n-t processes with r_sync[j] == rsn.
 		if p.countRSyncEq(p.cur.rsn) >= p.quorum() {
 			// Line 8: fix the returned index.
-			p.cur.sn = p.wSync[p.id]
+			p.cur.sn = p.lane.Top()
 			p.cur.phase = phaseReadSync
 			return true
 		}
 	case phaseReadSync:
 		// Line 9: z >= n-t processes with w_sync[j] >= sn.
-		if p.countWSyncGE(p.cur.sn) >= p.quorum() {
+		if p.lane.CountGE(p.cur.sn) >= p.quorum() {
 			op := p.cur
 			p.cur = nil
 			// Line 10.
-			eff.AddDone(op.op, proto.OpRead, p.histAt(op.sn).Clone())
+			eff.AddDone(op.op, proto.OpRead, p.lane.HistAt(op.sn).Clone())
 			return true
 		}
 	}
 	return false
-}
-
-func (p *Proc) countWSyncEq(x int) int {
-	z := 0
-	for _, v := range p.wSync {
-		if v == x {
-			z++
-		}
-	}
-	return z
-}
-
-func (p *Proc) countWSyncGE(x int) int {
-	z := 0
-	for _, v := range p.wSync {
-		if v >= x {
-			z++
-		}
-	}
-	return z
 }
 
 func (p *Proc) countRSyncEq(x int) int {
@@ -453,49 +351,16 @@ func (p *Proc) countRSyncEq(x int) int {
 	return z
 }
 
-// appendHistory stores history[wsn] = v, asserting the prefix discipline
-// (values are adopted strictly in order — Lemma 4's mechanism).
-func (p *Proc) appendHistory(wsn int, v proto.Value) {
-	if wsn != p.histBase+len(p.history) {
-		panic(fmt.Sprintf("core: process %d history gap: appending %d with %d entries above base %d",
-			p.id, wsn, len(p.history), p.histBase))
-	}
-	p.history = append(p.history, v)
-}
-
-// histAt returns history[x]. Accessing a garbage-collected index is a bug in
-// the GC floor computation and panics.
-func (p *Proc) histAt(x int) proto.Value {
-	if x < p.histBase || x >= p.histBase+len(p.history) {
-		panic(fmt.Sprintf("core: process %d history[%d] out of retained range [%d,%d)",
-			p.id, x, p.histBase, p.histBase+len(p.history)))
-	}
-	return p.history[x-p.histBase]
-}
-
 // maybeGC discards history entries below the safe floor (see WithHistoryGC).
 func (p *Proc) maybeGC() {
 	if !p.opts.gcHistory {
 		return
 	}
-	floor := p.wSync[0]
-	for _, v := range p.wSync[1:] {
-		if v < floor {
-			floor = v
-		}
-	}
+	floor := p.lane.MinWSync()
 	if p.cur != nil && p.cur.phase == phaseReadSync && p.cur.sn < floor {
 		floor = p.cur.sn // a parked read still needs history[sn]
 	}
-	if floor <= p.histBase {
-		return
-	}
-	drop := floor - p.histBase
-	// Copy the tail so the discarded prefix becomes collectable.
-	kept := make([]proto.Value, len(p.history)-drop)
-	copy(kept, p.history[drop:])
-	p.history = kept
-	p.histBase = floor
+	p.lane.Compact(floor)
 }
 
 // LocalMemoryBits implements the Table 1 row 4 probe: the bits held in
@@ -503,40 +368,34 @@ func (p *Proc) maybeGC() {
 // WithHistoryGC the history term grows without bound with the number of
 // writes — the "unbounded" entry in the paper's table.
 func (p *Proc) LocalMemoryBits() int {
-	bits := 0
-	for _, v := range p.history {
-		bits += len(v) * 8
-	}
-	bits += 64 * len(p.history) // per-entry index bookkeeping
-	bits += 64 * (len(p.wSync) + len(p.rSync))
-	return bits
+	return p.lane.MemoryBits() + 64*len(p.rSync)
 }
 
 // --- introspection for tests, invariant checkers and the eval harness ---
 
 // WSync returns w_sync[j].
-func (p *Proc) WSync(j int) int { return p.wSync[j] }
+func (p *Proc) WSync(j int) int { return p.lane.WSync(j) }
 
 // RSync returns r_sync[j].
 func (p *Proc) RSync(j int) int { return p.rSync[j] }
 
 // HistoryLen returns the number of known values including v0 (logical
 // length: garbage-collected entries still count).
-func (p *Proc) HistoryLen() int { return p.histBase + len(p.history) }
+func (p *Proc) HistoryLen() int { return p.lane.HistoryLen() }
 
 // HistoryAt returns history[x]; x must be retained (>= HistoryBase).
-func (p *Proc) HistoryAt(x int) proto.Value { return p.histAt(x) }
+func (p *Proc) HistoryAt(x int) proto.Value { return p.lane.HistAt(x) }
 
 // HistoryBase returns the lowest retained history index (0 unless
 // WithHistoryGC discarded a prefix).
-func (p *Proc) HistoryBase() int { return p.histBase }
+func (p *Proc) HistoryBase() int { return p.lane.HistoryBase() }
 
 // RetainedValues returns the number of history entries currently held.
-func (p *Proc) RetainedValues() int { return len(p.history) }
+func (p *Proc) RetainedValues() int { return p.lane.Retained() }
 
 // MaxPendingDepth reports the deepest line-11 reorder buffer observed; the
 // alternating-bit discipline (Property P1) bounds it at 1.
-func (p *Proc) MaxPendingDepth() int { return p.maxPendingW }
+func (p *Proc) MaxPendingDepth() int { return p.lane.MaxPendingDepth() }
 
 // MsgsSent returns the number of messages this process has emitted.
 func (p *Proc) MsgsSent() int { return p.msgsSent }

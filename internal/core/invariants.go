@@ -2,70 +2,105 @@ package core
 
 import "fmt"
 
-// CheckGlobalInvariants verifies, across a full set of processes, the
-// invariants the paper's proof establishes:
+// laneInvariants verifies, across the full set of a stream's lanes (one per
+// process, owner being the stream's writer), the invariants the paper's
+// proof establishes for the alternating-bit discipline:
 //
 //	Lemma 2:    w_sync_i[i] >= w_sync_j[i] for all i, j.
 //	Lemma 3:    w_sync_i[i] == max_j w_sync_i[j].
-//	Lemma 4:    every history_i is a prefix of the writer's history.
+//	Lemma 4:    every history_i is a prefix of the owner's history.
 //	Property P2: |w_sync_i[j] - w_sync_j[i]| <= 1 for all pairs.
 //	Property P1: the line-11 reorder buffer never held more than one
-//	             message per peer.
+//	             message per peer at a quiescent point.
 //
-// It is intended as a post-delivery hook under the simulator (the checks read
-// shared state and are only sound between atomic steps). It returns the first
-// violation found, or nil.
+// The proofs only use that exactly one process appends to the stream, so the
+// same invariants hold lane-by-lane in the multi-writer register. label
+// prefixes violations so multi-lane reports name the offending stream.
+func laneInvariants(lanes []*Lane, owner int, label string) error {
+	ownerLane := lanes[owner]
+	n := len(lanes)
+
+	for i, li := range lanes {
+		// Lemma 3.
+		maxSeen := 0
+		for j := 0; j < n; j++ {
+			if li.wSync[j] > maxSeen {
+				maxSeen = li.wSync[j]
+			}
+		}
+		if li.wSync[i] != maxSeen {
+			return fmt.Errorf("%slemma 3 violated at p%d: w_sync[%d]=%d but max=%d", label, i, i, li.wSync[i], maxSeen)
+		}
+
+		// Property P1.
+		if li.maxPending > 1 {
+			return fmt.Errorf("%sproperty P1 violated at p%d: reorder buffer depth %d > 1", label, i, li.maxPending)
+		}
+
+		// Lemma 4: history_i must be a prefix of the owner's history
+		// (compared on the range both processes still retain, when GC is
+		// active).
+		if li.HistoryLen() > ownerLane.HistoryLen() {
+			return fmt.Errorf("%slemma 4 violated: p%d has %d entries, writer has %d", label, i, li.HistoryLen(), ownerLane.HistoryLen())
+		}
+		lo := li.histBase
+		if ownerLane.histBase > lo {
+			lo = ownerLane.histBase
+		}
+		for x := lo; x < li.HistoryLen(); x++ {
+			if !li.histAt(x).Equal(ownerLane.histAt(x)) {
+				return fmt.Errorf("%slemma 4 violated: p%d history[%d] differs from writer", label, i, x)
+			}
+		}
+
+		for j, lj := range lanes {
+			// Lemma 2.
+			if li.wSync[i] < lj.wSync[i] {
+				return fmt.Errorf("%slemma 2 violated: w_sync_%d[%d]=%d < w_sync_%d[%d]=%d",
+					label, i, i, li.wSync[i], j, i, lj.wSync[i])
+			}
+			// Property P2.
+			if d := li.wSync[j] - lj.wSync[i]; d > 1 || d < -1 {
+				return fmt.Errorf("%sproperty P2 violated: |w_sync_%d[%d]-w_sync_%d[%d]| = |%d-%d| > 1",
+					label, i, j, j, i, li.wSync[j], lj.wSync[i])
+			}
+		}
+	}
+	return nil
+}
+
+// CheckGlobalInvariants verifies the paper's proof invariants across a full
+// set of SWMR processes. It is intended as a post-delivery hook under the
+// simulator (the checks read shared state and are only sound between atomic
+// steps). It returns the first violation found, or nil.
 func CheckGlobalInvariants(procs []*Proc) error {
 	if len(procs) == 0 {
 		return nil
 	}
-	w := procs[0].writer
-	writer := procs[w]
+	lanes := make([]*Lane, len(procs))
+	for i, p := range procs {
+		lanes[i] = p.lane
+	}
+	return laneInvariants(lanes, procs[0].writer, "")
+}
+
+// CheckMWGlobalInvariants verifies the per-lane proof invariants across a
+// full set of multi-writer processes: every writer's stream must satisfy the
+// same lemmas the SWMR proof establishes, with that writer as the lane
+// owner. Like CheckGlobalInvariants it is a between-steps probe for the
+// simulator.
+func CheckMWGlobalInvariants(procs []*MWProc) error {
+	if len(procs) == 0 {
+		return nil
+	}
 	n := len(procs)
-
-	for i, pi := range procs {
-		// Lemma 3.
-		maxSeen := 0
-		for j := 0; j < n; j++ {
-			if pi.wSync[j] > maxSeen {
-				maxSeen = pi.wSync[j]
-			}
+	lanes := make([]*Lane, n)
+	for w := 0; w < n; w++ {
+		for i, p := range procs {
+			lanes[i] = p.lanes[w]
 		}
-		if pi.wSync[i] != maxSeen {
-			return fmt.Errorf("lemma 3 violated at p%d: w_sync[%d]=%d but max=%d", i, i, pi.wSync[i], maxSeen)
-		}
-
-		// Property P1.
-		if pi.maxPendingW > 1 {
-			return fmt.Errorf("property P1 violated at p%d: reorder buffer depth %d > 1", i, pi.maxPendingW)
-		}
-
-		// Lemma 4: history_i must be a prefix of history_w (compared on
-		// the range both processes still retain, when GC is active).
-		if pi.HistoryLen() > writer.HistoryLen() {
-			return fmt.Errorf("lemma 4 violated: p%d has %d entries, writer has %d", i, pi.HistoryLen(), writer.HistoryLen())
-		}
-		lo := pi.histBase
-		if writer.histBase > lo {
-			lo = writer.histBase
-		}
-		for x := lo; x < pi.HistoryLen(); x++ {
-			if !pi.histAt(x).Equal(writer.histAt(x)) {
-				return fmt.Errorf("lemma 4 violated: p%d history[%d] differs from writer", i, x)
-			}
-		}
-
-		for j, pj := range procs {
-			// Lemma 2.
-			if pi.wSync[i] < pj.wSync[i] {
-				return fmt.Errorf("lemma 2 violated: w_sync_%d[%d]=%d < w_sync_%d[%d]=%d",
-					i, i, pi.wSync[i], j, i, pj.wSync[i])
-			}
-			// Property P2.
-			if d := pi.wSync[j] - pj.wSync[i]; d > 1 || d < -1 {
-				return fmt.Errorf("property P2 violated: |w_sync_%d[%d]-w_sync_%d[%d]| = |%d-%d| > 1",
-					i, j, j, i, pi.wSync[j], pj.wSync[i])
-			}
+		if err := laneInvariants(lanes, w, fmt.Sprintf("lane %d: ", w)); err != nil {
+			return err
 		}
 	}
 	return nil

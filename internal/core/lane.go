@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+
+	"twobitreg/internal/proto"
+)
+
+// Lane is the reusable pairwise alternating-bit sequencing engine at one
+// process, extracted from the SWMR Proc so the same discipline can carry any
+// number of independent value streams (one per writer in the multi-writer
+// register, one per key in sharded stores).
+//
+// A Lane owns, for ONE value stream (one writer's history) at one process:
+//
+//   - the local prefix of that stream's value sequence (history);
+//   - wSync[j], this process's knowledge of how much of the stream each peer
+//     holds (wSync[self] is its own most recent index);
+//   - the per-peer reorder buffers behind the line-11 parity guard;
+//   - the sender-side rules: line-2/15 forwards to peers believed exactly one
+//     value behind, and the Rule-R2 catch-up for lagging senders.
+//
+// Sequence numbers never travel: the receiver reconstructs them from the
+// alternating bit, exactly as in Figure 1 of the paper. A Lane emits WRITE
+// messages through the emit callback its owner passes in, so the owner
+// decides how they appear on the wire (bare WriteMsg for the SWMR register,
+// wrapped with a writer id for the multi-writer one) and keeps its own
+// message accounting.
+//
+// Line references in comments are to Figure 1 of the paper.
+type Lane struct {
+	self, n  int
+	explicit bool // explicit-seqnum ablation (WithExplicitSeqnums)
+
+	// history is the local prefix of the stream's value sequence; logically
+	// history[0] = v0. After Compact, entries below histBase have been
+	// discarded and history[x] is stored at history[x-histBase].
+	history  []proto.Value
+	histBase int
+	// wSync[j] = α: to this process's knowledge, p_j holds the stream's
+	// prefix up to index α.
+	wSync []int
+	// pending buffers, per peer, WRITE messages parked on the line-11 parity
+	// guard. Property P1 bounds its quiescent depth at 1 per peer;
+	// maxPending records the observed maximum so tests can verify the bound.
+	pending    [][]WriteMsg
+	maxPending int
+}
+
+// emitFn transmits a lane WRITE for stream index wsn to peer `to`. Owners
+// wrap it into their transport message and count it.
+type emitFn func(to int, m WriteMsg)
+
+// NewLane returns the engine for one value stream at process self of n.
+// initial is v0, the stream's value before any append.
+func NewLane(self, n int, initial proto.Value, explicitSeqnums bool) *Lane {
+	return &Lane{
+		self:     self,
+		n:        n,
+		explicit: explicitSeqnums,
+		history:  []proto.Value{initial.Clone()},
+		wSync:    make([]int, n),
+		pending:  make([][]WriteMsg, n),
+	}
+}
+
+// Top returns this process's own most recent stream index (wSync[self]).
+func (l *Lane) Top() int { return l.wSync[l.self] }
+
+// WSync returns wSync[j].
+func (l *Lane) WSync(j int) int { return l.wSync[j] }
+
+// Append performs the local bookkeeping of a new write by this process
+// (Figure 1 line 1): wsn <- wSync[self]+1; wSync[self] <- wsn;
+// history[wsn] <- v. It returns wsn; the caller follows up with Forward.
+// Only the stream's writer may Append.
+func (l *Lane) Append(v proto.Value) int {
+	wsn := l.wSync[l.self] + 1
+	l.wSync[l.self] = wsn
+	l.appendHistory(wsn, v.Clone())
+	return wsn
+}
+
+// Forward sends WRITE(wsn mod 2, history[wsn]) to every peer believed to know
+// exactly wsn-1 values (Figure 1 lines 2 and 15).
+func (l *Lane) Forward(wsn int, emit emitFn) {
+	for j := 0; j < l.n; j++ {
+		if j != l.self && l.wSync[j] == wsn-1 {
+			l.send(j, wsn, emit)
+		}
+	}
+}
+
+// send builds and emits the WRITE for stream index wsn.
+func (l *Lane) send(to, wsn int, emit emitFn) {
+	m := WriteMsg{Bit: uint8(wsn % 2), Val: l.histAt(wsn)}
+	if l.explicit {
+		m.Seq = wsn
+	}
+	emit(to, m)
+}
+
+// Enqueue parks a received WRITE behind the line-11 parity guard; Drain
+// processes whatever has become processable.
+func (l *Lane) Enqueue(from int, m WriteMsg) {
+	l.pending[from] = append(l.pending[from], m)
+}
+
+// Drain runs one full pass over the per-peer reorder buffers, processing
+// every parked WRITE whose line-11 guard has become true (lines 12-18). It
+// returns whether any message was processed; callers loop it to a fixpoint
+// together with their own guards.
+func (l *Lane) Drain(emit emitFn) bool {
+	progress := false
+	for j := 0; j < l.n; j++ {
+		for {
+			m, ok := l.nextFromPending(j)
+			if !ok {
+				break
+			}
+			l.processWrite(j, m, emit)
+			progress = true
+		}
+	}
+	return progress
+}
+
+// nextFromPending pops a buffered WRITE from peer j if it passes the line-11
+// guard: its parity must equal (wSync[j]+1) mod 2 — or, in the ablation
+// mode, its explicit sequence number must be exactly wSync[j]+1.
+func (l *Lane) nextFromPending(j int) (WriteMsg, bool) {
+	queue := l.pending[j]
+	for k, m := range queue {
+		if l.guardLine11(j, m) {
+			l.pending[j] = append(queue[:k:k], queue[k+1:]...)
+			return m, true
+		}
+	}
+	return WriteMsg{}, false
+}
+
+func (l *Lane) guardLine11(j int, m WriteMsg) bool {
+	if l.explicit {
+		return m.Seq == l.wSync[j]+1
+	}
+	return int(m.Bit) == (l.wSync[j]+1)%2
+}
+
+// processWrite is Figure 1 lines 12-18, run once the line-11 guard passed.
+func (l *Lane) processWrite(from int, m WriteMsg, emit emitFn) {
+	// Line 12: reconstruct the sequence number locally.
+	wsn := l.wSync[from] + 1
+	switch {
+	case wsn == l.wSync[l.self]+1:
+		// Lines 13-15: this is our next value; adopt and forward
+		// (Rule R1). Note the forward loop runs BEFORE wSync[from] is
+		// updated at line 18, so `from` itself still satisfies
+		// wSync[from] == wsn-1 and receives the forward — that echo is
+		// the alternating-bit acknowledgement.
+		l.wSync[l.self] = wsn
+		l.appendHistory(wsn, m.Val.Clone())
+		l.Forward(wsn, emit)
+	case wsn < l.wSync[l.self]:
+		// Line 16 (Rule R2): the sender lags by at least two values;
+		// send it the single next value it is missing.
+		l.send(from, wsn+1, emit)
+	default:
+		// wsn == wSync[self]: the sender caught up to us; only the
+		// line-18 bookkeeping applies.
+	}
+	// Line 18.
+	l.wSync[from] = wsn
+}
+
+// CountEq returns the number of processes j with wSync[j] == x (the line-3
+// wait predicate).
+func (l *Lane) CountEq(x int) int {
+	z := 0
+	for _, v := range l.wSync {
+		if v == x {
+			z++
+		}
+	}
+	return z
+}
+
+// CountGE returns the number of processes j with wSync[j] >= x (the line-9
+// wait predicate).
+func (l *Lane) CountGE(x int) int {
+	z := 0
+	for _, v := range l.wSync {
+		if v >= x {
+			z++
+		}
+	}
+	return z
+}
+
+// MinWSync returns min_j wSync[j], the GC floor candidate.
+func (l *Lane) MinWSync() int {
+	floor := l.wSync[0]
+	for _, v := range l.wSync[1:] {
+		if v < floor {
+			floor = v
+		}
+	}
+	return floor
+}
+
+// appendHistory stores history[wsn] = v, asserting the prefix discipline
+// (values are adopted strictly in order — Lemma 4's mechanism).
+func (l *Lane) appendHistory(wsn int, v proto.Value) {
+	if wsn != l.histBase+len(l.history) {
+		panic(fmt.Sprintf("core: process %d history gap: appending %d with %d entries above base %d",
+			l.self, wsn, len(l.history), l.histBase))
+	}
+	l.history = append(l.history, v)
+}
+
+// histAt returns history[x]. Accessing a compacted index is a bug in the
+// caller's floor computation and panics.
+func (l *Lane) histAt(x int) proto.Value {
+	if x < l.histBase || x >= l.histBase+len(l.history) {
+		panic(fmt.Sprintf("core: process %d history[%d] out of retained range [%d,%d)",
+			l.self, x, l.histBase, l.histBase+len(l.history)))
+	}
+	return l.history[x-l.histBase]
+}
+
+// HistAt returns history[x]; x must be retained (>= HistoryBase).
+func (l *Lane) HistAt(x int) proto.Value { return l.histAt(x) }
+
+// HistoryLen returns the number of known values including v0 (logical
+// length: compacted entries still count).
+func (l *Lane) HistoryLen() int { return l.histBase + len(l.history) }
+
+// HistoryBase returns the lowest retained history index (0 unless Compact
+// discarded a prefix).
+func (l *Lane) HistoryBase() int { return l.histBase }
+
+// Retained returns the number of history entries currently held.
+func (l *Lane) Retained() int { return len(l.history) }
+
+// Compact discards history entries strictly below floor. Callers must have
+// established that no future access addresses a discarded index (see
+// WithHistoryGC for the safe floor of the SWMR register).
+func (l *Lane) Compact(floor int) {
+	if floor <= l.histBase {
+		return
+	}
+	drop := floor - l.histBase
+	// Copy the tail so the discarded prefix becomes collectable.
+	kept := make([]proto.Value, len(l.history)-drop)
+	copy(kept, l.history[drop:])
+	l.history = kept
+	l.histBase = floor
+}
+
+// NoteQuiesced records the current reorder-buffer depths into the Property
+// P1 probe. It must be called at drain fixpoints only: transient depths
+// while messages are being processed do not count against the bound.
+func (l *Lane) NoteQuiesced() {
+	for _, q := range l.pending {
+		if len(q) > l.maxPending {
+			l.maxPending = len(q)
+		}
+	}
+}
+
+// MaxPendingDepth reports the deepest line-11 reorder buffer observed at a
+// quiescent point; the alternating-bit discipline (Property P1) bounds it
+// at 1.
+func (l *Lane) MaxPendingDepth() int { return l.maxPending }
+
+// MemoryBits is the lane's share of the Table 1 row 4 probe: the bits held
+// in retained history values plus 64 bits per history entry and per wSync
+// cell.
+func (l *Lane) MemoryBits() int {
+	bits := 0
+	for _, v := range l.history {
+		bits += len(v) * 8
+	}
+	bits += 64 * len(l.history) // per-entry index bookkeeping
+	bits += 64 * len(l.wSync)
+	return bits
+}

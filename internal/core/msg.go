@@ -64,8 +64,33 @@ func (ProceedMsg) ControlBits() int { return 2 }
 // DataBytes is 0.
 func (ProceedMsg) DataBytes() int { return 0 }
 
+// WriterIDBits is the addressing cost of multiplexing per-writer lanes on
+// one link: a one-byte lane-owner id on every lane WRITE. It is accounted
+// in LaneMsg.ControlBits the same way regmap accounts its multiplexing key —
+// the per-lane protocol control stays exactly two bits, the id is the price
+// of telling lanes apart.
+const WriterIDBits = 8
+
+// LaneMsg wraps one lane's WRITE with the id of the writer whose stream it
+// belongs to (multi-writer register only). READ and PROCEED need no wrapper:
+// they quantify over all lanes at the receiver.
+type LaneMsg struct {
+	Writer int
+	M      WriteMsg
+}
+
+// TypeName returns the inner WRITE's name.
+func (m LaneMsg) TypeName() string { return m.M.TypeName() }
+
+// ControlBits is the inner WRITE's two bits plus the writer-id addressing.
+func (m LaneMsg) ControlBits() int { return m.M.ControlBits() + WriterIDBits }
+
+// DataBytes is the size of the written value.
+func (m LaneMsg) DataBytes() int { return m.M.DataBytes() }
+
 var (
 	_ proto.Message = WriteMsg{}
 	_ proto.Message = ReadMsg{}
 	_ proto.Message = ProceedMsg{}
+	_ proto.Message = LaneMsg{}
 )

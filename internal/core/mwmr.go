@@ -1,0 +1,422 @@
+package core
+
+import (
+	"fmt"
+
+	"twobitreg/internal/proto"
+)
+
+// This file implements twobit-mwmr, a multi-writer multi-reader extension of
+// the paper's register built from per-writer alternating-bit lanes.
+//
+// The paper's algorithm is inherently single-writer: the alternating-bit
+// discipline assumes one value source per stream. The extension keeps that
+// assumption per stream by giving every process its own lane — an
+// independent instance of the SWMR propagation protocol (Lane) whose owner
+// is the only process appending to it. Values flood lane-by-lane exactly as
+// in Figure 1; a message carries the two protocol control bits plus the lane
+// owner's id (addressing, accounted honestly in LaneMsg.ControlBits, the
+// same way regmap accounts its multiplexing key).
+//
+// Writes are arbitrated by (index, writer-id) last-writer-wins order over
+// lane indices — the timestamp construction of Attiya–Bar-Noy–Dolev, made
+// two-bit-compatible in two steps:
+//
+//  1. A freshness phase replaces ABD's timestamp query: the writer
+//     broadcasts READ() and waits for n-t PROCEEDs, each of which is sent
+//     only once the responder knows the writer has caught up, on EVERY lane,
+//     to what the responder held when the request arrived (the line-19/20
+//     guard generalized to a per-writer w_sync vector). By quorum
+//     intersection the writer's local lane tops then dominate every write
+//     that completed before this one was invoked — without any sequence
+//     number crossing the wire.
+//  2. Lane indices must stay consecutive for the alternating bit, so the
+//     writer cannot jump its index to 1+max directly; instead it appends the
+//     new value at EVERY index from its current top up to the dominating
+//     one. The extra entries all carry the same client value, so reads are
+//     unaffected; they are the message-cost price of two-bit timestamps
+//     (O(m) extra flood rounds per write with m active writers — see the
+//     ROADMAP's bounded-lanes follow-up).
+//
+// Reads generalize Figure 1's lines 5-10 with the same per-writer vector:
+// the freshness phase (lines 5-7), then fixing a vector sn of lane tops
+// (line 8), then waiting until n-t processes are known to hold sn on every
+// lane (line 9), then returning the value of the lane maximizing
+// (sn[u], u) — last-writer-wins (line 10).
+type MWProc struct {
+	id, n int
+	opts  mwOptions
+
+	// lanes[w] carries writer w's value stream; lanes[id] is this process's
+	// own. Every process may write, so there are n lanes.
+	lanes []*Lane
+
+	// rSync[j] counts PROCEED() messages received from p_j; rSync[id]
+	// counts this process's own freshness rounds (reads and writes both
+	// run one).
+	rSync []int
+
+	// pendingSyncs holds freshness requests parked on the generalized
+	// line-20 guard: for every lane u, w_sync_u[from] >= sn[u].
+	pendingSyncs []pendingSync
+
+	// cur is the in-flight client operation; processes are sequential.
+	cur *mwOp
+
+	msgsSent int
+}
+
+type pendingSync struct {
+	from int
+	sn   []int // per-lane tops captured when the READ arrived (line 19)
+}
+
+type mwPhase uint8
+
+const (
+	mwWriteSync      mwPhase = iota + 1 // write freshness round (lines 5-7 analog)
+	mwWritePropagate                    // line-3 analog on the own lane
+	mwReadSync                          // line-7 analog
+	mwReadWait                          // line-9 analog over the vector
+)
+
+type mwOp struct {
+	op    proto.OpID
+	kind  proto.OpKind
+	phase mwPhase
+	val   proto.Value // write: the value being written
+	rsn   int         // freshness round number (line 5 analog)
+	wsn   int         // write: the dominating top being propagated
+	sn    []int       // read: per-lane indices fixed at the line-8 analog
+}
+
+// mwOptions configures an MWProc.
+type mwOptions struct {
+	initial proto.Value
+	fault   MWFault
+}
+
+// MWOption configures the multi-writer register.
+type MWOption func(*mwOptions)
+
+// WithMWInitial sets v0, the register's initial value (default nil).
+func WithMWInitial(v proto.Value) MWOption {
+	return func(o *mwOptions) { o.initial = v.Clone() }
+}
+
+// MWFault selects a deliberately broken variant of the multi-writer
+// register, for mutation-testing the detection machinery. The zero value is
+// the correct protocol.
+type MWFault uint8
+
+const (
+	// MWFaultNone runs the protocol unmodified.
+	MWFaultNone MWFault = iota
+	// MWFaultSkipWriteSync skips the write's freshness phase: the writer
+	// appends at its own next index without first dominating the other
+	// lanes. A writer whose own stream is short then publishes a value
+	// whose (index, writer-id) key orders BEFORE already-completed writes
+	// of a busier writer, so readers serve the busier writer's value and
+	// the new write is lost — a real-time order violation the cluster
+	// checker must catch under genuinely concurrent writer streams.
+	MWFaultSkipWriteSync
+)
+
+// WithMWFault builds the broken variant f. Mutation testing only.
+func WithMWFault(f MWFault) MWOption { return func(o *mwOptions) { o.fault = f } }
+
+// NewMWMR returns the multi-writer two-bit process with index id of n. Every
+// process owns a lane and may write.
+func NewMWMR(id, n int, opts ...MWOption) *MWProc {
+	proto.Validate(id, n, 0)
+	var o mwOptions
+	for _, op := range opts {
+		op(&o)
+	}
+	p := &MWProc{
+		id:    id,
+		n:     n,
+		opts:  o,
+		lanes: make([]*Lane, n),
+		rSync: make([]int, n),
+	}
+	for w := range p.lanes {
+		p.lanes[w] = NewLane(id, n, o.initial, false)
+	}
+	return p
+}
+
+// MWMRAlgorithm returns a proto.Algorithm building multi-writer two-bit
+// processes. The writer argument of New is ignored: every process may write.
+func MWMRAlgorithm(opts ...MWOption) proto.Algorithm { return mwAlgorithm{opts: opts} }
+
+type mwAlgorithm struct{ opts []MWOption }
+
+func (mwAlgorithm) Name() string { return "twobit-mwmr" }
+
+func (a mwAlgorithm) New(id, n, _ int) proto.Process { return NewMWMR(id, n, a.opts...) }
+
+// ID implements proto.Process.
+func (p *MWProc) ID() int { return p.id }
+
+func (p *MWProc) quorum() int { return proto.QuorumSize(p.n) }
+
+// emitLane returns the emit callback wrapping lane w's WRITEs with the lane
+// id.
+func (p *MWProc) emitLane(w int, eff *proto.Effects) emitFn {
+	return func(to int, m WriteMsg) {
+		eff.AddSend(to, LaneMsg{Writer: w, M: m})
+		p.msgsSent++
+	}
+}
+
+// broadcastSync starts a freshness round (line 5-6 analog, shared by reads
+// and writes) and returns its round number.
+func (p *MWProc) broadcastSync(eff *proto.Effects) int {
+	rsn := p.rSync[p.id] + 1
+	p.rSync[p.id] = rsn
+	for j := 0; j < p.n; j++ {
+		if j != p.id {
+			eff.AddSend(j, ReadMsg{})
+			p.msgsSent++
+		}
+	}
+	return rsn
+}
+
+// StartWrite begins a write: the freshness round first, then the dominated
+// append (see the file comment). With MWFaultSkipWriteSync the freshness
+// round is skipped and the append happens at the writer's own next index.
+func (p *MWProc) StartWrite(op proto.OpID, v proto.Value) proto.Effects {
+	if p.cur != nil {
+		panic(fmt.Sprintf("core: process %d invoked write while a %s is in flight (processes are sequential)", p.id, p.cur.kind))
+	}
+	var eff proto.Effects
+	if p.opts.fault == MWFaultSkipWriteSync {
+		p.cur = &mwOp{op: op, kind: proto.OpWrite, phase: mwWritePropagate, val: v.Clone()}
+		p.appendDominating(p.lanes[p.id].Top()+1, &eff)
+		p.drain(&eff)
+		return eff
+	}
+	rsn := p.broadcastSync(&eff)
+	p.cur = &mwOp{op: op, kind: proto.OpWrite, phase: mwWriteSync, rsn: rsn, val: v.Clone()}
+	p.drain(&eff)
+	return eff
+}
+
+// appendDominating appends cur.val at every own-lane index up to target and
+// arms the propagation wait.
+func (p *MWProc) appendDominating(target int, eff *proto.Effects) {
+	own := p.lanes[p.id]
+	emit := p.emitLane(p.id, eff)
+	for own.Top() < target {
+		wsn := own.Append(p.cur.val.Clone())
+		own.Forward(wsn, emit)
+	}
+	p.cur.wsn = target
+	p.cur.phase = mwWritePropagate
+}
+
+// StartRead begins a read: freshness round, vector fix, vector wait,
+// last-writer-wins merge. There is no writer fast path — a writer's own
+// latest value need not be the globally latest one.
+func (p *MWProc) StartRead(op proto.OpID) proto.Effects {
+	if p.cur != nil {
+		panic(fmt.Sprintf("core: process %d invoked read while a %s is in flight (processes are sequential)", p.id, p.cur.kind))
+	}
+	var eff proto.Effects
+	rsn := p.broadcastSync(&eff)
+	p.cur = &mwOp{op: op, kind: proto.OpRead, phase: mwReadSync, rsn: rsn}
+	p.drain(&eff)
+	return eff
+}
+
+// Deliver implements the message handlers: lane WRITEs demultiplex to their
+// lane's parity guard, READ()s park on the generalized line-20 guard, and
+// PROCEED()s bump the freshness counters.
+func (p *MWProc) Deliver(from int, msg proto.Message) proto.Effects {
+	if from == p.id {
+		panic(fmt.Sprintf("core: process %d received message from itself", p.id))
+	}
+	var eff proto.Effects
+	switch m := msg.(type) {
+	case LaneMsg:
+		if m.Writer < 0 || m.Writer >= p.n {
+			panic(fmt.Sprintf("core: process %d received lane message for unknown writer %d", p.id, m.Writer))
+		}
+		p.lanes[m.Writer].Enqueue(from, m.M)
+	case ReadMsg:
+		// Line 19 analog: capture the freshness bar on every lane.
+		sn := make([]int, p.n)
+		for u, l := range p.lanes {
+			sn[u] = l.Top()
+		}
+		p.pendingSyncs = append(p.pendingSyncs, pendingSync{from: from, sn: sn})
+	case ProceedMsg:
+		p.rSync[from]++
+	default:
+		panic(fmt.Sprintf("core: process %d received foreign message %T", p.id, msg))
+	}
+	p.drain(&eff)
+	return eff
+}
+
+// drain re-evaluates every parked guard until no further progress is
+// possible, mirroring the SWMR drain with one guard set per lane.
+func (p *MWProc) drain(eff *proto.Effects) {
+	for progress := true; progress; {
+		progress = false
+		for w, l := range p.lanes {
+			if l.Drain(p.emitLane(w, eff)) {
+				progress = true
+			}
+		}
+		if p.flushPendingSyncs(eff) {
+			progress = true
+		}
+		if p.advanceOp(eff) {
+			progress = true
+		}
+	}
+	for _, l := range p.lanes {
+		l.NoteQuiesced()
+	}
+}
+
+// flushPendingSyncs answers freshness requests whose requester caught up on
+// every lane (line 20-21 analog).
+func (p *MWProc) flushPendingSyncs(eff *proto.Effects) bool {
+	progress := false
+	kept := p.pendingSyncs[:0]
+	for _, ps := range p.pendingSyncs {
+		if p.caughtUp(ps.from, ps.sn) {
+			eff.AddSend(ps.from, ProceedMsg{})
+			p.msgsSent++
+			progress = true
+		} else {
+			kept = append(kept, ps)
+		}
+	}
+	p.pendingSyncs = kept
+	return progress
+}
+
+// caughtUp reports whether process j is known to hold at least sn[u] values
+// on every lane u.
+func (p *MWProc) caughtUp(j int, sn []int) bool {
+	for u, l := range p.lanes {
+		if l.WSync(j) < sn[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// countVectorGE returns the number of processes known to hold at least sn[u]
+// values on every lane u (the line-9 analog's predicate).
+func (p *MWProc) countVectorGE(sn []int) int {
+	z := 0
+	for j := 0; j < p.n; j++ {
+		if p.caughtUp(j, sn) {
+			z++
+		}
+	}
+	return z
+}
+
+// advanceOp evaluates the wait predicate of the current operation phase and
+// moves it forward when satisfied. Returns true on any state change.
+func (p *MWProc) advanceOp(eff *proto.Effects) bool {
+	if p.cur == nil {
+		return false
+	}
+	switch p.cur.phase {
+	case mwWriteSync:
+		// Freshness quorum reached: this writer's lane tops now dominate
+		// every write completed before this one was invoked. Append up to
+		// the dominating index.
+		if p.countRSyncEq(p.cur.rsn) >= p.quorum() {
+			target := 0
+			for _, l := range p.lanes {
+				if l.Top() > target {
+					target = l.Top()
+				}
+			}
+			p.appendDominating(target+1, eff)
+			return true
+		}
+	case mwWritePropagate:
+		// Line 3 analog: n-t processes known to hold the write's index on
+		// the own lane.
+		if p.lanes[p.id].CountGE(p.cur.wsn) >= p.quorum() {
+			op := p.cur
+			p.cur = nil
+			eff.AddDone(op.op, proto.OpWrite, nil)
+			return true
+		}
+	case mwReadSync:
+		// Line 7-8 analog: fix the returned vector.
+		if p.countRSyncEq(p.cur.rsn) >= p.quorum() {
+			sn := make([]int, p.n)
+			for u, l := range p.lanes {
+				sn[u] = l.Top()
+			}
+			p.cur.sn = sn
+			p.cur.phase = mwReadWait
+			return true
+		}
+	case mwReadWait:
+		// Line 9 analog: n-t processes known to hold the vector.
+		if p.countVectorGE(p.cur.sn) >= p.quorum() {
+			op := p.cur
+			p.cur = nil
+			// Line 10 analog: last-writer-wins over (index, writer id).
+			u := 0
+			for w := 1; w < p.n; w++ {
+				if op.sn[w] >= op.sn[u] {
+					u = w
+				}
+			}
+			eff.AddDone(op.op, proto.OpRead, p.lanes[u].HistAt(op.sn[u]).Clone())
+			return true
+		}
+	}
+	return false
+}
+
+func (p *MWProc) countRSyncEq(x int) int {
+	z := 0
+	for _, v := range p.rSync {
+		if v == x {
+			z++
+		}
+	}
+	return z
+}
+
+// LocalMemoryBits sums the per-lane Table 1 row 4 probe plus the freshness
+// counters. With n lanes of unbounded history this grows with every write on
+// any lane — the SWMR register's unbounded-memory property, n-fold.
+func (p *MWProc) LocalMemoryBits() int {
+	bits := 64 * len(p.rSync)
+	for _, l := range p.lanes {
+		bits += l.MemoryBits()
+	}
+	return bits
+}
+
+// --- introspection for tests and invariant checkers ---
+
+// LaneTop returns this process's own index on writer w's lane.
+func (p *MWProc) LaneTop(w int) int { return p.lanes[w].Top() }
+
+// LaneWSync returns w_sync[j] on writer w's lane.
+func (p *MWProc) LaneWSync(w, j int) int { return p.lanes[w].WSync(j) }
+
+// MsgsSent returns the number of messages this process has emitted.
+func (p *MWProc) MsgsSent() int { return p.msgsSent }
+
+// Idle reports whether the process has no in-flight client operation.
+func (p *MWProc) Idle() bool { return p.cur == nil }
+
+var _ proto.Process = (*MWProc)(nil)

@@ -76,11 +76,15 @@ func RunScenario(alg proto.Algorithm, spec ScenarioSpec) (ScenarioResult, error)
 
 	procs := make([]proto.Process, spec.N)
 	var coreProcs []*core.Proc
+	var mwProcs []*core.MWProc
 	for i := 0; i < spec.N; i++ {
 		p := alg.New(i, spec.N, 0)
 		procs[i] = p
 		if cp, ok := p.(*core.Proc); ok {
 			coreProcs = append(coreProcs, cp)
+		}
+		if mp, ok := p.(*core.MWProc); ok {
+			mwProcs = append(mwProcs, mp)
 		}
 	}
 
@@ -121,6 +125,14 @@ func RunScenario(alg proto.Algorithm, spec ScenarioSpec) (ScenarioResult, error)
 				res.InvariantErr = core.CheckGlobalInvariants(coreProcs)
 			}
 		}))
+	} else if len(mwProcs) == spec.N {
+		// The multi-writer two-bit register: the same proof invariants,
+		// lane by lane.
+		opts = append(opts, transport.WithPostDelivery(func() {
+			if res.InvariantErr == nil {
+				res.InvariantErr = core.CheckMWGlobalInvariants(mwProcs)
+			}
+		}))
 	}
 	net = transport.NewSimNet(sched, procs, opts...)
 
@@ -129,12 +141,15 @@ func RunScenario(alg proto.Algorithm, spec ScenarioSpec) (ScenarioResult, error)
 		Writer: 0, Readers: readers(spec.N), ValueSize: spec.ValueSize,
 	}
 	if spec.Writers >= 2 {
-		if spec.Writers > spec.N {
-			return ScenarioResult{}, fmt.Errorf("eval: %d writers exceed %d processes", spec.Writers, spec.N)
-		}
 		wspec.Writers = make([]int, spec.Writers)
 		for i := range wspec.Writers {
 			wspec.Writers[i] = i
+		}
+		// The single validation point for writer sets (typed
+		// *proto.WriterSetError) — the multi-writer construction path used
+		// to bypass the range checks the cluster config performs.
+		if err := proto.ValidateWriters(spec.N, wspec.Writers); err != nil {
+			return ScenarioResult{}, err
 		}
 	}
 	ops, err := workload.Generate(wspec)

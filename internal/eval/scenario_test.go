@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -166,5 +167,53 @@ func TestScenarioAdversaryDelayOverride(t *testing.T) {
 	if res.AtomicityErr != nil || res.InvariantErr != nil {
 		t.Fatalf("adversary profile broke the run: atomicity=%v invariants=%v",
 			res.AtomicityErr, res.InvariantErr)
+	}
+}
+
+// TestScenarioTwoBitMWMR runs the paper-derived multi-writer register
+// through the same scenario harness as the ABD baseline: concurrent writer
+// streams under randomized delays, judged by the cluster checker AND the
+// per-lane proof invariants (RunScenario attaches
+// core.CheckMWGlobalInvariants as its post-delivery hook, mirroring the
+// SWMR path).
+func TestScenarioTwoBitMWMR(t *testing.T) {
+	t.Parallel()
+	for _, writers := range []int{2, 3} {
+		writers := writers
+		t.Run(fmt.Sprintf("writers=%d", writers), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunScenario(core.MWMRAlgorithm(), ScenarioSpec{
+				N: 5, Ops: 40, ReadFraction: 0.5, Seed: 17,
+				DelayLo: 0.2, DelayHi: 2.0, ValueSize: 8, Writers: writers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Completed != 40 {
+				t.Fatalf("completed %d/40 ops in a failure-free multi-writer run", res.Completed)
+			}
+			if res.AtomicityErr != nil {
+				t.Fatalf("non-atomic twobit-mwmr history: %v", res.AtomicityErr)
+			}
+			if res.InvariantErr != nil {
+				t.Fatalf("per-lane invariant violated: %v", res.InvariantErr)
+			}
+			procs := map[int]bool{}
+			for _, op := range res.History.Ops {
+				if op.Kind == proto.OpWrite {
+					procs[op.Proc] = true
+				}
+			}
+			if len(procs) < 2 {
+				t.Fatalf("only %d writer processes in a %d-writer scenario", len(procs), writers)
+			}
+		})
+	}
+	// The writer-set bypass is closed: an oversized writer count is a typed
+	// *proto.WriterSetError from the central validation point.
+	_, err := RunScenario(core.MWMRAlgorithm(), ScenarioSpec{N: 3, Ops: 5, Writers: 4})
+	var wse *proto.WriterSetError
+	if !errors.As(err, &wse) {
+		t.Fatalf("oversized writer set error = %v, want *proto.WriterSetError", err)
 	}
 }

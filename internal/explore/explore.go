@@ -72,6 +72,7 @@ const (
 	seedSaltPump     = 0x0070c4b1
 	seedSaltCrash    = 0x0000c4a5
 	seedSaltTies     = 0x00007133
+	seedSaltPCT      = 0x0000d9c7
 )
 
 // eventLimit is the runaway valve: a correct run quiesces far below it, so
@@ -172,8 +173,19 @@ func Run(s Schedule) (Result, error) {
 	}
 
 	sched := sim.New(s.Seed)
+	// Tie-breaking adversary: with a positive PCT depth the pct strategy
+	// runs the true d-bounded PCT engine (per-process priorities plus
+	// seeded change points, attached below as a delivery-priority hook);
+	// otherwise the legacy per-event random tie draw applies, keeping
+	// historical pct tokens byte-identical.
+	var pct *pctEngine
 	if strat.ties {
-		sched.RandomizeTies(s.Seed ^ seedSaltTies)
+		if s.PCT > 0 {
+			horizon := int64(s.Ops) * int64(s.N) * 4
+			pct = newPCTEngine(s.N, s.PCT, horizon, rand.New(rand.NewSource(s.Seed^seedSaltPCT)))
+		} else {
+			sched.RandomizeTies(s.Seed ^ seedSaltTies)
+		}
 	}
 	stratRng := rand.New(rand.NewSource(s.Seed ^ seedSaltStrategy))
 	pumpRng := rand.New(rand.NewSource(s.Seed ^ seedSaltPump))
@@ -181,11 +193,15 @@ func Run(s Schedule) (Result, error) {
 
 	procs := make([]proto.Process, s.N)
 	var coreProcs []*core.Proc
+	var mwProcs []*core.MWProc
 	for i := range procs {
 		p := alg.New(i, s.N, 0)
 		procs[i] = p
 		if cp, ok := p.(*core.Proc); ok {
 			coreProcs = append(coreProcs, cp)
+		}
+		if mp, ok := p.(*core.MWProc); ok {
+			mwProcs = append(mwProcs, mp)
 		}
 	}
 
@@ -201,6 +217,9 @@ func Run(s Schedule) (Result, error) {
 	if mwmr {
 		wspec.Writers = pids(s.Writers)
 		wspec.Readers = pids(s.N)
+		if err := proto.ValidateWriters(s.N, wspec.Writers); err != nil {
+			return Result{}, err
+		}
 	}
 	ops, err := workload.Generate(wspec)
 	if err != nil {
@@ -239,7 +258,7 @@ func Run(s Schedule) (Result, error) {
 		}
 		id := queues[pid][next[pid]]
 		next[pid]++
-		sched.After(strat.gap(pumpRng), func() {
+		fire := func() {
 			if net.Crashed(pid) {
 				return // the op is never invoked; the queue stalls
 			}
@@ -251,7 +270,13 @@ func Run(s Schedule) (Result, error) {
 			} else {
 				net.StartRead(pid, id)
 			}
-		})
+		}
+		gap := strat.gap(pumpRng)
+		if pct != nil {
+			sched.AtTie(sched.Now()+gap, pct.current(pid), fire)
+		} else {
+			sched.After(gap, fire)
+		}
 	}
 
 	// Crash plan: victims are drawn from processes 1..N-1 (in multi-writer
@@ -282,6 +307,11 @@ func Run(s Schedule) (Result, error) {
 	opts := []transport.Option{
 		transport.WithDelay(strat.delay(s.N, stratRng)),
 		transport.WithCollector(col),
+	}
+	if pct != nil {
+		opts = append(opts, transport.WithTiePriority(pct.priority))
+	}
+	opts = append(opts,
 		transport.WithCompletion(func(pid int, c proto.Completion, at float64) {
 			completions[c.Op] = struct {
 				at  float64
@@ -297,7 +327,7 @@ func Run(s Schedule) (Result, error) {
 			}
 			inject(pid)
 		}),
-	}
+	)
 	if strat.phaseCrash && len(victims) > 0 {
 		delivered := make([]int, s.N)
 		opts = append(opts, transport.WithDeliveryObserver(func(_, to int, _ proto.Message, _ float64) {
@@ -311,6 +341,16 @@ func Run(s Schedule) (Result, error) {
 		opts = append(opts, transport.WithPostDelivery(func() {
 			if res.Invariant == "" {
 				if err := core.CheckGlobalInvariants(coreProcs); err != nil {
+					res.Invariant = err.Error()
+				}
+			}
+		}))
+	} else if len(mwProcs) == s.N {
+		// The multi-writer two-bit register: the same proof invariants,
+		// lane by lane.
+		opts = append(opts, transport.WithPostDelivery(func() {
+			if res.Invariant == "" {
+				if err := core.CheckMWGlobalInvariants(mwProcs); err != nil {
 					res.Invariant = err.Error()
 				}
 			}

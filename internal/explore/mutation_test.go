@@ -10,16 +10,24 @@ const mutationBudget = 140
 // TestMutantsAreCaughtWithinBudget is the explorer's completeness half:
 // each deliberately broken variant must produce at least one detected
 // violation within the budget, and the failing run must reproduce
-// byte-identically from its replay token.
+// byte-identically from its replay token. MWMR-capable mutants are hunted
+// under the workload that exposes their bug class — three concurrent writer
+// streams (mut-twobit-mwmr in particular is CORRECT under a single writer:
+// its skipped freshness phase only loses writes when another writer's lane
+// is ahead).
 func TestMutantsAreCaughtWithinBudget(t *testing.T) {
 	t.Parallel()
 	for _, mutant := range MutantNames() {
 		mutant := mutant
 		t.Run(mutant, func(t *testing.T) {
 			t.Parallel()
+			writers := 0
+			if MWMRCapable(mutant) {
+				writers = 3
+			}
 			sw, err := Sweep(SweepSpec{
 				Algs: []string{mutant}, N: 5, Ops: 30, ReadFrac: 0.6,
-				Crashes: 1, Budget: mutationBudget, Seed0: 1, StopEarly: true,
+				Crashes: 1, Writers: writers, Budget: mutationBudget, Seed0: 1, StopEarly: true,
 			})
 			if err != nil {
 				t.Fatal(err)

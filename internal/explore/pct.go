@@ -1,0 +1,84 @@
+package explore
+
+import (
+	"math/rand"
+	"sort"
+
+	"twobitreg/internal/transport"
+)
+
+// pctEngine is the true d-bounded PCT adversary (Burckhardt et al.,
+// "A Randomized Scheduler with Probabilistic Guarantees of Finding Bugs"),
+// adapted to message passing: every process receives a random initial
+// priority, deliveries inherit the priority of their destination process,
+// and d priority change points are injected at seeded positions in the
+// message-scheduling order — when the k-th scheduled delivery crosses a
+// change point, its destination process is demoted below every other
+// process. Combined with the pct strategy's quantized delays (which pile
+// deliveries onto shared instants) this explores interleavings of bug depth
+// up to d+1 with the PCT probability bound, instead of the depth-free random
+// tie walk the legacy pct mode performs.
+//
+// Everything is drawn from the seeded rng handed to newPCTEngine, so a
+// descriptor replays byte for byte.
+type pctEngine struct {
+	prio     []uint64 // current priority per process; lower delivers first
+	changeAt []int64  // remaining change points, ascending schedule positions
+	count    int64    // deliveries scheduled so far
+	demote   uint64   // next demotion value, above every prior priority
+}
+
+// newPCTEngine builds the adversary for an n-process run with d change
+// points drawn uniformly — without replacement, so the run performs d
+// DISTINCT priority changes as classic PCT requires — from [1, horizon]
+// (the expected number of scheduled deliveries; positions beyond the actual
+// schedule simply never fire, and d is capped at horizon when a shrunk
+// schedule leaves fewer positions than change points).
+func newPCTEngine(n, d int, horizon int64, rng *rand.Rand) *pctEngine {
+	e := &pctEngine{
+		prio:   make([]uint64, n),
+		demote: uint64(n) + 1,
+	}
+	for i, r := range rng.Perm(n) {
+		e.prio[i] = uint64(r) + 1
+	}
+	if horizon < 1 {
+		horizon = 1
+	}
+	if int64(d) > horizon {
+		d = int(horizon)
+	}
+	seen := make(map[int64]bool, d)
+	for len(e.changeAt) < d {
+		p := 1 + rng.Int63n(horizon)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		e.changeAt = append(e.changeAt, p)
+	}
+	sort.Slice(e.changeAt, func(i, j int) bool { return e.changeAt[i] < e.changeAt[j] })
+	return e
+}
+
+// priority implements transport.PriorityFn.
+func (e *pctEngine) priority(_, to int) uint64 {
+	e.count++
+	for len(e.changeAt) > 0 && e.count >= e.changeAt[0] {
+		e.changeAt = e.changeAt[1:]
+		e.prio[to] = e.demote
+		e.demote++
+	}
+	return e.prio[to]
+}
+
+// current returns process p's current priority without advancing the
+// schedule position. Operation-injection timers use it so client
+// invocations share the deliveries' tie space (a process's invocation is an
+// event of that process, PCT-wise) — otherwise timers, whose default tie is
+// the ever-growing scheduling sequence number, would deterministically sort
+// after every delivery at a shared instant and those interleavings would be
+// unreachable.
+func (e *pctEngine) current(p int) uint64 { return e.prio[p] }
+
+var _ transport.PriorityFn = (*pctEngine)(nil).priority

@@ -1,0 +1,162 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPCTTokenRoundTrip: depth-carrying schedules serialize to 10-field
+// tokens (with the canonical writer marker when single-writer) and parse
+// back; legacy 8- and 9-field tokens are untouched.
+func TestPCTTokenRoundTrip(t *testing.T) {
+	t.Parallel()
+	cases := []Schedule{
+		{Alg: "twobit", Strategy: "pct", Seed: 7, N: 5, Ops: 30, ReadFrac: 0.6, Crashes: 1, PCT: 3},
+		{Alg: "twobit-mwmr", Strategy: "pct", Seed: 7, N: 5, Ops: 30, ReadFrac: 0.5, Crashes: 1, Writers: 3, PCT: 2},
+	}
+	for _, s := range cases {
+		tok := s.Token()
+		if got := len(strings.Split(tok, ":")); got != 10 {
+			t.Fatalf("token %q has %d fields, want 10", tok, got)
+		}
+		parsed, err := ParseToken(tok)
+		if err != nil {
+			t.Fatalf("round trip of %q: %v", tok, err)
+		}
+		if parsed.PCT != s.PCT {
+			t.Fatalf("round trip of %q lost the pct depth: got %d want %d", tok, parsed.PCT, s.PCT)
+		}
+		if parsed.Token() != tok {
+			t.Fatalf("token not canonical: %q -> %q", tok, parsed.Token())
+		}
+	}
+	// Depth-free schedules keep their historical forms.
+	if tok := (Schedule{Alg: "twobit", Strategy: "pct", Seed: 7, N: 5, Ops: 30, ReadFrac: 0.6, Crashes: 1}).Token(); len(strings.Split(tok, ":")) != 8 {
+		t.Fatalf("depth-free single-writer token %q is not 8 fields", tok)
+	}
+	for _, bad := range []string{
+		"xb1:twobit:pct:7:5:30:0.6:1:0:3",   // writer count 0
+		"xb1:twobit:pct:7:5:30:0.6:1:1:0",   // depth 0 in 10-field form
+		"xb1:twobit:pct:7:5:30:0.6:1:1:x",   // unparsable depth
+		"xb1:twobit:pct:7:5:30:0.6:1:1:1:1", // 11 fields
+	} {
+		if _, err := ParseToken(bad); err == nil {
+			t.Fatalf("ParseToken accepted %q", bad)
+		}
+	}
+}
+
+// TestPCTValidation: a depth outside the pct strategy or negative is a
+// descriptor error.
+func TestPCTValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(Schedule{Alg: "twobit", Strategy: "uniform", Seed: 1, N: 3, Ops: 5, ReadFrac: 0.5, PCT: 2}); err == nil {
+		t.Fatal("Run accepted a pct depth on the uniform strategy")
+	}
+	if _, err := Run(Schedule{Alg: "twobit", Strategy: "pct", Seed: 1, N: 3, Ops: 5, ReadFrac: 0.5, PCT: -1}); err == nil {
+		t.Fatal("Run accepted a negative pct depth")
+	}
+}
+
+// TestPCTDeterministicAndDistinct: depth-carrying runs replay byte for byte,
+// and across a handful of seeds the d-bounded engine must produce at least
+// one schedule the legacy random-tie mode does not (otherwise the change
+// points demonstrably do nothing).
+func TestPCTDeterministicAndDistinct(t *testing.T) {
+	t.Parallel()
+	distinct := false
+	for seed := int64(1); seed <= 6; seed++ {
+		s := Schedule{Alg: "twobit", Strategy: "pct", Seed: seed, N: 5, Ops: 25, ReadFrac: 0.5, Crashes: 1, PCT: 3}
+		a, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Failed() {
+			t.Fatalf("false positive on %s: %s", a.Token, a.Violation())
+		}
+		b, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Fingerprint != b.Fingerprint || a.Events != b.Events {
+			t.Fatalf("%s: replay diverged: %s/%d vs %s/%d", s.Token(), a.Fingerprint, a.Events, b.Fingerprint, b.Events)
+		}
+		legacy := s
+		legacy.PCT = 0
+		l, err := Run(legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Fingerprint != a.Fingerprint {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("d-bounded PCT never diverged from the legacy tie walk across 6 seeds")
+	}
+}
+
+// TestPCTDepthsExploreDifferentSchedules: different depths must reach
+// different interleavings for at least one seed — the change points are
+// schedule-positional, so depth changes the priority trajectory.
+func TestPCTDepthsExploreDifferentSchedules(t *testing.T) {
+	t.Parallel()
+	distinct := false
+	for seed := int64(1); seed <= 6; seed++ {
+		base := Schedule{Alg: "abd", Strategy: "pct", Seed: seed, N: 5, Ops: 25, ReadFrac: 0.5, PCT: 1}
+		deep := base
+		deep.PCT = 6
+		a, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(deep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Failed() || b.Failed() {
+			t.Fatalf("false positive: %s / %s", a.Violation(), b.Violation())
+		}
+		if a.Fingerprint != b.Fingerprint {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("depths 1 and 6 produced identical schedules across 6 seeds")
+	}
+}
+
+// TestPCTCatchesMutantWithinBudget: the d-bounded engine must retain
+// detection power — the stale-read mutant (pct's natural prey: it needs
+// interleaving, not asymmetric delays) is caught by a pct-only sweep with
+// change points within the standard budget, and the failure replays from
+// its 10-field token.
+func TestPCTCatchesMutantWithinBudget(t *testing.T) {
+	t.Parallel()
+	sw, err := Sweep(SweepSpec{
+		Algs: []string{"mut-stale-read"}, Strategies: []string{"pct"},
+		N: 5, Ops: 30, ReadFrac: 0.6, Crashes: 1, PCT: 3,
+		Budget: mutationBudget, Seed0: 1, StopEarly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Failures) == 0 {
+		t.Fatalf("mut-stale-read survived %d d-bounded pct schedules", sw.Runs)
+	}
+	fail := sw.Failures[0]
+	if fail.Schedule.PCT != 3 {
+		t.Fatalf("failing schedule lost the depth: %+v", fail.Schedule)
+	}
+	s, err := ParseToken(fail.Token)
+	if err != nil || s.PCT != 3 {
+		t.Fatalf("failure token %q does not carry the depth (%v)", fail.Token, err)
+	}
+	replayed, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed.Failed() || replayed.Fingerprint != fail.Fingerprint {
+		t.Fatalf("replay of %s diverged or lost the failure", fail.Token)
+	}
+}

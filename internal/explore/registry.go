@@ -22,6 +22,7 @@ func registry() map[string]proto.Algorithm {
 		"twobit-oracle": proto.Alg("twobit-oracle", core.Algorithm(core.WithExplicitSeqnums()).New),
 		"abd":           abd.Algorithm(),
 		"abd-mwmr":      abd.MWMRAlgorithm(),
+		"twobit-mwmr":   core.MWMRAlgorithm(),
 		"bounded-abd":   boundedabd.Algorithm(),
 		"attiya":        attiya.Algorithm(),
 		// The phased engine in its minimal configuration (1 write phase,
@@ -41,6 +42,12 @@ func registry() map[string]proto.Algorithm {
 		"mut-skip-proceed": proto.Alg("mut-skip-proceed", core.Algorithm(core.WithFault(core.FaultSkipProceedWait)).New),
 		"mut-stale-read":   proto.Alg("mut-stale-read", newStaleReader),
 		"mut-mwmr-stale":   proto.Alg("mut-mwmr-stale", newMWMRStaleReader),
+		// The lost-write bug of the multi-writer two-bit register: the
+		// write's freshness phase is skipped, so a lagging writer's value
+		// can be ordered before already-completed writes (see
+		// core.MWFaultSkipWriteSync). Only genuinely concurrent writer
+		// streams expose it — single-writer schedules run it clean.
+		"mut-twobit-mwmr": proto.Alg("mut-twobit-mwmr", core.MWMRAlgorithm(core.WithMWFault(core.MWFaultSkipWriteSync)).New),
 	}
 }
 
@@ -50,8 +57,10 @@ func registry() map[string]proto.Algorithm {
 // assumption, not bugs, so Run refuses the combination.
 func mwmrCapable() map[string]bool {
 	return map[string]bool{
-		"abd-mwmr":       true,
-		"mut-mwmr-stale": true,
+		"abd-mwmr":        true,
+		"twobit-mwmr":     true,
+		"mut-mwmr-stale":  true,
+		"mut-twobit-mwmr": true,
 	}
 }
 

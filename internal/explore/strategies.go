@@ -55,7 +55,10 @@ type strategy struct {
 //	pct         — random-priority scheduling: delays quantized to a small
 //	              integer grid so deliveries pile onto the same instants,
 //	              and the scheduler breaks those ties by seeded random
-//	              priority (PCT-style interleaving exploration).
+//	              priority (PCT-style interleaving exploration). With a
+//	              positive Schedule.PCT depth this becomes a true d-bounded
+//	              PCT: per-process priorities with d seeded priority change
+//	              points (see pctEngine).
 func strategies() []strategy {
 	return []strategy{
 		{

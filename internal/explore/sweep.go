@@ -19,6 +19,9 @@ type SweepSpec struct {
 	// Writers >= 2 sweeps true multi-writer workloads; Algs then defaults
 	// to the MWMR-capable algorithms instead of all correct ones.
 	Writers int `json:"writers,omitempty"`
+	// PCT > 0 runs the pct strategy as a true d-bounded PCT with that many
+	// priority change points (see Schedule.PCT).
+	PCT int `json:"pct,omitempty"`
 	// Budget is the total number of runs; it defaults to 100.
 	Budget int `json:"budget"`
 	// Seed0 is the first seed; round k uses Seed0+k.
@@ -57,6 +60,17 @@ func Sweep(spec SweepSpec) (SweepResult, error) {
 	if spec.Budget < 1 {
 		spec.Budget = 100
 	}
+	if spec.PCT > 0 {
+		hasPCT := false
+		for _, st := range spec.Strategies {
+			if st == "pct" {
+				hasPCT = true
+			}
+		}
+		if !hasPCT {
+			return SweepResult{}, fmt.Errorf("explore: pct depth %d requested but the pct strategy is not in the sweep (strategies: %v)", spec.PCT, spec.Strategies)
+		}
+	}
 	var out SweepResult
 	for round := int64(0); ; round++ {
 		for _, alg := range spec.Algs {
@@ -64,11 +78,15 @@ func Sweep(spec SweepSpec) (SweepResult, error) {
 				if out.Runs >= spec.Budget {
 					return out, nil
 				}
-				r, err := Run(Schedule{
+				sched := Schedule{
 					Alg: alg, Strategy: st, Seed: spec.Seed0 + round,
 					N: spec.N, Ops: spec.Ops, ReadFrac: spec.ReadFrac,
 					Crashes: spec.Crashes, Writers: spec.Writers,
-				})
+				}
+				if st == "pct" {
+					sched.PCT = spec.PCT
+				}
+				r, err := Run(sched)
 				if err != nil {
 					return out, fmt.Errorf("explore: sweep run %d: %w", out.Runs, err)
 				}

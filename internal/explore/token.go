@@ -42,11 +42,20 @@ type Schedule struct {
 	// a true multi-writer workload (distinct per-writer tagged values,
 	// every process also reading) and requires an MWMR-capable algorithm.
 	Writers int `json:"writers,omitempty"`
+	// PCT is the number of priority change points of the d-bounded PCT
+	// adversary; it requires the pct strategy. 0 (the default) keeps the
+	// legacy pct behaviour — a fresh random tie-break per event — so every
+	// historical pct token replays byte-identically. A positive value
+	// switches the pct strategy to per-process priorities with PCT seeded
+	// change points (see pctEngine) and serializes as a 10th token field.
+	PCT int `json:"pct,omitempty"`
 }
 
 // Token serializes s to its one-line replay token. Single-writer schedules
 // keep the original 8-field form, so historical tokens stay canonical;
-// multi-writer schedules append the writer count as a 9th field.
+// multi-writer schedules append the writer count as a 9th field. A positive
+// PCT depth appends a 10th field (and forces the 9th: single-writer
+// schedules with a depth carry the canonical writer count 1 there).
 func (s Schedule) Token() string {
 	parts := []string{
 		tokenVersion,
@@ -58,7 +67,14 @@ func (s Schedule) Token() string {
 		strconv.FormatFloat(s.ReadFrac, 'g', -1, 64),
 		strconv.Itoa(s.Crashes),
 	}
-	if s.Writers > 1 {
+	switch {
+	case s.PCT > 0:
+		w := s.Writers
+		if w < 2 {
+			w = 1
+		}
+		parts = append(parts, strconv.Itoa(w), strconv.Itoa(s.PCT))
+	case s.Writers > 1:
 		parts = append(parts, strconv.Itoa(s.Writers))
 	}
 	return strings.Join(parts, ":")
@@ -68,8 +84,8 @@ func (s Schedule) Token() string {
 // that the algorithm and strategy names resolve.
 func ParseToken(tok string) (Schedule, error) {
 	parts := strings.Split(strings.TrimSpace(tok), ":")
-	if len(parts) != 8 && len(parts) != 9 {
-		return Schedule{}, fmt.Errorf("explore: token needs 8 or 9 fields, got %d in %q", len(parts), tok)
+	if len(parts) < 8 || len(parts) > 10 {
+		return Schedule{}, fmt.Errorf("explore: token needs 8 to 10 fields, got %d in %q", len(parts), tok)
 	}
 	if parts[0] != tokenVersion {
 		return Schedule{}, fmt.Errorf("explore: token version %q, this explorer speaks %q", parts[0], tokenVersion)
@@ -91,12 +107,25 @@ func ParseToken(tok string) (Schedule, error) {
 	if s.Crashes, err = strconv.Atoi(parts[7]); err != nil {
 		return Schedule{}, fmt.Errorf("explore: bad crash count in token: %w", err)
 	}
-	if len(parts) == 9 {
+	if len(parts) >= 9 {
 		if s.Writers, err = strconv.Atoi(parts[8]); err != nil {
 			return Schedule{}, fmt.Errorf("explore: bad writer count in token: %w", err)
 		}
-		if s.Writers < 2 {
+		if len(parts) == 9 && s.Writers < 2 {
 			return Schedule{}, fmt.Errorf("explore: 9-field token carries writer count %d; single-writer tokens have 8 fields", s.Writers)
+		}
+	}
+	if len(parts) == 10 {
+		// The 10th field only exists for a positive PCT depth; writer
+		// count 1 is the canonical single-writer marker in that form.
+		if s.Writers < 1 {
+			return Schedule{}, fmt.Errorf("explore: 10-field token carries writer count %d, need >= 1", s.Writers)
+		}
+		if s.PCT, err = strconv.Atoi(parts[9]); err != nil {
+			return Schedule{}, fmt.Errorf("explore: bad pct depth in token: %w", err)
+		}
+		if s.PCT < 1 {
+			return Schedule{}, fmt.Errorf("explore: 10-field token carries pct depth %d; depth-free tokens have at most 9 fields", s.PCT)
 		}
 	}
 	return s, nil
@@ -121,6 +150,12 @@ func (s Schedule) validate() error {
 	}
 	if s.Writers > s.N {
 		return fmt.Errorf("explore: %d writers exceed %d processes", s.Writers, s.N)
+	}
+	if s.PCT < 0 {
+		return fmt.Errorf("explore: negative pct depth %d", s.PCT)
+	}
+	if s.PCT > 0 && s.Strategy != "pct" {
+		return fmt.Errorf("explore: pct depth %d requires the pct strategy, not %q", s.PCT, s.Strategy)
 	}
 	if strings.Contains(s.Alg, ":") || strings.Contains(s.Strategy, ":") {
 		return fmt.Errorf("explore: names must not contain ':' (alg %q, strategy %q)", s.Alg, s.Strategy)

@@ -1,0 +1,153 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTwoBitMWMRCleanAcrossMatrix is the acceptance bar for the multi-writer
+// two-bit register: across every adversary strategy, 2-4 concurrent writer
+// streams, and crash/no-crash, the explorer must find zero violations —
+// atomicity (Gibbons-Korach cluster checker), per-lane proof invariants
+// (core.CheckMWGlobalInvariants, attached automatically by Run), liveness,
+// and the Wing-Gong cross-check on small histories all count.
+func TestTwoBitMWMRCleanAcrossMatrix(t *testing.T) {
+	t.Parallel()
+	totalOverlaps := 0
+	for _, strat := range StrategyNames() {
+		for _, writers := range []int{2, 3, 4} {
+			for _, crashes := range []int{0, 1} {
+				s := Schedule{
+					Alg: "twobit-mwmr", Strategy: strat, Seed: int64(10 + writers),
+					N: 5, Ops: 24, ReadFrac: 0.4, Crashes: crashes, Writers: writers,
+				}
+				r, err := Run(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Failed() {
+					t.Fatalf("violation on %s: %s", r.Token, r.Violation())
+				}
+				if r.WriterProcs < 2 {
+					t.Fatalf("%s: only %d writer processes in a %d-writer schedule", r.Token, r.WriterProcs, writers)
+				}
+				if r.Checker != "mwmr-cluster" {
+					t.Fatalf("%s judged by %q, want mwmr-cluster", r.Token, r.Checker)
+				}
+				totalOverlaps += r.WriteOverlaps
+			}
+		}
+	}
+	if totalOverlaps == 0 {
+		t.Fatal("no pair of writes from different writers ever overlapped — the matrix is multi-writer in name only")
+	}
+}
+
+// TestTwoBitMWMRSmallHistoriesCrossChecked drives schedules small enough for
+// Run's automatic Wing-Gong cross-validation, so the cluster checker's
+// verdicts on the new register are differentially confirmed by the
+// exhaustive search.
+func TestTwoBitMWMRSmallHistoriesCrossChecked(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= 10; seed++ {
+		r, err := Run(Schedule{
+			Alg: "twobit-mwmr", Strategy: "race", Seed: seed,
+			N: 4, Ops: 10, ReadFrac: 0.5, Writers: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Failed() {
+			t.Fatalf("violation on %s: %s", r.Token, r.Violation())
+		}
+	}
+}
+
+// TestDiffTwoBitVsABDMWMR is the differential half: the paper-derived
+// register and the ABD baseline run IDENTICAL multi-writer workloads
+// (same descriptor up to the algorithm name) and both must be judged atomic
+// by check.CheckMWMR on every one, with both genuinely interleaving their
+// writer streams somewhere in the sweep.
+func TestDiffTwoBitVsABDMWMR(t *testing.T) {
+	t.Parallel()
+	overlaps := map[string]int{}
+	for _, strat := range []string{"uniform", "race", "slowquorum", "pct"} {
+		for seed := int64(1); seed <= 6; seed++ {
+			for _, alg := range []string{"twobit-mwmr", "abd-mwmr"} {
+				r, err := Run(Schedule{
+					Alg: alg, Strategy: strat, Seed: seed,
+					N: 5, Ops: 30, ReadFrac: 0.5, Crashes: 1, Writers: 3,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Failed() {
+					t.Fatalf("differential sweep: violation on %s: %s", r.Token, r.Violation())
+				}
+				if r.Checker != "mwmr-cluster" {
+					t.Fatalf("%s judged by %q, want mwmr-cluster", r.Token, r.Checker)
+				}
+				overlaps[alg] += r.WriteOverlaps
+			}
+		}
+	}
+	for alg, n := range overlaps {
+		if n == 0 {
+			t.Fatalf("%s never overlapped two writer streams across the differential sweep", alg)
+		}
+	}
+}
+
+// TestTwoBitMWMRDeterministic: twobit-mwmr descriptors must replay byte for
+// byte under every strategy — this test is part of the nightly
+// replay-determinism gate.
+func TestTwoBitMWMRDeterministic(t *testing.T) {
+	t.Parallel()
+	for _, strat := range StrategyNames() {
+		s := Schedule{
+			Alg: "twobit-mwmr", Strategy: strat, Seed: 42,
+			N: 5, Ops: 30, ReadFrac: 0.5, Crashes: 2, Writers: 3,
+		}
+		a, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Fingerprint != b.Fingerprint || a.Events != b.Events || a.Completed != b.Completed {
+			t.Fatalf("%s: replay diverged: %+v vs %+v", s.Token(), a, b)
+		}
+		if !strings.HasSuffix(a.Token, ":3") {
+			t.Fatalf("multi-writer token %q does not carry the writer count", a.Token)
+		}
+	}
+}
+
+// TestTwoBitMWMRRegistered pins the registry metadata: the new register is
+// MWMR-capable, non-mutant, and its seeded bug is a registered mutant.
+func TestTwoBitMWMRRegistered(t *testing.T) {
+	t.Parallel()
+	if !MWMRCapable("twobit-mwmr") || !MWMRCapable("mut-twobit-mwmr") {
+		t.Fatal("twobit-mwmr registry entries are not MWMR-capable")
+	}
+	found := false
+	for _, name := range MWMRAlgorithmNames() {
+		if name == "twobit-mwmr" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("MWMRAlgorithmNames() = %v, missing twobit-mwmr", MWMRAlgorithmNames())
+	}
+	foundMut := false
+	for _, name := range MutantNames() {
+		if name == "mut-twobit-mwmr" {
+			foundMut = true
+		}
+	}
+	if !foundMut {
+		t.Fatalf("MutantNames() = %v, missing mut-twobit-mwmr", MutantNames())
+	}
+}

@@ -184,6 +184,51 @@ func Validate(id, n, writer int) {
 	}
 }
 
+// WriterSetError reports an invalid writer set handed to a multi-writer
+// construction path. It is a typed error so harness layers (cluster, eval)
+// can surface configuration mistakes distinctly from runtime failures;
+// errors.As-friendly.
+type WriterSetError struct {
+	N       int
+	Writers []int
+	Reason  string
+}
+
+func (e *WriterSetError) Error() string {
+	return fmt.Sprintf("proto: invalid writer set %v for %d processes: %s", e.Writers, e.N, e.Reason)
+}
+
+// ValidateWriters checks a multi-writer configuration: the set must be
+// non-empty, within [0, n), and free of duplicates. It is the single
+// validation point for every construction path that accepts a writer set
+// (cluster configs, eval scenarios, workload expansion), returning a
+// *WriterSetError describing the first problem, or nil.
+func ValidateWriters(n int, writers []int) error {
+	fail := func(reason string) error {
+		return &WriterSetError{N: n, Writers: append([]int(nil), writers...), Reason: reason}
+	}
+	if n < 1 {
+		return fail(fmt.Sprintf("need n >= 1, got %d", n))
+	}
+	if len(writers) == 0 {
+		return fail("empty writer set")
+	}
+	if len(writers) > n {
+		return fail(fmt.Sprintf("%d writers exceed %d processes", len(writers), n))
+	}
+	seen := make(map[int]bool, len(writers))
+	for _, w := range writers {
+		if w < 0 || w >= n {
+			return fail(fmt.Sprintf("writer %d out of range [0,%d)", w, n))
+		}
+		if seen[w] {
+			return fail(fmt.Sprintf("duplicate writer %d", w))
+		}
+		seen[w] = true
+	}
+	return nil
+}
+
 // MaxFaulty returns the largest t with t < n/2, the crash budget the model
 // CAMP_{n,t}[t < n/2] tolerates.
 func MaxFaulty(n int) int {

@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -110,5 +111,39 @@ func TestValidatePanics(t *testing.T) {
 	}
 	if ok(func() { Validate(2, 3, 0) }) {
 		t.Error("valid args panicked")
+	}
+}
+
+func TestValidateWriters(t *testing.T) {
+	t.Parallel()
+	good := [][]int{{0}, {0, 1, 2}, {4, 2, 0}}
+	for _, ws := range good {
+		if err := ValidateWriters(5, ws); err != nil {
+			t.Errorf("ValidateWriters(5, %v) = %v, want nil", ws, err)
+		}
+	}
+	bad := []struct {
+		n      int
+		ws     []int
+		reason string
+	}{
+		{5, nil, "empty"},
+		{5, []int{}, "empty"},
+		{5, []int{5}, "range"},
+		{5, []int{-1}, "range"},
+		{5, []int{0, 0}, "duplicate"},
+		{3, []int{0, 1, 2, 2}, "exceed"},
+		{0, []int{0}, "n"},
+	}
+	for _, c := range bad {
+		err := ValidateWriters(c.n, c.ws)
+		if err == nil {
+			t.Errorf("ValidateWriters(%d, %v) accepted a bad set (%s)", c.n, c.ws, c.reason)
+			continue
+		}
+		var wse *WriterSetError
+		if !errors.As(err, &wse) {
+			t.Errorf("ValidateWriters(%d, %v) error %T is not *WriterSetError", c.n, c.ws, err)
+		}
 	}
 }

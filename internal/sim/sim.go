@@ -104,6 +104,20 @@ func (s *Scheduler) After(d float64, fn func()) {
 	s.At(s.now+d, fn)
 }
 
+// AtTie schedules fn at virtual time t with an explicit tie-break priority,
+// overriding the default rule (FIFO scheduling order, or the per-event
+// random draw of RandomizeTies). Among events with equal timestamps, lower
+// tie values run first; the scheduling sequence number remains the final
+// tie-break, so runs stay deterministic. This is the hook the d-bounded PCT
+// adversary uses to impose per-process priorities on deliveries.
+func (s *Scheduler) AtTie(t float64, tie uint64, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, tie: tie, seq: s.seq, fn: fn})
+}
+
 // Step runs the next event, if any, and reports whether one ran.
 func (s *Scheduler) Step() bool {
 	if len(s.events) == 0 {

@@ -43,6 +43,7 @@ type SimNet struct {
 	col       *metrics.Collector
 	onDone    CompletionFn
 	onDeliver DeliveryFn
+	priority  PriorityFn
 	// postDelivery, if set, runs after every delivery event — the hook the
 	// invariant checkers use to inspect global state between atomic steps.
 	postDelivery func()
@@ -68,6 +69,17 @@ func WithPostDelivery(f func()) Option { return func(n *SimNet) { n.postDelivery
 
 // WithDeliveryObserver attaches a hook run immediately before each delivery.
 func WithDeliveryObserver(f DeliveryFn) Option { return func(n *SimNet) { n.onDeliver = f } }
+
+// PriorityFn assigns a tie-break priority to a delivery at scheduling time;
+// among deliveries landing on the same virtual instant, lower values are
+// delivered first (sim.Scheduler.AtTie). The d-bounded PCT adversary
+// implements its per-process priorities and change points here.
+type PriorityFn func(from, to int) uint64
+
+// WithTiePriority routes every delivery through sim.Scheduler.AtTie with the
+// priority fn assigns. Without it, equal-timestamp deliveries follow the
+// scheduler's default tie rule.
+func WithTiePriority(f PriorityFn) Option { return func(n *SimNet) { n.priority = f } }
 
 // NewSimNet wires procs to the scheduler. procs[i].ID() must equal i.
 func NewSimNet(sched *sim.Scheduler, procs []proto.Process, opts ...Option) *SimNet {
@@ -168,7 +180,7 @@ func (n *SimNet) send(from, to int, msg proto.Message) {
 	}
 	n.inFlight[from][to]++
 	d := n.delay(from, to, n.sched.Rand())
-	n.sched.After(d, func() {
+	deliver := func() {
 		n.inFlight[from][to]--
 		if n.crashed[to] {
 			return // crash-stop: the recipient takes no further steps
@@ -184,5 +196,10 @@ func (n *SimNet) send(from, to int, msg proto.Message) {
 		if n.postDelivery != nil {
 			n.postDelivery()
 		}
-	})
+	}
+	if n.priority != nil {
+		n.sched.AtTie(n.sched.Now()+d, n.priority(from, to), deliver)
+	} else {
+		n.sched.After(d, deliver)
+	}
 }
