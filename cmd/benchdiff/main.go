@@ -1,0 +1,180 @@
+// Command benchdiff compares two benchmark reports produced by
+// `go test -json -bench ...` (the BENCH_*.json perf-trajectory files) and
+// fails on regressions, so the committed baselines actually gate CI instead
+// of being write-only artifacts.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_mwmr.json -new fresh/BENCH_mwmr.json [-max-regress 0.30] [-metrics ns/op,msgs/op]
+//
+// For each benchmark present in both files, every selected metric is
+// compared: new > old*(1+max-regress) is a regression and exits non-zero.
+// msgs/op is deterministic (seeded workloads), so its gate is exact; ns/op
+// guards against order-of-magnitude slowdowns, with the threshold shared by
+// default and tunable per invocation. Benchmarks present only in the old
+// file fail too (coverage loss); new benchmarks are reported and pass.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's metric values, e.g. {"ns/op": 123, "msgs/op": 45.6}.
+type result map[string]float64
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// parseFile reads a `go test -json` stream and collects benchmark results.
+// A single benchmark line is often split across several output events (the
+// name with trailing tab, then the measurements), so the stream is first
+// reassembled into per-package text. Repeated runs of the same benchmark
+// keep the last value.
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	text := make(map[string]*strings.Builder)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) == 0 {
+			continue
+		}
+		var ev struct {
+			Action  string `json:"Action"`
+			Package string `json:"Package"`
+			Output  string `json:"Output"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			// Tolerate plain-text bench output mixed in.
+			ev.Action, ev.Output = "output", line+"\n"
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b := text[ev.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			text[ev.Package] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]result)
+	for _, b := range text {
+		for _, line := range strings.Split(b.String(), "\n") {
+			m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			name := normalize(m[1])
+			fields := strings.Fields(m[2])
+			r := result{}
+			for i := 0; i+1 < len(fields); i += 2 {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					continue
+				}
+				r[fields[i+1]] = v
+			}
+			if len(r) > 0 {
+				out[name] = r
+			}
+		}
+	}
+	return out, nil
+}
+
+// normalize strips the trailing -GOMAXPROCS suffix so reports from
+// different machines align.
+func normalize(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline report (go test -json bench stream)")
+	newPath := flag.String("new", "", "fresh report to compare against the baseline")
+	maxRegress := flag.Float64("max-regress", 0.30, "maximum tolerated relative regression per metric")
+	metricsFlag := flag.String("metrics", "ns/op,msgs/op", "comma-separated metrics to gate on")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	oldRes, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRes, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if len(oldRes) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark results in baseline %s\n", *oldPath)
+		os.Exit(2)
+	}
+	metrics := strings.Split(*metricsFlag, ",")
+
+	names := make([]string, 0, len(oldRes))
+	for name := range oldRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failures := 0
+	for _, name := range names {
+		nr, ok := newRes[name]
+		if !ok {
+			fmt.Printf("MISSING  %s (in baseline, not in fresh run)\n", name)
+			failures++
+			continue
+		}
+		or := oldRes[name]
+		for _, metric := range metrics {
+			ov, hasOld := or[metric]
+			nv, hasNew := nr[metric]
+			if !hasOld || !hasNew {
+				continue
+			}
+			delta := 0.0
+			if ov > 0 {
+				delta = (nv - ov) / ov
+			}
+			status := "ok      "
+			if nv > ov*(1+*maxRegress) {
+				status = "REGRESS "
+				failures++
+			}
+			fmt.Printf("%s %-60s %-8s old=%.4g new=%.4g (%+.1f%%)\n", status, name, metric, ov, nv, 100*delta)
+		}
+	}
+	for name := range newRes {
+		if _, ok := oldRes[name]; !ok {
+			fmt.Printf("new      %s (not in baseline)\n", name)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%\n", failures, 100**maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of baseline\n", len(names), 100**maxRegress)
+}

@@ -55,6 +55,46 @@
 // (core.CheckMWGlobalInvariants), and cluster.Config generalizes its single
 // Writer to a validated writer set with per-writer client handles.
 //
+// # Bounded lanes: batching and compaction
+//
+// Consecutive-index padding has a cost: in the original (now "unbatched")
+// register, every padded index crosses every link one alternating-bit round
+// trip at a time, so one write by a writer whose lane lags G indices costs
+// O(G) flood rounds — unbounded under writer skew. The default batched mode
+// (core.WithMWBatching, on unless disabled) bounds it with two rules:
+//
+//   - Batched lane frames: lanes run pipelined (per-link send dedup via an
+//     explicit shipped-index counter, whole-backlog shipping, bulk Rule-R2
+//     catch-up), and a coalescing emitter packs each link's
+//     consecutive-index run from one drain into a single frame. A
+//     mixed-value run ships as a LaneBatch frame — two control bits per
+//     logical entry, plus the one-byte lane id and a one-byte length, both
+//     census-accounted as addressing (metrics.EntryCounter/Addressed keep
+//     Theorem 2's two-bits-per-entry accounting exact).
+//   - Lane compaction: a dominated writer's padding run is G copies of one
+//     value, so it ships as a LaneCompact frame — the head and tail entries
+//     (two bits each) plus the count needed to re-anchor the alternating
+//     bit; the receiver materializes the run locally.
+//
+// Receivers unpack both frames through the same parity-gated reorder
+// buffer, so the protocol logic is untouched. A dominated write's cost
+// becomes gap-independent: the writer sends the freshness round plus one
+// frame per peer (O(n)), and the whole flood settles in O(n^2) frames —
+// the SWMR register's own flood cost — versus O(G·n^2) unbatched
+// (TestMWDominatedWriteCostConstantVsLinear pins 40 messages for n=5 at
+// G=5 and G=40 alike, against 128 and 828 unbatched;
+// BenchmarkMWMRWriteMessages commits the trajectory to BENCH_mwmr.json).
+// The price is stated, not hidden: pipelining gives up the reorder
+// tolerance the one-in-flight pacing paid for, so batched processes
+// declare proto.FIFOLinks — TCP and the cluster mailboxes are FIFO
+// already, and the simulator clamps per-link delivery order (head-of-line
+// blocking included) when the declaration is present. The unbatched
+// register stays registered ("twobit-mwmr-unbatched") as the differential
+// baseline and keeps the paper's unordered-channel model. Under pipelining
+// Properties P1/P2 are deliberately relaxed and replaced by a per-link
+// conservation invariant (processed + parked <= sender's holdings);
+// Lemmas 2-4 are framing-independent and still checked.
+//
 // # Adversarial schedule exploration
 //
 // The paper's atomicity claim quantifies over every asynchronous schedule
@@ -62,8 +102,12 @@
 // under a family of adversary strategies rather than only uniform-random
 // delays: per-link asymmetric speeds (asym), targeted quorum-slowing
 // (slowquorum), writer/reader phase races (race), burst reordering (burst),
-// crash-at-protocol-phase triggers (crashphase), and PCT-style
-// random-priority scheduling (pct). Every explored run is described by a
+// crash-at-protocol-phase triggers (crashphase), writer crashes targeted at
+// the freshness-round/append boundary (crashwrite — the victim dies on its
+// k-th PROCEED delivery, probing the padded-append window), and PCT-style
+// random-priority scheduling (pct). Runs that quiesce with an operation
+// still pending on a process that never crashed are flagged as liveness
+// violations (Result.Stalled). Every explored run is described by a
 // compact descriptor — algorithm, strategy, seed, sizes — that serializes
 // to a one-line replay token such as
 //

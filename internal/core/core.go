@@ -171,7 +171,7 @@ func (p *Proc) quorum() int { return proto.QuorumSize(p.n) }
 // emit returns the lane emit callback that routes WRITEs into eff and keeps
 // the per-process message count.
 func (p *Proc) emit(eff *proto.Effects) emitFn {
-	return func(to int, m WriteMsg) {
+	return func(to, _ int, m WriteMsg) {
 		eff.AddSend(to, m)
 		p.msgsSent++
 	}

@@ -45,11 +45,27 @@ type Lane struct {
 	// maxPending records the observed maximum so tests can verify the bound.
 	pending    [][]WriteMsg
 	maxPending int
+
+	// Pipelined mode (EnablePipelining — the batched multi-writer register).
+	// sent[j] is the highest stream index shipped on the link to p_j. The
+	// strict protocol sends each index on each link exactly once, paced one
+	// round trip apart (Forward waits for the peer's echo, Rule R2 advances
+	// one value per received message); that pacing is what makes receiver-
+	// side parity counting sound, and it is also what makes lane padding
+	// cost one flood round per index. Pipelined mode keeps the per-link
+	// exactly-once contract explicit in sent and uses it to ship whole
+	// backlogs eagerly (ShipBacklog, bulk R2): per-link indices remain
+	// strictly consecutive, so the receiver's reconstruction is unchanged,
+	// but a gap of any size crosses a link in one frame.
+	pipelined bool
+	sent      []int
 }
 
-// emitFn transmits a lane WRITE for stream index wsn to peer `to`. Owners
-// wrap it into their transport message and count it.
-type emitFn func(to int, m WriteMsg)
+// emitFn transmits the lane WRITE for stream index wsn to peer `to`. Owners
+// wrap it into their transport frame (bare WriteMsg for the SWMR register,
+// writer-tagged and possibly batched for the multi-writer one) and count it;
+// wsn lets batching owners coalesce consecutive-index runs per link.
+type emitFn func(to, wsn int, m WriteMsg)
 
 // NewLane returns the engine for one value stream at process self of n.
 // initial is v0, the stream's value before any append.
@@ -63,6 +79,21 @@ func NewLane(self, n int, initial proto.Value, explicitSeqnums bool) *Lane {
 		pending:  make([][]WriteMsg, n),
 	}
 }
+
+// EnablePipelining switches the lane to pipelined sending (see the sent
+// field): per-link send dedup plus eager whole-backlog shipping. It must be
+// called before any message flows and is incompatible with the
+// explicit-seqnum ablation.
+func (l *Lane) EnablePipelining() {
+	if l.explicit {
+		panic("core: pipelined lanes are incompatible with the explicit-seqnum ablation")
+	}
+	l.pipelined = true
+	l.sent = make([]int, l.n)
+}
+
+// Pipelined reports whether EnablePipelining was called.
+func (l *Lane) Pipelined() bool { return l.pipelined }
 
 // Top returns this process's own most recent stream index (wSync[self]).
 func (l *Lane) Top() int { return l.wSync[l.self] }
@@ -91,13 +122,45 @@ func (l *Lane) Forward(wsn int, emit emitFn) {
 	}
 }
 
-// send builds and emits the WRITE for stream index wsn.
+// send transmits stream index wsn on the link to peer `to`. The receiver
+// reconstructs indices by counting the link's messages, so the link must
+// carry strictly consecutive indices. The strict protocol guarantees that
+// by pacing (one new index per alternating-bit round trip per link); a
+// pipelined lane enforces it explicitly with sent[to]: indices the link
+// already carried are skipped, and a target ahead of the link's position is
+// reached by shipping the intermediate indices too — each index crosses
+// each link at most once, in order, exactly as in the strict protocol, just
+// without the round trips in between.
 func (l *Lane) send(to, wsn int, emit emitFn) {
+	if l.pipelined {
+		for k := l.sent[to] + 1; k <= wsn; k++ {
+			l.sent[to] = k
+			l.emitOne(to, k, emit)
+		}
+		return
+	}
+	l.emitOne(to, wsn, emit)
+}
+
+// emitOne builds and emits the WRITE for stream index wsn.
+func (l *Lane) emitOne(to, wsn int, emit emitFn) {
 	m := WriteMsg{Bit: uint8(wsn % 2), Val: l.histAt(wsn)}
 	if l.explicit {
 		m.Seq = wsn
 	}
-	emit(to, m)
+	emit(to, wsn, m)
+}
+
+// ShipBacklog eagerly ships every index in (sent[to], Top] on the link to
+// peer `to`, in order. Pipelined mode only. The owner's emit callback sees
+// one call per index with consecutive wsn, so a batching emitter coalesces
+// the whole backlog into a single frame per link — this is what turns the
+// O(gap) flood rounds of lane padding into one round.
+func (l *Lane) ShipBacklog(to int, emit emitFn) {
+	if !l.pipelined {
+		panic("core: ShipBacklog on a non-pipelined lane")
+	}
+	l.send(to, l.Top(), emit)
 }
 
 // Enqueue parks a received WRITE behind the line-11 parity guard; Drain
@@ -161,9 +224,16 @@ func (l *Lane) processWrite(from int, m WriteMsg, emit emitFn) {
 		l.appendHistory(wsn, m.Val.Clone())
 		l.Forward(wsn, emit)
 	case wsn < l.wSync[l.self]:
-		// Line 16 (Rule R2): the sender lags by at least two values;
-		// send it the single next value it is missing.
-		l.send(from, wsn+1, emit)
+		// Line 16 (Rule R2): the sender lags by at least two values. The
+		// strict protocol sends the single next value it is missing (one
+		// catch-up round trip per value); a pipelined lane ships the whole
+		// remaining backlog at once, which the owner's batching emitter
+		// coalesces into one frame.
+		if l.pipelined {
+			l.ShipBacklog(from, emit)
+		} else {
+			l.send(from, wsn+1, emit)
+		}
 	default:
 		// wsn == wSync[self]: the sender caught up to us; only the
 		// line-18 bookkeeping applies.
@@ -269,8 +339,23 @@ func (l *Lane) NoteQuiesced() {
 
 // MaxPendingDepth reports the deepest line-11 reorder buffer observed at a
 // quiescent point; the alternating-bit discipline (Property P1) bounds it
-// at 1.
+// at 1 for strict lanes. Pipelined lanes deliberately exceed it (several
+// frames may be in flight per link) and are bounded by the conservation
+// invariant instead (see laneInvariants).
 func (l *Lane) MaxPendingDepth() int { return l.maxPending }
+
+// PendingDepth returns the number of WRITEs from peer j currently parked on
+// the line-11 guard.
+func (l *Lane) PendingDepth(j int) int { return len(l.pending[j]) }
+
+// Sent returns the highest stream index shipped to peer j (pipelined lanes
+// only; 0 otherwise).
+func (l *Lane) Sent(j int) int {
+	if !l.pipelined {
+		return 0
+	}
+	return l.sent[j]
+}
 
 // MemoryBits is the lane's share of the Table 1 row 4 probe: the bits held
 // in retained history values plus 64 bits per history entry and per wSync

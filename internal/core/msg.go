@@ -71,6 +71,25 @@ func (ProceedMsg) DataBytes() int { return 0 }
 // of telling lanes apart.
 const WriterIDBits = 8
 
+// BatchLenBits is the framing cost of a batched lane frame: a one-byte
+// entry count. Like the writer id, it is addressing/framing — accounted
+// honestly in ControlBits but separate from the two per-entry protocol
+// bits, so the Theorem-2 census (exactly two control bits per logical
+// entry) stays exact for batched runs.
+const BatchLenBits = 8
+
+// MaxBatchEntries bounds one batched frame at what its one-byte length
+// field can carry; longer runs are split by the emitter.
+const MaxBatchEntries = 255
+
+// MaxBatchDataBytes bounds the value payload packed into one multi-value
+// batch frame, so a legal batch always encodes well under the stream
+// transports' 1<<24 frame cap (wire.MaxValueLen / transport maxFrame). The
+// emitter splits runs that would exceed it; a single value larger than
+// this ships as its own LaneMsg, subject to the same per-value transport
+// limits as the SWMR register's WRITEs.
+const MaxBatchDataBytes = 1 << 20
+
 // LaneMsg wraps one lane's WRITE with the id of the writer whose stream it
 // belongs to (multi-writer register only). READ and PROCEED need no wrapper:
 // they quantify over all lanes at the receiver.
@@ -88,9 +107,85 @@ func (m LaneMsg) ControlBits() int { return m.M.ControlBits() + WriterIDBits }
 // DataBytes is the size of the written value.
 func (m LaneMsg) DataBytes() int { return m.M.DataBytes() }
 
+// LogicalEntries implements metrics.EntryCounter: one lane WRITE is one
+// stream entry.
+func (m LaneMsg) LogicalEntries() int { return 1 }
+
+// AddressingBits implements metrics.Addressed: the writer-id byte.
+func (m LaneMsg) AddressingBits() int { return WriterIDBits }
+
+// LaneBatchMsg coalesces a run of consecutive lane WRITEs into one frame:
+// entry i carries Vals[i] at parity (Bit+i) mod 2, so the receiver unpacks
+// it into the same parity-gated reorder buffer that sequences single
+// WRITEs. Each logical entry still costs exactly two control bits; the
+// writer id and the one-byte length are addressing/framing, accounted like
+// regmap's key. Batches collapse the per-entry flood rounds of lane padding
+// and catch-up (Rule R2) into one link round.
+type LaneBatchMsg struct {
+	Writer int
+	Bit    uint8 // parity of the first entry
+	Vals   []proto.Value
+}
+
+// TypeName returns "WRITEB".
+func (LaneBatchMsg) TypeName() string { return "WRITEB" }
+
+// ControlBits is two bits per logical entry plus writer-id and length
+// framing.
+func (m LaneBatchMsg) ControlBits() int { return 2*len(m.Vals) + WriterIDBits + BatchLenBits }
+
+// DataBytes sums the carried values.
+func (m LaneBatchMsg) DataBytes() int {
+	n := 0
+	for _, v := range m.Vals {
+		n += len(v)
+	}
+	return n
+}
+
+// LogicalEntries implements metrics.EntryCounter.
+func (m LaneBatchMsg) LogicalEntries() int { return len(m.Vals) }
+
+// AddressingBits implements metrics.Addressed.
+func (LaneBatchMsg) AddressingBits() int { return WriterIDBits + BatchLenBits }
+
+// LaneCompactMsg is the lane-compaction frame: a run of Count consecutive
+// entries that all carry the same value Val — the padding a dominated
+// writer appends to re-anchor its alternating bit at a dominating index.
+// Only the head and tail entries ship as logical entries (two control bits
+// each: the head parity is Bit, the tail parity is implied by Count); the
+// intermediate entries are materialized by the receiver from the count.
+// This is what bounds a skewed writer's padding cost: the frame's size is
+// independent of the gap it covers.
+type LaneCompactMsg struct {
+	Writer int
+	Bit    uint8 // parity of the head entry
+	Count  int   // total entries represented, >= 2
+	Val    proto.Value
+}
+
+// TypeName returns "WRITEC".
+func (LaneCompactMsg) TypeName() string { return "WRITEC" }
+
+// ControlBits is two bits for the head entry, two for the tail, plus
+// writer-id and length framing. The Count-2 intermediate entries never ship
+// as entries — that is the compaction.
+func (LaneCompactMsg) ControlBits() int { return 2 + 2 + WriterIDBits + BatchLenBits }
+
+// DataBytes is the shared value, shipped once.
+func (m LaneCompactMsg) DataBytes() int { return len(m.Val) }
+
+// LogicalEntries implements metrics.EntryCounter: head and tail.
+func (LaneCompactMsg) LogicalEntries() int { return 2 }
+
+// AddressingBits implements metrics.Addressed.
+func (LaneCompactMsg) AddressingBits() int { return WriterIDBits + BatchLenBits }
+
 var (
 	_ proto.Message = WriteMsg{}
 	_ proto.Message = ReadMsg{}
 	_ proto.Message = ProceedMsg{}
 	_ proto.Message = LaneMsg{}
+	_ proto.Message = LaneBatchMsg{}
+	_ proto.Message = LaneCompactMsg{}
 )

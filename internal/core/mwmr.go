@@ -34,9 +34,23 @@ import (
 //     writer cannot jump its index to 1+max directly; instead it appends the
 //     new value at EVERY index from its current top up to the dominating
 //     one. The extra entries all carry the same client value, so reads are
-//     unaffected; they are the message-cost price of two-bit timestamps
-//     (O(m) extra flood rounds per write with m active writers — see the
-//     ROADMAP's bounded-lanes follow-up).
+//     unaffected; they are the message-cost price of two-bit timestamps.
+//
+// Unbatched (WithMWBatching(false), the original protocol), that price is
+// steep: padded entries cross each link one alternating-bit round trip at a
+// time, so a write whose lane lags by g costs O(g) flood rounds — O(m)
+// with m balanced writers and unbounded under writer skew. The default
+// batched mode bounds it: lanes run pipelined (Lane.EnablePipelining), the
+// writer ships each peer its whole backlog in one link round, and the
+// coalescing emitter (laneBatcher) packs consecutive-index runs into
+// LaneBatchMsg frames (2 control bits per entry) or, for the same-value
+// padding runs, LaneCompactMsg frames (head+tail summary re-anchoring the
+// alternating bit — the lane-compaction rule). Receivers unpack both
+// through the same parity-gated reorder buffer, so the protocol logic is
+// untouched; only the framing changes. Amortized write cost becomes
+// independent of the padding gap: the writer sends O(n) frames per write
+// and the whole flood settles in O(n^2) frames — the SWMR register's own
+// flood cost — regardless of skew.
 //
 // Reads generalize Figure 1's lines 5-10 with the same per-writer vector:
 // the freshness phase (lines 5-7), then fixing a vector sn of lane tops
@@ -62,6 +76,10 @@ type MWProc struct {
 
 	// cur is the in-flight client operation; processes are sequential.
 	cur *mwOp
+
+	// batcher coalesces consecutive-index lane emissions per link into
+	// LaneBatch/LaneCompact frames (batched mode only; nil when unbatched).
+	batcher *laneBatcher
 
 	msgsSent int
 }
@@ -92,8 +110,9 @@ type mwOp struct {
 
 // mwOptions configures an MWProc.
 type mwOptions struct {
-	initial proto.Value
-	fault   MWFault
+	initial   proto.Value
+	fault     MWFault
+	unbatched bool
 }
 
 // MWOption configures the multi-writer register.
@@ -102,6 +121,16 @@ type MWOption func(*mwOptions)
 // WithMWInitial sets v0, the register's initial value (default nil).
 func WithMWInitial(v proto.Value) MWOption {
 	return func(o *mwOptions) { o.initial = v.Clone() }
+}
+
+// WithMWBatching selects between the batched lane frames (true, the
+// default: pipelined lanes, backlog shipping, LaneBatch/LaneCompact
+// coalescing — amortized O(n) writer frames per write regardless of skew)
+// and the original unbatched protocol (false: one WRITE per padded index
+// per link round trip, byte-identical to the pre-batching register, kept
+// for differential testing and as the cost baseline).
+func WithMWBatching(enabled bool) MWOption {
+	return func(o *mwOptions) { o.unbatched = !enabled }
 }
 
 // MWFault selects a deliberately broken variant of the multi-writer
@@ -120,6 +149,16 @@ const (
 	// the new write is lost — a real-time order violation the cluster
 	// checker must catch under genuinely concurrent writer streams.
 	MWFaultSkipWriteSync
+	// MWFaultTornBatch tears batched lane frames on the receive side: a
+	// frame representing three or more consecutive entries materializes
+	// only its head and tail (with consecutive parities), silently dropping
+	// the middle — torn padding. The receiver's lane then runs short of the
+	// index the writer believes it shipped, so freshness-round domination
+	// and write-completion quorums are computed against streams that do not
+	// exist; the explorer must catch it (as a stalled write or a
+	// last-writer-wins misordering) under multi-writer schedules whose
+	// padding gaps produce batches of three or more.
+	MWFaultTornBatch
 )
 
 // WithMWFault builds the broken variant f. Mutation testing only.
@@ -142,6 +181,12 @@ func NewMWMR(id, n int, opts ...MWOption) *MWProc {
 	}
 	for w := range p.lanes {
 		p.lanes[w] = NewLane(id, n, o.initial, false)
+		if !o.unbatched {
+			p.lanes[w].EnablePipelining()
+		}
+	}
+	if !o.unbatched {
+		p.batcher = &laneBatcher{}
 	}
 	return p
 }
@@ -162,12 +207,101 @@ func (p *MWProc) ID() int { return p.id }
 func (p *MWProc) quorum() int { return proto.QuorumSize(p.n) }
 
 // emitLane returns the emit callback wrapping lane w's WRITEs with the lane
-// id.
+// id. Unbatched, every emission is one LaneMsg on the wire; batched, it
+// lands in the coalescing batcher and drain flushes the accumulated runs as
+// LaneMsg/LaneBatchMsg/LaneCompactMsg frames.
 func (p *MWProc) emitLane(w int, eff *proto.Effects) emitFn {
-	return func(to int, m WriteMsg) {
+	if p.batcher != nil {
+		return func(to, wsn int, m WriteMsg) {
+			p.batcher.add(w, to, wsn, m.Val)
+		}
+	}
+	return func(to, _ int, m WriteMsg) {
 		eff.AddSend(to, LaneMsg{Writer: w, M: m})
 		p.msgsSent++
 	}
+}
+
+// laneBatcher coalesces consecutive-index lane emissions into per-link
+// runs. Because pipelined lanes ship each link's indices strictly
+// consecutively, all emissions for one (lane, peer) pair within one drain
+// form a single run; flush renders each run as the smallest honest frame —
+// a lone LaneMsg, a same-value LaneCompactMsg (head+tail padding summary),
+// or a mixed-value LaneBatchMsg — splitting at the one-byte length limit.
+type laneBatcher struct {
+	runs []batchRun
+}
+
+type batchRun struct {
+	w, to int
+	start int // stream index of vals[0]
+	vals  []proto.Value
+}
+
+func (b *laneBatcher) add(w, to, wsn int, val proto.Value) {
+	for i := len(b.runs) - 1; i >= 0; i-- {
+		r := &b.runs[i]
+		if r.w == w && r.to == to {
+			if r.start+len(r.vals) == wsn {
+				r.vals = append(r.vals, val)
+				return
+			}
+			break // discontinuity: open a fresh run after it
+		}
+	}
+	b.runs = append(b.runs, batchRun{w: w, to: to, start: wsn, vals: []proto.Value{val}})
+}
+
+// flush renders and clears the accumulated runs, in emission order. Chunks
+// split at the one-byte length limit AND at MaxBatchDataBytes of payload:
+// an oversized mixed-value batch would be rejected by the stream
+// transports' frame cap, and pipelined send dedup means a rejected frame
+// could never be re-shipped — so frames must always be encodable.
+func (b *laneBatcher) flush(p *MWProc, eff *proto.Effects) {
+	for _, r := range b.runs {
+		for off := 0; off < len(r.vals); {
+			end, bytes, same := off, 0, true
+			for end < len(r.vals) && end-off < MaxBatchEntries {
+				v := r.vals[end]
+				nextBytes := bytes + len(v)
+				nextSame := same && (end == off || v.Equal(r.vals[off]))
+				// A same-value run ships one value however long it is, so
+				// the byte cap only splits mixed-value chunks; the first
+				// entry always fits (a lone oversized value ships as its
+				// own LaneMsg).
+				if end > off && nextBytes > MaxBatchDataBytes && !nextSame {
+					break
+				}
+				bytes, same = nextBytes, nextSame
+				end++
+			}
+			chunk := r.vals[off:end]
+			start := r.start + off
+			off = end
+			bit := uint8(start % 2)
+			switch {
+			case len(chunk) == 1:
+				eff.AddSend(r.to, LaneMsg{Writer: r.w, M: WriteMsg{Bit: bit, Val: chunk[0]}})
+			case sameValue(chunk):
+				eff.AddSend(r.to, LaneCompactMsg{Writer: r.w, Bit: bit, Count: len(chunk), Val: chunk[0]})
+			default:
+				vals := make([]proto.Value, len(chunk))
+				copy(vals, chunk)
+				eff.AddSend(r.to, LaneBatchMsg{Writer: r.w, Bit: bit, Vals: vals})
+			}
+			p.msgsSent++
+		}
+	}
+	b.runs = b.runs[:0]
+}
+
+func sameValue(vals []proto.Value) bool {
+	for _, v := range vals[1:] {
+		if !v.Equal(vals[0]) {
+			return false
+		}
+	}
+	return true
 }
 
 // broadcastSync starts a freshness round (line 5-6 analog, shared by reads
@@ -205,13 +339,28 @@ func (p *MWProc) StartWrite(op proto.OpID, v proto.Value) proto.Effects {
 }
 
 // appendDominating appends cur.val at every own-lane index up to target and
-// arms the propagation wait.
+// arms the propagation wait. Unbatched, each padded index is Forwarded
+// individually and propagates one alternating-bit round trip at a time;
+// batched, the writer appends the whole run locally and ships every peer
+// its full backlog in one link round (the batcher coalesces the run into a
+// single LaneCompact frame per peer).
 func (p *MWProc) appendDominating(target int, eff *proto.Effects) {
 	own := p.lanes[p.id]
 	emit := p.emitLane(p.id, eff)
-	for own.Top() < target {
-		wsn := own.Append(p.cur.val.Clone())
-		own.Forward(wsn, emit)
+	if p.batcher != nil {
+		for own.Top() < target {
+			own.Append(p.cur.val.Clone())
+		}
+		for j := 0; j < p.n; j++ {
+			if j != p.id {
+				own.ShipBacklog(j, emit)
+			}
+		}
+	} else {
+		for own.Top() < target {
+			wsn := own.Append(p.cur.val.Clone())
+			own.Forward(wsn, emit)
+		}
 	}
 	p.cur.wsn = target
 	p.cur.phase = mwWritePropagate
@@ -241,10 +390,29 @@ func (p *MWProc) Deliver(from int, msg proto.Message) proto.Effects {
 	var eff proto.Effects
 	switch m := msg.(type) {
 	case LaneMsg:
-		if m.Writer < 0 || m.Writer >= p.n {
-			panic(fmt.Sprintf("core: process %d received lane message for unknown writer %d", p.id, m.Writer))
+		p.lane(m.Writer).Enqueue(from, m.M)
+	case LaneBatchMsg:
+		// Unpack through the same parity-gated reorder buffer as single
+		// WRITEs: entry i carries parity (Bit+i) mod 2, so the receiver's
+		// sequencing logic is untouched by the framing.
+		l := p.lane(m.Writer)
+		for i, v := range m.Vals {
+			if p.opts.fault == MWFaultTornBatch && len(m.Vals) >= 3 && i > 0 && i < len(m.Vals)-1 {
+				continue // tear: drop the middle of the batch
+			}
+			l.Enqueue(from, WriteMsg{Bit: p.tornBit(m.Bit, i, len(m.Vals)), Val: v})
 		}
-		p.lanes[m.Writer].Enqueue(from, m.M)
+	case LaneCompactMsg:
+		if m.Count < 2 {
+			panic(fmt.Sprintf("core: process %d received compact lane frame with count %d", p.id, m.Count))
+		}
+		l := p.lane(m.Writer)
+		for i := 0; i < m.Count; i++ {
+			if p.opts.fault == MWFaultTornBatch && m.Count >= 3 && i > 0 && i < m.Count-1 {
+				continue // tear: drop the middle of the padding run
+			}
+			l.Enqueue(from, WriteMsg{Bit: p.tornBit(m.Bit, i, m.Count), Val: m.Val})
+		}
 	case ReadMsg:
 		// Line 19 analog: capture the freshness bar on every lane.
 		sn := make([]int, p.n)
@@ -261,8 +429,30 @@ func (p *MWProc) Deliver(from int, msg proto.Message) proto.Effects {
 	return eff
 }
 
+// lane validates and returns writer w's lane.
+func (p *MWProc) lane(w int) *Lane {
+	if w < 0 || w >= p.n {
+		panic(fmt.Sprintf("core: process %d received lane message for unknown writer %d", p.id, w))
+	}
+	return p.lanes[w]
+}
+
+// tornBit computes entry i's parity. With MWFaultTornBatch active on a
+// frame of three or more entries, the surviving tail is re-sequenced
+// directly after the head (consecutive parities), so the tear is silent at
+// the parity guard — the receiver's lane simply runs short.
+func (p *MWProc) tornBit(bit uint8, i, count int) uint8 {
+	if p.opts.fault == MWFaultTornBatch && count >= 3 && i == count-1 {
+		i = 1
+	}
+	return uint8((int(bit) + i) % 2)
+}
+
 // drain re-evaluates every parked guard until no further progress is
-// possible, mirroring the SWMR drain with one guard set per lane.
+// possible, mirroring the SWMR drain with one guard set per lane. In
+// batched mode the coalesced emission runs accumulated during the fixpoint
+// are flushed onto the wire at the end, one frame per consecutive-index run
+// per link.
 func (p *MWProc) drain(eff *proto.Effects) {
 	for progress := true; progress; {
 		progress = false
@@ -277,6 +467,9 @@ func (p *MWProc) drain(eff *proto.Effects) {
 		if p.advanceOp(eff) {
 			progress = true
 		}
+	}
+	if p.batcher != nil {
+		p.batcher.flush(p, eff)
 	}
 	for _, l := range p.lanes {
 		l.NoteQuiesced()
@@ -414,7 +607,25 @@ func (p *MWProc) LaneTop(w int) int { return p.lanes[w].Top() }
 func (p *MWProc) LaneWSync(w, j int) int { return p.lanes[w].WSync(j) }
 
 // MsgsSent returns the number of messages this process has emitted.
+// Batched frames count as one message each, however many entries they
+// carry — that is the quantity batching bounds.
 func (p *MWProc) MsgsSent() int { return p.msgsSent }
+
+// Batched reports whether the process runs the batched lane frames
+// (WithMWBatching, on by default).
+func (p *MWProc) Batched() bool { return p.batcher != nil }
+
+// RequiresFIFOLinks implements proto.FIFOLinks: pipelining several lane
+// frames per link gives up the reorder tolerance the alternating bit's
+// one-in-flight pacing provided, so batched mode assumes FIFO links (what
+// TCP and the cluster mailboxes provide; the simulator honors the
+// declaration). The unbatched register keeps the paper's unordered-channel
+// model.
+func (p *MWProc) RequiresFIFOLinks() bool { return p.batcher != nil }
+
+// LaneSent returns the highest index this process has shipped to peer j on
+// writer w's lane (batched mode only; 0 otherwise).
+func (p *MWProc) LaneSent(w, j int) int { return p.lanes[w].Sent(j) }
 
 // Idle reports whether the process has no in-flight client operation.
 func (p *MWProc) Idle() bool { return p.cur == nil }

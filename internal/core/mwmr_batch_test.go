@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"twobitreg/internal/proto"
+)
+
+// TestMWBatchedPaddingShipsCompactFrames pins the tentpole mechanism: a
+// dominated writer's padding run crosses each link as ONE LaneCompact frame
+// (head+tail summary) instead of one WRITE per padded index per round trip,
+// and the padded write still wins last-writer-wins arbitration.
+func TestMWBatchedPaddingShipsCompactFrames(t *testing.T) {
+	t.Parallel()
+	h := newMWHarness(t, 3)
+	if !h.procs[0].Batched() {
+		t.Fatal("batching must be the default")
+	}
+	for k := 1; k <= 5; k++ {
+		h.write(0, proto.OpID(k), val(fmt.Sprintf("busy-%d", k)))
+		h.deliverAll()
+		h.mustComplete(proto.OpID(k))
+	}
+	// Writer 1's first write pads its lane from 0 to the dominating index
+	// 6. The run ships once the freshness quorum fills, so watch the wire
+	// during delivery: batched, it must cross each link as compact frames.
+	h.write(1, 100, val("late"))
+	sawCompact := false
+	for len(h.queue) > 0 {
+		q := h.queue[0]
+		h.queue = h.queue[1:]
+		if c, ok := q.msg.(LaneCompactMsg); ok && q.from == 1 && c.Writer == 1 {
+			sawCompact = true
+			if c.Count < 2 {
+				t.Fatalf("compact frame count = %d, want >= 2", c.Count)
+			}
+			if !c.Val.Equal(val("late")) {
+				t.Fatalf("compact frame value = %q, want the padded value", c.Val)
+			}
+		}
+		h.absorb(q.to, h.procs[q.to].Deliver(q.from, q.msg))
+	}
+	if !sawCompact {
+		t.Fatal("the padding run never shipped as a LaneCompact frame")
+	}
+	h.mustComplete(100)
+	if top := h.procs[1].LaneTop(1); top != 6 {
+		t.Fatalf("writer 1's lane top = %d, want 6", top)
+	}
+	for r := 0; r < 3; r++ {
+		h.read(r, proto.OpID(200+r))
+		h.deliverAll()
+		if c := h.mustComplete(proto.OpID(200 + r)); !c.Value.Equal(val("late")) {
+			t.Fatalf("read via p%d = %q, want the late writer's value", r, c.Value)
+		}
+	}
+	h.checkInvariants()
+}
+
+// TestMWBatchedMatchesUnbatchedReads runs the same deterministic operation
+// script through a batched and an unbatched instance: every read must
+// return the same value in both — the framing must not change what the
+// register contains.
+func TestMWBatchedMatchesUnbatchedReads(t *testing.T) {
+	t.Parallel()
+	script := []struct {
+		pid   int
+		write bool
+		val   string
+	}{
+		{0, true, "a1"}, {0, true, "a2"}, {1, true, "b1"}, {2, false, ""},
+		{0, true, "a3"}, {2, true, "c1"}, {1, false, ""}, {0, false, ""},
+		{1, true, "b2"}, {2, false, ""}, {0, false, ""}, {1, false, ""},
+	}
+	results := make(map[bool][]string)
+	for _, batched := range []bool{true, false} {
+		h := newMWHarness(t, 3, WithMWBatching(batched))
+		var reads []string
+		for i, s := range script {
+			op := proto.OpID(i + 1)
+			if s.write {
+				h.write(s.pid, op, val(s.val))
+			} else {
+				h.read(s.pid, op)
+			}
+			h.deliverAll()
+			c := h.mustComplete(op)
+			if !s.write {
+				reads = append(reads, string(c.Value))
+			}
+		}
+		h.checkInvariants()
+		results[batched] = reads
+	}
+	for i := range results[true] {
+		if results[true][i] != results[false][i] {
+			t.Fatalf("read %d diverges: batched %q vs unbatched %q", i, results[true][i], results[false][i])
+		}
+	}
+}
+
+// TestMWBatchCensusTwoBitsPerEntry walks every message of a padding-heavy
+// batched run and asserts the Theorem-2 census stays exact: lane frames
+// carry exactly two control bits per logical entry plus their declared
+// addressing/framing bits, and READ/PROCEED stay at two bits.
+func TestMWBatchCensusTwoBitsPerEntry(t *testing.T) {
+	t.Parallel()
+	h := newMWHarness(t, 3)
+	sawBatchedFrame := false
+	walk := func(m proto.Message) {
+		switch mm := m.(type) {
+		case LaneMsg:
+			if got := mm.ControlBits(); got != 2*mm.LogicalEntries()+mm.AddressingBits() {
+				t.Fatalf("%s: %d control bits for %d entries + %d addressing", mm.TypeName(), got, mm.LogicalEntries(), mm.AddressingBits())
+			}
+		case LaneBatchMsg:
+			sawBatchedFrame = true
+			if got := mm.ControlBits(); got != 2*mm.LogicalEntries()+mm.AddressingBits() {
+				t.Fatalf("%s: %d control bits for %d entries + %d addressing", mm.TypeName(), got, mm.LogicalEntries(), mm.AddressingBits())
+			}
+		case LaneCompactMsg:
+			sawBatchedFrame = true
+			if mm.LogicalEntries() != 2 {
+				t.Fatalf("compact frame ships %d logical entries, want head+tail = 2", mm.LogicalEntries())
+			}
+			if got := mm.ControlBits(); got != 2*2+mm.AddressingBits() {
+				t.Fatalf("%s: %d control bits, want 4 + %d addressing", mm.TypeName(), got, mm.AddressingBits())
+			}
+		case ReadMsg, ProceedMsg:
+			if got := m.ControlBits(); got != 2 {
+				t.Fatalf("%s control bits = %d, want 2", m.TypeName(), got)
+			}
+		default:
+			t.Fatalf("unexpected message type %T on the multi-writer wire", m)
+		}
+	}
+	drainWalking := func() {
+		for len(h.queue) > 0 {
+			q := h.queue[0]
+			h.queue = h.queue[1:]
+			walk(q.msg)
+			h.absorb(q.to, h.procs[q.to].Deliver(q.from, q.msg))
+		}
+	}
+	// Builds gaps: a busy writer, then dominated writers padding over them.
+	for k := 1; k <= 4; k++ {
+		h.write(0, proto.OpID(k), val(fmt.Sprintf("busy-%d", k)))
+		drainWalking()
+	}
+	h.write(1, 10, val("late-1"))
+	drainWalking()
+	h.write(2, 11, val("late-2"))
+	drainWalking()
+	h.read(2, 12)
+	drainWalking()
+	if !sawBatchedFrame {
+		t.Fatal("padding-heavy run never shipped a batched frame")
+	}
+	h.checkInvariants()
+}
+
+// TestMWTornBatchStallsDominatedWrite pins the mut-lane-batch mechanism: a
+// torn batch (middle dropped, tail re-sequenced after the head) leaves
+// every receiver's lane short of the index the writer shipped, so the
+// dominated write's completion quorum can never fill — the padded-append
+// window failure the crashwrite explorer strategy probes.
+func TestMWTornBatchStallsDominatedWrite(t *testing.T) {
+	t.Parallel()
+	h := newMWHarness(t, 3, WithMWFault(MWFaultTornBatch))
+	for k := 1; k <= 5; k++ {
+		h.write(0, proto.OpID(k), val(fmt.Sprintf("busy-%d", k)))
+		h.deliverAll()
+		h.mustComplete(proto.OpID(k))
+	}
+	// Writer 1 pads 0 -> 6: a 6-entry compact frame, torn to head+tail at
+	// every receiver, which therefore stop at index 2 while the writer
+	// waits for a quorum at 6.
+	h.write(1, 100, val("late"))
+	h.deliverAll()
+	for _, c := range h.done {
+		if c.Op == 100 {
+			t.Fatal("torn-batch write completed; the tear should have starved its quorum")
+		}
+	}
+	if top := h.procs[0].LaneTop(1); top >= 6 {
+		t.Fatalf("receiver's lane reached %d despite the tear", top)
+	}
+}
+
+// TestLanePipelinedSendDedup pins the per-link exactly-once contract of
+// pipelined lanes: shipping a backlog twice emits nothing new, and a send
+// targeting an index ahead of the link's position fills the gap in order.
+func TestLanePipelinedSendDedup(t *testing.T) {
+	t.Parallel()
+	l := NewLane(0, 3, nil, false)
+	l.EnablePipelining()
+	for i := 1; i <= 5; i++ {
+		l.Append(val(fmt.Sprintf("v%d", i)))
+	}
+	var got []int
+	emit := func(to, wsn int, m WriteMsg) {
+		if to != 1 {
+			t.Fatalf("emitted to %d, want 1", to)
+		}
+		if int(m.Bit) != wsn%2 {
+			t.Fatalf("index %d shipped with parity %d", wsn, m.Bit)
+		}
+		got = append(got, wsn)
+	}
+	l.ShipBacklog(1, emit)
+	l.ShipBacklog(1, emit) // dedup: nothing new
+	if len(got) != 5 {
+		t.Fatalf("shipped %v, want exactly 1..5 once", got)
+	}
+	for i, wsn := range got {
+		if wsn != i+1 {
+			t.Fatalf("shipped %v out of order", got)
+		}
+	}
+	if l.Sent(1) != 5 || l.Sent(2) != 0 {
+		t.Fatalf("sent tracking = (%d, %d), want (5, 0)", l.Sent(1), l.Sent(2))
+	}
+}
+
+// TestMWBatcherSplitsOversizedRuns pins the frame-size safety of the
+// coalescing emitter: a mixed-value run whose payload exceeds
+// MaxBatchDataBytes must split into several frames (each encodable under
+// the stream transports' frame cap), because pipelined send dedup means a
+// frame rejected by the transport could never be re-shipped. Same-value
+// padding runs ship one value however long they are, so they are exempt.
+func TestMWBatcherSplitsOversizedRuns(t *testing.T) {
+	t.Parallel()
+	big := make(proto.Value, MaxBatchDataBytes/2+1)
+	var b laneBatcher
+	p := &MWProc{}
+	for i := 0; i < 4; i++ {
+		v := append(big[:len(big)-1:len(big)-1], byte(i)) // distinct values
+		b.add(0, 1, i+1, v)
+	}
+	var eff proto.Effects
+	b.flush(p, &eff)
+	if len(eff.Sends) < 2 {
+		t.Fatalf("an oversized mixed-value run shipped as %d frame(s)", len(eff.Sends))
+	}
+	total := 0
+	for _, s := range eff.Sends {
+		switch m := s.Msg.(type) {
+		case LaneBatchMsg:
+			if got := m.DataBytes(); got > MaxBatchDataBytes {
+				t.Fatalf("batch frame carries %d bytes > MaxBatchDataBytes", got)
+			}
+			total += len(m.Vals)
+		case LaneMsg:
+			total++
+		default:
+			t.Fatalf("unexpected frame %T for a mixed-value run", s.Msg)
+		}
+	}
+	if total != 4 {
+		t.Fatalf("split run ships %d entries, want 4", total)
+	}
+
+	// Same-value runs stay one compact frame regardless of payload size.
+	var b2 laneBatcher
+	for i := 0; i < 4; i++ {
+		b2.add(0, 1, i+1, big)
+	}
+	var eff2 proto.Effects
+	b2.flush(p, &eff2)
+	if len(eff2.Sends) != 1 {
+		t.Fatalf("same-value run shipped as %d frames, want 1 compact frame", len(eff2.Sends))
+	}
+	if _, ok := eff2.Sends[0].Msg.(LaneCompactMsg); !ok {
+		t.Fatalf("same-value run shipped as %T, want LaneCompactMsg", eff2.Sends[0].Msg)
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"twobitreg/internal/proto"
+	"twobitreg/internal/sim"
+	"twobitreg/internal/transport"
+	"twobitreg/internal/workload"
+)
+
+// runMWMRWrites drives a write-only multi-writer workload through the
+// simulator and returns total messages sent and writes completed. Writers
+// are processes 0..writers-1; weights skew the per-write writer choice
+// (nil = balanced). Writes run in the workload's global order (each
+// invoked when the previous completes), so a cold writer's write pads over
+// every hot write issued since its last one — the accumulated-skew regime
+// whose message cost the bounded-lanes work targets.
+func runMWMRWrites(tb testing.TB, n, writers, ops int, weights []float64, batched bool, seed int64) (msgs int64, writes int) {
+	tb.Helper()
+	spec := workload.Spec{
+		Seed: seed, Ops: ops, ReadFraction: 0,
+		Writers: make([]int, writers), Readers: []int{0}, ValueSize: 8,
+		WriterWeights: weights,
+	}
+	for i := range spec.Writers {
+		spec.Writers[i] = i
+	}
+	wl, err := workload.Generate(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+
+	sched := sim.New(seed)
+	procs := make([]proto.Process, n)
+	mws := make([]*MWProc, n)
+	for i := 0; i < n; i++ {
+		mws[i] = NewMWMR(i, n, WithMWBatching(batched))
+		procs[i] = mws[i]
+	}
+	var net *transport.SimNet
+	done, next := 0, 0
+	inject := func() {
+		if next >= len(wl) {
+			return
+		}
+		op := wl[next]
+		next++
+		net.StartWriteAt(sched.Now()+0.5, op.PID, proto.OpID(next), op.Value)
+	}
+	net = transport.NewSimNet(sched, procs,
+		transport.WithDelay(transport.UniformDelay(0.1, 2.0)),
+		transport.WithCompletion(func(int, proto.Completion, float64) {
+			done++
+			inject()
+		}))
+	inject()
+	net.Run()
+	if done != len(wl) {
+		tb.Fatalf("%d of %d writes completed", done, len(wl))
+	}
+	if err := CheckMWGlobalInvariants(mws); err != nil {
+		tb.Fatal(err)
+	}
+	for _, p := range mws {
+		msgs += int64(p.MsgsSent())
+	}
+	return msgs, done
+}
+
+// TestMWBatchedWriteCostBoundedUnderSkew is the bounded-lanes acceptance
+// test: under a 10:1 hot-writer skew the batched register's message cost
+// per write must (a) stay within a constant factor of its balanced cost,
+// (b) stay within the flood bound c*n^2 + 2n that is independent of the
+// padding gap (the writer's own share is O(n) frames per write: freshness
+// round + one backlog frame per peer), and (c) beat the unbatched register,
+// whose per-write cost grows with the skew because every padded index pays
+// its own flood round.
+func TestMWBatchedWriteCostBoundedUnderSkew(t *testing.T) {
+	t.Parallel()
+	const n, writers, ops = 5, 4, 60
+	perWrite := func(batched bool, weights []float64) float64 {
+		var total float64
+		for seed := int64(1); seed <= 3; seed++ {
+			msgs, writes := runMWMRWrites(t, n, writers, ops, weights, batched, seed)
+			total += float64(msgs) / float64(writes)
+		}
+		return total / 3
+	}
+	balanced := []float64{1, 1, 1, 1}
+	skew10 := []float64{10, 1, 1, 1}
+
+	batBal := perWrite(true, balanced)
+	batSkew := perWrite(true, skew10)
+	unbBal := perWrite(false, balanced)
+	unbSkew := perWrite(false, skew10)
+	t.Logf("msgs/write: batched bal=%.1f 10:1=%.1f | unbatched bal=%.1f 10:1=%.1f",
+		batBal, batSkew, unbBal, unbSkew)
+
+	// (a) Skew-independence of the batched cost.
+	if batSkew > 1.3*batBal {
+		t.Fatalf("batched cost grew under skew: balanced %.1f vs skewed %.1f msgs/write", batBal, batSkew)
+	}
+	// (b) The absolute flood bound, gap-independent: 2(n-1) freshness
+	// messages plus at most 3 frames per ordered pair per write.
+	bound := float64(2*(n-1) + 3*n*(n-1))
+	for _, got := range []float64{batBal, batSkew} {
+		if got > bound {
+			t.Fatalf("batched cost %.1f msgs/write exceeds the flood bound %.0f", got, bound)
+		}
+	}
+	// (c) Unbatched cost must clearly exceed batched in both mixes — every
+	// padded index pays its own flood round there.
+	if unbSkew < 1.5*batSkew || unbBal < 1.5*batBal {
+		t.Fatalf("unbatched cost (bal %.1f, skew %.1f) is not clearly above batched (bal %.1f, skew %.1f)",
+			unbBal, unbSkew, batBal, batSkew)
+	}
+}
+
+// TestMWDominatedWriteCostConstantVsLinear pins the bound at its sharpest:
+// the message cost of ONE write by a writer whose lane lags G indices
+// behind. Batched, the cost is independent of G — the whole padding run
+// crosses each link as one compact frame, and the writer's own sends stay
+// O(n): the freshness round plus one frame per peer. Unbatched, every
+// padded index pays its own flood round, so the cost grows linearly in G.
+func TestMWDominatedWriteCostConstantVsLinear(t *testing.T) {
+	t.Parallel()
+	const n = 5
+	// coldCost returns (system-wide, writer-own) messages for one write by
+	// writer 1 after writer 0 has completed G writes.
+	coldCost := func(batched bool, gap int) (int, int) {
+		h := newMWHarness(t, n, WithMWBatching(batched))
+		for k := 1; k <= gap; k++ {
+			h.write(0, proto.OpID(k), val(fmt.Sprintf("hot-%d", k)))
+			h.deliverAll()
+		}
+		before, wBefore := 0, h.procs[1].MsgsSent()
+		for _, p := range h.procs {
+			before += p.MsgsSent()
+		}
+		h.write(1, proto.OpID(1000), val("cold"))
+		h.deliverAll()
+		h.mustComplete(1000)
+		after := 0
+		for _, p := range h.procs {
+			after += p.MsgsSent()
+		}
+		return after - before, h.procs[1].MsgsSent() - wBefore
+	}
+
+	batSmallSys, batSmallOwn := coldCost(true, 5)
+	batBigSys, batBigOwn := coldCost(true, 40)
+	unbSmallSys, _ := coldCost(false, 5)
+	unbBigSys, _ := coldCost(false, 40)
+	t.Logf("dominated-write msgs: batched G=5 sys=%d own=%d, G=40 sys=%d own=%d | unbatched G=5 sys=%d, G=40 sys=%d",
+		batSmallSys, batSmallOwn, batBigSys, batBigOwn, unbSmallSys, unbBigSys)
+
+	// Batched: gap-independent system cost, O(n) writer-own cost — the
+	// freshness broadcast (n-1) plus at most two frames per peer.
+	if batBigSys != batSmallSys {
+		t.Fatalf("batched dominated-write cost depends on the gap: G=5 %d vs G=40 %d", batSmallSys, batBigSys)
+	}
+	if own, max := batBigOwn, 3*(n-1); own > max {
+		t.Fatalf("batched writer sent %d messages for one dominated write, want <= %d (O(n))", own, max)
+	}
+	// Unbatched: the same write costs at least one flood message per
+	// padded index — linear growth in the gap.
+	if unbBigSys < unbSmallSys+(40-5) {
+		t.Fatalf("unbatched dominated-write cost grew only %d -> %d over a 35-index gap", unbSmallSys, unbBigSys)
+	}
+}
+
+// BenchmarkMWMRWriteMessages is the perf-trajectory benchmark family the
+// bounded-lanes work commits to (BENCH_mwmr.json): write message cost of
+// the batched register vs the unbatched baseline, balanced and 10:1-skewed
+// writer mixes, n in {3, 5, 10, 20}. The msgs/op metric is deterministic
+// (seeded workload and delays); ns/op tracks simulator cost.
+func BenchmarkMWMRWriteMessages(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		batched bool
+	}{{"batched", true}, {"unbatched", false}} {
+		for _, mix := range []struct {
+			name string
+			skew float64
+		}{{"balanced", 1}, {"skew10", 10}} {
+			for _, n := range []int{3, 5, 10, 20} {
+				writers := 4
+				if n < 4 {
+					writers = n
+				}
+				weights := make([]float64, writers)
+				for i := range weights {
+					weights[i] = 1
+				}
+				weights[0] = mix.skew
+				name := fmt.Sprintf("%s/%s/n=%d", mode.name, mix.name, n)
+				b.Run(name, func(b *testing.B) {
+					var msgsPerOp float64
+					for i := 0; i < b.N; i++ {
+						msgs, writes := runMWMRWrites(b, n, writers, 40, weights, mode.batched, 1)
+						msgsPerOp = float64(msgs) / float64(writes)
+					}
+					b.ReportMetric(msgsPerOp, "msgs/op")
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package explore
+
+import "testing"
+
+// BenchmarkSweepThroughput measures schedules/second through explore.Run —
+// the quantity the nightly sweep budget buys. The simulator's delivery hot
+// path (pooled events, no per-message closure) is what this tracks; the
+// schedule shape mirrors a nightly sweep cell.
+func BenchmarkSweepThroughput(b *testing.B) {
+	for _, alg := range []string{"twobit", "twobit-mwmr"} {
+		b.Run(alg, func(b *testing.B) {
+			writers := 0
+			if alg == "twobit-mwmr" {
+				writers = 3
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := Run(Schedule{
+					Alg: alg, Strategy: "uniform", Seed: int64(i + 1),
+					N: 5, Ops: 40, ReadFrac: 0.6, Writers: writers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Failed() {
+					b.Fatalf("violation on %s: %s", r.Token, r.Violation())
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sched/s")
+		})
+	}
+}

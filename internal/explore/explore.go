@@ -54,6 +54,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"twobitreg/internal/check"
 	"twobitreg/internal/core"
@@ -101,6 +102,13 @@ type Result struct {
 	// Truncated reports that the run hit the event limit without
 	// quiescing — a liveness failure.
 	Truncated bool `json:"truncated,omitempty"`
+	// Stalled counts operations that were invoked by a process that never
+	// crashed yet did not complete by quiescence. With a crashed minority
+	// the protocols guarantee termination of every operation on a live
+	// process, so any such operation is a liveness violation (this is how
+	// a torn lane batch — mut-lane-batch — surfaces: the dominated write's
+	// completion quorum can never fill).
+	Stalled int `json:"stalled,omitempty"`
 	// WriterProcs counts the distinct processes that invoked at least one
 	// write, and WriteOverlaps the pairs of writes from different processes
 	// that overlapped in real time — the evidence that a multi-writer
@@ -125,7 +133,7 @@ type Result struct {
 
 // Failed reports whether the run violated anything the explorer checks.
 func (r Result) Failed() bool {
-	return r.Truncated || r.Invariant != "" || r.Atomicity != "" || r.CrossCheck != ""
+	return r.Truncated || r.Stalled > 0 || r.Invariant != "" || r.Atomicity != "" || r.CrossCheck != ""
 }
 
 // Violation returns a human-readable description of the first failure, or
@@ -140,6 +148,8 @@ func (r Result) Violation() string {
 		return "crosscheck: " + r.CrossCheck
 	case r.Truncated:
 		return fmt.Sprintf("liveness: run truncated after %d events", r.Events)
+	case r.Stalled > 0:
+		return fmt.Sprintf("liveness: %d operation(s) stalled on live processes at quiescence", r.Stalled)
 	}
 	return ""
 }
@@ -282,22 +292,40 @@ func Run(s Schedule) (Result, error) {
 	// Crash plan: victims are drawn from processes 1..N-1 (in multi-writer
 	// runs that may include writers, leaving pending writes the checker
 	// must reason about); crashphase trips a victim on its k-th message
-	// delivery, every other strategy trips it on the k-th completed
-	// operation anywhere in the system — both are schedule-relative, so
-	// crashes land at protocol phases rather than at arbitrary wall-clock
-	// instants.
+	// delivery, crashwrite on its k-th PROCEED delivery (preferring writer
+	// victims: a writer's PROCEED count is its freshness-round progress,
+	// so the crash lands at a freshness-round/append boundary), and every
+	// other strategy on the k-th completed operation anywhere in the
+	// system — all are schedule-relative, so crashes land at protocol
+	// phases rather than at arbitrary wall-clock instants.
 	crashes := s.Crashes
 	if crashes > s.N-1 {
 		crashes = s.N - 1
 	}
 	victims := make(map[int]int) // victim pid -> trigger count
 	if crashes > 0 {
-		perm := crashRng.Perm(s.N - 1)
+		var pool []int
+		if strat.proceedCrash && s.Writers >= 2 {
+			// Writers first (the padded-append window), then the rest.
+			for _, i := range crashRng.Perm(s.Writers - 1) {
+				pool = append(pool, 1+i)
+			}
+			for _, i := range crashRng.Perm(s.N - s.Writers) {
+				pool = append(pool, s.Writers+i)
+			}
+		} else {
+			for _, i := range crashRng.Perm(s.N - 1) {
+				pool = append(pool, 1+i)
+			}
+		}
 		for c := 0; c < crashes; c++ {
-			pid := 1 + perm[c]
-			if strat.phaseCrash {
+			pid := pool[c]
+			switch {
+			case strat.phaseCrash:
 				victims[pid] = 1 + crashRng.Intn(6*s.N)
-			} else {
+			case strat.proceedCrash:
+				victims[pid] = 1 + crashRng.Intn(4*s.N)
+			default:
 				victims[pid] = 1 + crashRng.Intn(max(1, s.Ops))
 			}
 		}
@@ -318,7 +346,7 @@ func Run(s Schedule) (Result, error) {
 				val proto.Value
 			}{at, c.Value}
 			completedCount++
-			if !strat.phaseCrash {
+			if !strat.phaseCrash && !strat.proceedCrash {
 				for victim, trig := range victims {
 					if completedCount == trig {
 						net.Crash(victim)
@@ -328,11 +356,18 @@ func Run(s Schedule) (Result, error) {
 			inject(pid)
 		}),
 	)
-	if strat.phaseCrash && len(victims) > 0 {
+	if (strat.phaseCrash || strat.proceedCrash) && len(victims) > 0 {
 		delivered := make([]int, s.N)
-		opts = append(opts, transport.WithDeliveryObserver(func(_, to int, _ proto.Message, _ float64) {
+		opts = append(opts, transport.WithDeliveryObserver(func(_, to int, msg proto.Message, _ float64) {
+			if strat.proceedCrash && !isQuorumAck(msg) {
+				return
+			}
 			delivered[to]++
 			if trig, ok := victims[to]; ok && delivered[to] == trig {
+				// Crashing on the delivery drops the acknowledgement
+				// itself, so a crashwrite victim dies just before acting
+				// on it — for the two-bit registers, the
+				// freshness-round/append boundary.
 				net.Crash(to)
 			}
 		}))
@@ -388,6 +423,12 @@ func Run(s Schedule) (Result, error) {
 			res.Completed++
 		} else {
 			res.Pending++
+			// Pending is legitimate only for the ops a crash cut off:
+			// after quiescence, an incomplete op on a live process can
+			// never complete — a liveness violation.
+			if !res.Truncated && !net.Crashed(info.pid) {
+				res.Stalled++
+			}
 		}
 		h.Ops = append(h.Ops, rec)
 	}
@@ -407,6 +448,18 @@ func Run(s Schedule) (Result, error) {
 	}
 	res.Fingerprint = fingerprint(h, res)
 	return res, nil
+}
+
+// isQuorumAck reports whether msg is a quorum acknowledgement — the
+// message class whose k-th delivery the crashwrite strategy counts. The
+// two-bit registers answer freshness rounds with PROCEED; every other
+// registered protocol (ABD and the phased engine behind attiya and
+// bounded-abd) names its quorum responses *_ACK. Without this breadth the
+// strategy would silently never crash a victim under the ack-based
+// algorithms, running them with fewer crashes than the schedule says.
+func isQuorumAck(msg proto.Message) bool {
+	name := msg.TypeName()
+	return name == "PROCEED" || strings.HasSuffix(name, "_ACK")
 }
 
 // writerInterleaving summarizes a history's multi-writer structure: how

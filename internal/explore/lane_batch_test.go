@@ -1,0 +1,131 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCrashwriteStrategyRegistered pins the new adversary and the batching
+// registry metadata: crashwrite is a selectable strategy, the unbatched
+// register and the torn-batch mutant are registered and MWMR-capable.
+func TestCrashwriteStrategyRegistered(t *testing.T) {
+	t.Parallel()
+	if _, ok := strategyByName("crashwrite"); !ok {
+		t.Fatalf("crashwrite missing from strategies %v", StrategyNames())
+	}
+	if doc, ok := StrategyDoc("crashwrite"); !ok || !strings.Contains(doc, "freshness") {
+		t.Fatalf("crashwrite doc = %q, want the freshness-boundary description", doc)
+	}
+	for _, name := range []string{"twobit-mwmr-unbatched", "mut-lane-batch"} {
+		if _, ok := ByName(name); !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		if !MWMRCapable(name) {
+			t.Fatalf("%s not marked MWMR-capable", name)
+		}
+	}
+	found := false
+	for _, name := range MWMRAlgorithmNames() {
+		if name == "twobit-mwmr-unbatched" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("MWMRAlgorithmNames() = %v, missing twobit-mwmr-unbatched", MWMRAlgorithmNames())
+	}
+}
+
+// TestCrashwriteKillsWritersMidWrite drives the crashwrite strategy over
+// the batched register: every run must be clean (a correctly batched
+// protocol survives a writer dying at its freshness-round/append boundary),
+// deterministic, and somewhere in the sweep the crash must actually cut a
+// write off mid-flight (a pending op in the history) — the evidence that
+// the trigger lands inside the padded-append window rather than between
+// operations.
+func TestCrashwriteKillsWritersMidWrite(t *testing.T) {
+	t.Parallel()
+	sawPending := false
+	for seed := int64(1); seed <= 30; seed++ {
+		s := Schedule{
+			Alg: "twobit-mwmr", Strategy: "crashwrite", Seed: seed,
+			N: 5, Ops: 30, ReadFrac: 0.4, Crashes: 1, Writers: 3,
+		}
+		r, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Failed() {
+			t.Fatalf("violation on %s: %s", r.Token, r.Violation())
+		}
+		if r.Pending > 0 {
+			sawPending = true
+		}
+		r2, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Fingerprint != r.Fingerprint {
+			t.Fatalf("crashwrite replay diverged on %s", r.Token)
+		}
+	}
+	if !sawPending {
+		t.Fatal("no crashwrite run left a pending operation — the crash never landed inside an operation")
+	}
+}
+
+// TestBatchedAndUnbatchedDifferential runs identical multi-writer
+// descriptors through the batched register, the unbatched baseline and
+// abd-mwmr: all three must be judged atomic on every schedule, including
+// under the crashwrite adversary. This is the differential guarantee that
+// batching changed the framing, not the register.
+func TestBatchedAndUnbatchedDifferential(t *testing.T) {
+	t.Parallel()
+	for _, strat := range []string{"uniform", "race", "burst", "crashwrite"} {
+		for seed := int64(1); seed <= 5; seed++ {
+			for _, alg := range []string{"twobit-mwmr", "twobit-mwmr-unbatched", "abd-mwmr"} {
+				r, err := Run(Schedule{
+					Alg: alg, Strategy: strat, Seed: seed,
+					N: 5, Ops: 30, ReadFrac: 0.5, Crashes: 1, Writers: 3,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Failed() {
+					t.Fatalf("differential sweep: violation on %s: %s", r.Token, r.Violation())
+				}
+			}
+		}
+	}
+}
+
+// TestUnbatchedMatchesPreBatchingMessageCount: the unbatched register must
+// send strictly more messages than the batched one on padding-heavy
+// schedules — and the batched one must still win every read check. A
+// quick end-to-end form of the bounded-lanes claim; the precise bound
+// lives in core's skew test and BenchmarkMWMRWriteMessages.
+func TestUnbatchedMatchesPreBatchingMessageCount(t *testing.T) {
+	t.Parallel()
+	var batched, unbatched int64
+	for seed := int64(1); seed <= 6; seed++ {
+		for _, alg := range []string{"twobit-mwmr", "twobit-mwmr-unbatched"} {
+			r, err := Run(Schedule{
+				Alg: alg, Strategy: "race", Seed: seed,
+				N: 5, Ops: 40, ReadFrac: 0.3, Writers: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Failed() {
+				t.Fatalf("violation on %s: %s", r.Token, r.Violation())
+			}
+			if alg == "twobit-mwmr" {
+				batched += r.Msgs
+			} else {
+				unbatched += r.Msgs
+			}
+		}
+	}
+	if batched >= unbatched {
+		t.Fatalf("batched register sent %d messages vs %d unbatched — batching saved nothing", batched, unbatched)
+	}
+}

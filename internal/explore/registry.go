@@ -23,8 +23,15 @@ func registry() map[string]proto.Algorithm {
 		"abd":           abd.Algorithm(),
 		"abd-mwmr":      abd.MWMRAlgorithm(),
 		"twobit-mwmr":   core.MWMRAlgorithm(),
-		"bounded-abd":   boundedabd.Algorithm(),
-		"attiya":        attiya.Algorithm(),
+		// The pre-batching multi-writer register: one WRITE per padded
+		// index per link round trip. Kept as the differential baseline for
+		// the batched frames and as the message-cost comparison point
+		// (BenchmarkMWMRWriteMessages); unlike the batched register it
+		// needs no FIFO links.
+		"twobit-mwmr-unbatched": proto.Alg("twobit-mwmr-unbatched",
+			core.MWMRAlgorithm(core.WithMWBatching(false)).New),
+		"bounded-abd": boundedabd.Algorithm(),
+		"attiya":      attiya.Algorithm(),
 		// The phased engine in its minimal configuration (1 write phase,
 		// 2 read phases — ABD's exchange): bounded-abd and attiya are
 		// deeper phase schedules of the same engine, but this entry
@@ -48,6 +55,14 @@ func registry() map[string]proto.Algorithm {
 		// core.MWFaultSkipWriteSync). Only genuinely concurrent writer
 		// streams expose it — single-writer schedules run it clean.
 		"mut-twobit-mwmr": proto.Alg("mut-twobit-mwmr", core.MWMRAlgorithm(core.WithMWFault(core.MWFaultSkipWriteSync)).New),
+		// The torn-padding bug of the batched register: a receiver
+		// materializes only the head and tail of a batched lane frame
+		// (core.MWFaultTornBatch), so its lane runs short of what the
+		// writer shipped. Surfaces as a stalled dominated write (the
+		// completion quorum can never fill — caught by the stalled-ops
+		// liveness check) once padding gaps produce frames of three or
+		// more entries, i.e. under concurrent writer streams.
+		"mut-lane-batch": proto.Alg("mut-lane-batch", core.MWMRAlgorithm(core.WithMWFault(core.MWFaultTornBatch)).New),
 	}
 }
 
@@ -57,10 +72,12 @@ func registry() map[string]proto.Algorithm {
 // assumption, not bugs, so Run refuses the combination.
 func mwmrCapable() map[string]bool {
 	return map[string]bool{
-		"abd-mwmr":        true,
-		"twobit-mwmr":     true,
-		"mut-mwmr-stale":  true,
-		"mut-twobit-mwmr": true,
+		"abd-mwmr":              true,
+		"twobit-mwmr":           true,
+		"twobit-mwmr-unbatched": true,
+		"mut-mwmr-stale":        true,
+		"mut-twobit-mwmr":       true,
+		"mut-lane-batch":        true,
 	}
 }
 

@@ -32,6 +32,14 @@ type strategy struct {
 	// phaseCrash, when true, places crashes by delivery count (a protocol
 	// phase trigger) instead of by completed-operation count.
 	phaseCrash bool
+	// proceedCrash, when true, places crashes by quorum-acknowledgement
+	// delivery count (PROCEED for the two-bit registers, *_ACK for the
+	// others — see isQuorumAck) and prefers writer victims: the k-th
+	// acknowledgement a writer receives is its phase progress, so a
+	// seeded k lands the crash at an operation's quorum boundary — for
+	// the two-bit registers, the freshness-round/append boundary whose
+	// padded-append window is where lane-batching bugs hide.
+	proceedCrash bool
 }
 
 // strategies returns the adversary families, in stable order.
@@ -52,6 +60,13 @@ type strategy struct {
 //	              overtaking within each burst window.
 //	crashphase  — crashes triggered at protocol phases: a victim dies upon
 //	              its k-th message delivery (k seeded), e.g. mid-quorum.
+//	crashwrite  — crashes targeted at a writer's freshness-round/append
+//	              boundary: the victim (a writer, in multi-writer
+//	              schedules) dies upon its k-th quorum-acknowledgement
+//	              delivery (PROCEED, or *_ACK for the ack-based
+//	              protocols), i.e. mid-freshness-round or exactly as its
+//	              quorum fills and the padded append begins — the window
+//	              where lane batching and padding bugs hide.
 //	pct         — random-priority scheduling: delays quantized to a small
 //	              integer grid so deliveries pile onto the same instants,
 //	              and the scheduler breaks those ties by seeded random
@@ -161,6 +176,21 @@ func strategies() []strategy {
 			},
 			gap:        func(rng *rand.Rand) float64 { return 0.3 + rng.Float64() },
 			phaseCrash: true,
+		},
+		{
+			name:     "crashwrite",
+			doc:      "writer victims crash at a freshness-round/append boundary (k-th PROCEED)",
+			maxDelay: 2.0,
+			delay: func(_ int, _ *rand.Rand) transport.DelayFn {
+				return func(_, _ int, mrng *rand.Rand) float64 {
+					return 0.3 + 1.7*mrng.Float64()
+				}
+			},
+			// Tight op spacing keeps writes from different writers
+			// overlapping, so the victim dies with genuine padding gaps
+			// outstanding.
+			gap:          func(rng *rand.Rand) float64 { return 0.05 + 0.25*rng.Float64() },
+			proceedCrash: true,
 		},
 		{
 			name:     "pct",

@@ -15,6 +15,22 @@ import (
 	"twobitreg/internal/proto"
 )
 
+// EntryCounter is implemented by messages that carry several logical
+// protocol entries in one frame (the multi-writer register's batched lane
+// frames). The census uses it to keep Theorem 2's accounting exact under
+// batching: control bits are judged per logical entry, not per frame.
+type EntryCounter interface {
+	LogicalEntries() int
+}
+
+// Addressed is implemented by messages whose ControlBits include
+// addressing/framing overhead on top of the per-entry protocol bits — the
+// multi-writer lane id and the batch length byte, accounted the same way
+// regmap accounts its multiplexing key.
+type Addressed interface {
+	AddressingBits() int
+}
+
 // Collector accumulates transport- and operation-level statistics.
 // The zero value is ready to use.
 type Collector struct {
@@ -26,6 +42,11 @@ type Collector struct {
 	totalMsgs   int64
 	maxCtrlBits int
 
+	// Census accounting: logical protocol entries carried (>= totalMsgs;
+	// batched frames carry several) and the addressing/framing bits
+	// declared by Addressed messages.
+	logicalEntries  int64
+	addressingBits  int64
 	reads, writes   int64
 	readLat, wrtLat latencyAgg
 }
@@ -67,6 +88,14 @@ func (c *Collector) OnSend(msg proto.Message) {
 		c.maxCtrlBits = cb
 	}
 	c.dataBytes += int64(msg.DataBytes())
+	if ec, ok := msg.(EntryCounter); ok {
+		c.logicalEntries += int64(ec.LogicalEntries())
+	} else {
+		c.logicalEntries++
+	}
+	if a, ok := msg.(Addressed); ok {
+		c.addressingBits += int64(a.AddressingBits())
+	}
 }
 
 // OnOp records a completed operation and its latency. The latency unit is
@@ -93,10 +122,19 @@ type Snapshot struct {
 	DataBytes   int64
 	MaxCtrlBits int
 
+	// LogicalEntries counts the protocol entries carried (batched frames
+	// carry several); AddressingBits is the declared addressing/framing
+	// overhead. MeanCtrlBitsPerEntry = (ControlBits - AddressingBits) /
+	// LogicalEntries is the census quantity Theorem 2 bounds: exactly 2
+	// for the two-bit registers, batched or not.
+	LogicalEntries int64
+	AddressingBits int64
+
 	Reads, Writes        int64
 	ReadMean, ReadMax    float64
 	WriteMean, WriteMax  float64
 	MeanCtrlBitsPerMsg   float64
+	MeanCtrlBitsPerEntry float64
 	DistinctMessageTypes int
 }
 
@@ -114,6 +152,8 @@ func (c *Collector) Snapshot() Snapshot {
 		ControlBits:          c.controlBits,
 		DataBytes:            c.dataBytes,
 		MaxCtrlBits:          c.maxCtrlBits,
+		LogicalEntries:       c.logicalEntries,
+		AddressingBits:       c.addressingBits,
 		Reads:                c.reads,
 		Writes:               c.writes,
 		ReadMean:             c.readLat.mean(),
@@ -124,6 +164,9 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	if c.totalMsgs > 0 {
 		s.MeanCtrlBitsPerMsg = float64(c.controlBits) / float64(c.totalMsgs)
+	}
+	if c.logicalEntries > 0 {
+		s.MeanCtrlBitsPerEntry = float64(c.controlBits-c.addressingBits) / float64(c.logicalEntries)
 	}
 	return s
 }
@@ -137,6 +180,8 @@ func (c *Collector) Reset() {
 	c.dataBytes = 0
 	c.totalMsgs = 0
 	c.maxCtrlBits = 0
+	c.logicalEntries = 0
+	c.addressingBits = 0
 	c.reads = 0
 	c.writes = 0
 	c.readLat = latencyAgg{}

@@ -123,3 +123,43 @@ func TestSnapshotOfEmptyCollector(t *testing.T) {
 		t.Fatalf("empty snapshot has nonzero means: %+v", s)
 	}
 }
+
+// batchedMsg is a test message implementing the census interfaces the
+// batched lane frames use: several logical entries per frame plus declared
+// addressing/framing bits.
+type batchedMsg struct {
+	msg
+	entries    int
+	addressing int
+}
+
+func (m batchedMsg) LogicalEntries() int { return m.entries }
+func (m batchedMsg) AddressingBits() int { return m.addressing }
+
+// TestCensusPerLogicalEntry: the collector must count one entry per plain
+// message and the declared count for batched frames, and
+// MeanCtrlBitsPerEntry must strip the declared addressing bits — the exact
+// Theorem-2 census under batching.
+func TestCensusPerLogicalEntry(t *testing.T) {
+	t.Parallel()
+	var c Collector
+	c.OnSend(msg{"READ", 2, 0}) // 1 entry, 2 bits
+	// A 7-entry batch: 2*7 protocol bits + 16 addressing.
+	c.OnSend(batchedMsg{msg: msg{"WRITEB", 2*7 + 16, 56}, entries: 7, addressing: 16})
+	// A compact padding frame: head+tail = 2 entries at 2 bits + 16.
+	c.OnSend(batchedMsg{msg: msg{"WRITEC", 4 + 16, 8}, entries: 2, addressing: 16})
+	s := c.Snapshot()
+	if s.LogicalEntries != 1+7+2 {
+		t.Fatalf("LogicalEntries = %d, want 10", s.LogicalEntries)
+	}
+	if s.AddressingBits != 32 {
+		t.Fatalf("AddressingBits = %d, want 32", s.AddressingBits)
+	}
+	if s.MeanCtrlBitsPerEntry != 2 {
+		t.Fatalf("MeanCtrlBitsPerEntry = %v, want exactly 2", s.MeanCtrlBitsPerEntry)
+	}
+	c.Reset()
+	if s2 := c.Snapshot(); s2.LogicalEntries != 0 || s2.AddressingBits != 0 {
+		t.Fatalf("Reset left census counters: %+v", s2)
+	}
+}

@@ -143,6 +143,21 @@ type Process interface {
 	LocalMemoryBits() int
 }
 
+// FIFOLinks is implemented by processes whose protocol assumes FIFO
+// point-to-point channels (message order preserved per ordered pair) rather
+// than the paper's unordered asynchronous channels. Stream transports (TCP)
+// and the in-process cluster mailboxes are FIFO by construction; the
+// discrete-event simulator honors the declaration by clamping per-link
+// delivery times to be monotone. The batched multi-writer register is the
+// one such protocol: pipelining several lane frames per link trades the
+// alternating bit's reorder tolerance (which its one-in-flight pacing paid
+// for) for FIFO delivery.
+type FIFOLinks interface {
+	// RequiresFIFOLinks reports whether this process instance needs
+	// per-link FIFO delivery for correctness.
+	RequiresFIFOLinks() bool
+}
+
 // Algorithm constructs the n processes of one protocol instance. Writer is
 // the index of the single writer for SWMR protocols; MWMR protocols may
 // ignore it.

@@ -23,9 +23,20 @@ type Scheduler struct {
 	events eventHeap
 	rng    *rand.Rand
 	tieRng *rand.Rand
+	// free recycles event records: a simulation delivers millions of
+	// messages, and allocating a fresh heap node per event is measurable
+	// on the sweep hot path.
+	free []*event
 	// Executed counts events run so far; useful as a progress metric and
 	// for runaway detection in tests.
 	executed int64
+}
+
+// Event is a schedulable unit of work. Hot paths (transport delivery)
+// implement it on a pooled struct instead of capturing a closure per
+// message; the pointer-shaped interface value costs no allocation.
+type Event interface {
+	Run()
 }
 
 type event struct {
@@ -33,6 +44,7 @@ type event struct {
 	tie uint64 // tie-break for equal timestamps: seq (FIFO) or random priority
 	seq uint64 // scheduling order; final tie-break and FIFO default
 	fn  func()
+	r   Event // struct-based alternative to fn (exactly one is set)
 }
 
 type eventHeap []*event
@@ -85,6 +97,32 @@ func (s *Scheduler) Executed() int64 { return s.executed }
 // Pending returns the number of events not yet run.
 func (s *Scheduler) Pending() int { return len(s.events) }
 
+// alloc returns a recycled (or fresh) event record.
+func (s *Scheduler) alloc() *event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// push fills a pooled record and enqueues it.
+func (s *Scheduler) push(t float64, tie uint64, fn func(), r Event) {
+	e := s.alloc()
+	e.at, e.tie, e.seq, e.fn, e.r = t, tie, s.seq, fn, r
+	heap.Push(&s.events, e)
+}
+
+// defaultTie draws the tie-break for At-style scheduling: the sequence
+// number (FIFO) unless RandomizeTies switched to per-event random draws.
+func (s *Scheduler) defaultTie() uint64 {
+	if s.tieRng != nil {
+		return s.tieRng.Uint64()
+	}
+	return s.seq
+}
+
 // At schedules fn to run at virtual time t. Scheduling in the past is a
 // programmer error and panics.
 func (s *Scheduler) At(t float64, fn func()) {
@@ -92,11 +130,17 @@ func (s *Scheduler) At(t float64, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
 	s.seq++
-	tie := s.seq
-	if s.tieRng != nil {
-		tie = s.tieRng.Uint64()
+	s.push(t, s.defaultTie(), fn, nil)
+}
+
+// AtEvent is At for a pooled Event — the allocation-free form the
+// transport's delivery hot path uses.
+func (s *Scheduler) AtEvent(t float64, r Event) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
-	heap.Push(&s.events, &event{at: t, tie: tie, seq: s.seq, fn: fn})
+	s.seq++
+	s.push(t, s.defaultTie(), nil, r)
 }
 
 // After schedules fn to run d time units from now. d must be >= 0.
@@ -115,7 +159,16 @@ func (s *Scheduler) AtTie(t float64, tie uint64, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, tie: tie, seq: s.seq, fn: fn})
+	s.push(t, tie, fn, nil)
+}
+
+// AtTieEvent is AtTie for a pooled Event.
+func (s *Scheduler) AtTieEvent(t float64, tie uint64, r Event) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	s.push(t, tie, nil, r)
 }
 
 // Step runs the next event, if any, and reports whether one ran.
@@ -126,7 +179,14 @@ func (s *Scheduler) Step() bool {
 	e := heap.Pop(&s.events).(*event)
 	s.now = e.at
 	s.executed++
-	e.fn()
+	fn, r := e.fn, e.r
+	e.fn, e.r = nil, nil
+	s.free = append(s.free, e)
+	if r != nil {
+		r.Run()
+	} else {
+		fn()
+	}
 	return true
 }
 

@@ -50,7 +50,41 @@ type SimNet struct {
 	// inFlight[from][to] counts undelivered messages per ordered pair,
 	// exposed for Property P1 assertions in tests.
 	inFlight [][]int
+	// fifo, when true, clamps per-link delivery times to be monotone so
+	// each ordered pair delivers in send order. It is enabled automatically
+	// when any process declares proto.FIFOLinks (the batched multi-writer
+	// register); the delay model still shapes timing, but a straggler
+	// holds back the messages queued behind it on its link — exactly a
+	// stream transport's head-of-line blocking.
+	fifo   bool
+	lastAt [][]float64
+	// freeDeliveries recycles delivery event records: one send used to
+	// allocate a capturing closure; the pooled struct implements sim.Event
+	// so the scheduler's hot path stays allocation-free per message.
+	freeDeliveries []*deliveryEvent
 }
+
+// deliveryEvent is one in-flight message, scheduled on the simulator as a
+// sim.Event. It returns itself to the pool before the delivery body runs,
+// so re-entrant sends can reuse it immediately after.
+type deliveryEvent struct {
+	net      *SimNet
+	from, to int
+	msg      proto.Message
+}
+
+// Run implements sim.Event: deliver the message.
+func (d *deliveryEvent) Run() {
+	n, from, to, msg := d.net, d.from, d.to, d.msg
+	d.net, d.msg = nil, nil
+	n.freeDeliveries = append(n.freeDeliveries, d)
+	n.deliver(from, to, msg)
+}
+
+// fifoEps separates two same-link deliveries that would otherwise land on
+// the same virtual instant (where tie-randomizing adversaries could swap
+// them).
+const fifoEps = 1e-9
 
 // Option configures a SimNet.
 type Option func(*SimNet)
@@ -97,12 +131,24 @@ func NewSimNet(sched *sim.Scheduler, procs []proto.Process, opts ...Option) *Sim
 		if p.ID() != i {
 			panic(fmt.Sprintf("transport: procs[%d].ID() = %d", i, p.ID()))
 		}
+		if f, ok := p.(proto.FIFOLinks); ok && f.RequiresFIFOLinks() {
+			n.fifo = true
+		}
+	}
+	if n.fifo {
+		n.lastAt = make([][]float64, len(procs))
+		for i := range n.lastAt {
+			n.lastAt[i] = make([]float64, len(procs))
+		}
 	}
 	for _, o := range opts {
 		o(n)
 	}
 	return n
 }
+
+// FIFO reports whether per-link FIFO delivery is active.
+func (n *SimNet) FIFO() bool { return n.fifo }
 
 // Scheduler returns the underlying scheduler.
 func (n *SimNet) Scheduler() *sim.Scheduler { return n.sched }
@@ -180,26 +226,47 @@ func (n *SimNet) send(from, to int, msg proto.Message) {
 	}
 	n.inFlight[from][to]++
 	d := n.delay(from, to, n.sched.Rand())
-	deliver := func() {
-		n.inFlight[from][to]--
+	at := n.sched.Now() + d
+	if n.fifo {
+		if at <= n.lastAt[from][to] {
+			at = n.lastAt[from][to] + fifoEps
+		}
+		n.lastAt[from][to] = at
+	}
+	ev := n.allocDelivery()
+	ev.net, ev.from, ev.to, ev.msg = n, from, to, msg
+	if n.priority != nil {
+		n.sched.AtTieEvent(at, n.priority(from, to), ev)
+	} else {
+		n.sched.AtEvent(at, ev)
+	}
+}
+
+// allocDelivery returns a recycled (or fresh) delivery event record.
+func (n *SimNet) allocDelivery() *deliveryEvent {
+	if k := len(n.freeDeliveries); k > 0 {
+		ev := n.freeDeliveries[k-1]
+		n.freeDeliveries = n.freeDeliveries[:k-1]
+		return ev
+	}
+	return &deliveryEvent{}
+}
+
+// deliver is the delivery body, run at the message's scheduled instant.
+func (n *SimNet) deliver(from, to int, msg proto.Message) {
+	n.inFlight[from][to]--
+	if n.crashed[to] {
+		return // crash-stop: the recipient takes no further steps
+	}
+	if n.onDeliver != nil {
+		n.onDeliver(from, to, msg, n.sched.Now())
 		if n.crashed[to] {
-			return // crash-stop: the recipient takes no further steps
-		}
-		if n.onDeliver != nil {
-			n.onDeliver(from, to, msg, n.sched.Now())
-			if n.crashed[to] {
-				return // the observer crashed the recipient mid-phase
-			}
-		}
-		eff := n.procs[to].Deliver(from, msg)
-		n.route(to, eff)
-		if n.postDelivery != nil {
-			n.postDelivery()
+			return // the observer crashed the recipient mid-phase
 		}
 	}
-	if n.priority != nil {
-		n.sched.AtTie(n.sched.Now()+d, n.priority(from, to), deliver)
-	} else {
-		n.sched.After(d, deliver)
+	eff := n.procs[to].Deliver(from, msg)
+	n.route(to, eff)
+	if n.postDelivery != nil {
+		n.postDelivery()
 	}
 }

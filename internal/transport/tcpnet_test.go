@@ -21,6 +21,10 @@ type tcpRig struct {
 }
 
 func startTCPRig(t *testing.T, n int) *tcpRig {
+	return startTCPRigAlg(t, n, core.Algorithm())
+}
+
+func startTCPRigAlg(t *testing.T, n int, alg proto.Algorithm) *tcpRig {
 	t.Helper()
 	rig := &tcpRig{
 		nodes:  make([]*cluster.Node, n),
@@ -49,7 +53,7 @@ func startTCPRig(t *testing.T, n int) *tcpRig {
 	// Phase 2: the nodes, sending through their mesh.
 	for i := 0; i < n; i++ {
 		i := i
-		rig.nodes[i] = cluster.NewNode(i, n, 0, core.Algorithm(), func(to int, msg proto.Message) {
+		rig.nodes[i] = cluster.NewNode(i, n, 0, alg, func(to int, msg proto.Message) {
 			if err := rig.meshes[i].Send(to, msg); err != nil {
 				t.Errorf("node %d send to %d: %v", i, to, err)
 			}
@@ -128,6 +132,34 @@ func TestTCPConcurrentReaders(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestTCPMWMRBatchedLaneFrames runs the batched multi-writer register over
+// real loopback TCP: every node writes in turn (each write padding its lane
+// over the previous writers', so LaneCompact frames cross the wire codec),
+// and every node must read the latest value back. TCP's per-connection
+// ordering is exactly the FIFO-link assumption batched mode declares.
+func TestTCPMWMRBatchedLaneFrames(t *testing.T) {
+	t.Parallel()
+	n := 3
+	rig := startTCPRigAlg(t, n, core.MWMRAlgorithm())
+	for round := 0; round < 3; round++ {
+		for w := 0; w < n; w++ {
+			val := fmt.Sprintf("r%d-w%d", round, w)
+			if err := rig.nodes[w].Write([]byte(val)); err != nil {
+				t.Fatalf("node %d write: %v", w, err)
+			}
+			for r := 0; r < n; r++ {
+				got, err := rig.nodes[r].Read()
+				if err != nil {
+					t.Fatalf("node %d read: %v", r, err)
+				}
+				if string(got) != val {
+					t.Fatalf("node %d read %q after %q was written", r, got, val)
+				}
+			}
+		}
+	}
 }
 
 func TestMeshRejectsBadConfig(t *testing.T) {

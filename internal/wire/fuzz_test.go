@@ -25,6 +25,19 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{0x02})
 	f.Add([]byte{0x03})
 	f.Add([]byte{0xFF, 0x00})
+	// Lane frames: single, batch, compact — plus corrupt variants (bad
+	// discriminator bit, truncated counts/lengths, trailing bytes).
+	f.Add([]byte{0x04, 0x01, 'v'})
+	f.Add([]byte{0x05, 0x02})
+	f.Add([]byte{0x08, 0x01, 0x02, 0, 0, 0, 1, 'a', 0, 0, 0, 1, 'b'})
+	f.Add([]byte{0x09, 0x00, 0x02, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0x0C, 0x01, 0x05, 'p', 'a', 'd'})
+	f.Add([]byte{0x0D, 0x03, 0x02})
+	f.Add([]byte{0x06, 0x00})
+	f.Add([]byte{0x08, 0x01, 0x01, 0, 0, 0, 1, 'a'})
+	f.Add([]byte{0x08, 0x01, 0x02, 0, 0, 0, 9, 'a'})
+	f.Add([]byte{0x0C, 0x01, 0x01, 'v'})
+	f.Add([]byte{0x08, 0x01, 0x02, 0, 0, 0, 1, 'a', 0, 0, 0, 1, 'b', 'x'})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := Decode(data)
 		if err != nil {
@@ -56,6 +69,39 @@ func FuzzEncodeDecodeWrite(f *testing.F) {
 		}
 		if got.TypeName() != m.TypeName() {
 			t.Fatalf("type changed: %s -> %s", m.TypeName(), got.TypeName())
+		}
+	})
+}
+
+// FuzzEncodeDecodeBatch round-trips arbitrary lane batch frames: two values
+// from the fuzzer plus a writer id, through Encode and back.
+func FuzzEncodeDecodeBatch(f *testing.F) {
+	f.Add(uint8(3), true, []byte("v6"), []byte("v7"))
+	f.Add(uint8(0), false, []byte{}, []byte("x"))
+	f.Fuzz(func(t *testing.T, writer uint8, bit bool, v1, v2 []byte) {
+		m := core.LaneBatchMsg{Writer: int(writer), Vals: []proto.Value{v1, v2}}
+		if bit {
+			m.Bit = 1
+		}
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, ok := got.(core.LaneBatchMsg)
+		if !ok {
+			t.Fatalf("decoded %T, want LaneBatchMsg", got)
+		}
+		if gb.Writer != m.Writer || gb.Bit != m.Bit || len(gb.Vals) != 2 {
+			t.Fatalf("round trip changed frame: %+v -> %+v", m, gb)
+		}
+		for i := range m.Vals {
+			if string(gb.Vals[i]) != string(m.Vals[i]) {
+				t.Fatalf("value %d changed: %q -> %q", i, m.Vals[i], gb.Vals[i])
+			}
 		}
 	})
 }

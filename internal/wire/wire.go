@@ -1,8 +1,8 @@
 // Package wire encodes the two-bit register's messages for byte-stream
 // transports.
 //
-// The entire control information of a message occupies the two low bits of
-// its first byte:
+// The entire control information of a paper message occupies the two low
+// bits of its first byte:
 //
 //	00 WRITE0   01 WRITE1   10 READ   11 PROCEED
 //
@@ -12,6 +12,19 @@
 // claim made literal. (Stream framing — a length prefix — is transport
 // bookkeeping, the same for every algorithm, and excluded from the control
 // accounting exactly as the paper excludes it.)
+//
+// The multi-writer register's lane frames use bits 2-3 of the header byte
+// as a frame discriminator, with bit 0 carrying the (first) entry's
+// alternating bit:
+//
+//	0b01_0b  lane WRITE:   header, writer id, value
+//	0b10_0b  lane batch:   header, writer id, count, count x (u32 len, value)
+//	0b11_0b  lane compact: header, writer id, count, value
+//
+// A batch is count consecutive entries (entry i at parity b+i mod 2, two
+// control bits each); a compact frame is a count-long same-value padding
+// run shipped as its head+tail summary. The writer id and count bytes are
+// the addressing/framing cost accounted in the messages' ControlBits.
 package wire
 
 import (
@@ -30,6 +43,15 @@ const (
 	codeWrite1 = 0b01
 	codeRead   = 0b10
 	codeProc   = 0b11
+)
+
+// Lane-frame discriminators (bits 2-3 of the header byte; bit 0 is the
+// first entry's alternating bit, bit 1 must be zero).
+const (
+	frameLane    = 0b0100
+	frameBatch   = 0b1000
+	frameCompact = 0b1100
+	frameMask    = 0b1100
 )
 
 // Codec adapts this package to transport.Codec (stream transports inject it
@@ -69,9 +91,67 @@ func Encode(msg proto.Message) ([]byte, error) {
 		return []byte{codeRead}, nil
 	case core.ProceedMsg:
 		return []byte{codeProc}, nil
+	case core.LaneMsg:
+		if err := checkLane(m.Writer, m.M.Bit, m.M.Seq); err != nil {
+			return nil, err
+		}
+		out := make([]byte, 2+len(m.M.Val))
+		out[0] = frameLane | m.M.Bit
+		out[1] = byte(m.Writer)
+		copy(out[2:], m.M.Val)
+		return out, nil
+	case core.LaneBatchMsg:
+		if err := checkLane(m.Writer, m.Bit, 0); err != nil {
+			return nil, err
+		}
+		if len(m.Vals) < 2 || len(m.Vals) > core.MaxBatchEntries {
+			return nil, fmt.Errorf("wire: lane batch with %d entries (want 2..%d)", len(m.Vals), core.MaxBatchEntries)
+		}
+		size := 3
+		for _, v := range m.Vals {
+			size += 4 + len(v)
+		}
+		out := make([]byte, 3, size)
+		out[0] = frameBatch | m.Bit
+		out[1] = byte(m.Writer)
+		out[2] = byte(len(m.Vals))
+		for _, v := range m.Vals {
+			var l [4]byte
+			binary.BigEndian.PutUint32(l[:], uint32(len(v)))
+			out = append(out, l[:]...)
+			out = append(out, v...)
+		}
+		return out, nil
+	case core.LaneCompactMsg:
+		if err := checkLane(m.Writer, m.Bit, 0); err != nil {
+			return nil, err
+		}
+		if m.Count < 2 || m.Count > core.MaxBatchEntries {
+			return nil, fmt.Errorf("wire: lane compact frame with count %d (want 2..%d)", m.Count, core.MaxBatchEntries)
+		}
+		out := make([]byte, 3+len(m.Val))
+		out[0] = frameCompact | m.Bit
+		out[1] = byte(m.Writer)
+		out[2] = byte(m.Count)
+		copy(out[3:], m.Val)
+		return out, nil
 	default:
 		return nil, fmt.Errorf("wire: cannot encode %T", msg)
 	}
+}
+
+// checkLane validates the shared lane-frame fields.
+func checkLane(writer int, bit uint8, seq int) error {
+	if seq != 0 {
+		return errors.New("wire: explicit-seqnum ablation messages are not wire-encodable")
+	}
+	if bit > 1 {
+		return fmt.Errorf("wire: invalid write bit %d", bit)
+	}
+	if writer < 0 || writer > 255 {
+		return fmt.Errorf("wire: writer id %d does not fit the one-byte lane address", writer)
+	}
+	return nil
 }
 
 // Decode parses a message produced by Encode.
@@ -79,27 +159,96 @@ func Decode(b []byte) (proto.Message, error) {
 	if len(b) == 0 {
 		return nil, ErrTruncated
 	}
-	if b[0]>>2 != 0 {
-		return nil, fmt.Errorf("wire: corrupt header byte %#x (high six bits must be zero)", b[0])
+	hdr := b[0]
+	if hdr>>4 != 0 {
+		return nil, fmt.Errorf("wire: corrupt header byte %#x (high four bits must be zero)", hdr)
 	}
-	switch b[0] & 0b11 {
-	case codeWrite0, codeWrite1:
+	if hdr&frameMask == 0 {
+		switch hdr & 0b11 {
+		case codeWrite0, codeWrite1:
+			var v proto.Value
+			if len(b) > 1 {
+				v = make(proto.Value, len(b)-1)
+				copy(v, b[1:])
+			}
+			return core.WriteMsg{Bit: hdr & 1, Val: v}, nil
+		case codeRead:
+			if len(b) != 1 {
+				return nil, fmt.Errorf("wire: READ with %d trailing bytes", len(b)-1)
+			}
+			return core.ReadMsg{}, nil
+		default: // codeProc
+			if len(b) != 1 {
+				return nil, fmt.Errorf("wire: PROCEED with %d trailing bytes", len(b)-1)
+			}
+			return core.ProceedMsg{}, nil
+		}
+	}
+	// Lane frames: bit 1 of the header carries nothing and must be zero.
+	if hdr&0b10 != 0 {
+		return nil, fmt.Errorf("wire: corrupt lane frame header %#x", hdr)
+	}
+	bit := hdr & 1
+	if len(b) < 2 {
+		return nil, ErrTruncated
+	}
+	writer := int(b[1])
+	switch hdr & frameMask {
+	case frameLane:
 		var v proto.Value
-		if len(b) > 1 {
-			v = make(proto.Value, len(b)-1)
-			copy(v, b[1:])
+		if len(b) > 2 {
+			v = make(proto.Value, len(b)-2)
+			copy(v, b[2:])
 		}
-		return core.WriteMsg{Bit: b[0] & 1, Val: v}, nil
-	case codeRead:
-		if len(b) != 1 {
-			return nil, fmt.Errorf("wire: READ with %d trailing bytes", len(b)-1)
+		return core.LaneMsg{Writer: writer, M: core.WriteMsg{Bit: bit, Val: v}}, nil
+	case frameBatch:
+		if len(b) < 3 {
+			return nil, ErrTruncated
 		}
-		return core.ReadMsg{}, nil
-	default: // codeProc
-		if len(b) != 1 {
-			return nil, fmt.Errorf("wire: PROCEED with %d trailing bytes", len(b)-1)
+		count := int(b[2])
+		if count < 2 {
+			return nil, fmt.Errorf("wire: lane batch with count %d (want >= 2)", count)
 		}
-		return core.ProceedMsg{}, nil
+		vals := make([]proto.Value, 0, count)
+		rest := b[3:]
+		for k := 0; k < count; k++ {
+			if len(rest) < 4 {
+				return nil, ErrTruncated
+			}
+			vlen := binary.BigEndian.Uint32(rest[:4])
+			if vlen > MaxValueLen {
+				return nil, fmt.Errorf("wire: batch value of %d bytes exceeds limit", vlen)
+			}
+			rest = rest[4:]
+			if len(rest) < int(vlen) {
+				return nil, ErrTruncated
+			}
+			var v proto.Value
+			if vlen > 0 {
+				v = make(proto.Value, vlen)
+				copy(v, rest[:vlen])
+			}
+			vals = append(vals, v)
+			rest = rest[vlen:]
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("wire: lane batch with %d trailing bytes", len(rest))
+		}
+		return core.LaneBatchMsg{Writer: writer, Bit: bit, Vals: vals}, nil
+	default: // frameCompact
+		if len(b) < 3 {
+			return nil, ErrTruncated
+		}
+		count := int(b[2])
+		if count < 2 {
+			return nil, fmt.Errorf("wire: lane compact frame with count %d (want >= 2)", count)
+		}
+		var v proto.Value
+		if len(b) > 3 {
+			v = make(proto.Value, len(b)-3)
+			copy(v, b[3:])
+		}
+		return core.LaneCompactMsg{Writer: writer, Bit: bit, Count: count, Val: v}, nil
 	}
 }
 

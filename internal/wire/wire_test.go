@@ -184,3 +184,66 @@ func TestQuickWriteRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestLaneFrameRoundTrips covers the multi-writer lane frames: single,
+// batch and compact frames must survive Encode/Decode with every field
+// intact, and the encodings must stay canonical (re-encode byte-identical).
+func TestLaneFrameRoundTrips(t *testing.T) {
+	t.Parallel()
+	msgs := []proto.Message{
+		core.LaneMsg{Writer: 0, M: core.WriteMsg{Bit: 1, Val: proto.Value("v")}},
+		core.LaneMsg{Writer: 255, M: core.WriteMsg{Bit: 0}},
+		core.LaneBatchMsg{Writer: 3, Bit: 1, Vals: []proto.Value{proto.Value("a"), nil, proto.Value("ccc")}},
+		core.LaneCompactMsg{Writer: 7, Bit: 0, Count: 200, Val: proto.Value("pad")},
+		core.LaneCompactMsg{Writer: 0, Bit: 1, Count: 2},
+	}
+	for _, m := range msgs {
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatalf("encode %#v: %v", m, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("decode %x: %v", b, err)
+		}
+		b2, err := Encode(got)
+		if err != nil {
+			t.Fatalf("re-encode %#v: %v", got, err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("non-canonical encoding: %x -> %x", b, b2)
+		}
+		if got.TypeName() != m.TypeName() || got.ControlBits() != m.ControlBits() || got.DataBytes() != m.DataBytes() {
+			t.Fatalf("round trip changed %#v into %#v", m, got)
+		}
+	}
+}
+
+// TestLaneFrameRejects pins the decoder's validation of corrupt lane
+// frames and the encoder's range checks.
+func TestLaneFrameRejects(t *testing.T) {
+	t.Parallel()
+	bad := [][]byte{
+		{0x06, 0x00},                            // discriminator bit 1 set
+		{0x04},                                  // lane frame without writer byte
+		{0x08, 0x01, 0x01, 0, 0, 0, 1, 'a'},     // batch count < 2
+		{0x08, 0x01, 0x02, 0, 0, 0, 9, 'a'},     // batch value truncated
+		{0x0C, 0x01, 0x00},                      // compact count < 2
+		{0x10},                                  // high header bits set
+		{0x08, 0x01, 0x02, 0, 0, 0, 0, 0, 0, 0}, // second length truncated
+	}
+	for _, b := range bad {
+		if m, err := Decode(b); err == nil {
+			t.Fatalf("decoder accepted corrupt frame %x as %#v", b, m)
+		}
+	}
+	if _, err := Encode(core.LaneMsg{Writer: 256}); err == nil {
+		t.Fatal("encoder accepted a writer id beyond the one-byte address")
+	}
+	if _, err := Encode(core.LaneBatchMsg{Writer: 0, Vals: []proto.Value{proto.Value("a")}}); err == nil {
+		t.Fatal("encoder accepted a 1-entry batch")
+	}
+	if _, err := Encode(core.LaneCompactMsg{Writer: 0, Count: 1}); err == nil {
+		t.Fatal("encoder accepted a count-1 compact frame")
+	}
+}

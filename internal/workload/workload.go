@@ -38,6 +38,12 @@ type Spec struct {
 	// Every writer's own stream is sequential; streams from different
 	// writers interleave freely.
 	Writers []int
+	// WriterWeights, when non-empty, skews the per-write writer choice:
+	// WriterWeights[i] is the relative rate of Writers[i] (e.g. {10,1,1,1}
+	// is a 10:1 hot-writer skew). It must match Writers in length, with
+	// non-negative entries summing to a positive total. Empty keeps the
+	// uniform choice byte-identical to pre-weight schedules.
+	WriterWeights []float64
 	// ValueSize pads written values to this many bytes (minimum large
 	// enough for a distinct counter prefix).
 	ValueSize int
@@ -56,6 +62,21 @@ func (s Spec) Validate() error {
 	}
 	if s.ReadFraction > 0 && len(s.Readers) == 0 {
 		return fmt.Errorf("workload: reads requested but no readers")
+	}
+	if len(s.WriterWeights) > 0 {
+		if len(s.WriterWeights) != len(s.Writers) {
+			return fmt.Errorf("workload: %d writer weights for %d writers", len(s.WriterWeights), len(s.Writers))
+		}
+		total := 0.0
+		for _, w := range s.WriterWeights {
+			if w < 0 {
+				return fmt.Errorf("workload: negative writer weight %v", w)
+			}
+			total += w
+		}
+		if total <= 0 {
+			return fmt.Errorf("workload: writer weights sum to %v, need > 0", total)
+		}
 	}
 	return nil
 }
@@ -83,7 +104,7 @@ func Generate(s Spec) ([]Op, error) {
 				PID:  s.Readers[rng.Intn(len(s.Readers))],
 			})
 		} else if len(s.Writers) > 0 {
-			pid := s.Writers[rng.Intn(len(s.Writers))]
+			pid := s.pickWriter(rng)
 			perWriter[pid]++
 			ops = append(ops, Op{
 				Kind:  proto.OpWrite,
@@ -100,6 +121,27 @@ func Generate(s Spec) ([]Op, error) {
 		}
 	}
 	return ops, nil
+}
+
+// pickWriter draws the issuing writer for one write: uniform over Writers,
+// or weight-proportional when WriterWeights is set (one rng draw either
+// way, so weightless schedules stay byte-identical).
+func (s Spec) pickWriter(rng *rand.Rand) int {
+	if len(s.WriterWeights) == 0 {
+		return s.Writers[rng.Intn(len(s.Writers))]
+	}
+	total := 0.0
+	for _, w := range s.WriterWeights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range s.WriterWeights {
+		x -= w
+		if x < 0 {
+			return s.Writers[i]
+		}
+	}
+	return s.Writers[len(s.Writers)-1]
 }
 
 // value builds a distinct value with the requested padding.

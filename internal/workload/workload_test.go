@@ -185,3 +185,76 @@ func TestQuickReadFraction(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWriterWeightsSkew: a 10:1 hot-writer weight must concentrate writes
+// on the hot writer in roughly that proportion, keep every written value
+// distinct, and leave weightless schedules byte-identical.
+func TestWriterWeightsSkew(t *testing.T) {
+	t.Parallel()
+	base := Spec{
+		Seed: 7, Ops: 2000, ReadFraction: 0.2,
+		Writers: []int{0, 1, 2, 3}, Readers: []int{0, 1, 2, 3}, ValueSize: 8,
+	}
+	skewed := base
+	skewed.WriterWeights = []float64{10, 1, 1, 1}
+	ops, err := Generate(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	seen := map[string]bool{}
+	writes := 0
+	for _, op := range ops {
+		if op.Kind != proto.OpWrite {
+			continue
+		}
+		writes++
+		counts[op.PID]++
+		if seen[string(op.Value)] {
+			t.Fatalf("duplicate written value %q", op.Value)
+		}
+		seen[string(op.Value)] = true
+	}
+	hot := float64(counts[0]) / float64(writes)
+	if hot < 0.6 || hot > 0.9 {
+		t.Fatalf("hot writer issued %.0f%% of writes under 10:1 weights, want ~77%%", 100*hot)
+	}
+	for _, pid := range []int{1, 2, 3} {
+		if counts[pid] == 0 {
+			t.Fatalf("cold writer %d never wrote: %v", pid, counts)
+		}
+	}
+
+	// Weightless generation must not have changed.
+	a, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Spec{
+		Seed: 7, Ops: 2000, ReadFraction: 0.2,
+		Writers: []int{0, 1, 2, 3}, Readers: []int{0, 1, 2, 3}, ValueSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].PID != b[i].PID || a[i].Kind != b[i].Kind || string(a[i].Value) != string(b[i].Value) {
+			t.Fatalf("weightless schedules diverge at op %d", i)
+		}
+	}
+}
+
+// TestWriterWeightsValidation pins the weight-shape errors.
+func TestWriterWeightsValidation(t *testing.T) {
+	t.Parallel()
+	bad := []Spec{
+		{Ops: 1, Writers: []int{0, 1}, WriterWeights: []float64{1}, Readers: []int{0}, ReadFraction: 0.5},
+		{Ops: 1, Writers: []int{0, 1}, WriterWeights: []float64{1, -2}, Readers: []int{0}, ReadFraction: 0.5},
+		{Ops: 1, Writers: []int{0, 1}, WriterWeights: []float64{0, 0}, Readers: []int{0}, ReadFraction: 0.5},
+	}
+	for i, s := range bad {
+		if _, err := Generate(s); err == nil {
+			t.Fatalf("spec %d with bad weights was accepted", i)
+		}
+	}
+}
