@@ -1,18 +1,27 @@
-// Command benchdiff compares two benchmark reports produced by
+// Command benchdiff compares benchmark reports produced by
 // `go test -json -bench ...` (the BENCH_*.json perf-trajectory files) and
 // fails on regressions, so the committed baselines actually gate CI instead
 // of being write-only artifacts.
 //
 // Usage:
 //
-//	benchdiff -old BENCH_mwmr.json -new fresh/BENCH_mwmr.json [-max-regress 0.30] [-metrics ns/op,msgs/op]
+//	benchdiff -baseline BENCH_check.json -baseline BENCH_mwmr.json \
+//	          -new fresh/BENCH_check.json -new fresh/BENCH_mwmr.json \
+//	          -gate 'msgs/op=0.30' -gate 'ns/op=1.0'
 //
-// For each benchmark present in both files, every selected metric is
-// compared: new > old*(1+max-regress) is a regression and exits non-zero.
+// Every -baseline file merges into one baseline set and every -new file
+// into one fresh set, so one invocation gates the whole trajectory. Each
+// -gate names a metric and its maximum tolerated relative regression; all
+// benchmarks are compared under every gate and ALL failures are reported in
+// one per-metric table before the non-zero exit — no first-error-wins.
 // msgs/op is deterministic (seeded workloads), so its gate is exact; ns/op
-// guards against order-of-magnitude slowdowns, with the threshold shared by
-// default and tunable per invocation. Benchmarks present only in the old
-// file fail too (coverage loss); new benchmarks are reported and pass.
+// guards against machine-class-sized slowdowns. Benchmarks present only in
+// the baseline fail too (coverage loss); new benchmarks are reported and
+// pass.
+//
+// The legacy single-file form (-old a.json -new b.json -metrics m1,m2
+// -max-regress 0.30) still works: -old is an alias for -baseline, and
+// -metrics/-max-regress expand to one -gate per metric.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -32,19 +42,14 @@ type result map[string]float64
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
 
-// parseFile reads a `go test -json` stream and collects benchmark results.
-// A single benchmark line is often split across several output events (the
-// name with trailing tab, then the measurements), so the stream is first
-// reassembled into per-package text. Repeated runs of the same benchmark
-// keep the last value.
-func parseFile(path string) (map[string]result, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
+// parseStream reads one `go test -json` stream and collects benchmark
+// results. A single benchmark line is often split across several output
+// events (the name with trailing tab, then the measurements), so the stream
+// is first reassembled into per-package text. Repeated runs of the same
+// benchmark keep the last value.
+func parseStream(r io.Reader) (map[string]result, error) {
 	text := make(map[string]*strings.Builder)
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
@@ -98,6 +103,27 @@ func parseFile(path string) (map[string]result, error) {
 	return out, nil
 }
 
+// parseFiles parses and merges several report files. A benchmark appearing
+// in two files keeps the later file's values.
+func parseFiles(paths []string) (map[string]result, error) {
+	merged := make(map[string]result)
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		res, err := parseStream(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		for name, r := range res {
+			merged[name] = r
+		}
+	}
+	return merged, nil
+}
+
 // normalize strips the trailing -GOMAXPROCS suffix so reports from
 // different machines align.
 func normalize(name string) string {
@@ -109,72 +135,196 @@ func normalize(name string) string {
 	return name
 }
 
-func main() {
-	oldPath := flag.String("old", "", "baseline report (go test -json bench stream)")
-	newPath := flag.String("new", "", "fresh report to compare against the baseline")
-	maxRegress := flag.Float64("max-regress", 0.30, "maximum tolerated relative regression per metric")
-	metricsFlag := flag.String("metrics", "ns/op,msgs/op", "comma-separated metrics to gate on")
-	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
-		os.Exit(2)
-	}
-	oldRes, err := parseFile(*oldPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(2)
-	}
-	newRes, err := parseFile(*newPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(2)
-	}
-	if len(oldRes) == 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark results in baseline %s\n", *oldPath)
-		os.Exit(2)
-	}
-	metrics := strings.Split(*metricsFlag, ",")
+// gate is one metric's regression bound.
+type gate struct {
+	metric     string
+	maxRegress float64
+}
 
+// parseGate parses "metric=threshold", e.g. "msgs/op=0.30".
+func parseGate(s string) (gate, error) {
+	i := strings.LastIndex(s, "=")
+	if i <= 0 || i == len(s)-1 {
+		return gate{}, fmt.Errorf("benchdiff: gate %q is not metric=max-regress", s)
+	}
+	v, err := strconv.ParseFloat(s[i+1:], 64)
+	if err != nil || v < 0 {
+		return gate{}, fmt.Errorf("benchdiff: gate %q has a bad threshold", s)
+	}
+	return gate{metric: s[:i], maxRegress: v}, nil
+}
+
+// row is one comparison outcome for the report table.
+type row struct {
+	status string // "ok", "REGRESS", "MISSING", "new"
+	name   string
+	metric string
+	old    float64
+	new    float64
+	delta  float64
+	bound  float64
+}
+
+// compare evaluates every gate over every baseline benchmark and returns
+// the full table plus the failure count — all failures, not the first.
+func compare(oldRes, newRes map[string]result, gates []gate) ([]row, int) {
 	names := make([]string, 0, len(oldRes))
 	for name := range oldRes {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	var rows []row
 	failures := 0
-	for _, name := range names {
-		nr, ok := newRes[name]
-		if !ok {
-			fmt.Printf("MISSING  %s (in baseline, not in fresh run)\n", name)
-			failures++
-			continue
-		}
-		or := oldRes[name]
-		for _, metric := range metrics {
-			ov, hasOld := or[metric]
-			nv, hasNew := nr[metric]
-			if !hasOld || !hasNew {
+	for _, g := range gates {
+		for _, name := range names {
+			or := oldRes[name]
+			ov, hasOld := or[g.metric]
+			if !hasOld {
+				continue
+			}
+			nr, ok := newRes[name]
+			if !ok {
+				rows = append(rows, row{status: "MISSING", name: name, metric: g.metric, old: ov})
+				failures++
+				continue
+			}
+			nv, hasNew := nr[g.metric]
+			if !hasNew {
+				rows = append(rows, row{status: "MISSING", name: name, metric: g.metric, old: ov})
+				failures++
 				continue
 			}
 			delta := 0.0
 			if ov > 0 {
 				delta = (nv - ov) / ov
 			}
-			status := "ok      "
-			if nv > ov*(1+*maxRegress) {
-				status = "REGRESS "
+			status := "ok"
+			if nv > ov*(1+g.maxRegress) {
+				status = "REGRESS"
 				failures++
 			}
-			fmt.Printf("%s %-60s %-8s old=%.4g new=%.4g (%+.1f%%)\n", status, name, metric, ov, nv, 100*delta)
+			rows = append(rows, row{status: status, name: name, metric: g.metric,
+				old: ov, new: nv, delta: delta, bound: g.maxRegress})
 		}
 	}
+	var extra []string
 	for name := range newRes {
 		if _, ok := oldRes[name]; !ok {
-			fmt.Printf("new      %s (not in baseline)\n", name)
+			extra = append(extra, name)
 		}
 	}
-	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%\n", failures, 100**maxRegress)
-		os.Exit(1)
+	sort.Strings(extra)
+	for _, name := range extra {
+		rows = append(rows, row{status: "new", name: name})
 	}
-	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of baseline\n", len(names), 100**maxRegress)
+	return rows, failures
+}
+
+// render prints the per-metric table.
+func render(w io.Writer, rows []row) {
+	metric := ""
+	for _, r := range rows {
+		if r.status == "new" {
+			fmt.Fprintf(w, "new      %s (not in baseline)\n", r.name)
+			continue
+		}
+		if r.metric != metric {
+			metric = r.metric
+			fmt.Fprintf(w, "== %s ==\n", metric)
+		}
+		switch r.status {
+		case "MISSING":
+			fmt.Fprintf(w, "MISSING  %-64s (in baseline, not in fresh run)\n", r.name)
+		default:
+			fmt.Fprintf(w, "%-8s %-64s old=%.4g new=%.4g (%+.1f%%, bound +%.0f%%)\n",
+				r.status, r.name, r.old, r.new, 100*r.delta, 100*r.bound)
+		}
+	}
+}
+
+// stringList collects a repeatable flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// flags is the parsed command line.
+type flags struct {
+	fs                         *flag.FlagSet
+	baselines, newPaths, gates stringList
+	oldPath, metrics           string
+	maxRegress                 float64
+}
+
+func newFlagSet(stderr io.Writer) *flags {
+	f := &flags{fs: flag.NewFlagSet("benchdiff", flag.ContinueOnError)}
+	f.fs.SetOutput(stderr)
+	f.fs.Var(&f.baselines, "baseline", "baseline report (repeatable; all merge into one baseline set)")
+	f.fs.Var(&f.newPaths, "new", "fresh report to compare against the baseline (repeatable)")
+	f.fs.Var(&f.gates, "gate", "metric=max-regress gate, e.g. 'msgs/op=0.30' (repeatable)")
+	f.fs.StringVar(&f.oldPath, "old", "", "legacy alias for -baseline")
+	f.fs.StringVar(&f.metrics, "metrics", "ns/op,msgs/op", "legacy: comma-separated metrics, gated at -max-regress each")
+	f.fs.Float64Var(&f.maxRegress, "max-regress", 0.30, "legacy: maximum tolerated relative regression for -metrics")
+	return f
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet(stderr)
+	if err := fs.fs.Parse(args); err != nil {
+		return 2
+	}
+	baselines := append(stringList{}, fs.baselines...)
+	if fs.oldPath != "" {
+		baselines = append(baselines, fs.oldPath)
+	}
+	if len(baselines) == 0 || len(fs.newPaths) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: at least one -baseline (or -old) and one -new are required")
+		return 2
+	}
+	var gates []gate
+	for _, g := range fs.gates {
+		parsed, err := parseGate(g)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		gates = append(gates, parsed)
+	}
+	if len(gates) == 0 {
+		for _, m := range strings.Split(fs.metrics, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				gates = append(gates, gate{metric: m, maxRegress: fs.maxRegress})
+			}
+		}
+	}
+	oldRes, err := parseFiles(baselines)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	newRes, err := parseFiles(fs.newPaths)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	if len(oldRes) == 0 {
+		fmt.Fprintf(stderr, "benchdiff: no benchmark results in baseline(s) %s\n", strings.Join(baselines, ", "))
+		return 2
+	}
+	rows, failures := compare(oldRes, newRes, gates)
+	render(stdout, rows)
+	if failures > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d regression(s)/missing benchmark(s) across %d gate(s)\n", failures, len(gates))
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchdiff: %d benchmarks within bounds across %d gate(s)\n", len(oldRes), len(gates))
+	return 0
 }

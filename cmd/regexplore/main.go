@@ -11,17 +11,19 @@
 //
 //	regexplore [-algs twobit,abd] [-strategies slowquorum,pct] [-n 5]
 //	           [-ops 30] [-reads 0.6] [-crashes 1] [-writers 1] [-pct d]
-//	           [-budget 100] [-seed0 1] [-shrink] [-json]
+//	           [-skew k] [-budget 100] [-seed0 1] [-shrink] [-json]
 //	regexplore -replay <token> [-json]
 //
 // -writers 2..4 sweeps true multi-writer workloads (concurrent writer
 // streams with distinct tagged values, judged by the near-linear MWMR
-// cluster checker); the algorithm list then defaults to the MWMR-capable
-// algorithms. -pct d upgrades the pct strategy to a true d-bounded PCT
-// (per-process priorities with d seeded change points; the depth travels in
-// a 10th token field). The sweep exits non-zero if any schedule failed;
-// -shrink additionally minimizes each failing descriptor before reporting
-// it.
+// cluster checker — or, for the keyed regmap algorithms, per key); the
+// algorithm list then defaults to the MWMR-capable algorithms. -pct d
+// upgrades the pct strategy to a true d-bounded PCT (per-process
+// priorities with d seeded change points; the depth travels in a 10th
+// token field). -skew k gives writer 0 k times each peer's write rate (an
+// 11th token field; requires -writers >= 2). The sweep exits non-zero if
+// any schedule failed; -shrink additionally minimizes each failing
+// descriptor before reporting it.
 package main
 
 import (
@@ -41,6 +43,7 @@ type config struct {
 	reads             float64
 	crashes, budget   int
 	writers, pct      int
+	skew              int
 	seed0             int64
 	jsonOut, doShrink bool
 	replay            string
@@ -56,6 +59,7 @@ func main() {
 	flag.IntVar(&cfg.crashes, "crashes", 1, "non-writer crashes per run (capped at t)")
 	flag.IntVar(&cfg.writers, "writers", 1, "concurrent writers; >= 2 sweeps multi-writer workloads over MWMR-capable algorithms")
 	flag.IntVar(&cfg.pct, "pct", 0, "priority change points for the pct strategy (d-bounded PCT); 0 keeps the legacy random-tie mode")
+	flag.IntVar(&cfg.skew, "skew", 0, "hot-writer skew: writer 0 writes this multiple of each peer's rate (>= 2; needs -writers >= 2)")
 	flag.IntVar(&cfg.budget, "budget", 100, "total runs in the sweep")
 	flag.Int64Var(&cfg.seed0, "seed0", 1, "first seed")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit JSON instead of text")
@@ -76,7 +80,8 @@ func run(cfg config, out io.Writer) error {
 	spec := explore.SweepSpec{
 		Algs: csv(cfg.algs), Strategies: csv(cfg.strategies),
 		N: cfg.n, Ops: cfg.ops, ReadFrac: cfg.reads, Crashes: cfg.crashes,
-		Writers: cfg.writers, PCT: cfg.pct, Budget: cfg.budget, Seed0: cfg.seed0,
+		Writers: cfg.writers, PCT: cfg.pct, Skew: cfg.skew,
+		Budget: cfg.budget, Seed0: cfg.seed0,
 	}
 	res, err := explore.Sweep(spec)
 	if err != nil {

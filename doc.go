@@ -95,6 +95,38 @@
 // conservation invariant (processed + parked <= sender's holdings);
 // Lemmas 2-4 are framing-independent and still checked.
 //
+// # The keyed multi-writer store and cross-key coalescing
+//
+// internal/regmap multiplexes many named registers over one process set —
+// the read-dominated keyed store the paper's conclusion targets — and is
+// built entirely on the lane engine. Each key carries its own writer set
+// (regmap.Config.Writers per key, or DefaultWriters, validated through
+// proto.ValidateWriters): a one-writer key runs the SWMR register
+// (core.Proc), byte-identical on the wire to the original store, and a
+// multi-writer key runs the two-bit multi-writer register restricted to
+// its writer set (core.WithMWWriters), so a process hosts one lane per
+// (key, writer) rather than per (key, process). Writes run the
+// READ/PROCEED freshness round per key; the Store exposes per-key writer
+// handles, and writes through an out-of-set process fail with
+// regmap.ErrNotWriter — per key.
+//
+// On the wire a message is the register's own frame wrapped with its key
+// (KeyedMsg). The census stays honest under multiplexing: key bytes (like
+// the lane id and length bytes beneath them) are addressing, declared via
+// metrics.EntryCounter/Addressed, so the store reports exactly two control
+// bits per logical entry. With Config.Coalesce, frames from DIFFERENT keys
+// headed down the same link coalesce into one keyed multi-frame
+// (regmap.MultiMsg): the goroutine store flushes per mailbox burst, the
+// simulator grants a half-Δ flush window (proto.Flusher /
+// transport.WithFlushWindow), and a read-dominated 50-key workload drops
+// from ~17 to ~2.3 frames per operation (BenchmarkRegmapMWMR, committed as
+// BENCH_regmap.json and benchdiff-gated; EXPERIMENTS.md E-RM1). The same
+// flush-window mechanism gives the multi-writer register a cross-drain
+// batching mode (core.WithMWFlushWindow) so lone-index writes under bursty
+// clients still coalesce. The explorer judges keyed runs register by
+// register ("regmap-mwmr" / "regmap-mwmr-wide", a per-key check.For pass)
+// and hunts the lost-cross-key-frame mutant ("mut-regmap-frame").
+//
 // # Adversarial schedule exploration
 //
 // The paper's atomicity claim quantifies over every asynchronous schedule

@@ -374,6 +374,7 @@ func (nd *node) run() {
 	}
 
 	for {
+		flushIfIdle(nd.proc, nd.queueIdle, handleEffects)
 		ev, ok := nd.next()
 		if !ok {
 			nd.mu.Lock()
@@ -392,6 +393,27 @@ func (nd *node) run() {
 			opQueue = append(opQueue, ev)
 		}
 		startNext()
+	}
+}
+
+// queueIdle reports a momentarily empty mailbox.
+func (nd *node) queueIdle() bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return len(nd.queue) == 0
+}
+
+// flushIfIdle grants a proto.Flusher process its flush tick when the
+// mailbox is idle: everything a burst of events buffered ships coalesced.
+// Both run loops (Cluster's internal nodes and the standalone Node) call
+// it at the top of each iteration, before blocking for the next event.
+func flushIfIdle(proc proto.Process, idle func() bool, handle func(proto.Effects)) {
+	f, ok := proc.(proto.Flusher)
+	if !ok || !f.PendingFlush() {
+		return
+	}
+	if idle() {
+		handle(f.Flush())
 	}
 }
 

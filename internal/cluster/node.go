@@ -102,6 +102,13 @@ func (nd *Node) Stop() {
 	nd.wg.Wait()
 }
 
+// queueIdle reports a momentarily empty mailbox.
+func (nd *Node) queueIdle() bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return len(nd.queue) == 0
+}
+
 func (nd *Node) next() (event, bool) {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
@@ -151,6 +158,7 @@ func (nd *Node) run() {
 	}
 
 	for {
+		flushIfIdle(nd.proc, nd.queueIdle, handleEffects)
 		ev, ok := nd.next()
 		if !ok {
 			if busy {

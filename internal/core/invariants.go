@@ -115,16 +115,16 @@ func CheckGlobalInvariants(procs []*Proc) error {
 // full set of multi-writer processes: every writer's stream must satisfy the
 // same lemmas the SWMR proof establishes, with that writer as the lane
 // owner. Like CheckGlobalInvariants it is a between-steps probe for the
-// simulator.
+// simulator. Restricted writer sets (WithMWWriters) check one stream per
+// writer-set member.
 func CheckMWGlobalInvariants(procs []*MWProc) error {
 	if len(procs) == 0 {
 		return nil
 	}
-	n := len(procs)
-	lanes := make([]*Lane, n)
-	for w := 0; w < n; w++ {
+	lanes := make([]*Lane, len(procs))
+	for k, w := range procs[0].writers {
 		for i, p := range procs {
-			lanes[i] = p.lanes[w]
+			lanes[i] = p.lanes[k]
 		}
 		if err := laneInvariants(lanes, w, fmt.Sprintf("lane %d: ", w)); err != nil {
 			return err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"twobitreg/internal/proto"
 )
@@ -61,8 +62,16 @@ type MWProc struct {
 	id, n int
 	opts  mwOptions
 
-	// lanes[w] carries writer w's value stream; lanes[id] is this process's
-	// own. Every process may write, so there are n lanes.
+	// writers are the lane owners, sorted ascending; laneIdx maps a pid to
+	// its position in writers (-1 for non-writers). The default writer set
+	// is every process; WithMWWriters restricts it, so a process hosts one
+	// lane per (register, writer) rather than per (register, process) —
+	// what keyed stores multiplexing many registers rely on.
+	writers []int
+	laneIdx []int
+
+	// lanes[k] carries writers[k]'s value stream; lanes[laneIdx[id]] is this
+	// process's own (when it is a writer).
 	lanes []*Lane
 
 	// rSync[j] counts PROCEED() messages received from p_j; rSync[id]
@@ -110,9 +119,11 @@ type mwOp struct {
 
 // mwOptions configures an MWProc.
 type mwOptions struct {
-	initial   proto.Value
-	fault     MWFault
-	unbatched bool
+	initial     proto.Value
+	fault       MWFault
+	unbatched   bool
+	writers     []int
+	flushWindow bool
 }
 
 // MWOption configures the multi-writer register.
@@ -131,6 +142,28 @@ func WithMWInitial(v proto.Value) MWOption {
 // for differential testing and as the cost baseline).
 func WithMWBatching(enabled bool) MWOption {
 	return func(o *mwOptions) { o.unbatched = !enabled }
+}
+
+// WithMWWriters restricts the register's writer set (default: every
+// process). Only members may StartWrite; every process still hosts one lane
+// per writer and participates in every quorum, but freshness vectors, lane
+// scans and message volume shrink from n lanes to len(writers) — the saving
+// a keyed store with per-key writer sets multiplexes across thousands of
+// keys. The set is validated through proto.ValidateWriters; constructors
+// panic on an invalid set (harness layers validate first and return typed
+// errors).
+func WithMWWriters(writers []int) MWOption {
+	return func(o *mwOptions) { o.writers = append([]int(nil), writers...) }
+}
+
+// WithMWFlushWindow holds batched lane frames across drain fixpoints
+// instead of flushing them at the end of every drain: the process
+// accumulates coalescing runs until its runtime grants a flush tick
+// (proto.Flusher — the simulator's transport.WithFlushWindow, or a cluster
+// mailbox going idle). Under bursty clients this lets lone-index writes
+// arriving in separate drains share one frame per link. Requires batching.
+func WithMWFlushWindow() MWOption {
+	return func(o *mwOptions) { o.flushWindow = true }
 }
 
 // MWFault selects a deliberately broken variant of the multi-writer
@@ -172,17 +205,39 @@ func NewMWMR(id, n int, opts ...MWOption) *MWProc {
 	for _, op := range opts {
 		op(&o)
 	}
-	p := &MWProc{
-		id:    id,
-		n:     n,
-		opts:  o,
-		lanes: make([]*Lane, n),
-		rSync: make([]int, n),
+	if o.flushWindow && o.unbatched {
+		panic("core: WithMWFlushWindow requires batched lanes")
 	}
-	for w := range p.lanes {
-		p.lanes[w] = NewLane(id, n, o.initial, false)
+	writers := o.writers
+	if len(writers) == 0 {
+		writers = make([]int, n)
+		for i := range writers {
+			writers[i] = i
+		}
+	} else {
+		if err := proto.ValidateWriters(n, writers); err != nil {
+			panic(err.Error())
+		}
+		writers = append([]int(nil), writers...)
+		sort.Ints(writers)
+	}
+	p := &MWProc{
+		id:      id,
+		n:       n,
+		opts:    o,
+		writers: writers,
+		laneIdx: make([]int, n),
+		lanes:   make([]*Lane, len(writers)),
+		rSync:   make([]int, n),
+	}
+	for i := range p.laneIdx {
+		p.laneIdx[i] = -1
+	}
+	for k, w := range writers {
+		p.laneIdx[w] = k
+		p.lanes[k] = NewLane(id, n, o.initial, false)
 		if !o.unbatched {
-			p.lanes[w].EnablePipelining()
+			p.lanes[k].EnablePipelining()
 		}
 	}
 	if !o.unbatched {
@@ -325,10 +380,13 @@ func (p *MWProc) StartWrite(op proto.OpID, v proto.Value) proto.Effects {
 	if p.cur != nil {
 		panic(fmt.Sprintf("core: process %d invoked write while a %s is in flight (processes are sequential)", p.id, p.cur.kind))
 	}
+	if p.laneIdx[p.id] < 0 {
+		panic(fmt.Sprintf("core: process %d invoked write outside the writer set %v (harnesses must reject such writes first)", p.id, p.writers))
+	}
 	var eff proto.Effects
 	if p.opts.fault == MWFaultSkipWriteSync {
 		p.cur = &mwOp{op: op, kind: proto.OpWrite, phase: mwWritePropagate, val: v.Clone()}
-		p.appendDominating(p.lanes[p.id].Top()+1, &eff)
+		p.appendDominating(p.ownLane().Top()+1, &eff)
 		p.drain(&eff)
 		return eff
 	}
@@ -345,7 +403,7 @@ func (p *MWProc) StartWrite(op proto.OpID, v proto.Value) proto.Effects {
 // its full backlog in one link round (the batcher coalesces the run into a
 // single LaneCompact frame per peer).
 func (p *MWProc) appendDominating(target int, eff *proto.Effects) {
-	own := p.lanes[p.id]
+	own := p.ownLane()
 	emit := p.emitLane(p.id, eff)
 	if p.batcher != nil {
 		for own.Top() < target {
@@ -415,7 +473,7 @@ func (p *MWProc) Deliver(from int, msg proto.Message) proto.Effects {
 		}
 	case ReadMsg:
 		// Line 19 analog: capture the freshness bar on every lane.
-		sn := make([]int, p.n)
+		sn := make([]int, len(p.lanes))
 		for u, l := range p.lanes {
 			sn[u] = l.Top()
 		}
@@ -429,13 +487,16 @@ func (p *MWProc) Deliver(from int, msg proto.Message) proto.Effects {
 	return eff
 }
 
-// lane validates and returns writer w's lane.
+// lane validates and returns writer w's lane (w is the owner's pid).
 func (p *MWProc) lane(w int) *Lane {
-	if w < 0 || w >= p.n {
-		panic(fmt.Sprintf("core: process %d received lane message for unknown writer %d", p.id, w))
+	if w < 0 || w >= p.n || p.laneIdx[w] < 0 {
+		panic(fmt.Sprintf("core: process %d received lane message for unknown writer %d (writer set %v)", p.id, w, p.writers))
 	}
-	return p.lanes[w]
+	return p.lanes[p.laneIdx[w]]
 }
+
+// ownLane returns this process's own lane; only writers have one.
+func (p *MWProc) ownLane() *Lane { return p.lanes[p.laneIdx[p.id]] }
 
 // tornBit computes entry i's parity. With MWFaultTornBatch active on a
 // frame of three or more entries, the surviving tail is re-sequenced
@@ -456,8 +517,8 @@ func (p *MWProc) tornBit(bit uint8, i, count int) uint8 {
 func (p *MWProc) drain(eff *proto.Effects) {
 	for progress := true; progress; {
 		progress = false
-		for w, l := range p.lanes {
-			if l.Drain(p.emitLane(w, eff)) {
+		for k, l := range p.lanes {
+			if l.Drain(p.emitLane(p.writers[k], eff)) {
 				progress = true
 			}
 		}
@@ -468,7 +529,10 @@ func (p *MWProc) drain(eff *proto.Effects) {
 			progress = true
 		}
 	}
-	if p.batcher != nil {
+	// With a flush window the coalesced runs stay buffered across drains and
+	// ship on the runtime's flush tick (Flush); otherwise every drain
+	// fixpoint flushes.
+	if p.batcher != nil && !p.opts.flushWindow {
 		p.batcher.flush(p, eff)
 	}
 	for _, l := range p.lanes {
@@ -541,7 +605,7 @@ func (p *MWProc) advanceOp(eff *proto.Effects) bool {
 	case mwWritePropagate:
 		// Line 3 analog: n-t processes known to hold the write's index on
 		// the own lane.
-		if p.lanes[p.id].CountGE(p.cur.wsn) >= p.quorum() {
+		if p.ownLane().CountGE(p.cur.wsn) >= p.quorum() {
 			op := p.cur
 			p.cur = nil
 			eff.AddDone(op.op, proto.OpWrite, nil)
@@ -550,7 +614,7 @@ func (p *MWProc) advanceOp(eff *proto.Effects) bool {
 	case mwReadSync:
 		// Line 7-8 analog: fix the returned vector.
 		if p.countRSyncEq(p.cur.rsn) >= p.quorum() {
-			sn := make([]int, p.n)
+			sn := make([]int, len(p.lanes))
 			for u, l := range p.lanes {
 				sn[u] = l.Top()
 			}
@@ -563,11 +627,13 @@ func (p *MWProc) advanceOp(eff *proto.Effects) bool {
 		if p.countVectorGE(p.cur.sn) >= p.quorum() {
 			op := p.cur
 			p.cur = nil
-			// Line 10 analog: last-writer-wins over (index, writer id).
+			// Line 10 analog: last-writer-wins over (index, owner pid).
+			// Lanes are sorted by owner pid, so >= keeps the highest pid
+			// among equal indices.
 			u := 0
-			for w := 1; w < p.n; w++ {
-				if op.sn[w] >= op.sn[u] {
-					u = w
+			for k := 1; k < len(p.lanes); k++ {
+				if op.sn[k] >= op.sn[u] {
+					u = k
 				}
 			}
 			eff.AddDone(op.op, proto.OpRead, p.lanes[u].HistAt(op.sn[u]).Clone())
@@ -598,13 +664,36 @@ func (p *MWProc) LocalMemoryBits() int {
 	return bits
 }
 
+// PendingFlush implements proto.Flusher: with a flush window configured it
+// reports whether coalesced lane frames are buffered awaiting a tick.
+func (p *MWProc) PendingFlush() bool {
+	return p.opts.flushWindow && p.batcher != nil && len(p.batcher.runs) > 0
+}
+
+// Flush implements proto.Flusher: it ships the buffered coalescing runs.
+// Runtimes call it on their flush tick (see WithMWFlushWindow); without a
+// flush window it is a no-op, since every drain already flushed.
+func (p *MWProc) Flush() proto.Effects {
+	var eff proto.Effects
+	if p.opts.flushWindow && p.batcher != nil {
+		p.batcher.flush(p, &eff)
+	}
+	return eff
+}
+
 // --- introspection for tests and invariant checkers ---
 
+// Writers returns the writer set (lane owners), sorted ascending.
+func (p *MWProc) Writers() []int { return append([]int(nil), p.writers...) }
+
+// IsWriter reports whether pid belongs to the writer set.
+func (p *MWProc) IsWriter(pid int) bool { return pid >= 0 && pid < p.n && p.laneIdx[pid] >= 0 }
+
 // LaneTop returns this process's own index on writer w's lane.
-func (p *MWProc) LaneTop(w int) int { return p.lanes[w].Top() }
+func (p *MWProc) LaneTop(w int) int { return p.lane(w).Top() }
 
 // LaneWSync returns w_sync[j] on writer w's lane.
-func (p *MWProc) LaneWSync(w, j int) int { return p.lanes[w].WSync(j) }
+func (p *MWProc) LaneWSync(w, j int) int { return p.lane(w).WSync(j) }
 
 // MsgsSent returns the number of messages this process has emitted.
 // Batched frames count as one message each, however many entries they
@@ -625,7 +714,7 @@ func (p *MWProc) RequiresFIFOLinks() bool { return p.batcher != nil }
 
 // LaneSent returns the highest index this process has shipped to peer j on
 // writer w's lane (batched mode only; 0 otherwise).
-func (p *MWProc) LaneSent(w, j int) int { return p.lanes[w].Sent(j) }
+func (p *MWProc) LaneSent(w, j int) int { return p.lane(w).Sent(j) }
 
 // Idle reports whether the process has no in-flight client operation.
 func (p *MWProc) Idle() bool { return p.cur == nil }

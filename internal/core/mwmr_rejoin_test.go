@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"twobitreg/internal/proto"
+)
+
+// TestMWRejoinCatchUpReplaysMixedValueBatch characterizes the rejoin path
+// the ROADMAP flags as a residual: when a crash-frozen peer comes back into
+// contact, its catch-up is a Rule-R2 backlog ship — the relay REPLAYS the
+// real mixed-value history as a LaneBatchMsg, one logical entry per
+// historical value, rather than re-anchoring with a LaneCompactMsg summary
+// (which is only used for same-value padding runs today). This test pins
+// that behavior so a future re-anchoring change has to update it
+// deliberately.
+//
+// Scenario (the shape a crashwrite schedule produces): p2 freezes before
+// writer 0's stream starts; p0's frames toward it are lost, p1's relay
+// forward for index 1 is delayed in flight. Five writes by p0 complete on
+// the {p0,p1} majority. When p2 thaws, the delayed index-1 frame arrives,
+// p2 adopts it and echoes — and p1, seeing p2 lag by a whole backlog, ships
+// indices 2..5 in one frame.
+func TestMWRejoinCatchUpReplaysMixedValueBatch(t *testing.T) {
+	t.Parallel()
+	const n, writes = 3, 5
+	h := &mwHarness{t: t}
+	for i := 0; i < n; i++ {
+		h.procs = append(h.procs, NewMWMR(i, n))
+	}
+
+	// Custom delivery: messages to the frozen p2 from p0 are dropped (lost
+	// in its crash window), p1's are parked in flight; everything else
+	// flows.
+	var parked []queued
+	pump := func() {
+		for len(h.queue) > 0 {
+			q := h.queue[0]
+			h.queue = h.queue[1:]
+			if q.to == 2 {
+				if q.from == 1 {
+					parked = append(parked, q)
+				}
+				continue // p0 -> p2 lost
+			}
+			h.absorb(q.to, h.procs[q.to].Deliver(q.from, q.msg))
+		}
+	}
+
+	for k := 1; k <= writes; k++ {
+		h.write(0, proto.OpID(k), val(fmt.Sprintf("v%d", k)))
+		pump()
+		h.mustComplete(proto.OpID(k))
+	}
+	if top := h.procs[1].LaneTop(0); top != writes {
+		t.Fatalf("relay p1 holds %d values, want %d", top, writes)
+	}
+
+	// Thaw: the delayed relay frame for index 1 arrives at p2.
+	var idx1 queued
+	found := false
+	for _, q := range parked {
+		if m, ok := q.msg.(LaneMsg); ok && m.Writer == 0 {
+			idx1, found = q, true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no relay lane frame was in flight toward the frozen peer (parked: %d msgs)", len(parked))
+	}
+	h.absorb(2, h.procs[2].Deliver(idx1.from, idx1.msg))
+
+	// p2's adoption echo reaches p1; p1 must answer with the R2 backlog —
+	// characterized today as ONE mixed-value LaneBatchMsg replaying the
+	// real history (not a LaneCompact re-anchor, which would claim the
+	// padded entries all carry one value — they do not).
+	sawBatch := false
+	for len(h.queue) > 0 {
+		q := h.queue[0]
+		h.queue = h.queue[1:]
+		if b, ok := q.msg.(LaneBatchMsg); ok && q.from == 1 && q.to == 2 && b.Writer == 0 {
+			sawBatch = true
+			if len(b.Vals) != writes-1 {
+				t.Fatalf("catch-up batch carries %d entries, want the %d-value backlog", len(b.Vals), writes-1)
+			}
+			distinct := map[string]bool{}
+			for _, v := range b.Vals {
+				distinct[string(v)] = true
+			}
+			if len(distinct) != len(b.Vals) {
+				t.Fatalf("catch-up batch values %v are not the mixed-value history", b.Vals)
+			}
+		}
+		if _, ok := q.msg.(LaneCompactMsg); ok && q.to == 2 {
+			t.Fatalf("rejoin catch-up shipped a LaneCompact re-anchor — the residual got implemented; update this characterization")
+		}
+		h.absorb(q.to, h.procs[q.to].Deliver(q.from, q.msg))
+	}
+	if !sawBatch {
+		t.Fatal("the rejoin catch-up never shipped a mixed-value LaneBatch replay")
+	}
+	if top := h.procs[2].LaneTop(0); top != writes {
+		t.Fatalf("rejoined peer converged to %d values, want %d", top, writes)
+	}
+	if got := h.procs[2].LaneWSync(0, 2); got != writes {
+		t.Fatalf("rejoined peer's own knowledge = %d, want %d", got, writes)
+	}
+}

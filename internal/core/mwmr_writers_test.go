@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"twobitreg/internal/proto"
+)
+
+// newMWWritersHarness builds a restricted-writer-set register.
+func newMWWritersHarness(t *testing.T, n int, writers []int, opts ...MWOption) *mwHarness {
+	t.Helper()
+	h := &mwHarness{t: t}
+	opts = append([]MWOption{WithMWWriters(writers)}, opts...)
+	for i := 0; i < n; i++ {
+		h.procs = append(h.procs, NewMWMR(i, n, opts...))
+	}
+	return h
+}
+
+// TestMWWriterSetBasics: a {0,2} writer set of five processes hosts two
+// lanes per process, accepts writes through both members, serves reads from
+// everyone, and keeps the per-lane proof invariants.
+func TestMWWriterSetBasics(t *testing.T) {
+	t.Parallel()
+	h := newMWWritersHarness(t, 5, []int{2, 0}) // unsorted on purpose
+	p := h.procs[3]
+	if got := p.Writers(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Writers() = %v, want [0 2]", got)
+	}
+	for pid, want := range map[int]bool{0: true, 1: false, 2: true, 3: false, 4: false} {
+		if p.IsWriter(pid) != want {
+			t.Fatalf("IsWriter(%d) = %v, want %v", pid, !want, want)
+		}
+	}
+	op := proto.OpID(0)
+	for round := 1; round <= 3; round++ {
+		for _, w := range []int{0, 2} {
+			op++
+			v := val(fmt.Sprintf("w%d-r%d", w, round))
+			h.write(w, op, v)
+			h.deliverAll()
+			h.mustComplete(op)
+			for r := 0; r < 5; r++ {
+				op++
+				h.read(r, op)
+				h.deliverAll()
+				if c := h.mustComplete(op); !c.Value.Equal(v) {
+					t.Fatalf("read via p%d after %q = %q", r, v, c.Value)
+				}
+			}
+		}
+	}
+	h.checkInvariants()
+}
+
+// TestMWWriterSetRejectsForeignWrites: a write through a non-member is a
+// harness bug and panics (runtimes reject it first with their typed
+// errors).
+func TestMWWriterSetRejectsForeignWrites(t *testing.T) {
+	t.Parallel()
+	h := newMWWritersHarness(t, 3, []int{0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write through a non-member did not panic")
+		}
+	}()
+	h.procs[1].StartWrite(1, val("x"))
+}
+
+// TestMWWriterSetMatchesFullSet is the differential gate: the same script
+// issued through writers {0,1} must read identically whether the register
+// is built with the restricted set or with the default every-process set —
+// restricting lanes must not change what the register contains.
+func TestMWWriterSetMatchesFullSet(t *testing.T) {
+	t.Parallel()
+	script := []struct {
+		pid   int
+		write bool
+		val   string
+	}{
+		{0, true, "a1"}, {1, true, "b1"}, {2, false, ""}, {0, true, "a2"},
+		{1, false, ""}, {1, true, "b2"}, {0, false, ""}, {2, false, ""},
+		{0, true, "a3"}, {2, false, ""}, {1, false, ""},
+	}
+	run := func(h *mwHarness) []string {
+		var reads []string
+		for i, s := range script {
+			op := proto.OpID(i + 1)
+			if s.write {
+				h.write(s.pid, op, val(s.val))
+			} else {
+				h.read(s.pid, op)
+			}
+			h.deliverAll()
+			c := h.mustComplete(op)
+			if !s.write {
+				reads = append(reads, string(c.Value))
+			}
+		}
+		h.checkInvariants()
+		return reads
+	}
+	restricted := run(newMWWritersHarness(t, 3, []int{0, 1}))
+	full := run(newMWHarness(t, 3))
+	for i := range restricted {
+		if restricted[i] != full[i] {
+			t.Fatalf("read %d diverges: restricted %q vs full %q", i, restricted[i], full[i])
+		}
+	}
+}
+
+// TestMWWriterSetShrinksState: the point of restricted writer sets for
+// keyed stores — a two-writer register of five processes retains a fraction
+// of the full register's lane state.
+func TestMWWriterSetShrinksState(t *testing.T) {
+	t.Parallel()
+	restricted := newMWWritersHarness(t, 5, []int{0, 1})
+	full := newMWHarness(t, 5)
+	for _, h := range []*mwHarness{restricted, full} {
+		for k := 1; k <= 4; k++ {
+			h.write(k%2, proto.OpID(k), val(fmt.Sprintf("v%d", k)))
+			h.deliverAll()
+			h.mustComplete(proto.OpID(k))
+		}
+	}
+	r, f := restricted.procs[3].LocalMemoryBits(), full.procs[3].LocalMemoryBits()
+	if r >= f {
+		t.Fatalf("restricted register holds %d bits, full register %d — the writer set saved nothing", r, f)
+	}
+}

@@ -54,12 +54,14 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"twobitreg/internal/check"
 	"twobitreg/internal/core"
 	"twobitreg/internal/metrics"
 	"twobitreg/internal/proto"
+	"twobitreg/internal/regmap"
 	"twobitreg/internal/sim"
 	"twobitreg/internal/transport"
 	"twobitreg/internal/workload"
@@ -80,6 +82,12 @@ const (
 // exhausting it is reported as a liveness failure (Result.Truncated).
 const eventLimit = 2_000_000
 
+// flushWindow is the virtual-time coalescing window granted to keyed-store
+// runs (transport.WithFlushWindow): half the unit Δ, so frames produced by
+// deliveries landing close together share one cross-key multi-frame
+// without reordering across whole delivery rounds.
+const flushWindow = 0.5
+
 // maxCrossCheckOps bounds the histories cross-validated against the
 // exhaustive Wing–Gong checker; beyond it only the linear-time SWMR oracle
 // runs.
@@ -96,8 +104,12 @@ type Result struct {
 	Pending   int `json:"pending"`
 	// Events, Msgs and EndTime describe the run's extent: simulator events
 	// executed, protocol messages sent, and the final virtual time.
+	// Entries counts the logical protocol entries those messages carried
+	// (batched lane frames and cross-key multi-frames carry several;
+	// Entries > Msgs is the signature of coalescing engaging).
 	Events  int64   `json:"events"`
 	Msgs    int64   `json:"msgs"`
+	Entries int64   `json:"entries,omitempty"`
 	EndTime float64 `json:"end_time"`
 	// Truncated reports that the run hit the event limit without
 	// quiescing — a liveness failure.
@@ -161,6 +173,9 @@ func Run(s Schedule) (Result, error) {
 	if s.Writers == 1 {
 		s.Writers = 0 // canonical single-writer form, token-compatible
 	}
+	if s.Skew == 1 {
+		s.Skew = 0 // canonical balanced form, token-compatible
+	}
 	if err := s.validate(); err != nil {
 		return Result{}, err
 	}
@@ -204,6 +219,7 @@ func Run(s Schedule) (Result, error) {
 	procs := make([]proto.Process, s.N)
 	var coreProcs []*core.Proc
 	var mwProcs []*core.MWProc
+	var keyedProcs []*regmap.KeyedProc
 	for i := range procs {
 		p := alg.New(i, s.N, 0)
 		procs[i] = p
@@ -212,6 +228,9 @@ func Run(s Schedule) (Result, error) {
 		}
 		if mp, ok := p.(*core.MWProc); ok {
 			mwProcs = append(mwProcs, mp)
+		}
+		if kp, ok := p.(*regmap.KeyedProc); ok {
+			keyedProcs = append(keyedProcs, kp)
 		}
 	}
 
@@ -229,6 +248,15 @@ func Run(s Schedule) (Result, error) {
 		wspec.Readers = pids(s.N)
 		if err := proto.ValidateWriters(s.N, wspec.Writers); err != nil {
 			return Result{}, err
+		}
+		if s.Skew > 1 {
+			// Hot-writer skew: writer 0 carries Skew times each peer's rate.
+			ww := make([]float64, s.Writers)
+			ww[0] = float64(s.Skew)
+			for i := 1; i < s.Writers; i++ {
+				ww[i] = 1
+			}
+			wspec.WriterWeights = ww
 		}
 	}
 	ops, err := workload.Generate(wspec)
@@ -390,6 +418,18 @@ func Run(s Schedule) (Result, error) {
 				}
 			}
 		}))
+	} else if len(keyedProcs) == s.N {
+		// The keyed store: the multi-writer lane invariants, key by key,
+		// plus the flush window that lets its cross-key coalescer batch
+		// frames landing within half a Δ of each other.
+		opts = append(opts, transport.WithFlushWindow(flushWindow))
+		opts = append(opts, transport.WithPostDelivery(func() {
+			if res.Invariant == "" {
+				if err := regmap.CheckKeyedInvariants(keyedProcs); err != nil {
+					res.Invariant = err.Error()
+				}
+			}
+		}))
 	}
 	net = transport.NewSimNet(sched, procs, opts...)
 
@@ -400,7 +440,9 @@ func Run(s Schedule) (Result, error) {
 	res.Events = sched.RunLimit(eventLimit)
 	res.Truncated = sched.Pending() > 0
 	res.EndTime = sched.Now()
-	res.Msgs = col.Snapshot().TotalMsgs
+	snap := col.Snapshot()
+	res.Msgs = snap.TotalMsgs
+	res.Entries = snap.LogicalEntries
 
 	// Assemble and judge the history. Operations never invoked (their
 	// process crashed first) are not part of it.
@@ -434,30 +476,83 @@ func Run(s Schedule) (Result, error) {
 	}
 	res.WriterProcs, res.WriteOverlaps = writerInterleaving(h)
 
-	judge := check.For(h)
-	res.Checker = judge.Name()
-	fastErr := judge.Check(h)
-	if fastErr != nil {
-		res.Atomicity = fastErr.Error()
-	}
-	if eligible := linEligibleOps(h); eligible > 0 && eligible <= maxCrossCheckOps {
-		linErr := check.CheckLinearizable(h)
-		if (fastErr != nil) != (linErr != nil) {
-			res.CrossCheck = fmt.Sprintf("oracles disagree on a %d-op history: %s=%v lin=%v", eligible, judge.Name(), fastErr, linErr)
+	if ka, ok := alg.(keyedAlgorithm); ok {
+		// Keyed stores are judged register by register: the history splits
+		// per key (the key derivation is a pure function of the op id), and
+		// each key's sub-history must linearize on its own. The exhaustive
+		// cross-check is skipped — it reasons about one register.
+		res.Checker = "per-key"
+		res.Atomicity = judgePerKey(ka, h)
+	} else {
+		judge := check.For(h)
+		res.Checker = judge.Name()
+		fastErr := judge.Check(h)
+		if fastErr != nil {
+			res.Atomicity = fastErr.Error()
+		}
+		if eligible := linEligibleOps(h); eligible > 0 && eligible <= maxCrossCheckOps {
+			linErr := check.CheckLinearizable(h)
+			if (fastErr != nil) != (linErr != nil) {
+				res.CrossCheck = fmt.Sprintf("oracles disagree on a %d-op history: %s=%v lin=%v", eligible, judge.Name(), fastErr, linErr)
+			}
 		}
 	}
 	res.Fingerprint = fingerprint(h, res)
 	return res, nil
 }
 
-// isQuorumAck reports whether msg is a quorum acknowledgement — the
-// message class whose k-th delivery the crashwrite strategy counts. The
-// two-bit registers answer freshness rounds with PROCEED; every other
+// keyedAlgorithm is implemented by keyed-store adapters
+// (regmap.KeyedAlgorithm): the judge needs the op-to-key derivation to
+// split the history back into per-register sub-histories.
+type keyedAlgorithm interface {
+	Keys() int
+	KeyOf(op proto.OpID) int
+}
+
+// judgePerKey checks each key's sub-history with the size-appropriate fast
+// oracle (check.For: SWMR characterisation or the MWMR cluster checker,
+// depending on how many processes wrote that key). It returns the first
+// violation, or "".
+func judgePerKey(ka keyedAlgorithm, h check.History) string {
+	byKey := make(map[int][]check.Op)
+	for _, op := range h.Ops {
+		k := ka.KeyOf(op.ID)
+		byKey[k] = append(byKey[k], op)
+	}
+	keys := make([]int, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		sub := check.History{Ops: byKey[k]}
+		judge := check.For(sub)
+		if err := judge.Check(sub); err != nil {
+			return fmt.Sprintf("key %d (%s): %v", k, judge.Name(), err)
+		}
+	}
+	return ""
+}
+
+// isQuorumAck reports whether msg is (or carries) a quorum acknowledgement
+// — the message class whose k-th delivery the crashwrite strategy counts.
+// The two-bit registers answer freshness rounds with PROCEED; every other
 // registered protocol (ABD and the phased engine behind attiya and
-// bounded-abd) names its quorum responses *_ACK. Without this breadth the
-// strategy would silently never crash a victim under the ack-based
-// algorithms, running them with fewer crashes than the schedule says.
+// bounded-abd) names its quorum responses *_ACK. The keyed store may
+// coalesce a PROCEED into a cross-key multi-frame, so those are searched
+// subframe by subframe (a bare KeyedMsg already reports its inner type
+// name). Without this breadth the strategy would silently never crash a
+// victim under the ack-based or coalescing algorithms, running them with
+// fewer crashes than the schedule says.
 func isQuorumAck(msg proto.Message) bool {
+	if mm, ok := msg.(regmap.MultiMsg); ok {
+		for _, f := range mm.Frames {
+			if isQuorumAck(f.Inner) {
+				return true
+			}
+		}
+		return false
+	}
 	name := msg.TypeName()
 	return name == "PROCEED" || strings.HasSuffix(name, "_ACK")
 }

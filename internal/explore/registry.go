@@ -9,6 +9,7 @@ import (
 	"twobitreg/internal/core"
 	"twobitreg/internal/phased"
 	"twobitreg/internal/proto"
+	"twobitreg/internal/regmap"
 )
 
 // registry maps Schedule.Alg names to constructors. It includes every
@@ -30,6 +31,17 @@ func registry() map[string]proto.Algorithm {
 		// needs no FIFO links.
 		"twobit-mwmr-unbatched": proto.Alg("twobit-mwmr-unbatched",
 			core.MWMRAlgorithm(core.WithMWBatching(false)).New),
+		// The keyed multi-writer store: every process runs a regmap node
+		// hosting one lane-engine register per key (multi-writer keys:
+		// every process may write), with cross-key frame coalescing on a
+		// half-Δ flush window. Each client op targets a key derived from
+		// its id, and the history is judged per key (check.For on every
+		// sub-history). The 50-key entry is the nightly sweep size; the
+		// 200-key one is the wide mixed-workload acceptance configuration.
+		"regmap-mwmr": regmap.NewKeyedAlgorithm("regmap-mwmr", 50,
+			regmap.Config{Coalesce: true}),
+		"regmap-mwmr-wide": regmap.NewKeyedAlgorithm("regmap-mwmr-wide", 200,
+			regmap.Config{Coalesce: true}),
 		"bounded-abd": boundedabd.Algorithm(),
 		"attiya":      attiya.Algorithm(),
 		// The phased engine in its minimal configuration (1 write phase,
@@ -63,6 +75,14 @@ func registry() map[string]proto.Algorithm {
 		// liveness check) once padding gaps produce frames of three or
 		// more entries, i.e. under concurrent writer streams.
 		"mut-lane-batch": proto.Alg("mut-lane-batch", core.MWMRAlgorithm(core.WithMWFault(core.MWFaultTornBatch)).New),
+		// The lost-cross-key-frame bug of the coalescing keyed store: a
+		// receiver silently drops the last subframe of every cross-key
+		// multi-frame (regmap.FaultDropMultiTail). The key that subframe
+		// served runs short of protocol state — a lane entry, READ or
+		// PROCEED that never lands — so operations on it stall (the
+		// liveness check) or read stale (the per-key checker).
+		"mut-regmap-frame": regmap.NewKeyedAlgorithm("mut-regmap-frame", 50,
+			regmap.Config{Coalesce: true, Fault: regmap.FaultDropMultiTail}),
 	}
 }
 
@@ -75,9 +95,12 @@ func mwmrCapable() map[string]bool {
 		"abd-mwmr":              true,
 		"twobit-mwmr":           true,
 		"twobit-mwmr-unbatched": true,
+		"regmap-mwmr":           true,
+		"regmap-mwmr-wide":      true,
 		"mut-mwmr-stale":        true,
 		"mut-twobit-mwmr":       true,
 		"mut-lane-batch":        true,
+		"mut-regmap-frame":      true,
 	}
 }
 

@@ -22,6 +22,9 @@ type SweepSpec struct {
 	// PCT > 0 runs the pct strategy as a true d-bounded PCT with that many
 	// priority change points (see Schedule.PCT).
 	PCT int `json:"pct,omitempty"`
+	// Skew >= 2 gives writer 0 that multiple of each peer's write rate
+	// (see Schedule.Skew); it requires Writers >= 2.
+	Skew int `json:"skew,omitempty"`
 	// Budget is the total number of runs; it defaults to 100.
 	Budget int `json:"budget"`
 	// Seed0 is the first seed; round k uses Seed0+k.
@@ -82,6 +85,7 @@ func Sweep(spec SweepSpec) (SweepResult, error) {
 					Alg: alg, Strategy: st, Seed: spec.Seed0 + round,
 					N: spec.N, Ops: spec.Ops, ReadFrac: spec.ReadFrac,
 					Crashes: spec.Crashes, Writers: spec.Writers,
+					Skew: spec.Skew,
 				}
 				if st == "pct" {
 					sched.PCT = spec.PCT

@@ -49,6 +49,13 @@ type Schedule struct {
 	// switches the pct strategy to per-process priorities with PCT seeded
 	// change points (see pctEngine) and serializes as a 10th token field.
 	PCT int `json:"pct,omitempty"`
+	// Skew is the hot-writer weight of a multi-writer workload: writer 0
+	// issues Skew times as many writes as each other writer (e.g. 10 is a
+	// 10:1 skew — the read-dominated keyed-store mix the regmap benchmarks
+	// measure). 0 and 1 both mean the balanced draw, byte-identical to
+	// pre-Skew tokens; >= 2 requires Writers >= 2 and serializes as an 11th
+	// token field.
+	Skew int `json:"skew,omitempty"`
 }
 
 // Token serializes s to its one-line replay token. Single-writer schedules
@@ -68,6 +75,10 @@ func (s Schedule) Token() string {
 		strconv.Itoa(s.Crashes),
 	}
 	switch {
+	case s.Skew > 1:
+		// Skew implies a multi-writer schedule; the PCT field rides along
+		// (possibly as its default 0) so the skew lands in a fixed column.
+		parts = append(parts, strconv.Itoa(s.Writers), strconv.Itoa(s.PCT), strconv.Itoa(s.Skew))
 	case s.PCT > 0:
 		w := s.Writers
 		if w < 2 {
@@ -84,8 +95,8 @@ func (s Schedule) Token() string {
 // that the algorithm and strategy names resolve.
 func ParseToken(tok string) (Schedule, error) {
 	parts := strings.Split(strings.TrimSpace(tok), ":")
-	if len(parts) < 8 || len(parts) > 10 {
-		return Schedule{}, fmt.Errorf("explore: token needs 8 to 10 fields, got %d in %q", len(parts), tok)
+	if len(parts) < 8 || len(parts) > 11 {
+		return Schedule{}, fmt.Errorf("explore: token needs 8 to 11 fields, got %d in %q", len(parts), tok)
 	}
 	if parts[0] != tokenVersion {
 		return Schedule{}, fmt.Errorf("explore: token version %q, this explorer speaks %q", parts[0], tokenVersion)
@@ -115,17 +126,29 @@ func ParseToken(tok string) (Schedule, error) {
 			return Schedule{}, fmt.Errorf("explore: 9-field token carries writer count %d; single-writer tokens have 8 fields", s.Writers)
 		}
 	}
-	if len(parts) == 10 {
-		// The 10th field only exists for a positive PCT depth; writer
-		// count 1 is the canonical single-writer marker in that form.
+	if len(parts) >= 10 {
+		// The 10th field exists for a positive PCT depth, or as the fixed
+		// PCT column of an 11-field skew token (where it may be 0); writer
+		// count 1 is the canonical single-writer marker in these forms.
 		if s.Writers < 1 {
-			return Schedule{}, fmt.Errorf("explore: 10-field token carries writer count %d, need >= 1", s.Writers)
+			return Schedule{}, fmt.Errorf("explore: %d-field token carries writer count %d, need >= 1", len(parts), s.Writers)
 		}
 		if s.PCT, err = strconv.Atoi(parts[9]); err != nil {
 			return Schedule{}, fmt.Errorf("explore: bad pct depth in token: %w", err)
 		}
-		if s.PCT < 1 {
+		if len(parts) == 10 && s.PCT < 1 {
 			return Schedule{}, fmt.Errorf("explore: 10-field token carries pct depth %d; depth-free tokens have at most 9 fields", s.PCT)
+		}
+		if s.PCT < 0 {
+			return Schedule{}, fmt.Errorf("explore: negative pct depth %d in token", s.PCT)
+		}
+	}
+	if len(parts) == 11 {
+		if s.Skew, err = strconv.Atoi(parts[10]); err != nil {
+			return Schedule{}, fmt.Errorf("explore: bad skew in token: %w", err)
+		}
+		if s.Skew < 2 {
+			return Schedule{}, fmt.Errorf("explore: 11-field token carries skew %d; skew-free tokens have at most 10 fields", s.Skew)
 		}
 	}
 	return s, nil
@@ -156,6 +179,12 @@ func (s Schedule) validate() error {
 	}
 	if s.PCT > 0 && s.Strategy != "pct" {
 		return fmt.Errorf("explore: pct depth %d requires the pct strategy, not %q", s.PCT, s.Strategy)
+	}
+	if s.Skew < 0 {
+		return fmt.Errorf("explore: negative skew %d", s.Skew)
+	}
+	if s.Skew > 1 && s.Writers < 2 {
+		return fmt.Errorf("explore: skew %d requires a multi-writer schedule (writers >= 2, got %d)", s.Skew, s.Writers)
 	}
 	if strings.Contains(s.Alg, ":") || strings.Contains(s.Strategy, ":") {
 		return fmt.Errorf("explore: names must not contain ':' (alg %q, strategy %q)", s.Alg, s.Strategy)

@@ -158,6 +158,22 @@ type FIFOLinks interface {
 	RequiresFIFOLinks() bool
 }
 
+// Flusher is implemented by processes that can buffer outgoing frames
+// across steps for coalescing (the batched multi-writer register's
+// cross-drain flush window, the keyed store's cross-key frame coalescer).
+// Runtimes that support it grant a flush tick some bounded time after a
+// step leaves frames buffered: the simulator schedules a virtual-time flush
+// event (transport.WithFlushWindow), the goroutine runtimes flush when a
+// mailbox goes idle. Delaying protocol messages is always safe in the
+// asynchronous model; the tick bounds the delay so liveness is preserved.
+type Flusher interface {
+	// PendingFlush reports whether buffered frames await a flush tick.
+	PendingFlush() bool
+	// Flush emits the buffered frames. Calling it with nothing pending is a
+	// harmless no-op.
+	Flush() Effects
+}
+
 // Algorithm constructs the n processes of one protocol instance. Writer is
 // the index of the single writer for SWMR protocols; MWMR protocols may
 // ignore it.

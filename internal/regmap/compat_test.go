@@ -1,0 +1,189 @@
+package regmap
+
+import (
+	"fmt"
+	"testing"
+
+	"twobitreg/internal/core"
+	"twobitreg/internal/proto"
+)
+
+// The byte-compatibility contract: for single-writer keys in the default
+// configuration, the rebuilt store must put exactly the message stream of
+// the original regmap on the wire — which was, per key, the SWMR register's
+// own messages (core.New(id, n, 0)) wrapped in KeyedMsg. This test drives
+// the new Node set and a reference mesh of bare core.Proc instances through
+// the same scripted workload under the same deterministic delivery order
+// and compares the streams message for message: type, key, control bits,
+// data bytes, endpoints.
+
+// msgRecord is one observed send.
+type msgRecord struct {
+	from, to  int
+	key       string
+	typeName  string
+	ctrlBits  int
+	dataBytes int
+}
+
+func (r msgRecord) String() string {
+	return fmt.Sprintf("%d->%d key=%q %s ctrl=%d data=%d", r.from, r.to, r.key, r.typeName, r.ctrlBits, r.dataBytes)
+}
+
+// step is one scripted client operation.
+type step struct {
+	pid  int
+	key  string
+	kind proto.OpKind
+	val  string
+}
+
+// compatScript exercises several keys, overwrites, interleaved reads and
+// every process as a reader.
+func compatScript() []step {
+	var s []step
+	for round := 1; round <= 4; round++ {
+		for _, key := range []string{"alpha", "beta", "gamma"} {
+			s = append(s, step{pid: 0, key: key, kind: proto.OpWrite, val: fmt.Sprintf("%s-%d", key, round)})
+			s = append(s, step{pid: 1 + round%2, key: key, kind: proto.OpRead})
+		}
+		s = append(s, step{pid: 2, key: "alpha", kind: proto.OpRead})
+	}
+	return s
+}
+
+// runNewStore drives the rebuilt Node set deterministically.
+func runNewStore(t *testing.T, n int, script []step) []msgRecord {
+	t.Helper()
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nd, err := NewNode(i, Config{N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	var log []msgRecord
+	// queues[from][to] is the FIFO link buffer.
+	queues := make([][][]KeyedMsg, n)
+	for i := range queues {
+		queues[i] = make([][]KeyedMsg, n)
+	}
+	record := func(from int, eff proto.Effects) {
+		for _, s := range eff.Sends {
+			km, ok := s.Msg.(KeyedMsg)
+			if !ok {
+				t.Fatalf("non-keyed frame %T from the default store", s.Msg)
+			}
+			log = append(log, msgRecord{from: from, to: s.To, key: km.Key,
+				typeName: km.TypeName(), ctrlBits: km.ControlBits(), dataBytes: km.DataBytes()})
+			queues[from][s.To] = append(queues[from][s.To], km)
+		}
+	}
+	settle := func() {
+		for moved := true; moved; {
+			moved = false
+			for from := 0; from < n; from++ {
+				for to := 0; to < n; to++ {
+					if len(queues[from][to]) == 0 {
+						continue
+					}
+					m := queues[from][to][0]
+					queues[from][to] = queues[from][to][1:]
+					record(to, nodes[to].Deliver(from, m))
+					moved = true
+				}
+			}
+		}
+	}
+	for i, st := range script {
+		record(st.pid, nodes[st.pid].Start(st.key, proto.OpID(i+1), st.kind, proto.Value(st.val)))
+		settle()
+	}
+	return log
+}
+
+// runReference drives bare per-key SWMR registers — the original regmap's
+// exact construction — under the identical schedule and delivery order.
+func runReference(t *testing.T, n int, script []step) []msgRecord {
+	t.Helper()
+	regs := map[string][]*core.Proc{}
+	reg := func(key string) []*core.Proc {
+		ps, ok := regs[key]
+		if !ok {
+			ps = make([]*core.Proc, n)
+			for i := range ps {
+				ps[i] = core.New(i, n, 0)
+			}
+			regs[key] = ps
+		}
+		return ps
+	}
+	var log []msgRecord
+	type qmsg struct {
+		key string
+		m   proto.Message
+	}
+	queues := make([][][]qmsg, n)
+	for i := range queues {
+		queues[i] = make([][]qmsg, n)
+	}
+	record := func(key string, from int, eff proto.Effects) {
+		for _, s := range eff.Sends {
+			km := KeyedMsg{Key: key, Inner: s.Msg}
+			log = append(log, msgRecord{from: from, to: s.To, key: key,
+				typeName: km.TypeName(), ctrlBits: km.ControlBits(), dataBytes: km.DataBytes()})
+			queues[from][s.To] = append(queues[from][s.To], qmsg{key: key, m: s.Msg})
+		}
+	}
+	settle := func() {
+		for moved := true; moved; {
+			moved = false
+			for from := 0; from < n; from++ {
+				for to := 0; to < n; to++ {
+					if len(queues[from][to]) == 0 {
+						continue
+					}
+					q := queues[from][to][0]
+					queues[from][to] = queues[from][to][1:]
+					record(q.key, to, reg(q.key)[to].Deliver(from, q.m))
+					moved = true
+				}
+			}
+		}
+	}
+	for i, st := range script {
+		ps := reg(st.key)
+		var eff proto.Effects
+		if st.kind == proto.OpWrite {
+			eff = ps[st.pid].StartWrite(proto.OpID(i+1), proto.Value(st.val))
+		} else {
+			eff = ps[st.pid].StartRead(proto.OpID(i + 1))
+		}
+		record(st.key, st.pid, eff)
+		settle()
+	}
+	return log
+}
+
+// TestSWMRByteCompatible is the fingerprint gate: the rebuilt store's
+// single-writer message stream must match the original construction
+// message for message.
+func TestSWMRByteCompatible(t *testing.T) {
+	t.Parallel()
+	const n = 5
+	script := compatScript()
+	got := runNewStore(t, n, script)
+	want := runReference(t, n, script)
+	if len(got) != len(want) {
+		t.Fatalf("message count diverged: new store sent %d, original %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("message %d diverged:\n  new:      %s\n  original: %s", i, got[i], want[i])
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("empty message stream — the script drove nothing")
+	}
+}

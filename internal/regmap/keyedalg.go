@@ -1,0 +1,149 @@
+package regmap
+
+import (
+	"fmt"
+
+	"twobitreg/internal/core"
+	"twobitreg/internal/proto"
+)
+
+// KeyedAlgorithm adapts the keyed store to the key-less proto.Process
+// harnesses (simulator, schedule explorer, benchmarks): every process runs
+// a Node, and each client operation's key is derived from its id
+// (KeyOf, a deterministic modulo spread), so one key-less workload drives a
+// mixed many-key workload and judges can split the history back per key.
+//
+// The writer sets come from the Config template: its N is ignored (the
+// harness's n applies) and an empty DefaultWriters means every process may
+// write every key — the explorer's writer pids must all be in-set whatever
+// the schedule says.
+type KeyedAlgorithm struct {
+	name string
+	keys int
+	tmpl Config
+}
+
+// NewKeyedAlgorithm builds the adapter: name registers it, keys is the
+// key-space size, tmpl carries the store options (Coalesce, Fault, writer
+// sets; N and Collector are ignored).
+func NewKeyedAlgorithm(name string, keys int, tmpl Config) KeyedAlgorithm {
+	if keys < 1 {
+		panic(fmt.Sprintf("regmap: keyed algorithm %q needs at least 1 key, got %d", name, keys))
+	}
+	return KeyedAlgorithm{name: name, keys: keys, tmpl: tmpl}
+}
+
+// Name implements proto.Algorithm.
+func (a KeyedAlgorithm) Name() string { return a.name }
+
+// Keys returns the key-space size.
+func (a KeyedAlgorithm) Keys() int { return a.keys }
+
+// KeyOf derives the key index for a client operation: ids spread
+// round-robin over the key space, so the mapping is reproducible by any
+// judge holding the same algorithm value.
+func (a KeyedAlgorithm) KeyOf(op proto.OpID) int { return int((uint64(op) - 1) % uint64(a.keys)) }
+
+// KeyName renders key index k as the store key.
+func (a KeyedAlgorithm) KeyName(k int) string { return fmt.Sprintf("k%04d", k) }
+
+// New implements proto.Algorithm. The writer argument is ignored (per-key
+// writer sets rule); an empty DefaultWriters template opens every key to
+// every process.
+func (a KeyedAlgorithm) New(id, n, _ int) proto.Process {
+	cfg := a.tmpl
+	cfg.N = n
+	cfg.Collector = nil
+	if len(cfg.DefaultWriters) == 0 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		cfg.DefaultWriters = all
+	}
+	sh, err := newShared(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("regmap: keyed algorithm %q: %v", a.name, err))
+	}
+	return &KeyedProc{alg: a, node: newNode(id, sh)}
+}
+
+// KeyedProc is one process of a KeyedAlgorithm run: a Node driven through
+// the proto.Process interface with derived keys.
+type KeyedProc struct {
+	alg  KeyedAlgorithm
+	node *Node
+}
+
+// ID implements proto.Process.
+func (p *KeyedProc) ID() int { return p.node.ID() }
+
+// Deliver implements proto.Process.
+func (p *KeyedProc) Deliver(from int, msg proto.Message) proto.Effects {
+	return p.node.Deliver(from, msg)
+}
+
+// StartRead implements proto.Process; the read targets KeyOf(op).
+func (p *KeyedProc) StartRead(op proto.OpID) proto.Effects {
+	return p.node.Start(p.alg.KeyName(p.alg.KeyOf(op)), op, proto.OpRead, nil)
+}
+
+// StartWrite implements proto.Process; the write targets KeyOf(op).
+func (p *KeyedProc) StartWrite(op proto.OpID, v proto.Value) proto.Effects {
+	return p.node.Start(p.alg.KeyName(p.alg.KeyOf(op)), op, proto.OpWrite, v)
+}
+
+// LocalMemoryBits implements proto.Process.
+func (p *KeyedProc) LocalMemoryBits() int { return p.node.LocalMemoryBits() }
+
+// PendingFlush implements proto.Flusher (cross-key coalescing under a
+// simulator flush window).
+func (p *KeyedProc) PendingFlush() bool { return p.node.PendingFlush() }
+
+// Flush implements proto.Flusher.
+func (p *KeyedProc) Flush() proto.Effects { return p.node.Flush() }
+
+// RequiresFIFOLinks implements proto.FIFOLinks: multi-writer keys run the
+// batched lane frames, which assume per-link FIFO delivery (and cross-key
+// multi-frames unpack in link order). Single-writer-only stores keep the
+// paper's unordered-channel model, like the original regmap.
+func (p *KeyedProc) RequiresFIFOLinks() bool { return p.node.sh.multiWriter() }
+
+// Node exposes the underlying keyed state machine (tests, invariants).
+func (p *KeyedProc) Node() *Node { return p.node }
+
+// CheckKeyedInvariants runs the multi-writer lane proof invariants per key
+// across a full set of keyed processes, for every key every process
+// currently hosts (lazily created registers appear at a process on first
+// contact; a key someone has not seen yet is skipped — its invariants are
+// vacuous there). Single-writer keys are covered by the same lemmas via
+// their one lane inside core.Proc and are skipped here.
+func CheckKeyedInvariants(procs []*KeyedProc) error {
+	if len(procs) == 0 {
+		return nil
+	}
+	for _, key := range procs[0].node.Keys() {
+		mws := make([]*core.MWProc, 0, len(procs))
+		for _, p := range procs {
+			mw := p.node.MW(key)
+			if mw == nil {
+				break
+			}
+			mws = append(mws, mw)
+		}
+		if len(mws) != len(procs) {
+			continue
+		}
+		if err := core.CheckMWGlobalInvariants(mws); err != nil {
+			return fmt.Errorf("key %s: %w", key, err)
+		}
+	}
+	return nil
+}
+
+var (
+	_ proto.Process   = (*KeyedProc)(nil)
+	_ proto.Flusher   = (*KeyedProc)(nil)
+	_ proto.FIFOLinks = (*KeyedProc)(nil)
+	_ proto.Algorithm = KeyedAlgorithm{}
+)

@@ -1,0 +1,287 @@
+package regmap
+
+import (
+	"fmt"
+	"sort"
+
+	"twobitreg/internal/core"
+	"twobitreg/internal/proto"
+)
+
+// Node is the keyed store's state machine at one process: a map from key to
+// register instance on the lane engine, plus the cross-key frame coalescer.
+// Like the core protocol types it is single-threaded — the goroutine Store
+// serializes calls through its event loop, and the deterministic harnesses
+// (simulator, explorer) call it directly.
+type Node struct {
+	id   int
+	sh   *shared
+	regs map[string]*reg
+
+	// hold buffers outgoing keyed frames per destination while coalescing;
+	// held counts them across destinations.
+	hold [][]KeyedMsg
+	held int
+}
+
+// reg is one key's register instance: exactly one of swmr/mw is set,
+// depending on the key's writer-set size, plus the per-key client queue
+// (register processes are sequential; operations on one key through one
+// process serialize, different keys proceed independently).
+type reg struct {
+	writers []int
+	swmr    *core.Proc
+	mw      *core.MWProc
+	busy    bool
+	pending []pendingOp
+}
+
+type pendingOp struct {
+	op   proto.OpID
+	kind proto.OpKind
+	val  proto.Value
+}
+
+// NewNode returns the keyed state machine for process id under cfg. Every
+// node of one store must be built from the same Config.
+func NewNode(id int, cfg Config) (*Node, error) {
+	sh, err := newShared(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newNode(id, sh), nil
+}
+
+func newNode(id int, sh *shared) *Node {
+	if id < 0 || id >= sh.n {
+		panic(fmt.Sprintf("regmap: node id %d out of range [0,%d)", id, sh.n))
+	}
+	nd := &Node{id: id, sh: sh, regs: make(map[string]*reg)}
+	if sh.coalesce {
+		nd.hold = make([][]KeyedMsg, sh.n)
+	}
+	return nd
+}
+
+// ID returns the node's process index.
+func (nd *Node) ID() int { return nd.id }
+
+// N returns the number of processes.
+func (nd *Node) N() int { return nd.sh.n }
+
+// WritersFor returns key's writer set, sorted ascending.
+func (nd *Node) WritersFor(key string) []int {
+	return append([]int(nil), nd.sh.writersFor(key)...)
+}
+
+// IsWriter reports whether pid may write key.
+func (nd *Node) IsWriter(key string, pid int) bool {
+	for _, w := range nd.sh.writersFor(key) {
+		if w == pid {
+			return true
+		}
+	}
+	return false
+}
+
+// reg returns (creating if needed) the register instance for key. A key
+// with one writer runs the SWMR register; several writers run the
+// multi-writer register with one lane per (key, writer).
+func (nd *Node) reg(key string) *reg {
+	r, ok := nd.regs[key]
+	if !ok {
+		ws := nd.sh.writersFor(key)
+		r = &reg{writers: ws}
+		if len(ws) == 1 {
+			var opts []core.Option
+			if nd.sh.gc {
+				opts = append(opts, core.WithHistoryGC())
+			}
+			r.swmr = core.New(nd.id, nd.sh.n, ws[0], opts...)
+		} else {
+			r.mw = core.NewMWMR(nd.id, nd.sh.n, core.WithMWWriters(ws))
+		}
+		nd.regs[key] = r
+	}
+	return r
+}
+
+// Start begins a client operation on key. Writes must come through a member
+// of the key's writer set — harnesses reject foreign writes first
+// (ErrNotWriter); reaching the protocol with one is a harness bug and
+// panics. Completions surface in this or a later Effects.Done.
+func (nd *Node) Start(key string, op proto.OpID, kind proto.OpKind, val proto.Value) proto.Effects {
+	if kind == proto.OpWrite && !nd.IsWriter(key, nd.id) {
+		panic(fmt.Sprintf("regmap: process %d invoked write on key %q outside its writer set %v (harnesses must reject such writes first)",
+			nd.id, key, nd.sh.writersFor(key)))
+	}
+	var out proto.Effects
+	r := nd.reg(key)
+	r.pending = append(r.pending, pendingOp{op: op, kind: kind, val: val})
+	nd.pump(key, r, proto.Effects{}, &out)
+	return out
+}
+
+// Deliver hands the node a message from peer `from`: a KeyedMsg routes to
+// its key's register, a MultiMsg unpacks subframe by subframe (in order —
+// coalescing preserves per-link frame order).
+func (nd *Node) Deliver(from int, msg proto.Message) proto.Effects {
+	var out proto.Effects
+	switch m := msg.(type) {
+	case KeyedMsg:
+		nd.deliverKeyed(from, m, &out)
+	case MultiMsg:
+		frames := m.Frames
+		if nd.sh.fault == FaultDropMultiTail && len(frames) > 0 {
+			frames = frames[:len(frames)-1] // mutant: lose the last subframe
+		}
+		for _, f := range frames {
+			nd.deliverKeyed(from, f, &out)
+		}
+	default:
+		panic(fmt.Sprintf("regmap: process %d received foreign message %T", nd.id, msg))
+	}
+	return out
+}
+
+func (nd *Node) deliverKeyed(from int, m KeyedMsg, out *proto.Effects) {
+	r := nd.reg(m.Key)
+	eff := r.deliver(from, m.Inner)
+	nd.pump(m.Key, r, eff, out)
+}
+
+// pump absorbs one register's effects — wrapping sends with the key,
+// surfacing completions — and starts queued client operations freed by
+// those completions, to a fixpoint.
+func (nd *Node) pump(key string, r *reg, eff proto.Effects, out *proto.Effects) {
+	for {
+		for _, s := range eff.Sends {
+			nd.emit(out, s.To, KeyedMsg{Key: key, Inner: s.Msg})
+		}
+		if len(eff.Done) > 0 {
+			out.Done = append(out.Done, eff.Done...)
+			r.busy = false
+		}
+		if r.busy || len(r.pending) == 0 {
+			return
+		}
+		po := r.pending[0]
+		r.pending = r.pending[1:]
+		r.busy = true
+		eff = r.start(po)
+	}
+}
+
+// emit sends one keyed frame, or buffers it for the cross-key coalescer.
+func (nd *Node) emit(out *proto.Effects, to int, f KeyedMsg) {
+	if nd.hold == nil {
+		out.AddSend(to, f)
+		return
+	}
+	nd.hold[to] = append(nd.hold[to], f)
+	nd.held++
+}
+
+// PendingFlush implements proto.Flusher: it reports buffered coalescer
+// frames awaiting a flush tick.
+func (nd *Node) PendingFlush() bool { return nd.held > 0 }
+
+// Flush implements proto.Flusher: per destination (ascending, so the order
+// is deterministic), a lone frame ships bare and a burst ships as MultiMsg
+// chunks of at most MaxMultiFrames subframes, preserving emission order on
+// each link.
+func (nd *Node) Flush() proto.Effects {
+	var out proto.Effects
+	if nd.held == 0 {
+		return out
+	}
+	for to := range nd.hold {
+		frames := nd.hold[to]
+		if len(frames) == 0 {
+			continue
+		}
+		for off := 0; off < len(frames); {
+			end := off + MaxMultiFrames
+			if end > len(frames) {
+				end = len(frames)
+			}
+			if end-off == 1 {
+				out.AddSend(to, frames[off])
+			} else {
+				chunk := make([]KeyedMsg, end-off)
+				copy(chunk, frames[off:end])
+				out.AddSend(to, MultiMsg{Frames: chunk})
+			}
+			off = end
+		}
+		nd.hold[to] = nil
+	}
+	nd.held = 0
+	return out
+}
+
+// LocalMemoryBits sums the hosted registers' Table 1 row 4 probes.
+func (nd *Node) LocalMemoryBits() int {
+	bits := 0
+	for _, r := range nd.regs {
+		if r.swmr != nil {
+			bits += r.swmr.LocalMemoryBits()
+		} else {
+			bits += r.mw.LocalMemoryBits()
+		}
+	}
+	return bits
+}
+
+// Keys returns the keys this node currently hosts, sorted.
+func (nd *Node) Keys() []string {
+	out := make([]string, 0, len(nd.regs))
+	for k := range nd.regs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MW returns the multi-writer register instance hosted for key, or nil
+// (key unknown here, or single-writer). Introspection for invariant
+// checkers and tests.
+func (nd *Node) MW(key string) *core.MWProc {
+	if r, ok := nd.regs[key]; ok {
+		return r.mw
+	}
+	return nil
+}
+
+// Idle reports whether no client operation is in flight or queued on any
+// key at this node.
+func (nd *Node) Idle() bool {
+	for _, r := range nd.regs {
+		if r.busy || len(r.pending) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *reg) deliver(from int, msg proto.Message) proto.Effects {
+	if r.swmr != nil {
+		return r.swmr.Deliver(from, msg)
+	}
+	return r.mw.Deliver(from, msg)
+}
+
+func (r *reg) start(po pendingOp) proto.Effects {
+	switch {
+	case po.kind == proto.OpWrite && r.swmr != nil:
+		return r.swmr.StartWrite(po.op, po.val)
+	case po.kind == proto.OpWrite:
+		return r.mw.StartWrite(po.op, po.val)
+	case r.swmr != nil:
+		return r.swmr.StartRead(po.op)
+	default:
+		return r.mw.StartRead(po.op)
+	}
+}
+
+var _ proto.Flusher = (*Node)(nil)

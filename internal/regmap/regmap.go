@@ -1,23 +1,41 @@
-// Package regmap multiplexes many named two-bit registers over one set of
-// processes: a single-writer configuration/metadata store, the kind of
+// Package regmap multiplexes many named registers over one set of
+// processes: a keyed configuration/metadata store, the kind of
 // read-dominated application the paper's conclusion targets.
 //
-// Each key is an independent SWMR register instance (internal/core) with its
-// own alternating-bit discipline and its own local sequence numbers; every
-// process hosts one instance per key, created lazily on first use. On the
-// wire, a message is the register's own two-bit message wrapped with its
-// key, so the per-register control information is still exactly two bits —
-// the key is addressing, the price of multiplexing, and is accounted
-// separately (KeyedMsg.ControlBits includes it; the census keeps the claim
-// honest rather than overstating it).
+// Each key is an independent register instance built on the alternating-bit
+// lane engine (internal/core), with its own writer set:
+//
+//   - a key whose writer set has one member runs the paper's SWMR register
+//     (core.Proc — one lane plus the client protocol), byte-identical on
+//     the wire to the original single-writer store;
+//   - a key with several writers runs the multi-writer register
+//     (core.MWMRAlgorithm / core.MWProc restricted by core.WithMWWriters),
+//     so each process hosts one lane per (key, writer) and writes run the
+//     READ/PROCEED freshness round per key.
+//
+// On the wire, a message is the register's own two-bit message wrapped with
+// its key (KeyedMsg), so the per-register control information is still
+// exactly two bits — the key is addressing, the price of multiplexing, and
+// is accounted separately (KeyedMsg.ControlBits includes it, and the
+// metrics census subtracts it via the Addressed interface, keeping the
+// two-bits-per-logical-entry claim exact rather than overstated).
+//
+// With Config.Coalesce, frames from different keys headed down the same
+// link coalesce into one keyed multi-frame (MultiMsg): a node buffers its
+// outgoing keyed frames during a processing burst (the goroutine store) or
+// a virtual-time flush window (the simulator, proto.Flusher) and ships one
+// frame per link. A store serving many keys over one link then pays the
+// per-message cost once per burst instead of once per key — the cross-key
+// generalization of the lane batching introduced for the multi-writer
+// register, reusing its LaneBatchMsg/LaneCompactMsg frames beneath the key
+// wrapper.
 package regmap
 
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"sort"
 
-	"twobitreg/internal/core"
 	"twobitreg/internal/metrics"
 	"twobitreg/internal/proto"
 )
@@ -30,10 +48,134 @@ var (
 	ErrCrashed = errors.New("regmap: process crashed")
 	// ErrKeyTooLong rejects keys above MaxKeyLen.
 	ErrKeyTooLong = errors.New("regmap: key too long")
+	// ErrNotWriter reports a write through a process outside the key's
+	// writer set.
+	ErrNotWriter = errors.New("regmap: process is not in the key's writer set")
 )
 
 // MaxKeyLen bounds key sizes (they travel in every message).
 const MaxKeyLen = 255
+
+// MaxMultiFrames bounds the subframes one MultiMsg carries (its count
+// travels in one byte); the coalescer splits longer bursts.
+const MaxMultiFrames = 255
+
+// MultiCountBits is the framing cost of a cross-key multi-frame: a one-byte
+// subframe count, accounted as addressing exactly like the lane batch
+// length byte.
+const MultiCountBits = 8
+
+// Fault selects a deliberately broken store variant for mutation-testing
+// the detection machinery. The zero value is the correct protocol.
+type Fault uint8
+
+const (
+	// FaultNone runs the store unmodified.
+	FaultNone Fault = iota
+	// FaultDropMultiTail makes a receiver silently drop the last subframe
+	// of every cross-key multi-frame — a lost cross-key frame. The key
+	// that subframe belonged to runs short of protocol state (a lane entry
+	// that never arrives, a READ that is never answered, a PROCEED that
+	// never lands), so an operation on that key stalls or reads stale —
+	// what the schedule explorer must catch under coalescing workloads.
+	FaultDropMultiTail
+)
+
+// Config configures a Store (or a deterministic Node set).
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Collector, if non-nil, sees every sent message.
+	Collector *metrics.Collector
+	// HistoryGC enables per-register history garbage collection
+	// (single-writer keys only; the multi-writer register retains its
+	// lanes).
+	HistoryGC bool
+	// DefaultWriters is the writer set of keys without an explicit entry in
+	// Writers. Empty means {0} — the original single-writer store, byte-
+	// compatible with the pre-keyed-writer-set regmap.
+	DefaultWriters []int
+	// Writers assigns per-key writer sets, overriding DefaultWriters.
+	// Every set is validated through proto.ValidateWriters.
+	Writers map[string][]int
+	// Coalesce enables cross-key frame coalescing: keyed frames headed
+	// down the same link within one processing burst (or simulator flush
+	// window) ship as one MultiMsg. Off by default — the per-key frame
+	// stream is then byte-identical to the original store.
+	Coalesce bool
+	// Fault selects a deliberately broken variant (mutation testing only).
+	Fault Fault
+}
+
+// shared is the validated, immutable form of a Config, shared by every node
+// of one store instance.
+type shared struct {
+	n              int
+	gc             bool
+	coalesce       bool
+	fault          Fault
+	defaultWriters []int
+	perKey         map[string][]int
+}
+
+// newShared validates cfg. All writer sets go through
+// proto.ValidateWriters, so configuration mistakes surface as typed
+// *proto.WriterSetError values at construction time.
+func newShared(cfg Config) (*shared, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("regmap: N = %d, need at least 1", cfg.N)
+	}
+	sh := &shared{n: cfg.N, gc: cfg.HistoryGC, coalesce: cfg.Coalesce, fault: cfg.Fault}
+	sh.defaultWriters = []int{0}
+	if len(cfg.DefaultWriters) > 0 {
+		if err := proto.ValidateWriters(cfg.N, cfg.DefaultWriters); err != nil {
+			return nil, err
+		}
+		sh.defaultWriters = sortedCopy(cfg.DefaultWriters)
+	}
+	if len(cfg.Writers) > 0 {
+		sh.perKey = make(map[string][]int, len(cfg.Writers))
+		for key, ws := range cfg.Writers {
+			if len(key) > MaxKeyLen {
+				return nil, fmt.Errorf("%w: %q (%d bytes)", ErrKeyTooLong, key, len(key))
+			}
+			if err := proto.ValidateWriters(cfg.N, ws); err != nil {
+				return nil, fmt.Errorf("regmap: key %q: %w", key, err)
+			}
+			sh.perKey[key] = sortedCopy(ws)
+		}
+	}
+	return sh, nil
+}
+
+// writersFor returns key's writer set (sorted; do not mutate).
+func (sh *shared) writersFor(key string) []int {
+	if ws, ok := sh.perKey[key]; ok {
+		return ws
+	}
+	return sh.defaultWriters
+}
+
+// multiWriter reports whether any writer set (default or per-key) has more
+// than one member — i.e. whether the store hosts multi-writer registers,
+// whose batched lanes assume FIFO links.
+func (sh *shared) multiWriter() bool {
+	if len(sh.defaultWriters) > 1 {
+		return true
+	}
+	for _, ws := range sh.perKey {
+		if len(ws) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
 
 // KeyedMsg wraps a register message with its key.
 type KeyedMsg struct {
@@ -44,276 +186,87 @@ type KeyedMsg struct {
 // TypeName implements proto.Message.
 func (m KeyedMsg) TypeName() string { return m.Inner.TypeName() }
 
-// ControlBits is the inner register's control information (two bits) plus
-// the multiplexing key.
+// ControlBits is the inner register's control information (two bits per
+// logical entry plus any lane addressing) plus the multiplexing key.
 func (m KeyedMsg) ControlBits() int { return m.Inner.ControlBits() + 8*len(m.Key) }
 
 // DataBytes implements proto.Message.
 func (m KeyedMsg) DataBytes() int { return m.Inner.DataBytes() }
 
-var _ proto.Message = KeyedMsg{}
-
-// Store is a running keyed register store. Process 0 is the writer for
-// every key. Methods are safe for concurrent use; operations on the same
-// key through the same process serialize (each register's processes are
-// sequential), while different keys proceed independently.
-type Store struct {
-	n        int
-	coreOpts []core.Option
-	col      *metrics.Collector
-	nodes    []*storeNode
-	opSeq    uint64
-	opMu     sync.Mutex
-
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+// LogicalEntries implements metrics.EntryCounter: the inner message's
+// entries (one, unless it is a batched lane frame).
+func (m KeyedMsg) LogicalEntries() int {
+	if ec, ok := m.Inner.(metrics.EntryCounter); ok {
+		return ec.LogicalEntries()
+	}
+	return 1
 }
 
-// Config configures a Store.
-type Config struct {
-	// N is the number of processes (writer is process 0).
-	N int
-	// Collector, if non-nil, sees every sent message.
-	Collector *metrics.Collector
-	// HistoryGC enables per-register history garbage collection.
-	HistoryGC bool
+// AddressingBits implements metrics.Addressed: the key bytes plus whatever
+// addressing the inner frame declares (lane ids, batch length bytes). The
+// census subtracts this from ControlBits, so the per-entry protocol control
+// stays exactly two bits.
+func (m KeyedMsg) AddressingBits() int {
+	bits := 8 * len(m.Key)
+	if a, ok := m.Inner.(metrics.Addressed); ok {
+		bits += a.AddressingBits()
+	}
+	return bits
 }
 
-type storeEvent struct {
-	// message fields
-	from int
-	key  string
-	msg  proto.Message
-	// op fields (msg == nil)
-	kind  proto.OpKind
-	val   proto.Value
-	reply chan storeResult
+// MultiMsg is the cross-key coalescing frame: keyed frames from different
+// keys headed down the same link, shipped as one message. Each subframe
+// keeps its own key addressing; the one-byte subframe count is framing,
+// accounted as addressing like the lane batch length byte.
+type MultiMsg struct {
+	Frames []KeyedMsg
 }
 
-type storeResult struct {
-	val proto.Value
-	err error
+// TypeName returns "MULTI".
+func (MultiMsg) TypeName() string { return "MULTI" }
+
+// ControlBits sums the subframes plus the count byte.
+func (m MultiMsg) ControlBits() int {
+	bits := MultiCountBits
+	for _, f := range m.Frames {
+		bits += f.ControlBits()
+	}
+	return bits
 }
 
-type keyState struct {
-	proc    *core.Proc
-	busy    bool
-	reply   chan storeResult
-	kind    proto.OpKind
-	pending []storeEvent
+// DataBytes sums the subframes' payloads.
+func (m MultiMsg) DataBytes() int {
+	n := 0
+	for _, f := range m.Frames {
+		n += f.DataBytes()
+	}
+	return n
 }
 
-type storeNode struct {
-	id int
-	s  *Store
-
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []storeEvent
-	crashed  bool
-	stopping bool
-
-	// regs is touched only by the node's event loop.
-	regs map[string]*keyState
+// LogicalEntries implements metrics.EntryCounter.
+func (m MultiMsg) LogicalEntries() int {
+	n := 0
+	for _, f := range m.Frames {
+		n += f.LogicalEntries()
+	}
+	return n
 }
 
-// New starts an n-process store. Callers must Stop it.
-func New(cfg Config) (*Store, error) {
-	if cfg.N < 1 {
-		return nil, fmt.Errorf("regmap: N = %d, need at least 1", cfg.N)
+// AddressingBits implements metrics.Addressed: the count byte plus every
+// subframe's addressing.
+func (m MultiMsg) AddressingBits() int {
+	bits := MultiCountBits
+	for _, f := range m.Frames {
+		bits += f.AddressingBits()
 	}
-	s := &Store{n: cfg.N, col: cfg.Collector}
-	if cfg.HistoryGC {
-		s.coreOpts = append(s.coreOpts, core.WithHistoryGC())
-	}
-	for i := 0; i < cfg.N; i++ {
-		nd := &storeNode{id: i, s: s, regs: make(map[string]*keyState)}
-		nd.cond = sync.NewCond(&nd.mu)
-		s.nodes = append(s.nodes, nd)
-	}
-	for _, nd := range s.nodes {
-		s.wg.Add(1)
-		go nd.run()
-	}
-	return s, nil
+	return bits
 }
 
-// N returns the number of processes.
-func (s *Store) N() int { return s.n }
-
-// Writer returns the writer's process index (always 0).
-func (s *Store) Writer() int { return 0 }
-
-// Stop shuts the store down; pending operations fail with ErrStopped.
-func (s *Store) Stop() {
-	s.stopOnce.Do(func() {
-		for _, nd := range s.nodes {
-			nd.mu.Lock()
-			nd.stopping = true
-			nd.cond.Broadcast()
-			nd.mu.Unlock()
-		}
-	})
-	s.wg.Wait()
-}
-
-// Crash stops process pid (crash-stop); every register hosted there stops
-// with it.
-func (s *Store) Crash(pid int) {
-	nd := s.nodes[pid]
-	nd.mu.Lock()
-	nd.crashed = true
-	nd.cond.Broadcast()
-	nd.mu.Unlock()
-}
-
-// Write stores val under key via the writer process.
-func (s *Store) Write(key string, val []byte) error {
-	_, err := s.invoke(0, key, proto.OpWrite, val)
-	return err
-}
-
-// Read returns key's value as seen through process pid; a never-written key
-// reads as nil.
-func (s *Store) Read(pid int, key string) ([]byte, error) {
-	v, err := s.invoke(pid, key, proto.OpRead, nil)
-	return v, err
-}
-
-func (s *Store) invoke(pid int, key string, kind proto.OpKind, val []byte) (proto.Value, error) {
-	if len(key) > MaxKeyLen {
-		return nil, ErrKeyTooLong
-	}
-	if pid < 0 || pid >= s.n {
-		return nil, fmt.Errorf("regmap: process %d out of range [0,%d)", pid, s.n)
-	}
-	reply := make(chan storeResult, 1)
-	if err := s.nodes[pid].enqueue(storeEvent{key: key, kind: kind, val: val, reply: reply}); err != nil {
-		return nil, err
-	}
-	r := <-reply
-	return r.val, r.err
-}
-
-func (nd *storeNode) enqueue(ev storeEvent) error {
-	nd.mu.Lock()
-	defer nd.mu.Unlock()
-	if nd.crashed {
-		return ErrCrashed
-	}
-	if nd.stopping {
-		return ErrStopped
-	}
-	nd.queue = append(nd.queue, ev)
-	nd.cond.Signal()
-	return nil
-}
-
-func (nd *storeNode) next() (storeEvent, bool) {
-	nd.mu.Lock()
-	defer nd.mu.Unlock()
-	for len(nd.queue) == 0 && !nd.stopping && !nd.crashed {
-		nd.cond.Wait()
-	}
-	if nd.stopping || nd.crashed {
-		return storeEvent{}, false
-	}
-	ev := nd.queue[0]
-	nd.queue = nd.queue[1:]
-	return ev, true
-}
-
-// reg returns (creating if needed) the register instance for key.
-func (nd *storeNode) reg(key string) *keyState {
-	ks, ok := nd.regs[key]
-	if !ok {
-		ks = &keyState{proc: core.New(nd.id, nd.s.n, 0, nd.s.coreOpts...)}
-		nd.regs[key] = ks
-	}
-	return ks
-}
-
-func (nd *storeNode) run() {
-	defer nd.s.wg.Done()
-
-	handleEffects := func(key string, ks *keyState, eff proto.Effects) {
-		for _, snd := range eff.Sends {
-			wrapped := KeyedMsg{Key: key, Inner: snd.Msg}
-			if nd.s.col != nil {
-				nd.s.col.OnSend(wrapped)
-			}
-			nd.s.nodes[snd.To].enqueue(storeEvent{from: nd.id, key: key, msg: snd.Msg})
-		}
-		for _, d := range eff.Done {
-			if ks.busy {
-				ks.busy = false
-				ks.reply <- storeResult{val: d.Value}
-			}
-		}
-	}
-
-	startNext := func(key string, ks *keyState) {
-		for !ks.busy && len(ks.pending) > 0 {
-			ev := ks.pending[0]
-			ks.pending = ks.pending[1:]
-			ks.busy = true
-			ks.reply = ev.reply
-			ks.kind = ev.kind
-			nd.s.opMu.Lock()
-			nd.s.opSeq++
-			op := proto.OpID(nd.s.opSeq)
-			nd.s.opMu.Unlock()
-			var eff proto.Effects
-			if ev.kind == proto.OpWrite {
-				eff = ks.proc.StartWrite(op, ev.val)
-			} else {
-				eff = ks.proc.StartRead(op)
-			}
-			handleEffects(key, ks, eff)
-		}
-	}
-
-	fail := func(err error) {
-		for _, ks := range nd.regs {
-			if ks.busy {
-				ks.busy = false
-				ks.reply <- storeResult{err: err}
-			}
-			for _, ev := range ks.pending {
-				ev.reply <- storeResult{err: err}
-			}
-			ks.pending = nil
-		}
-		nd.mu.Lock()
-		rest := nd.queue
-		nd.queue = nil
-		nd.mu.Unlock()
-		for _, ev := range rest {
-			if ev.msg == nil {
-				ev.reply <- storeResult{err: err}
-			}
-		}
-	}
-
-	for {
-		ev, ok := nd.next()
-		if !ok {
-			nd.mu.Lock()
-			crashed := nd.crashed
-			nd.mu.Unlock()
-			if crashed {
-				fail(ErrCrashed)
-			} else {
-				fail(ErrStopped)
-			}
-			return
-		}
-		ks := nd.reg(ev.key)
-		if ev.msg != nil {
-			handleEffects(ev.key, ks, ks.proc.Deliver(ev.from, ev.msg))
-		} else {
-			ks.pending = append(ks.pending, ev)
-		}
-		startNext(ev.key, ks)
-	}
-}
+var (
+	_ proto.Message        = KeyedMsg{}
+	_ proto.Message        = MultiMsg{}
+	_ metrics.EntryCounter = KeyedMsg{}
+	_ metrics.Addressed    = KeyedMsg{}
+	_ metrics.EntryCounter = MultiMsg{}
+	_ metrics.Addressed    = MultiMsg{}
+)

@@ -1,0 +1,317 @@
+package regmap
+
+import (
+	"fmt"
+	"sync"
+
+	"twobitreg/internal/proto"
+)
+
+// Store is a running keyed register store: one goroutine per process, each
+// running a Node behind a mailbox. Methods are safe for concurrent use;
+// operations on the same key through the same process serialize (each
+// register's processes are sequential), while different keys proceed
+// independently. Writes go through a member of the key's writer set
+// (ErrNotWriter otherwise); the zero-config writer set is {0}, the
+// original single-writer store.
+type Store struct {
+	sh    *shared
+	col   *metricsCollector
+	nodes []*storeNode
+	opSeq uint64
+	opMu  sync.Mutex
+
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// metricsCollector is the narrow collector surface the store uses (the
+// metrics.Collector satisfies it); indirection keeps nil checks in one
+// place.
+type metricsCollector struct {
+	onSend func(proto.Message)
+}
+
+type storeEvent struct {
+	// message fields
+	from int
+	msg  proto.Message
+	// op fields (msg == nil)
+	key   string
+	kind  proto.OpKind
+	val   proto.Value
+	reply chan storeResult
+}
+
+type storeResult struct {
+	val proto.Value
+	err error
+}
+
+type storeNode struct {
+	id int
+	s  *Store
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []storeEvent
+	crashed  bool
+	stopping bool
+
+	// node and replies are touched only by the event loop.
+	node    *Node
+	replies map[proto.OpID]chan storeResult
+}
+
+// New starts an n-process store per cfg. Callers must Stop it.
+func New(cfg Config) (*Store, error) {
+	sh, err := newShared(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{sh: sh}
+	if cfg.Collector != nil {
+		col := cfg.Collector
+		s.col = &metricsCollector{onSend: col.OnSend}
+	}
+	for i := 0; i < sh.n; i++ {
+		nd := &storeNode{id: i, s: s, node: newNode(i, sh), replies: make(map[proto.OpID]chan storeResult)}
+		nd.cond = sync.NewCond(&nd.mu)
+		s.nodes = append(s.nodes, nd)
+	}
+	for _, nd := range s.nodes {
+		s.wg.Add(1)
+		go nd.run()
+	}
+	return s, nil
+}
+
+// N returns the number of processes.
+func (s *Store) N() int { return s.sh.n }
+
+// Writer returns the first member of the default writer set (process 0 in
+// the zero configuration, preserving the original single-writer API).
+func (s *Store) Writer() int { return s.sh.defaultWriters[0] }
+
+// WritersFor returns key's writer set, sorted ascending.
+func (s *Store) WritersFor(key string) []int {
+	return append([]int(nil), s.sh.writersFor(key)...)
+}
+
+// IsWriter reports whether pid may write key.
+func (s *Store) IsWriter(key string, pid int) bool {
+	for _, w := range s.sh.writersFor(key) {
+		if w == pid {
+			return true
+		}
+	}
+	return false
+}
+
+// Handle is a client bound to one process of the store — the per-writer
+// (and per-reader) client object multi-writer harnesses hand to their
+// workload goroutines.
+type Handle struct {
+	s   *Store
+	pid int
+}
+
+// Handle returns a client bound to process pid.
+func (s *Store) Handle(pid int) *Handle {
+	if pid < 0 || pid >= s.sh.n {
+		panic(fmt.Sprintf("regmap: handle for unknown process %d", pid))
+	}
+	return &Handle{s: s, pid: pid}
+}
+
+// WriterHandles returns one client handle per member of key's writer set,
+// sorted by process index.
+func (s *Store) WriterHandles(key string) []*Handle {
+	ws := s.sh.writersFor(key)
+	out := make([]*Handle, len(ws))
+	for i, w := range ws {
+		out[i] = s.Handle(w)
+	}
+	return out
+}
+
+// PID returns the process this handle is bound to.
+func (h *Handle) PID() int { return h.pid }
+
+// Write stores val under key through the handle's process, which must
+// belong to key's writer set (ErrNotWriter otherwise).
+func (h *Handle) Write(key string, val []byte) error { return h.s.WriteVia(h.pid, key, val) }
+
+// Read returns key's value as seen through the handle's process.
+func (h *Handle) Read(key string) ([]byte, error) { return h.s.Read(h.pid, key) }
+
+// Stop shuts the store down; pending operations fail with ErrStopped.
+func (s *Store) Stop() {
+	s.stopOnce.Do(func() {
+		for _, nd := range s.nodes {
+			nd.mu.Lock()
+			nd.stopping = true
+			nd.cond.Broadcast()
+			nd.mu.Unlock()
+		}
+	})
+	s.wg.Wait()
+}
+
+// Crash stops process pid (crash-stop); every register hosted there stops
+// with it.
+func (s *Store) Crash(pid int) {
+	nd := s.nodes[pid]
+	nd.mu.Lock()
+	nd.crashed = true
+	nd.cond.Broadcast()
+	nd.mu.Unlock()
+}
+
+// Write stores val under key via the first member of key's writer set (the
+// original single-writer API: with the zero-config writer set this is
+// process 0 for every key).
+func (s *Store) Write(key string, val []byte) error {
+	return s.WriteVia(s.sh.writersFor(key)[0], key, val)
+}
+
+// WriteVia stores val under key through process pid, which must belong to
+// key's writer set.
+func (s *Store) WriteVia(pid int, key string, val []byte) error {
+	if err := s.checkTarget(pid, key); err != nil {
+		return err
+	}
+	if !s.IsWriter(key, pid) {
+		return fmt.Errorf("%w: process %d, key %q (writers: %v)", ErrNotWriter, pid, key, s.sh.writersFor(key))
+	}
+	_, err := s.invoke(pid, key, proto.OpWrite, val)
+	return err
+}
+
+// Read returns key's value as seen through process pid; a never-written key
+// reads as nil.
+func (s *Store) Read(pid int, key string) ([]byte, error) {
+	v, err := s.invoke(pid, key, proto.OpRead, nil)
+	return v, err
+}
+
+// checkTarget validates the (pid, key) pair every client path shares.
+func (s *Store) checkTarget(pid int, key string) error {
+	if len(key) > MaxKeyLen {
+		return ErrKeyTooLong
+	}
+	if pid < 0 || pid >= s.sh.n {
+		return fmt.Errorf("regmap: process %d out of range [0,%d)", pid, s.sh.n)
+	}
+	return nil
+}
+
+func (s *Store) invoke(pid int, key string, kind proto.OpKind, val []byte) (proto.Value, error) {
+	if err := s.checkTarget(pid, key); err != nil {
+		return nil, err
+	}
+	reply := make(chan storeResult, 1)
+	if err := s.nodes[pid].enqueue(storeEvent{key: key, kind: kind, val: val, reply: reply}); err != nil {
+		return nil, err
+	}
+	r := <-reply
+	return r.val, r.err
+}
+
+func (nd *storeNode) enqueue(ev storeEvent) error {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.crashed {
+		return ErrCrashed
+	}
+	if nd.stopping {
+		return ErrStopped
+	}
+	nd.queue = append(nd.queue, ev)
+	nd.cond.Signal()
+	return nil
+}
+
+// nextBatch blocks until events are available and takes the whole mailbox:
+// the batch is the store's coalescing burst — every keyed frame its events
+// produce toward one peer ships as one MultiMsg (Config.Coalesce).
+func (nd *storeNode) nextBatch() ([]storeEvent, bool) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	for len(nd.queue) == 0 && !nd.stopping && !nd.crashed {
+		nd.cond.Wait()
+	}
+	if nd.stopping || nd.crashed {
+		return nil, false
+	}
+	batch := nd.queue
+	nd.queue = nil
+	return batch, true
+}
+
+func (nd *storeNode) run() {
+	defer nd.s.wg.Done()
+
+	route := func(eff proto.Effects) {
+		for _, snd := range eff.Sends {
+			if nd.s.col != nil {
+				nd.s.col.onSend(snd.Msg)
+			}
+			nd.s.nodes[snd.To].enqueue(storeEvent{from: nd.id, msg: snd.Msg})
+		}
+		for _, d := range eff.Done {
+			if reply, ok := nd.replies[d.Op]; ok {
+				delete(nd.replies, d.Op)
+				reply <- storeResult{val: d.Value}
+			}
+		}
+	}
+
+	fail := func(err error) {
+		for op, reply := range nd.replies {
+			delete(nd.replies, op)
+			reply <- storeResult{err: err}
+		}
+		nd.mu.Lock()
+		rest := nd.queue
+		nd.queue = nil
+		nd.mu.Unlock()
+		for _, ev := range rest {
+			if ev.msg == nil {
+				ev.reply <- storeResult{err: err}
+			}
+		}
+	}
+
+	for {
+		batch, ok := nd.nextBatch()
+		if !ok {
+			nd.mu.Lock()
+			crashed := nd.crashed
+			nd.mu.Unlock()
+			if crashed {
+				fail(ErrCrashed)
+			} else {
+				fail(ErrStopped)
+			}
+			return
+		}
+		for _, ev := range batch {
+			if ev.msg != nil {
+				route(nd.node.Deliver(ev.from, ev.msg))
+				continue
+			}
+			nd.s.opMu.Lock()
+			nd.s.opSeq++
+			op := proto.OpID(nd.s.opSeq)
+			nd.s.opMu.Unlock()
+			nd.replies[op] = ev.reply
+			route(nd.node.Start(ev.key, op, ev.kind, ev.val))
+		}
+		// End of burst: flush the cross-key coalescer (no-op without
+		// Config.Coalesce).
+		if nd.node.PendingFlush() {
+			route(nd.node.Flush())
+		}
+	}
+}

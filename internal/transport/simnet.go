@@ -50,6 +50,12 @@ type SimNet struct {
 	// inFlight[from][to] counts undelivered messages per ordered pair,
 	// exposed for Property P1 assertions in tests.
 	inFlight [][]int
+	// flushWindow, when positive, grants proto.Flusher processes a flush
+	// tick flushWindow after a step leaves frames buffered: frames
+	// coalesce across every delivery that lands inside the window.
+	// flushArmed dedups the pending tick per process.
+	flushWindow float64
+	flushArmed  []bool
 	// fifo, when true, clamps per-link delivery times to be monotone so
 	// each ordered pair delivers in send order. It is enabled automatically
 	// when any process declares proto.FIFOLinks (the batched multi-writer
@@ -103,6 +109,11 @@ func WithPostDelivery(f func()) Option { return func(n *SimNet) { n.postDelivery
 
 // WithDeliveryObserver attaches a hook run immediately before each delivery.
 func WithDeliveryObserver(f DeliveryFn) Option { return func(n *SimNet) { n.onDeliver = f } }
+
+// WithFlushWindow grants proto.Flusher processes a flush tick w virtual
+// time units after any step that leaves frames buffered (deduplicated: one
+// armed tick per process). Processes that never buffer are unaffected.
+func WithFlushWindow(w float64) Option { return func(n *SimNet) { n.flushWindow = w } }
 
 // PriorityFn assigns a tie-break priority to a delivery at scheduling time;
 // among deliveries landing on the same virtual instant, lower values are
@@ -212,6 +223,33 @@ func (n *SimNet) route(from int, eff proto.Effects) {
 			n.onDone(from, d, n.sched.Now())
 		}
 	}
+	n.armFlush(from)
+}
+
+// armFlush schedules the flush tick for a proto.Flusher process that left
+// frames buffered, one armed tick per process at a time.
+func (n *SimNet) armFlush(pid int) {
+	if n.flushWindow <= 0 || n.crashed[pid] {
+		return
+	}
+	f, ok := n.procs[pid].(proto.Flusher)
+	if !ok || !f.PendingFlush() {
+		return
+	}
+	if n.flushArmed == nil {
+		n.flushArmed = make([]bool, len(n.procs))
+	}
+	if n.flushArmed[pid] {
+		return
+	}
+	n.flushArmed[pid] = true
+	n.sched.After(n.flushWindow, func() {
+		n.flushArmed[pid] = false
+		if n.crashed[pid] {
+			return
+		}
+		n.route(pid, f.Flush())
+	})
 }
 
 func (n *SimNet) send(from, to int, msg proto.Message) {

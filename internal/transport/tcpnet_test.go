@@ -8,6 +8,7 @@ import (
 	"twobitreg/internal/cluster"
 	"twobitreg/internal/core"
 	"twobitreg/internal/proto"
+	"twobitreg/internal/regmap"
 	"twobitreg/internal/transport"
 	"twobitreg/internal/wire"
 )
@@ -184,4 +185,55 @@ func TestMeshRejectsBadConfig(t *testing.T) {
 	if err := m.Send(0, core.ReadMsg{}); err == nil {
 		t.Fatal("Send to self succeeded")
 	}
+}
+
+// TestTCPKeyedStoreCoalescedFrames runs the coalescing keyed store over
+// real loopback TCP: every process hosts a regmap node (multi-writer key,
+// cross-key coalescer on), so KeyedMsg — and, under concurrent load whose
+// mailbox bursts trigger the idle-flush, MultiMsg — frames cross the wire
+// codec. A single-key space keeps reads assertable: after each write
+// settles, every node must read it back.
+func TestTCPKeyedStoreCoalescedFrames(t *testing.T) {
+	t.Parallel()
+	n := 3
+	alg := regmap.NewKeyedAlgorithm("tcp-keyed", 1, regmap.Config{Coalesce: true})
+	rig := startTCPRigAlg(t, n, alg)
+	for round := 0; round < 3; round++ {
+		for w := 0; w < n; w++ {
+			val := fmt.Sprintf("r%d-w%d", round, w)
+			if err := rig.nodes[w].Write([]byte(val)); err != nil {
+				t.Fatalf("node %d write: %v", w, err)
+			}
+			for r := 0; r < n; r++ {
+				got, err := rig.nodes[r].Read()
+				if err != nil {
+					t.Fatalf("node %d read: %v", r, err)
+				}
+				if string(got) != val {
+					t.Fatalf("node %d read %q after %q was written", r, got, val)
+				}
+			}
+		}
+	}
+	// Concurrent clients per node force mailbox bursts through the
+	// idle-flush path (coalesced frames over TCP).
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				if err := rig.nodes[w].Write([]byte(fmt.Sprintf("c%d-%d", w, k))); err != nil {
+					t.Errorf("node %d write: %v", w, err)
+					return
+				}
+				if _, err := rig.nodes[w].Read(); err != nil {
+					t.Errorf("node %d read: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -6,6 +6,7 @@ import (
 
 	"twobitreg/internal/core"
 	"twobitreg/internal/proto"
+	"twobitreg/internal/regmap"
 )
 
 func mkWrite(bit bool, val []byte) core.WriteMsg {
@@ -38,6 +39,17 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{0x08, 0x01, 0x02, 0, 0, 0, 9, 'a'})
 	f.Add([]byte{0x0C, 0x01, 0x01, 'v'})
 	f.Add([]byte{0x08, 0x01, 0x02, 0, 0, 0, 1, 'a', 0, 0, 0, 1, 'b', 'x'})
+	// Keyed-store frames: keyed single (0x10) and cross-key multi (0x20) —
+	// plus corrupt variants (nesting, short counts, truncated keys).
+	f.Add([]byte{0x10, 0x01, 'k', 0x00, 'v'})
+	f.Add([]byte{0x10, 0x00, 0x02})
+	f.Add([]byte{0x10, 0x01, 'k', 0x04, 0x01, 'v'})
+	f.Add([]byte{0x10, 0x01, 'k', 0x10, 0x00})
+	f.Add([]byte{0x10, 0x02, 'k'})
+	f.Add([]byte{0x20, 0x02, 0x01, 'a', 0, 0, 0, 1, 0x02, 0x01, 'b', 0, 0, 0, 1, 0x03})
+	f.Add([]byte{0x20, 0x02, 0x01, 'a', 0, 0, 0, 1, 0x02})
+	f.Add([]byte{0x20, 0x01, 0x01, 'a', 0, 0, 0, 1, 0x02})
+	f.Add([]byte{0x20, 0x02, 0x01, 'a', 0, 0, 0, 2, 0x0C, 0x01, 0x03, 'p', 0x01, 'b', 0, 0, 0, 1, 0x02})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := Decode(data)
 		if err != nil {
@@ -102,6 +114,44 @@ func FuzzEncodeDecodeBatch(f *testing.F) {
 			if string(gb.Vals[i]) != string(m.Vals[i]) {
 				t.Fatalf("value %d changed: %q -> %q", i, m.Vals[i], gb.Vals[i])
 			}
+		}
+	})
+}
+
+// FuzzEncodeDecodeKeyed round-trips arbitrary keyed frames: a fuzzed key
+// over a fuzzed write payload, alone and coalesced into a two-subframe
+// cross-key multi-frame.
+func FuzzEncodeDecodeKeyed(f *testing.F) {
+	f.Add("alpha", true, []byte("v"), "beta")
+	f.Add("", false, []byte{}, "k")
+	f.Fuzz(func(t *testing.T, key string, bit bool, val []byte, key2 string) {
+		if len(key) > regmap.MaxKeyLen || len(key2) > regmap.MaxKeyLen {
+			return
+		}
+		km := regmap.KeyedMsg{Key: key, Inner: mkWrite(bit, val)}
+		b, err := Encode(km)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dk, ok := got.(regmap.KeyedMsg); !ok || dk.Key != key || dk.TypeName() != km.TypeName() {
+			t.Fatalf("keyed round trip produced %#v", got)
+		}
+		mm := regmap.MultiMsg{Frames: []regmap.KeyedMsg{km, {Key: key2, Inner: core.ReadMsg{}}}}
+		b, err = Encode(mm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm, ok := got.(regmap.MultiMsg)
+		if !ok || len(dm.Frames) != 2 || dm.Frames[0].Key != key || dm.Frames[1].Key != key2 {
+			t.Fatalf("multi round trip produced %#v", got)
 		}
 	})
 }

@@ -25,6 +25,17 @@
 // control bits each); a compact frame is a count-long same-value padding
 // run shipped as its head+tail summary. The writer id and count bytes are
 // the addressing/framing cost accounted in the messages' ControlBits.
+//
+// The keyed store's frames (internal/regmap) use bit 4 of the header byte:
+//
+//	0x10  keyed frame:  header, key len, key, inner message (encoded as
+//	      above — any non-keyed frame)
+//	0x20  keyed multi:  header, count, count x (key len, key, u32 inner
+//	      len, inner message) — cross-key coalescing, count >= 2
+//
+// The key bytes (and the count/length framing) are addressing, accounted in
+// the regmap messages' ControlBits; the inner frames keep their exact
+// two-control-bit-per-entry census. Keyed frames do not nest.
 package wire
 
 import (
@@ -35,6 +46,7 @@ import (
 
 	"twobitreg/internal/core"
 	"twobitreg/internal/proto"
+	"twobitreg/internal/regmap"
 )
 
 // Two-bit type codes.
@@ -52,6 +64,12 @@ const (
 	frameBatch   = 0b1000
 	frameCompact = 0b1100
 	frameMask    = 0b1100
+)
+
+// Keyed-store frame headers (bit 4; the low four bits are zero).
+const (
+	frameKeyed = 0x10
+	frameMulti = 0x20
 )
 
 // Codec adapts this package to transport.Codec (stream transports inject it
@@ -135,9 +153,50 @@ func Encode(msg proto.Message) ([]byte, error) {
 		out[2] = byte(m.Count)
 		copy(out[3:], m.Val)
 		return out, nil
+	case regmap.KeyedMsg:
+		inner, err := encodeKeyedInner(m)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, 0, 2+len(m.Key)+len(inner))
+		out = append(out, frameKeyed, byte(len(m.Key)))
+		out = append(out, m.Key...)
+		out = append(out, inner...)
+		return out, nil
+	case regmap.MultiMsg:
+		if len(m.Frames) < 2 || len(m.Frames) > regmap.MaxMultiFrames {
+			return nil, fmt.Errorf("wire: keyed multi-frame with %d subframes (want 2..%d)", len(m.Frames), regmap.MaxMultiFrames)
+		}
+		out := []byte{frameMulti, byte(len(m.Frames))}
+		for _, f := range m.Frames {
+			inner, err := encodeKeyedInner(f)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, byte(len(f.Key)))
+			out = append(out, f.Key...)
+			var l [4]byte
+			binary.BigEndian.PutUint32(l[:], uint32(len(inner)))
+			out = append(out, l[:]...)
+			out = append(out, inner...)
+		}
+		return out, nil
 	default:
 		return nil, fmt.Errorf("wire: cannot encode %T", msg)
 	}
+}
+
+// encodeKeyedInner validates and encodes the payload of one keyed frame:
+// any encodable message except another keyed frame (no nesting).
+func encodeKeyedInner(m regmap.KeyedMsg) ([]byte, error) {
+	if len(m.Key) > regmap.MaxKeyLen {
+		return nil, fmt.Errorf("wire: key of %d bytes exceeds the one-byte length field", len(m.Key))
+	}
+	switch m.Inner.(type) {
+	case regmap.KeyedMsg, regmap.MultiMsg:
+		return nil, fmt.Errorf("wire: keyed frames do not nest (%T inside a keyed frame)", m.Inner)
+	}
+	return Encode(m.Inner)
 }
 
 // checkLane validates the shared lane-frame fields.
@@ -160,6 +219,9 @@ func Decode(b []byte) (proto.Message, error) {
 		return nil, ErrTruncated
 	}
 	hdr := b[0]
+	if hdr == frameKeyed || hdr == frameMulti {
+		return decodeKeyed(hdr, b[1:])
+	}
 	if hdr>>4 != 0 {
 		return nil, fmt.Errorf("wire: corrupt header byte %#x (high four bits must be zero)", hdr)
 	}
@@ -250,6 +312,78 @@ func Decode(b []byte) (proto.Message, error) {
 		}
 		return core.LaneCompactMsg{Writer: writer, Bit: bit, Count: count, Val: v}, nil
 	}
+}
+
+// decodeKeyed parses the body of a keyed (0x10) or keyed multi (0x20)
+// frame.
+func decodeKeyed(hdr byte, rest []byte) (proto.Message, error) {
+	if hdr == frameKeyed {
+		key, inner, err := splitKey(rest)
+		if err != nil {
+			return nil, err
+		}
+		msg, err := decodeKeyedInner(inner)
+		if err != nil {
+			return nil, err
+		}
+		return regmap.KeyedMsg{Key: key, Inner: msg}, nil
+	}
+	if len(rest) < 1 {
+		return nil, ErrTruncated
+	}
+	count := int(rest[0])
+	if count < 2 {
+		return nil, fmt.Errorf("wire: keyed multi-frame with count %d (want >= 2)", count)
+	}
+	rest = rest[1:]
+	frames := make([]regmap.KeyedMsg, 0, count)
+	for k := 0; k < count; k++ {
+		key, after, err := splitKey(rest)
+		if err != nil {
+			return nil, err
+		}
+		if len(after) < 4 {
+			return nil, ErrTruncated
+		}
+		ilen := binary.BigEndian.Uint32(after[:4])
+		if ilen > MaxValueLen {
+			return nil, fmt.Errorf("wire: keyed subframe of %d bytes exceeds limit", ilen)
+		}
+		after = after[4:]
+		if len(after) < int(ilen) {
+			return nil, ErrTruncated
+		}
+		msg, err := decodeKeyedInner(after[:ilen])
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, regmap.KeyedMsg{Key: key, Inner: msg})
+		rest = after[ilen:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wire: keyed multi-frame with %d trailing bytes", len(rest))
+	}
+	return regmap.MultiMsg{Frames: frames}, nil
+}
+
+// splitKey consumes a length-prefixed key.
+func splitKey(b []byte) (string, []byte, error) {
+	if len(b) < 1 {
+		return "", nil, ErrTruncated
+	}
+	klen := int(b[0])
+	if len(b) < 1+klen {
+		return "", nil, ErrTruncated
+	}
+	return string(b[1 : 1+klen]), b[1+klen:], nil
+}
+
+// decodeKeyedInner decodes a keyed frame's payload and rejects nesting.
+func decodeKeyedInner(b []byte) (proto.Message, error) {
+	if len(b) > 0 && (b[0] == frameKeyed || b[0] == frameMulti) {
+		return nil, fmt.Errorf("wire: keyed frames do not nest (header %#x inside a keyed frame)", b[0])
+	}
+	return Decode(b)
 }
 
 // WriteFrame writes one length-prefixed message to w.
