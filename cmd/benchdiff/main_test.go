@@ -189,3 +189,63 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatalf("legacy form exited %d: %s%s", code, out.String(), errOut.String())
 	}
 }
+
+// TestParseBenchmemAllocs pins the -benchmem line shape: B/op and
+// allocs/op ride the same "value unit" pairs as ns/op, so a benchmem
+// report parses into first-class gateable metrics without special cases.
+func TestParseBenchmemAllocs(t *testing.T) {
+	t.Parallel()
+	res, err := parseStream(strings.NewReader(stream(
+		"BenchmarkSweepThroughput/twobit-4\t  2538\t 908258 ns/op\t 1101 sched/s\t 102659 B/op\t 888 allocs/op",
+	)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res["BenchmarkSweepThroughput/twobit"]
+	if r == nil {
+		t.Fatalf("benchmark not parsed: %v", res)
+	}
+	for metric, want := range map[string]float64{
+		"ns/op": 908258, "sched/s": 1101, "B/op": 102659, "allocs/op": 888,
+	} {
+		if r[metric] != want {
+			t.Fatalf("%s = %v, want %v (parsed %v)", metric, r[metric], want, r)
+		}
+	}
+}
+
+// TestAllocsGateFailureTable gates allocs/op alongside ns/op and checks
+// the per-metric failure table: an alloc regression must fail under its
+// own gate and be reported in the allocs/op section, while the passing
+// ns/op comparison for the same benchmark stays "ok" in its section.
+func TestAllocsGateFailureTable(t *testing.T) {
+	t.Parallel()
+	oldRes := map[string]result{
+		"BenchmarkSweep": {"ns/op": 1000, "allocs/op": 100},
+		"BenchmarkRun":   {"ns/op": 500, "allocs/op": 50},
+	}
+	newRes := map[string]result{
+		"BenchmarkSweep": {"ns/op": 1050, "allocs/op": 200}, // allocs doubled
+		"BenchmarkRun":   {"ns/op": 510, "allocs/op": 51},
+	}
+	rows, failures := compare(oldRes, newRes, []gate{
+		{metric: "ns/op", maxRegress: 1.0},
+		{metric: "allocs/op", maxRegress: 0.30},
+	})
+	if failures != 1 {
+		t.Fatalf("failures = %d, want exactly the allocs/op regression", failures)
+	}
+	byKey := map[string]row{}
+	for _, r := range rows {
+		byKey[r.metric+"|"+r.name] = r
+	}
+	if r := byKey["allocs/op|BenchmarkSweep"]; r.status != "REGRESS" {
+		t.Fatalf("allocs/op regression not flagged: %+v", r)
+	}
+	if r := byKey["ns/op|BenchmarkSweep"]; r.status != "ok" {
+		t.Fatalf("passing ns/op comparison misreported: %+v", r)
+	}
+	if r := byKey["allocs/op|BenchmarkRun"]; r.status != "ok" {
+		t.Fatalf("within-bounds allocs comparison misreported: %+v", r)
+	}
+}

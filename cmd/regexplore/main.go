@@ -11,7 +11,7 @@
 //
 //	regexplore [-algs twobit,abd] [-strategies slowquorum,pct] [-n 5]
 //	           [-ops 30] [-reads 0.6] [-crashes 1] [-writers 1] [-pct d]
-//	           [-skew k] [-budget 100] [-seed0 1] [-shrink] [-json]
+//	           [-skew k] [-budget 100] [-seed0 1] [-workers w] [-shrink] [-json]
 //	regexplore -replay <token> [-json]
 //
 // -writers 2..4 sweeps true multi-writer workloads (concurrent writer
@@ -43,7 +43,7 @@ type config struct {
 	reads             float64
 	crashes, budget   int
 	writers, pct      int
-	skew              int
+	skew, workers     int
 	seed0             int64
 	jsonOut, doShrink bool
 	replay            string
@@ -61,6 +61,7 @@ func main() {
 	flag.IntVar(&cfg.pct, "pct", 0, "priority change points for the pct strategy (d-bounded PCT); 0 keeps the legacy random-tie mode")
 	flag.IntVar(&cfg.skew, "skew", 0, "hot-writer skew: writer 0 writes this multiple of each peer's rate (>= 2; needs -writers >= 2)")
 	flag.IntVar(&cfg.budget, "budget", 100, "total runs in the sweep")
+	flag.IntVar(&cfg.workers, "workers", 1, "sweep worker goroutines; negative uses GOMAXPROCS; output is identical at any count")
 	flag.Int64Var(&cfg.seed0, "seed0", 1, "first seed")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit JSON instead of text")
 	flag.BoolVar(&cfg.doShrink, "shrink", false, "minimize failing schedules before reporting")
@@ -81,7 +82,7 @@ func run(cfg config, out io.Writer) error {
 		Algs: csv(cfg.algs), Strategies: csv(cfg.strategies),
 		N: cfg.n, Ops: cfg.ops, ReadFrac: cfg.reads, Crashes: cfg.crashes,
 		Writers: cfg.writers, PCT: cfg.pct, Skew: cfg.skew,
-		Budget: cfg.budget, Seed0: cfg.seed0,
+		Budget: cfg.budget, Seed0: cfg.seed0, Workers: cfg.workers,
 	}
 	res, err := explore.Sweep(spec)
 	if err != nil {

@@ -104,6 +104,10 @@ type Proc struct {
 	// msgsSent counts WRITE/READ/PROCEED messages this process emitted,
 	// for per-process accounting in tests.
 	msgsSent int
+
+	// sends is the Effects.Sends scratch reused across steps (see the
+	// proto.Effects contract: callers consume Sends before re-entering).
+	sends []proto.Send
 }
 
 type pendingRead struct {
@@ -185,7 +189,8 @@ func (p *Proc) StartWrite(op proto.OpID, v proto.Value) proto.Effects {
 	if p.cur != nil {
 		panic(fmt.Sprintf("core: process %d invoked write while a %s is in flight (processes are sequential)", p.id, p.cur.kind))
 	}
-	var eff proto.Effects
+	eff := proto.Effects{Sends: p.sends[:0]}
+	defer func() { p.sends = eff.Sends }()
 	// Line 1: wsn <- w_sync[w]+1; w_sync[w] <- wsn; history[wsn] <- v.
 	wsn := p.lane.Append(v)
 	// Line 2: send WRITE(wsn mod 2, v) to every p_j believed to know
@@ -204,7 +209,8 @@ func (p *Proc) StartRead(op proto.OpID) proto.Effects {
 	if p.cur != nil {
 		panic(fmt.Sprintf("core: process %d invoked read while a %s is in flight (processes are sequential)", p.id, p.cur.kind))
 	}
-	var eff proto.Effects
+	eff := proto.Effects{Sends: p.sends[:0]}
+	defer func() { p.sends = eff.Sends }()
 	if p.id == p.writer && p.opts.writerLocalRead {
 		// Figure 1, line 5 comment: the writer may return
 		// history[w_sync[w]] directly — its own value is always the
@@ -233,7 +239,8 @@ func (p *Proc) Deliver(from int, msg proto.Message) proto.Effects {
 	if from == p.id {
 		panic(fmt.Sprintf("core: process %d received message from itself", p.id))
 	}
-	var eff proto.Effects
+	eff := proto.Effects{Sends: p.sends[:0]}
+	defer func() { p.sends = eff.Sends }()
 	switch m := msg.(type) {
 	case WriteMsg:
 		// Line 11: park behind the parity guard; drain processes

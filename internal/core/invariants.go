@@ -14,8 +14,8 @@ import "fmt"
 //	             message per peer at a quiescent point.
 //
 // The proofs only use that exactly one process appends to the stream, so the
-// same invariants hold lane-by-lane in the multi-writer register. label
-// prefixes violations so multi-lane reports name the offending stream.
+// same invariants hold lane-by-lane in the multi-writer register; multi-lane
+// callers wrap violations with the offending stream's label.
 //
 // Pipelined lanes (the batched multi-writer register) deliberately relax
 // the one-outstanding-message flow control that Properties P1 and P2 rest
@@ -29,7 +29,7 @@ import "fmt"
 //	Conservation: w_sync_i[j] + parked_i[j] <= w_sync_j[j].
 //
 // Lemmas 2, 3 and 4 are framing-independent and checked in both modes.
-func laneInvariants(lanes []*Lane, owner int, label string) error {
+func laneInvariants(lanes []*Lane, owner int) error {
 	ownerLane := lanes[owner]
 	n := len(lanes)
 	pipelined := lanes[owner].Pipelined()
@@ -43,12 +43,12 @@ func laneInvariants(lanes []*Lane, owner int, label string) error {
 			}
 		}
 		if li.wSync[i] != maxSeen {
-			return fmt.Errorf("%slemma 3 violated at p%d: w_sync[%d]=%d but max=%d", label, i, i, li.wSync[i], maxSeen)
+			return fmt.Errorf("lemma 3 violated at p%d: w_sync[%d]=%d but max=%d", i, i, li.wSync[i], maxSeen)
 		}
 
 		// Property P1 (strict lanes) / conservation (pipelined lanes).
 		if !pipelined && li.maxPending > 1 {
-			return fmt.Errorf("%sproperty P1 violated at p%d: reorder buffer depth %d > 1", label, i, li.maxPending)
+			return fmt.Errorf("property P1 violated at p%d: reorder buffer depth %d > 1", i, li.maxPending)
 		}
 		if pipelined {
 			for j, lj := range lanes {
@@ -56,40 +56,54 @@ func laneInvariants(lanes []*Lane, owner int, label string) error {
 					continue
 				}
 				if got := li.wSync[j] + li.PendingDepth(j); got > lj.wSync[j] {
-					return fmt.Errorf("%sconservation violated at p%d: processed %d + parked %d from p%d exceeds its holdings %d",
-						label, i, li.wSync[j], li.PendingDepth(j), j, lj.wSync[j])
+					return fmt.Errorf("conservation violated at p%d: processed %d + parked %d from p%d exceeds its holdings %d", i, li.wSync[j], li.PendingDepth(j), j, lj.wSync[j])
 				}
 			}
 		}
 
 		// Lemma 4: history_i must be a prefix of the owner's history
 		// (compared on the range both processes still retain, when GC is
-		// active).
+		// active). Pipelined lanes weaken the entry-wise equality: the
+		// Rule-R2 rejoin catch-up re-anchors a dominated prefix with the
+		// stream's quorum-stable top (Lane.ShipBacklog), so an entry may
+		// instead be a copy of a LATER owner entry. Index order and the
+		// prefix-length bound still hold.
 		if li.HistoryLen() > ownerLane.HistoryLen() {
-			return fmt.Errorf("%slemma 4 violated: p%d has %d entries, writer has %d", label, i, li.HistoryLen(), ownerLane.HistoryLen())
+			return fmt.Errorf("lemma 4 violated: p%d has %d entries, writer has %d", i, li.HistoryLen(), ownerLane.HistoryLen())
 		}
 		lo := li.histBase
 		if ownerLane.histBase > lo {
 			lo = ownerLane.histBase
 		}
 		for x := lo; x < li.HistoryLen(); x++ {
-			if !li.histAt(x).Equal(ownerLane.histAt(x)) {
-				return fmt.Errorf("%slemma 4 violated: p%d history[%d] differs from writer", label, i, x)
+			if li.histAt(x).Equal(ownerLane.histAt(x)) {
+				continue
+			}
+			if !pipelined {
+				return fmt.Errorf("lemma 4 violated: p%d history[%d] differs from writer", i, x)
+			}
+			reanchored := false
+			for y := x + 1; y < ownerLane.HistoryLen(); y++ {
+				if li.histAt(x).Equal(ownerLane.histAt(y)) {
+					reanchored = true
+					break
+				}
+			}
+			if !reanchored {
+				return fmt.Errorf("lemma 4 (re-anchored) violated: p%d history[%d] matches no owner entry at or above %d", i, x, x)
 			}
 		}
 
 		for j, lj := range lanes {
 			// Lemma 2.
 			if li.wSync[i] < lj.wSync[i] {
-				return fmt.Errorf("%slemma 2 violated: w_sync_%d[%d]=%d < w_sync_%d[%d]=%d",
-					label, i, i, li.wSync[i], j, i, lj.wSync[i])
+				return fmt.Errorf("lemma 2 violated: w_sync_%d[%d]=%d < w_sync_%d[%d]=%d", i, i, li.wSync[i], j, i, lj.wSync[i])
 			}
 			// Property P2 (strict lanes only; pipelined knowledge may lag
 			// by a whole in-flight backlog and is bounded by conservation
 			// instead).
 			if d := li.wSync[j] - lj.wSync[i]; !pipelined && (d > 1 || d < -1) {
-				return fmt.Errorf("%sproperty P2 violated: |w_sync_%d[%d]-w_sync_%d[%d]| = |%d-%d| > 1",
-					label, i, j, j, i, li.wSync[j], lj.wSync[i])
+				return fmt.Errorf("property P2 violated: |w_sync_%d[%d]-w_sync_%d[%d]| = |%d-%d| > 1", i, j, j, i, li.wSync[j], lj.wSync[i])
 			}
 		}
 	}
@@ -101,14 +115,8 @@ func laneInvariants(lanes []*Lane, owner int, label string) error {
 // simulator (the checks read shared state and are only sound between atomic
 // steps). It returns the first violation found, or nil.
 func CheckGlobalInvariants(procs []*Proc) error {
-	if len(procs) == 0 {
-		return nil
-	}
-	lanes := make([]*Lane, len(procs))
-	for i, p := range procs {
-		lanes[i] = p.lane
-	}
-	return laneInvariants(lanes, procs[0].writer, "")
+	var c InvariantChecker
+	return c.CheckSWMR(procs)
 }
 
 // CheckMWGlobalInvariants verifies the per-lane proof invariants across a
@@ -118,17 +126,51 @@ func CheckGlobalInvariants(procs []*Proc) error {
 // simulator. Restricted writer sets (WithMWWriters) check one stream per
 // writer-set member.
 func CheckMWGlobalInvariants(procs []*MWProc) error {
+	var c InvariantChecker
+	return c.CheckMWMR(procs)
+}
+
+// InvariantChecker runs the global invariant probes with reusable scratch.
+// Post-delivery hooks probe after every delivery, so the per-probe lane
+// slice (and any violation label, now built only on failure) is off the
+// sweep hot path when one checker is kept across probes. A checker is not
+// safe for concurrent use; the zero value is ready.
+type InvariantChecker struct {
+	lanes []*Lane
+}
+
+// CheckSWMR is CheckGlobalInvariants with this checker's scratch.
+func (c *InvariantChecker) CheckSWMR(procs []*Proc) error {
 	if len(procs) == 0 {
 		return nil
 	}
-	lanes := make([]*Lane, len(procs))
+	lanes := c.scratch(len(procs))
+	for i, p := range procs {
+		lanes[i] = p.lane
+	}
+	return laneInvariants(lanes, procs[0].writer)
+}
+
+// CheckMWMR is CheckMWGlobalInvariants with this checker's scratch.
+func (c *InvariantChecker) CheckMWMR(procs []*MWProc) error {
+	if len(procs) == 0 {
+		return nil
+	}
+	lanes := c.scratch(len(procs))
 	for k, w := range procs[0].writers {
 		for i, p := range procs {
 			lanes[i] = p.lanes[k]
 		}
-		if err := laneInvariants(lanes, w, fmt.Sprintf("lane %d: ", w)); err != nil {
-			return err
+		if err := laneInvariants(lanes, w); err != nil {
+			return fmt.Errorf("lane %d: %w", w, err)
 		}
 	}
 	return nil
+}
+
+func (c *InvariantChecker) scratch(n int) []*Lane {
+	if cap(c.lanes) < n {
+		c.lanes = make([]*Lane, n)
+	}
+	return c.lanes[:n]
 }

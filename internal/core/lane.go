@@ -112,6 +112,17 @@ func (l *Lane) Append(v proto.Value) int {
 	return wsn
 }
 
+// AppendRef is Append without the defensive clone: the caller hands over a
+// value it will never mutate. Padding runs use it to share one clone across
+// every padded index instead of cloning per entry — values are immutable
+// once inside a history, so aliasing them is safe.
+func (l *Lane) AppendRef(v proto.Value) int {
+	wsn := l.wSync[l.self] + 1
+	l.wSync[l.self] = wsn
+	l.appendHistory(wsn, v)
+	return wsn
+}
+
 // Forward sends WRITE(wsn mod 2, history[wsn]) to every peer believed to know
 // exactly wsn-1 values (Figure 1 lines 2 and 15).
 func (l *Lane) Forward(wsn int, emit emitFn) {
@@ -156,11 +167,40 @@ func (l *Lane) emitOne(to, wsn int, emit emitFn) {
 // one call per index with consecutive wsn, so a batching emitter coalesces
 // the whole backlog into a single frame per link — this is what turns the
 // O(gap) flood rounds of lane padding into one round.
+//
+// When the backlog is a dominated prefix of a quorum-stable top — this
+// process knows n-t processes already hold Top, so every read starting
+// after this frame ships will pin at or above it — the real mixed-value
+// history is not replayed. Instead every gap index carries history[Top],
+// which the batching emitter renders as ONE LaneCompactMsg: a crash-frozen
+// rejoiner catches up in O(1) shipped values instead of O(gap). This
+// re-anchor is safe for atomicity because any read still pinned at an
+// intermediate index started before Top reached its quorum (quorum
+// intersection), hence overlaps the rejoiner's catch-up read — returning
+// the newer stable value to concurrent reads is allowed. Lemma 4 weakens
+// accordingly on pipelined lanes: a history entry may be a copy of a later
+// owner entry (see laneInvariants). The re-anchor only applies when the gap
+// fits one compact frame, so no partially-anchored frame boundary is ever
+// exposed; larger backlogs fall back to the honest mixed replay.
 func (l *Lane) ShipBacklog(to int, emit emitFn) {
 	if !l.pipelined {
 		panic("core: ShipBacklog on a non-pipelined lane")
 	}
-	l.send(to, l.Top(), emit)
+	top := l.Top()
+	if gap := top - l.sent[to]; gap >= 2 && gap <= MaxBatchEntries &&
+		l.CountGE(top) >= proto.QuorumSize(l.n) {
+		v := l.histAt(top)
+		for k := l.sent[to] + 1; k <= top; k++ {
+			l.sent[to] = k
+			m := WriteMsg{Bit: uint8(k % 2), Val: v}
+			if l.explicit {
+				m.Seq = k
+			}
+			emit(to, k, m)
+		}
+		return
+	}
+	l.send(to, top, emit)
 }
 
 // Enqueue parks a received WRITE behind the line-11 parity guard; Drain
@@ -195,7 +235,13 @@ func (l *Lane) nextFromPending(j int) (WriteMsg, bool) {
 	queue := l.pending[j]
 	for k, m := range queue {
 		if l.guardLine11(j, m) {
-			l.pending[j] = append(queue[:k:k], queue[k+1:]...)
+			// Shift in place: the queue is only reachable through
+			// l.pending, so reusing its backing array is safe and keeps
+			// the pop allocation-free. Clear the vacated tail slot so the
+			// parked value does not outlive the queue entry.
+			copy(queue[k:], queue[k+1:])
+			queue[len(queue)-1] = WriteMsg{}
+			l.pending[j] = queue[:len(queue)-1]
 			return m, true
 		}
 	}

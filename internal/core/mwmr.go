@@ -90,6 +90,15 @@ type MWProc struct {
 	// LaneBatch/LaneCompact frames (batched mode only; nil when unbatched).
 	batcher *laneBatcher
 
+	// snFree recycles per-lane index vectors: every READ delivery captures
+	// one (line 19 analog) and every read fixes one (line 8 analog), so the
+	// hot path would otherwise allocate a vector per freshness message.
+	snFree [][]int
+
+	// sends is the Effects.Sends scratch reused across steps (see the
+	// proto.Effects contract: callers consume Sends before re-entering).
+	sends []proto.Send
+
 	msgsSent int
 }
 
@@ -285,6 +294,10 @@ func (p *MWProc) emitLane(w int, eff *proto.Effects) emitFn {
 // or a mixed-value LaneBatchMsg — splitting at the one-byte length limit.
 type laneBatcher struct {
 	runs []batchRun
+	// free recycles the runs' value slices across flushes; the values
+	// themselves are immutable and ship by reference, only the slice
+	// headers and backing arrays are reused.
+	free [][]proto.Value
 }
 
 type batchRun struct {
@@ -304,7 +317,17 @@ func (b *laneBatcher) add(w, to, wsn int, val proto.Value) {
 			break // discontinuity: open a fresh run after it
 		}
 	}
-	b.runs = append(b.runs, batchRun{w: w, to: to, start: wsn, vals: []proto.Value{val}})
+	b.runs = append(b.runs, batchRun{w: w, to: to, start: wsn, vals: b.newVals(val)})
+}
+
+// newVals returns a recycled (or fresh) one-element value slice.
+func (b *laneBatcher) newVals(val proto.Value) []proto.Value {
+	if k := len(b.free); k > 0 {
+		vals := b.free[k-1][:0]
+		b.free = b.free[:k-1]
+		return append(vals, val)
+	}
+	return append(make([]proto.Value, 0, 8), val)
 }
 
 // flush renders and clears the accumulated runs, in emission order. Chunks
@@ -313,7 +336,8 @@ func (b *laneBatcher) add(w, to, wsn int, val proto.Value) {
 // transports' frame cap, and pipelined send dedup means a rejected frame
 // could never be re-shipped — so frames must always be encodable.
 func (b *laneBatcher) flush(p *MWProc, eff *proto.Effects) {
-	for _, r := range b.runs {
+	for ri := range b.runs {
+		r := &b.runs[ri]
 		for off := 0; off < len(r.vals); {
 			end, bytes, same := off, 0, true
 			for end < len(r.vals) && end-off < MaxBatchEntries {
@@ -346,6 +370,14 @@ func (b *laneBatcher) flush(p *MWProc, eff *proto.Effects) {
 			}
 			p.msgsSent++
 		}
+		// Recycle the run's slice; LaneBatchMsg took its own copy and the
+		// compact/lone frames hold the values, not this slice. Clear the
+		// slots so recycled headers do not pin shipped values.
+		for i := range r.vals {
+			r.vals[i] = nil
+		}
+		b.free = append(b.free, r.vals[:0])
+		r.vals = nil
 	}
 	b.runs = b.runs[:0]
 }
@@ -383,7 +415,8 @@ func (p *MWProc) StartWrite(op proto.OpID, v proto.Value) proto.Effects {
 	if p.laneIdx[p.id] < 0 {
 		panic(fmt.Sprintf("core: process %d invoked write outside the writer set %v (harnesses must reject such writes first)", p.id, p.writers))
 	}
-	var eff proto.Effects
+	eff := proto.Effects{Sends: p.sends[:0]}
+	defer func() { p.sends = eff.Sends }()
 	if p.opts.fault == MWFaultSkipWriteSync {
 		p.cur = &mwOp{op: op, kind: proto.OpWrite, phase: mwWritePropagate, val: v.Clone()}
 		p.appendDominating(p.ownLane().Top()+1, &eff)
@@ -403,11 +436,14 @@ func (p *MWProc) StartWrite(op proto.OpID, v proto.Value) proto.Effects {
 // its full backlog in one link round (the batcher coalesces the run into a
 // single LaneCompact frame per peer).
 func (p *MWProc) appendDominating(target int, eff *proto.Effects) {
+	// cur.val is already this op's private clone and is never mutated, so
+	// every padded index can share it by reference (AppendRef) — one clone
+	// per write instead of one per padded entry.
 	own := p.ownLane()
 	emit := p.emitLane(p.id, eff)
 	if p.batcher != nil {
 		for own.Top() < target {
-			own.Append(p.cur.val.Clone())
+			own.AppendRef(p.cur.val)
 		}
 		for j := 0; j < p.n; j++ {
 			if j != p.id {
@@ -416,7 +452,7 @@ func (p *MWProc) appendDominating(target int, eff *proto.Effects) {
 		}
 	} else {
 		for own.Top() < target {
-			wsn := own.Append(p.cur.val.Clone())
+			wsn := own.AppendRef(p.cur.val)
 			own.Forward(wsn, emit)
 		}
 	}
@@ -431,7 +467,8 @@ func (p *MWProc) StartRead(op proto.OpID) proto.Effects {
 	if p.cur != nil {
 		panic(fmt.Sprintf("core: process %d invoked read while a %s is in flight (processes are sequential)", p.id, p.cur.kind))
 	}
-	var eff proto.Effects
+	eff := proto.Effects{Sends: p.sends[:0]}
+	defer func() { p.sends = eff.Sends }()
 	rsn := p.broadcastSync(&eff)
 	p.cur = &mwOp{op: op, kind: proto.OpRead, phase: mwReadSync, rsn: rsn}
 	p.drain(&eff)
@@ -445,7 +482,8 @@ func (p *MWProc) Deliver(from int, msg proto.Message) proto.Effects {
 	if from == p.id {
 		panic(fmt.Sprintf("core: process %d received message from itself", p.id))
 	}
-	var eff proto.Effects
+	eff := proto.Effects{Sends: p.sends[:0]}
+	defer func() { p.sends = eff.Sends }()
 	switch m := msg.(type) {
 	case LaneMsg:
 		p.lane(m.Writer).Enqueue(from, m.M)
@@ -473,7 +511,7 @@ func (p *MWProc) Deliver(from int, msg proto.Message) proto.Effects {
 		}
 	case ReadMsg:
 		// Line 19 analog: capture the freshness bar on every lane.
-		sn := make([]int, len(p.lanes))
+		sn := p.getSN()
 		for u, l := range p.lanes {
 			sn[u] = l.Top()
 		}
@@ -550,6 +588,7 @@ func (p *MWProc) flushPendingSyncs(eff *proto.Effects) bool {
 			eff.AddSend(ps.from, ProceedMsg{})
 			p.msgsSent++
 			progress = true
+			p.putSN(ps.sn)
 		} else {
 			kept = append(kept, ps)
 		}
@@ -614,7 +653,7 @@ func (p *MWProc) advanceOp(eff *proto.Effects) bool {
 	case mwReadSync:
 		// Line 7-8 analog: fix the returned vector.
 		if p.countRSyncEq(p.cur.rsn) >= p.quorum() {
-			sn := make([]int, len(p.lanes))
+			sn := p.getSN()
 			for u, l := range p.lanes {
 				sn[u] = l.Top()
 			}
@@ -637,11 +676,26 @@ func (p *MWProc) advanceOp(eff *proto.Effects) bool {
 				}
 			}
 			eff.AddDone(op.op, proto.OpRead, p.lanes[u].HistAt(op.sn[u]).Clone())
+			p.putSN(op.sn)
+			op.sn = nil
 			return true
 		}
 	}
 	return false
 }
+
+// getSN returns a recycled (or fresh) per-lane index vector.
+func (p *MWProc) getSN() []int {
+	if k := len(p.snFree); k > 0 {
+		sn := p.snFree[k-1]
+		p.snFree = p.snFree[:k-1]
+		return sn
+	}
+	return make([]int, len(p.lanes))
+}
+
+// putSN returns a vector to the freelist once no guard references it.
+func (p *MWProc) putSN(sn []int) { p.snFree = append(p.snFree, sn) }
 
 func (p *MWProc) countRSyncEq(x int) int {
 	z := 0
@@ -674,10 +728,11 @@ func (p *MWProc) PendingFlush() bool {
 // Runtimes call it on their flush tick (see WithMWFlushWindow); without a
 // flush window it is a no-op, since every drain already flushed.
 func (p *MWProc) Flush() proto.Effects {
-	var eff proto.Effects
+	eff := proto.Effects{Sends: p.sends[:0]}
 	if p.opts.flushWindow && p.batcher != nil {
 		p.batcher.flush(p, &eff)
 	}
+	p.sends = eff.Sends
 	return eff
 }
 
@@ -694,6 +749,9 @@ func (p *MWProc) LaneTop(w int) int { return p.lane(w).Top() }
 
 // LaneWSync returns w_sync[j] on writer w's lane.
 func (p *MWProc) LaneWSync(w, j int) int { return p.lane(w).WSync(j) }
+
+// LaneHistAt returns history[x] on writer w's lane (x must be retained).
+func (p *MWProc) LaneHistAt(w, x int) proto.Value { return p.lane(w).HistAt(x) }
 
 // MsgsSent returns the number of messages this process has emitted.
 // Batched frames count as one message each, however many entries they

@@ -7,22 +7,23 @@ import (
 	"twobitreg/internal/proto"
 )
 
-// TestMWRejoinCatchUpReplaysMixedValueBatch characterizes the rejoin path
-// the ROADMAP flags as a residual: when a crash-frozen peer comes back into
-// contact, its catch-up is a Rule-R2 backlog ship — the relay REPLAYS the
-// real mixed-value history as a LaneBatchMsg, one logical entry per
-// historical value, rather than re-anchoring with a LaneCompactMsg summary
-// (which is only used for same-value padding runs today). This test pins
-// that behavior so a future re-anchoring change has to update it
-// deliberately.
+// TestMWRejoinCatchUpReplaysCompactReAnchor pins the rejoin path the ROADMAP
+// used to flag as a residual — and now its fix: when a crash-frozen peer
+// comes back into contact, the Rule-R2 backlog ship no longer REPLAYS the
+// real mixed-value history (one logical entry per historical value, O(gap)
+// shipped values). The relay knows the backlog is a dominated prefix of a
+// quorum-stable top, so it re-anchors: every gap index carries the top
+// value, the batcher renders the whole catch-up as ONE LaneCompactMsg, and
+// the rejoiner converges in O(1) shipped values — O(n) total work for the
+// rejoin instead of O(n * gap) bytes.
 //
 // Scenario (the shape a crashwrite schedule produces): p2 freezes before
 // writer 0's stream starts; p0's frames toward it are lost, p1's relay
 // forward for index 1 is delayed in flight. Five writes by p0 complete on
 // the {p0,p1} majority. When p2 thaws, the delayed index-1 frame arrives,
-// p2 adopts it and echoes — and p1, seeing p2 lag by a whole backlog, ships
-// indices 2..5 in one frame.
-func TestMWRejoinCatchUpReplaysMixedValueBatch(t *testing.T) {
+// p2 adopts it and echoes — and p1, seeing p2 lag by a whole backlog that
+// is stable at a quorum, re-anchors indices 2..5 with one compact frame.
+func TestMWRejoinCatchUpReplaysCompactReAnchor(t *testing.T) {
 	t.Parallel()
 	const n, writes = 3, 5
 	h := &mwHarness{t: t}
@@ -72,38 +73,49 @@ func TestMWRejoinCatchUpReplaysMixedValueBatch(t *testing.T) {
 	h.absorb(2, h.procs[2].Deliver(idx1.from, idx1.msg))
 
 	// p2's adoption echo reaches p1; p1 must answer with the R2 backlog —
-	// characterized today as ONE mixed-value LaneBatchMsg replaying the
-	// real history (not a LaneCompact re-anchor, which would claim the
-	// padded entries all carry one value — they do not).
-	sawBatch := false
+	// as ONE LaneCompact re-anchor carrying a single value (the stable
+	// top), NOT a mixed-value LaneBatch replay of the whole history.
+	sawCompact := false
 	for len(h.queue) > 0 {
 		q := h.queue[0]
 		h.queue = h.queue[1:]
-		if b, ok := q.msg.(LaneBatchMsg); ok && q.from == 1 && q.to == 2 && b.Writer == 0 {
-			sawBatch = true
-			if len(b.Vals) != writes-1 {
-				t.Fatalf("catch-up batch carries %d entries, want the %d-value backlog", len(b.Vals), writes-1)
+		if c, ok := q.msg.(LaneCompactMsg); ok && q.from == 1 && q.to == 2 && c.Writer == 0 {
+			sawCompact = true
+			if c.Count != writes-1 {
+				t.Fatalf("re-anchor covers %d entries, want the %d-index gap", c.Count, writes-1)
 			}
-			distinct := map[string]bool{}
-			for _, v := range b.Vals {
-				distinct[string(v)] = true
+			if want := val(fmt.Sprintf("v%d", writes)); !c.Val.Equal(want) {
+				t.Fatalf("re-anchor carries %q, want the stable top %q", c.Val, want)
 			}
-			if len(distinct) != len(b.Vals) {
-				t.Fatalf("catch-up batch values %v are not the mixed-value history", b.Vals)
+			// The O(n)-rejoin bound: one value shipped however long the
+			// backlog, where the old replay shipped one per gap index.
+			if got, want := c.DataBytes(), len(c.Val); got != want {
+				t.Fatalf("re-anchor ships %d payload bytes, want the single-value %d", got, want)
 			}
 		}
-		if _, ok := q.msg.(LaneCompactMsg); ok && q.to == 2 {
-			t.Fatalf("rejoin catch-up shipped a LaneCompact re-anchor — the residual got implemented; update this characterization")
+		if b, ok := q.msg.(LaneBatchMsg); ok && q.to == 2 && b.Writer == 0 {
+			t.Fatalf("rejoin catch-up shipped a mixed-value LaneBatch replay %v — the re-anchor regressed to O(gap) values", b.Vals)
 		}
 		h.absorb(q.to, h.procs[q.to].Deliver(q.from, q.msg))
 	}
-	if !sawBatch {
-		t.Fatal("the rejoin catch-up never shipped a mixed-value LaneBatch replay")
+	if !sawCompact {
+		t.Fatal("the rejoin catch-up never shipped a LaneCompact re-anchor")
 	}
 	if top := h.procs[2].LaneTop(0); top != writes {
 		t.Fatalf("rejoined peer converged to %d values, want %d", top, writes)
 	}
 	if got := h.procs[2].LaneWSync(0, 2); got != writes {
 		t.Fatalf("rejoined peer's own knowledge = %d, want %d", got, writes)
+	}
+	// The re-anchored entries really are copies of the stable top — the
+	// relaxed Lemma 4 shape (a dominated prefix of the owner's history).
+	for x := 2; x <= writes; x++ {
+		if want := val(fmt.Sprintf("v%d", writes)); !h.procs[2].LaneHistAt(0, x).Equal(want) {
+			t.Fatalf("rejoined peer history[%d] = %q, want the re-anchored top %q", x, h.procs[2].LaneHistAt(0, x), want)
+		}
+	}
+	// And the cluster still satisfies every (relaxed) proof invariant.
+	if err := CheckMWGlobalInvariants(h.procs); err != nil {
+		t.Fatalf("post-rejoin invariants: %v", err)
 	}
 }

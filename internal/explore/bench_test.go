@@ -1,6 +1,9 @@
 package explore
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
 
 // BenchmarkSweepThroughput measures schedules/second through explore.Run —
 // the quantity the nightly sweep budget buys. The simulator's delivery hot
@@ -27,6 +30,39 @@ func BenchmarkSweepThroughput(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sched/s")
+		})
+	}
+}
+
+// BenchmarkSweepParallel measures the same schedule family through the
+// sharded Sweep engine at 1 worker and at GOMAXPROCS, so the ratio of the
+// two sched/s readings is the parallel speedup on the host (≈1 on one core,
+// ≈GOMAXPROCS on an idle multi-core runner — schedules share no state).
+// The second case is named workers-max, not workers-<count>, so the
+// trajectory baseline diffs cleanly across hosts with different core
+// counts (benchdiff treats a baseline-only name as coverage loss).
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"workers-1", 1}, {"workers-max", runtime.GOMAXPROCS(0)}} {
+		workers := bc.workers
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Sweep(SweepSpec{
+					Algs: []string{"twobit-mwmr"}, Strategies: []string{"uniform"},
+					N: 5, Ops: 40, ReadFrac: 0.6, Writers: 3,
+					Budget: 8, Seed0: int64(1 + 8*i), Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Failures) > 0 {
+					b.Fatalf("violation on %s", res.Failures[0].Token)
+				}
+			}
+			b.ReportMetric(float64(8*b.N)/b.Elapsed().Seconds(), "sched/s")
 		})
 	}
 }

@@ -40,6 +40,22 @@
 // schedules with fewer operations, processes, or crashes are re-run and kept
 // while they still fail.
 //
+// # Parallel sweeps
+//
+// A sweep's schedules are fully independent — each run builds its own
+// processes, simulator, and RNGs from its descriptor alone — so Sweep
+// shards them over SweepSpec.Workers goroutines (a worker pool over the
+// canonical enumeration order: rounds outermost, then algorithms, then
+// strategies). Results merge strictly by enumeration index, never by
+// completion order, so the SweepResult — counts, failure list, every
+// token and fingerprint — is byte-identical at any worker count; workers
+// buy wall-clock time only. StopEarly sharding is cooperative: the first
+// failure lowers a shared cutoff and later-indexed in-flight runs are
+// discarded, which again keeps the reported result equal to the
+// sequential one. The per-schedule hot path allocates nothing per
+// delivery (pooled events, reused Effects.Sends scratch), so sched/s
+// scales with cores rather than with the collector.
+//
 // # Detection power
 //
 // The explorer's teeth are validated by mutation testing: the registry
@@ -55,6 +71,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 
 	"twobitreg/internal/check"
@@ -127,6 +144,12 @@ type Result struct {
 	// schedule actually interleaved its writer streams.
 	WriterProcs   int `json:"writer_procs,omitempty"`
 	WriteOverlaps int `json:"write_overlaps,omitempty"`
+	// RejectedWrites counts writes the store refused at a writer-set
+	// boundary (regmap's ErrNotWriter, surfaced as Rejected completions).
+	// They terminate without effect and are excluded from the judged
+	// history; a non-zero count is evidence a schedule crossed the
+	// boundary, not a failure.
+	RejectedWrites int `json:"rejected_writes,omitempty"`
 	// Invariant is the first proof-invariant violation (two-bit register
 	// runs only).
 	Invariant string `json:"invariant_violation,omitempty"`
@@ -283,8 +306,9 @@ func Run(s Schedule) (Result, error) {
 	}
 	next := make([]int, s.N)
 	completions := make(map[proto.OpID]struct {
-		at  float64
-		val proto.Value
+		at       float64
+		val      proto.Value
+		rejected bool
 	})
 
 	col := &metrics.Collector{}
@@ -370,9 +394,10 @@ func Run(s Schedule) (Result, error) {
 	opts = append(opts,
 		transport.WithCompletion(func(pid int, c proto.Completion, at float64) {
 			completions[c.Op] = struct {
-				at  float64
-				val proto.Value
-			}{at, c.Value}
+				at       float64
+				val      proto.Value
+				rejected bool
+			}{at, c.Value, c.Rejected}
 			completedCount++
 			if !strat.phaseCrash && !strat.proceedCrash {
 				for victim, trig := range victims {
@@ -400,10 +425,13 @@ func Run(s Schedule) (Result, error) {
 			}
 		}))
 	}
+	// The invariant probes run after every delivery; each hook keeps one
+	// checker so the probe scratch amortizes across the run.
 	if len(coreProcs) == s.N {
+		var ic core.InvariantChecker
 		opts = append(opts, transport.WithPostDelivery(func() {
 			if res.Invariant == "" {
-				if err := core.CheckGlobalInvariants(coreProcs); err != nil {
+				if err := ic.CheckSWMR(coreProcs); err != nil {
 					res.Invariant = err.Error()
 				}
 			}
@@ -411,9 +439,10 @@ func Run(s Schedule) (Result, error) {
 	} else if len(mwProcs) == s.N {
 		// The multi-writer two-bit register: the same proof invariants,
 		// lane by lane.
+		var ic core.InvariantChecker
 		opts = append(opts, transport.WithPostDelivery(func() {
 			if res.Invariant == "" {
-				if err := core.CheckMWGlobalInvariants(mwProcs); err != nil {
+				if err := ic.CheckMWMR(mwProcs); err != nil {
 					res.Invariant = err.Error()
 				}
 			}
@@ -422,10 +451,11 @@ func Run(s Schedule) (Result, error) {
 		// The keyed store: the multi-writer lane invariants, key by key,
 		// plus the flush window that lets its cross-key coalescer batch
 		// frames landing within half a Δ of each other.
+		var kc regmap.KeyedInvariantChecker
 		opts = append(opts, transport.WithFlushWindow(flushWindow))
 		opts = append(opts, transport.WithPostDelivery(func() {
 			if res.Invariant == "" {
-				if err := regmap.CheckKeyedInvariants(keyedProcs); err != nil {
+				if err := kc.Check(keyedProcs); err != nil {
 					res.Invariant = err.Error()
 				}
 			}
@@ -459,10 +489,14 @@ func Run(s Schedule) (Result, error) {
 		if c, ok := completions[rec.ID]; ok {
 			rec.Completed = true
 			rec.Res = c.at
+			rec.Rejected = c.rejected
 			if info.kind == proto.OpRead {
 				rec.Value = c.val
 			}
 			res.Completed++
+			if c.rejected {
+				res.RejectedWrites++
+			}
 		} else {
 			res.Pending++
 			// Pending is legitimate only for the ops a crash cut off:
@@ -474,7 +508,11 @@ func Run(s Schedule) (Result, error) {
 		}
 		h.Ops = append(h.Ops, rec)
 	}
-	res.WriterProcs, res.WriteOverlaps = writerInterleaving(h)
+	// Rejected writes stay in the recorded history (and fingerprint) but
+	// never entered a register: the judged history excludes them, and so
+	// does the writer-interleaving evidence.
+	eh := check.Effective(h)
+	res.WriterProcs, res.WriteOverlaps = writerInterleaving(eh)
 
 	if ka, ok := alg.(keyedAlgorithm); ok {
 		// Keyed stores are judged register by register: the history splits
@@ -482,16 +520,16 @@ func Run(s Schedule) (Result, error) {
 		// each key's sub-history must linearize on its own. The exhaustive
 		// cross-check is skipped — it reasons about one register.
 		res.Checker = "per-key"
-		res.Atomicity = judgePerKey(ka, h)
+		res.Atomicity = judgePerKey(ka, eh)
 	} else {
-		judge := check.For(h)
+		judge := check.For(eh)
 		res.Checker = judge.Name()
-		fastErr := judge.Check(h)
+		fastErr := judge.Check(eh)
 		if fastErr != nil {
 			res.Atomicity = fastErr.Error()
 		}
-		if eligible := linEligibleOps(h); eligible > 0 && eligible <= maxCrossCheckOps {
-			linErr := check.CheckLinearizable(h)
+		if eligible := linEligibleOps(eh); eligible > 0 && eligible <= maxCrossCheckOps {
+			linErr := check.CheckLinearizable(eh)
 			if (fastErr != nil) != (linErr != nil) {
 				res.CrossCheck = fmt.Sprintf("oracles disagree on a %d-op history: %s=%v lin=%v", eligible, judge.Name(), fastErr, linErr)
 			}
@@ -607,11 +645,37 @@ func linEligibleOps(h check.History) int {
 // same descriptor must produce identical fingerprints — that is the
 // byte-identical replay guarantee the tokens rest on.
 func fingerprint(h check.History, r Result) string {
+	// The byte stream hashed here is frozen: it must match what the
+	// original fmt.Fprintf formatting produced ("%d", "%x", "%.17g", "%v")
+	// so fingerprints recorded by earlier builds stay comparable. strconv
+	// into one reused buffer keeps the per-op formatting off the heap.
 	hash := sha256.New()
-	fmt.Fprintf(hash, "events=%d msgs=%d end=%.17g\n", r.Events, r.Msgs, r.EndTime)
+	buf := make([]byte, 0, 128)
+	buf = append(buf, "events="...)
+	buf = strconv.AppendInt(buf, r.Events, 10)
+	buf = append(buf, " msgs="...)
+	buf = strconv.AppendInt(buf, int64(r.Msgs), 10)
+	buf = append(buf, " end="...)
+	buf = strconv.AppendFloat(buf, r.EndTime, 'g', 17, 64)
+	buf = append(buf, '\n')
+	hash.Write(buf)
 	for _, op := range h.Ops {
-		fmt.Fprintf(hash, "%d|%d|%d|%x|%.17g|%.17g|%v\n",
-			op.ID, op.Proc, op.Kind, []byte(op.Value), op.Inv, op.Res, op.Completed)
+		buf = buf[:0]
+		buf = strconv.AppendInt(buf, int64(op.ID), 10)
+		buf = append(buf, '|')
+		buf = strconv.AppendInt(buf, int64(op.Proc), 10)
+		buf = append(buf, '|')
+		buf = strconv.AppendInt(buf, int64(op.Kind), 10)
+		buf = append(buf, '|')
+		buf = hex.AppendEncode(buf, op.Value)
+		buf = append(buf, '|')
+		buf = strconv.AppendFloat(buf, op.Inv, 'g', 17, 64)
+		buf = append(buf, '|')
+		buf = strconv.AppendFloat(buf, op.Res, 'g', 17, 64)
+		buf = append(buf, '|')
+		buf = strconv.AppendBool(buf, op.Completed)
+		buf = append(buf, '\n')
+		hash.Write(buf)
 	}
 	return hex.EncodeToString(hash.Sum(nil))[:16]
 }

@@ -2,6 +2,7 @@ package explore
 
 import (
 	"sort"
+	"sync"
 
 	"twobitreg/internal/abd"
 	"twobitreg/internal/attiya"
@@ -14,8 +15,20 @@ import (
 
 // registry maps Schedule.Alg names to constructors. It includes every
 // correct algorithm in the repository plus the deliberately broken mutants
-// used to verify the explorer's detection power.
+// used to verify the explorer's detection power. The map is built once and
+// shared read-only — Run resolves an algorithm per schedule, and parallel
+// sweeps resolve concurrently; the Algorithm values are stateless factories.
 func registry() map[string]proto.Algorithm {
+	registryOnce.Do(func() { registryMap = buildRegistry() })
+	return registryMap
+}
+
+var (
+	registryOnce sync.Once
+	registryMap  map[string]proto.Algorithm
+)
+
+func buildRegistry() map[string]proto.Algorithm {
 	return map[string]proto.Algorithm{
 		// Correct algorithms.
 		"twobit":        core.Algorithm(),
@@ -42,6 +55,26 @@ func registry() map[string]proto.Algorithm {
 			regmap.Config{Coalesce: true}),
 		"regmap-mwmr-wide": regmap.NewKeyedAlgorithm("regmap-mwmr-wide", 200,
 			regmap.Config{Coalesce: true}),
+		// The writer-restricted keyed store: key k may be written by every
+		// process EXCEPT k mod n (threaded through regmap.Config.Writers),
+		// so any multi-writer workload steadily crosses the ErrNotWriter
+		// boundary. Rejected writes complete as Rejected (the schedule
+		// continues past them), are counted in Result.RejectedWrites, and
+		// are excluded from the judged history.
+		"regmap-mwmr-restricted": regmap.NewRestrictedKeyedAlgorithm("regmap-mwmr-restricted", 50,
+			regmap.Config{Coalesce: true},
+			func(k, n int) []int {
+				if n == 1 {
+					return []int{0}
+				}
+				ws := make([]int, 0, n-1)
+				for p := 0; p < n; p++ {
+					if p != k%n {
+						ws = append(ws, p)
+					}
+				}
+				return ws
+			}),
 		"bounded-abd": boundedabd.Algorithm(),
 		"attiya":      attiya.Algorithm(),
 		// The phased engine in its minimal configuration (1 write phase,
@@ -89,19 +122,23 @@ func registry() map[string]proto.Algorithm {
 // mwmrCapable marks the algorithms whose protocol tolerates concurrent
 // writers. Everything else implements the paper's single-writer register:
 // exploring it under a multi-writer workload would report violations of an
-// assumption, not bugs, so Run refuses the combination.
+// assumption, not bugs, so Run refuses the combination. Read-only shared
+// map, like registry.
 func mwmrCapable() map[string]bool {
-	return map[string]bool{
-		"abd-mwmr":              true,
-		"twobit-mwmr":           true,
-		"twobit-mwmr-unbatched": true,
-		"regmap-mwmr":           true,
-		"regmap-mwmr-wide":      true,
-		"mut-mwmr-stale":        true,
-		"mut-twobit-mwmr":       true,
-		"mut-lane-batch":        true,
-		"mut-regmap-frame":      true,
-	}
+	return mwmrCapableSet
+}
+
+var mwmrCapableSet = map[string]bool{
+	"abd-mwmr":               true,
+	"twobit-mwmr":            true,
+	"twobit-mwmr-unbatched":  true,
+	"regmap-mwmr":            true,
+	"regmap-mwmr-wide":       true,
+	"regmap-mwmr-restricted": true,
+	"mut-mwmr-stale":         true,
+	"mut-twobit-mwmr":        true,
+	"mut-lane-batch":         true,
+	"mut-regmap-frame":       true,
 }
 
 // MWMRCapable reports whether the named algorithm supports concurrent

@@ -1,6 +1,12 @@
 package explore
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // SweepSpec parameterizes a budgeted exploration sweep: the cross product of
 // algorithms and strategies, swept over consecutive seeds until the run
@@ -32,6 +38,13 @@ type SweepSpec struct {
 	// StopEarly returns at the first failure instead of spending the whole
 	// budget — what the mutation tests use to measure detection latency.
 	StopEarly bool `json:"stop_early,omitempty"`
+	// Workers shards the sweep over that many goroutines. Schedules are
+	// independent and fully seeded, so sharding only changes wall-clock
+	// time: results merge in schedule-enumeration order (never completion
+	// order) and the SweepResult is byte-identical for every worker count,
+	// including StopEarly truncation. 0 and 1 run sequentially; negative
+	// values use GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
 }
 
 // SweepResult aggregates a sweep: how many runs executed, how many were
@@ -74,12 +87,81 @@ func Sweep(spec SweepSpec) (SweepResult, error) {
 			return SweepResult{}, fmt.Errorf("explore: pct depth %d requested but the pct strategy is not in the sweep (strategies: %v)", spec.PCT, spec.Strategies)
 		}
 	}
+	jobs := sweepJobs(spec)
+	workers := spec.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	// The pool runs jobs by ascending index and merges by index, so the
+	// output is a pure function of the job list: a terminating run (an
+	// error always; a failure under StopEarly) at index c makes every job
+	// after c unobservable, and the cutoff lets workers skip them — with
+	// one worker this degenerates to the classic sequential early exit.
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var next atomic.Int64
+	var cutoff atomic.Int64
+	cutoff.Store(math.MaxInt64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(jobs)) || i > cutoff.Load() {
+					return
+				}
+				r, err := Run(jobs[i])
+				results[i], errs[i] = r, err
+				if err != nil || (spec.StopEarly && r.Failed()) {
+					for {
+						c := cutoff.Load()
+						if i >= c || cutoff.CompareAndSwap(c, i) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
 	var out SweepResult
-	for round := int64(0); ; round++ {
+	for i := range jobs {
+		if errs[i] != nil {
+			return out, fmt.Errorf("explore: sweep run %d: %w", out.Runs, errs[i])
+		}
+		out.Runs++
+		if results[i].Failed() {
+			out.Failures = append(out.Failures, results[i])
+			if spec.StopEarly {
+				return out, nil
+			}
+		} else {
+			out.Clean++
+		}
+	}
+	return out, nil
+}
+
+// sweepJobs enumerates the sweep's schedules in their canonical order —
+// rounds (consecutive seeds) outermost, then algorithms, then strategies —
+// truncated at the budget. Merge order everywhere is this order.
+func sweepJobs(spec SweepSpec) []Schedule {
+	jobs := make([]Schedule, 0, spec.Budget)
+	for round := int64(0); len(jobs) < spec.Budget; round++ {
 		for _, alg := range spec.Algs {
 			for _, st := range spec.Strategies {
-				if out.Runs >= spec.Budget {
-					return out, nil
+				if len(jobs) >= spec.Budget {
+					break
 				}
 				sched := Schedule{
 					Alg: alg, Strategy: st, Seed: spec.Seed0 + round,
@@ -90,22 +172,11 @@ func Sweep(spec SweepSpec) (SweepResult, error) {
 				if st == "pct" {
 					sched.PCT = spec.PCT
 				}
-				r, err := Run(sched)
-				if err != nil {
-					return out, fmt.Errorf("explore: sweep run %d: %w", out.Runs, err)
-				}
-				out.Runs++
-				if r.Failed() {
-					out.Failures = append(out.Failures, r)
-					if spec.StopEarly {
-						return out, nil
-					}
-				} else {
-					out.Clean++
-				}
+				jobs = append(jobs, sched)
 			}
 		}
 	}
+	return jobs
 }
 
 // Shrink minimizes a failing schedule by bisecting the descriptor, not the

@@ -1,0 +1,98 @@
+package explore
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSweepParallelMatchesSequential is the parallel sweep's determinism
+// gate: schedules are independent and fully seeded, so sharding the sweep
+// over workers may only change wall-clock time. The whole SweepResult —
+// counts, failure list, every failure's token and fingerprint — must be
+// byte-identical for every worker count, because results merge in
+// schedule-enumeration order, never completion order.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	t.Parallel()
+	marshal := func(spec SweepSpec) string {
+		res, err := Sweep(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	specs := map[string]SweepSpec{
+		"clean": {
+			Algs: []string{"twobit", "abd"}, Strategies: []string{"uniform", "race"},
+			N: 3, Ops: 14, ReadFrac: 0.6, Budget: 16, Seed0: 100,
+		},
+		"with-failures": {
+			Algs: []string{"mut-stale-read"}, Strategies: []string{"uniform", "race"},
+			N: 3, Ops: 20, ReadFrac: 0.6, Budget: 16, Seed0: 1,
+		},
+		"stop-early": {
+			Algs: []string{"mut-stale-read"}, Strategies: []string{"uniform", "race"},
+			N: 3, Ops: 20, ReadFrac: 0.6, Budget: 30, Seed0: 1, StopEarly: true,
+		},
+		"multi-writer": {
+			Algs: []string{"twobit-mwmr"}, Strategies: []string{"race"},
+			N: 3, Ops: 16, ReadFrac: 0.5, Writers: 3, Budget: 8, Seed0: 7,
+		},
+	}
+	for name, spec := range specs {
+		name, spec := name, spec
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			seq := spec
+			seq.Workers = 1
+			want := marshal(seq)
+			for _, workers := range []int{2, 8, -1} {
+				par := spec
+				par.Workers = workers
+				if got := marshal(par); got != want {
+					t.Fatalf("workers=%d summary diverged from sequential:\n seq: %s\n par: %s", workers, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSweepParallelReplayTokens runs a sharded sweep with at least four
+// workers (the -race target for the worker pool) and spot-checks that every
+// reported failure's replay token reproduces its fingerprint byte for byte
+// when re-run sequentially — parallel execution must not leak any shared
+// state into individual runs.
+func TestSweepParallelReplayTokens(t *testing.T) {
+	t.Parallel()
+	res, err := Sweep(SweepSpec{
+		Algs: []string{"mut-stale-read"}, Strategies: []string{"uniform", "race"},
+		N: 3, Ops: 20, ReadFrac: 0.6, Budget: 20, Seed0: 1, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) == 0 {
+		t.Fatal("the sweep caught nothing — no tokens to spot-check")
+	}
+	checked := 0
+	for _, f := range res.Failures {
+		if checked == 3 {
+			break
+		}
+		checked++
+		s, err := ParseToken(f.Token)
+		if err != nil {
+			t.Fatalf("failure token %q does not parse: %v", f.Token, err)
+		}
+		r, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Fingerprint != f.Fingerprint {
+			t.Fatalf("token %s replayed to fingerprint %s, sweep recorded %s", f.Token, r.Fingerprint, f.Fingerprint)
+		}
+	}
+}

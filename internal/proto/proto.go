@@ -97,10 +97,22 @@ type Completion struct {
 	// Value is the value returned by a read; nil for writes (and for reads
 	// returning the nil initial value).
 	Value Value
+	// Rejected marks an operation the store refused without running the
+	// protocol — a write through a process outside the key's writer set
+	// (regmap's ErrNotWriter boundary). A rejected operation terminated
+	// (its invoker may proceed) but never took effect: atomicity checkers
+	// must exclude it from the judged history.
+	Rejected bool
 }
 
 // Effects is what a Process step produces: messages to send and operations
 // that completed as a consequence of the step. Both slices may be nil.
+//
+// Sends is valid only until the next call into the same Process: hot-path
+// implementations reuse its backing array across steps, so runners must
+// consume (or copy) every Send before re-entering the process. Done carries
+// no such caveat — completion handlers may start new operations on the
+// process while iterating it, so implementations never recycle Done buffers.
 type Effects struct {
 	Sends []Send
 	Done  []Completion

@@ -2,6 +2,7 @@ package regmap
 
 import (
 	"fmt"
+	"sort"
 
 	"twobitreg/internal/core"
 	"twobitreg/internal/proto"
@@ -18,9 +19,10 @@ import (
 // write every key — the explorer's writer pids must all be in-set whatever
 // the schedule says.
 type KeyedAlgorithm struct {
-	name string
-	keys int
-	tmpl Config
+	name     string
+	keys     int
+	tmpl     Config
+	restrict func(key, n int) []int
 }
 
 // NewKeyedAlgorithm builds the adapter: name registers it, keys is the
@@ -31,6 +33,19 @@ func NewKeyedAlgorithm(name string, keys int, tmpl Config) KeyedAlgorithm {
 		panic(fmt.Sprintf("regmap: keyed algorithm %q needs at least 1 key, got %d", name, keys))
 	}
 	return KeyedAlgorithm{name: name, keys: keys, tmpl: tmpl}
+}
+
+// NewRestrictedKeyedAlgorithm is NewKeyedAlgorithm with per-key writer-set
+// enforcement: restrict(k, n) computes key k's writer set for an n-process
+// cluster, and New threads the resulting table through Config.Writers. A
+// write whose invoking process is outside its key's set completes
+// immediately as Rejected (the ErrNotWriter boundary), without running the
+// protocol — so key-less harnesses can drive schedules across rejection
+// boundaries and still judge the accepted operations.
+func NewRestrictedKeyedAlgorithm(name string, keys int, tmpl Config, restrict func(key, n int) []int) KeyedAlgorithm {
+	a := NewKeyedAlgorithm(name, keys, tmpl)
+	a.restrict = restrict
+	return a
 }
 
 // Name implements proto.Algorithm.
@@ -61,6 +76,12 @@ func (a KeyedAlgorithm) New(id, n, _ int) proto.Process {
 		}
 		cfg.DefaultWriters = all
 	}
+	if a.restrict != nil {
+		cfg.Writers = make(map[string][]int, a.keys)
+		for k := 0; k < a.keys; k++ {
+			cfg.Writers[a.KeyName(k)] = a.restrict(k, n)
+		}
+	}
 	sh, err := newShared(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("regmap: keyed algorithm %q: %v", a.name, err))
@@ -88,9 +109,19 @@ func (p *KeyedProc) StartRead(op proto.OpID) proto.Effects {
 	return p.node.Start(p.alg.KeyName(p.alg.KeyOf(op)), op, proto.OpRead, nil)
 }
 
-// StartWrite implements proto.Process; the write targets KeyOf(op).
+// StartWrite implements proto.Process; the write targets KeyOf(op). A
+// write through a process outside the key's writer set does not reach the
+// protocol: it completes immediately with Rejected set — the ErrNotWriter
+// boundary, surfaced as a terminated-but-ineffective operation so the
+// invoking process's schedule continues past it.
 func (p *KeyedProc) StartWrite(op proto.OpID, v proto.Value) proto.Effects {
-	return p.node.Start(p.alg.KeyName(p.alg.KeyOf(op)), op, proto.OpWrite, v)
+	key := p.alg.KeyName(p.alg.KeyOf(op))
+	if !p.node.IsWriter(key, p.node.ID()) {
+		var eff proto.Effects
+		eff.Done = append(eff.Done, proto.Completion{Op: op, Kind: proto.OpWrite, Rejected: true})
+		return eff
+	}
+	return p.node.Start(key, op, proto.OpWrite, v)
 }
 
 // LocalMemoryBits implements proto.Process.
@@ -119,11 +150,39 @@ func (p *KeyedProc) Node() *Node { return p.node }
 // vacuous there). Single-writer keys are covered by the same lemmas via
 // their one lane inside core.Proc and are skipped here.
 func CheckKeyedInvariants(procs []*KeyedProc) error {
+	var c KeyedInvariantChecker
+	return c.Check(procs)
+}
+
+// KeyedInvariantChecker is CheckKeyedInvariants with reusable scratch: the
+// sorted key list (keys are only ever added, so it refreshes only when the
+// reference node hosts a new key) and the per-key process slice both
+// amortize across post-delivery probes. Not safe for concurrent use; the
+// zero value is ready.
+type KeyedInvariantChecker struct {
+	ic   core.InvariantChecker
+	keys []string
+	mws  []*core.MWProc
+}
+
+// Check runs CheckKeyedInvariants with this checker's scratch.
+func (c *KeyedInvariantChecker) Check(procs []*KeyedProc) error {
 	if len(procs) == 0 {
 		return nil
 	}
-	for _, key := range procs[0].node.Keys() {
-		mws := make([]*core.MWProc, 0, len(procs))
+	nd := procs[0].node
+	if len(c.keys) != len(nd.regs) {
+		c.keys = c.keys[:0]
+		for k := range nd.regs {
+			c.keys = append(c.keys, k)
+		}
+		sort.Strings(c.keys)
+	}
+	if cap(c.mws) < len(procs) {
+		c.mws = make([]*core.MWProc, len(procs))
+	}
+	for _, key := range c.keys {
+		mws := c.mws[:0]
 		for _, p := range procs {
 			mw := p.node.MW(key)
 			if mw == nil {
@@ -134,7 +193,7 @@ func CheckKeyedInvariants(procs []*KeyedProc) error {
 		if len(mws) != len(procs) {
 			continue
 		}
-		if err := core.CheckMWGlobalInvariants(mws); err != nil {
+		if err := c.ic.CheckMWMR(mws); err != nil {
 			return fmt.Errorf("key %s: %w", key, err)
 		}
 	}

@@ -22,6 +22,10 @@ type Node struct {
 	// held counts them across destinations.
 	hold [][]KeyedMsg
 	held int
+
+	// sends is the Effects.Sends scratch reused across steps (see the
+	// proto.Effects contract: callers consume Sends before re-entering).
+	sends []proto.Send
 }
 
 // reg is one key's register instance: exactly one of swmr/mw is set,
@@ -115,7 +119,8 @@ func (nd *Node) Start(key string, op proto.OpID, kind proto.OpKind, val proto.Va
 		panic(fmt.Sprintf("regmap: process %d invoked write on key %q outside its writer set %v (harnesses must reject such writes first)",
 			nd.id, key, nd.sh.writersFor(key)))
 	}
-	var out proto.Effects
+	out := proto.Effects{Sends: nd.sends[:0]}
+	defer func() { nd.sends = out.Sends }()
 	r := nd.reg(key)
 	r.pending = append(r.pending, pendingOp{op: op, kind: kind, val: val})
 	nd.pump(key, r, proto.Effects{}, &out)
@@ -126,7 +131,8 @@ func (nd *Node) Start(key string, op proto.OpID, kind proto.OpKind, val proto.Va
 // its key's register, a MultiMsg unpacks subframe by subframe (in order —
 // coalescing preserves per-link frame order).
 func (nd *Node) Deliver(from int, msg proto.Message) proto.Effects {
-	var out proto.Effects
+	out := proto.Effects{Sends: nd.sends[:0]}
+	defer func() { nd.sends = out.Sends }()
 	switch m := msg.(type) {
 	case KeyedMsg:
 		nd.deliverKeyed(from, m, &out)
@@ -191,10 +197,11 @@ func (nd *Node) PendingFlush() bool { return nd.held > 0 }
 // chunks of at most MaxMultiFrames subframes, preserving emission order on
 // each link.
 func (nd *Node) Flush() proto.Effects {
-	var out proto.Effects
+	out := proto.Effects{Sends: nd.sends[:0]}
 	if nd.held == 0 {
 		return out
 	}
+	defer func() { nd.sends = out.Sends }()
 	for to := range nd.hold {
 		frames := nd.hold[to]
 		if len(frames) == 0 {

@@ -20,6 +20,14 @@ type Codec interface {
 	Decode(b []byte) (proto.Message, error)
 }
 
+// AppendCodec is the optional scratch-reuse extension of Codec: encoders
+// that can append into a caller-owned buffer let the mesh assemble each
+// outbound frame (header and body) in one reused buffer and one Write,
+// instead of allocating per message. wire.Codec implements it.
+type AppendCodec interface {
+	AppendEncode(dst []byte, msg proto.Message) ([]byte, error)
+}
+
 // maxFrame bounds inbound frames against corrupt or malicious peers.
 const maxFrame = 1 << 24
 
@@ -47,6 +55,7 @@ type Mesh struct {
 	peers   []string
 	conns   map[int]net.Conn      // outbound, lazily dialed
 	inbound map[net.Conn]struct{} // accepted, closed on shutdown
+	sendBuf []byte                // frame scratch, guarded by mu (AppendCodec path)
 	done    chan struct{}
 	wg      sync.WaitGroup
 }
@@ -178,7 +187,20 @@ func (m *Mesh) readFrame(r io.Reader) (proto.Message, error) {
 	return m.codec.Decode(body)
 }
 
+// writeFrame writes one length-prefixed message. Callers hold m.mu, which
+// makes the scratch buffer safe to reuse across sends.
 func (m *Mesh) writeFrame(w io.Writer, msg proto.Message) error {
+	if ac, ok := m.codec.(AppendCodec); ok {
+		buf := append(m.sendBuf[:0], 0, 0, 0, 0)
+		buf, err := ac.AppendEncode(buf, msg)
+		m.sendBuf = buf
+		if err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+		_, err = w.Write(buf)
+		return err
+	}
 	body, err := m.codec.Encode(msg)
 	if err != nil {
 		return err

@@ -79,6 +79,11 @@ type Codec struct{}
 // Encode implements the codec interface.
 func (Codec) Encode(msg proto.Message) ([]byte, error) { return Encode(msg) }
 
+// AppendEncode implements the transport's optional scratch-reuse interface.
+func (Codec) AppendEncode(dst []byte, msg proto.Message) ([]byte, error) {
+	return AppendEncode(dst, msg)
+}
+
 // Decode implements the codec interface.
 func (Codec) Decode(b []byte) (proto.Message, error) { return Decode(b) }
 
@@ -92,111 +97,110 @@ const MaxValueLen = 1 << 24
 // Encode renders a two-bit register message. It rejects messages of other
 // protocols and the explicit-seqnum ablation form (which is not two-bit by
 // construction).
-func Encode(msg proto.Message) ([]byte, error) {
+func Encode(msg proto.Message) ([]byte, error) { return AppendEncode(nil, msg) }
+
+// AppendEncode appends msg's encoding to dst and returns the extended
+// slice, so senders on a hot path (the TCP mesh's per-link frame writer)
+// can reuse one scratch buffer across messages instead of allocating per
+// encode. On error dst is returned unextended.
+func AppendEncode(dst []byte, msg proto.Message) ([]byte, error) {
 	switch m := msg.(type) {
 	case core.WriteMsg:
 		if m.Seq != 0 {
-			return nil, errors.New("wire: explicit-seqnum ablation messages are not wire-encodable")
+			return dst, errors.New("wire: explicit-seqnum ablation messages are not wire-encodable")
 		}
 		if m.Bit > 1 {
-			return nil, fmt.Errorf("wire: invalid write bit %d", m.Bit)
+			return dst, fmt.Errorf("wire: invalid write bit %d", m.Bit)
 		}
-		out := make([]byte, 1+len(m.Val))
-		out[0] = m.Bit // codeWrite0 / codeWrite1
-		copy(out[1:], m.Val)
-		return out, nil
+		dst = append(dst, m.Bit) // codeWrite0 / codeWrite1
+		return append(dst, m.Val...), nil
 	case core.ReadMsg:
-		return []byte{codeRead}, nil
+		return append(dst, codeRead), nil
 	case core.ProceedMsg:
-		return []byte{codeProc}, nil
+		return append(dst, codeProc), nil
 	case core.LaneMsg:
 		if err := checkLane(m.Writer, m.M.Bit, m.M.Seq); err != nil {
-			return nil, err
+			return dst, err
 		}
-		out := make([]byte, 2+len(m.M.Val))
-		out[0] = frameLane | m.M.Bit
-		out[1] = byte(m.Writer)
-		copy(out[2:], m.M.Val)
-		return out, nil
+		dst = append(dst, frameLane|m.M.Bit, byte(m.Writer))
+		return append(dst, m.M.Val...), nil
 	case core.LaneBatchMsg:
 		if err := checkLane(m.Writer, m.Bit, 0); err != nil {
-			return nil, err
+			return dst, err
 		}
 		if len(m.Vals) < 2 || len(m.Vals) > core.MaxBatchEntries {
-			return nil, fmt.Errorf("wire: lane batch with %d entries (want 2..%d)", len(m.Vals), core.MaxBatchEntries)
+			return dst, fmt.Errorf("wire: lane batch with %d entries (want 2..%d)", len(m.Vals), core.MaxBatchEntries)
 		}
-		size := 3
+		dst = append(dst, frameBatch|m.Bit, byte(m.Writer), byte(len(m.Vals)))
 		for _, v := range m.Vals {
-			size += 4 + len(v)
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(v)))
+			dst = append(dst, v...)
 		}
-		out := make([]byte, 3, size)
-		out[0] = frameBatch | m.Bit
-		out[1] = byte(m.Writer)
-		out[2] = byte(len(m.Vals))
-		for _, v := range m.Vals {
-			var l [4]byte
-			binary.BigEndian.PutUint32(l[:], uint32(len(v)))
-			out = append(out, l[:]...)
-			out = append(out, v...)
-		}
-		return out, nil
+		return dst, nil
 	case core.LaneCompactMsg:
 		if err := checkLane(m.Writer, m.Bit, 0); err != nil {
-			return nil, err
+			return dst, err
 		}
 		if m.Count < 2 || m.Count > core.MaxBatchEntries {
-			return nil, fmt.Errorf("wire: lane compact frame with count %d (want 2..%d)", m.Count, core.MaxBatchEntries)
+			return dst, fmt.Errorf("wire: lane compact frame with count %d (want 2..%d)", m.Count, core.MaxBatchEntries)
 		}
-		out := make([]byte, 3+len(m.Val))
-		out[0] = frameCompact | m.Bit
-		out[1] = byte(m.Writer)
-		out[2] = byte(m.Count)
-		copy(out[3:], m.Val)
-		return out, nil
+		dst = append(dst, frameCompact|m.Bit, byte(m.Writer), byte(m.Count))
+		return append(dst, m.Val...), nil
 	case regmap.KeyedMsg:
-		inner, err := encodeKeyedInner(m)
+		out, err := appendKeyedInner(append(dst, frameKeyed), m)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		out := make([]byte, 0, 2+len(m.Key)+len(inner))
-		out = append(out, frameKeyed, byte(len(m.Key)))
-		out = append(out, m.Key...)
-		out = append(out, inner...)
 		return out, nil
 	case regmap.MultiMsg:
 		if len(m.Frames) < 2 || len(m.Frames) > regmap.MaxMultiFrames {
-			return nil, fmt.Errorf("wire: keyed multi-frame with %d subframes (want 2..%d)", len(m.Frames), regmap.MaxMultiFrames)
+			return dst, fmt.Errorf("wire: keyed multi-frame with %d subframes (want 2..%d)", len(m.Frames), regmap.MaxMultiFrames)
 		}
-		out := []byte{frameMulti, byte(len(m.Frames))}
+		out := append(dst, frameMulti, byte(len(m.Frames)))
 		for _, f := range m.Frames {
-			inner, err := encodeKeyedInner(f)
-			if err != nil {
-				return nil, err
+			if err := checkKeyed(f); err != nil {
+				return dst, err
 			}
 			out = append(out, byte(len(f.Key)))
 			out = append(out, f.Key...)
-			var l [4]byte
-			binary.BigEndian.PutUint32(l[:], uint32(len(inner)))
-			out = append(out, l[:]...)
-			out = append(out, inner...)
+			// Reserve the u32 inner-length field, encode the subframe in
+			// place, then backfill the length — no per-subframe buffer.
+			lenAt := len(out)
+			out = append(out, 0, 0, 0, 0)
+			var err error
+			out, err = AppendEncode(out, f.Inner)
+			if err != nil {
+				return dst, err
+			}
+			binary.BigEndian.PutUint32(out[lenAt:lenAt+4], uint32(len(out)-lenAt-4))
 		}
 		return out, nil
 	default:
-		return nil, fmt.Errorf("wire: cannot encode %T", msg)
+		return dst, fmt.Errorf("wire: cannot encode %T", msg)
 	}
 }
 
-// encodeKeyedInner validates and encodes the payload of one keyed frame:
-// any encodable message except another keyed frame (no nesting).
-func encodeKeyedInner(m regmap.KeyedMsg) ([]byte, error) {
+// appendKeyedInner validates and appends the key and payload of one keyed
+// frame: any encodable message except another keyed frame (no nesting).
+func appendKeyedInner(dst []byte, m regmap.KeyedMsg) ([]byte, error) {
+	if err := checkKeyed(m); err != nil {
+		return dst, err
+	}
+	dst = append(dst, byte(len(m.Key)))
+	dst = append(dst, m.Key...)
+	return AppendEncode(dst, m.Inner)
+}
+
+// checkKeyed validates one keyed frame's key and nesting.
+func checkKeyed(m regmap.KeyedMsg) error {
 	if len(m.Key) > regmap.MaxKeyLen {
-		return nil, fmt.Errorf("wire: key of %d bytes exceeds the one-byte length field", len(m.Key))
+		return fmt.Errorf("wire: key of %d bytes exceeds the one-byte length field", len(m.Key))
 	}
 	switch m.Inner.(type) {
 	case regmap.KeyedMsg, regmap.MultiMsg:
-		return nil, fmt.Errorf("wire: keyed frames do not nest (%T inside a keyed frame)", m.Inner)
+		return fmt.Errorf("wire: keyed frames do not nest (%T inside a keyed frame)", m.Inner)
 	}
-	return Encode(m.Inner)
+	return nil
 }
 
 // checkLane validates the shared lane-frame fields.
@@ -388,17 +392,30 @@ func decodeKeyedInner(b []byte) (proto.Message, error) {
 
 // WriteFrame writes one length-prefixed message to w.
 func WriteFrame(w io.Writer, msg proto.Message) error {
-	body, err := Encode(msg)
+	var fw FrameWriter
+	return fw.WriteFrame(w, msg)
+}
+
+// FrameWriter writes length-prefixed messages through one reusable encode
+// buffer: the length header and body are assembled in place and shipped in
+// a single Write. Senders that keep a FrameWriter per link (or per mutex-
+// serialized sender, like the TCP mesh) take frame encoding off the heap.
+// Not safe for concurrent use.
+type FrameWriter struct {
+	buf []byte
+}
+
+// WriteFrame encodes msg into the writer's buffer and writes one frame.
+func (fw *FrameWriter) WriteFrame(w io.Writer, msg proto.Message) error {
+	buf := append(fw.buf[:0], 0, 0, 0, 0)
+	buf, err := AppendEncode(buf, msg)
+	fw.buf = buf
 	if err != nil {
 		return err
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: write frame header: %w", err)
-	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("wire: write frame body: %w", err)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	return nil
 }
