@@ -135,6 +135,10 @@ func runReplay(cfg config, out io.Writer) error {
 		fmt.Fprintf(out, "replayed      %s\n", r.Token)
 		fmt.Fprintf(out, "extent        %d events, %d msgs, end time %.3g\n", r.Events, r.Msgs, r.EndTime)
 		fmt.Fprintf(out, "operations    %d completed, %d pending\n", r.Completed, r.Pending)
+		if r.ReadRounds > 0 || r.WriteRounds > 0 {
+			fmt.Fprintf(out, "rounds/op     read %.2f, write %.2f\n", r.ReadRounds, r.WriteRounds)
+			fmt.Fprintf(out, "latency (Δ)   read %.2f, write %.2f\n", r.ReadLatency, r.WriteLatency)
+		}
 		fmt.Fprintf(out, "fingerprint   %s\n", r.Fingerprint)
 	}
 	if r.Failed() {

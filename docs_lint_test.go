@@ -1,0 +1,49 @@
+package twobitreg_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"twobitreg/internal/explore"
+)
+
+// TestDocListsAllAlgorithms is the docs lint: every algorithm and mutant
+// registered with the explorer must appear by name in doc.go's registered-
+// algorithms list, so the package documentation can never silently fall
+// behind the registry. CI runs this as a named docs-lint step.
+func TestDocListsAllAlgorithms(t *testing.T) {
+	t.Parallel()
+	doc, err := os.ReadFile("doc.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	var missing []string
+	for _, name := range append(explore.AlgorithmNames(), explore.MutantNames()...) {
+		// Match the name as a list entry ("- <name> —") so a bare substring
+		// of a longer name cannot satisfy the check.
+		if !strings.Contains(text, "//   - "+name+" ") {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("doc.go's registered-algorithms list is missing %v — add each as a \"//   - <name> — ...\" entry", missing)
+	}
+}
+
+// TestDocLinksArchitecture keeps the doc.go pointer to ARCHITECTURE.md and
+// the document itself from drifting apart.
+func TestDocLinksArchitecture(t *testing.T) {
+	t.Parallel()
+	doc, err := os.ReadFile("doc.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(doc), "ARCHITECTURE.md") {
+		t.Fatal("doc.go does not reference ARCHITECTURE.md")
+	}
+	if _, err := os.Stat("ARCHITECTURE.md"); err != nil {
+		t.Fatalf("ARCHITECTURE.md missing: %v", err)
+	}
+}

@@ -187,7 +187,7 @@ func (p *Proc) finishIfQuorum(eff *proto.Effects) {
 	switch c.phase {
 	case phaseWriteAck:
 		p.cur = nil
-		eff.AddDone(c.op, proto.OpWrite, nil)
+		eff.AddDoneRounds(c.op, proto.OpWrite, nil, 1)
 	case phaseReadQuery:
 		// Phase 2: write back the maximum before returning it.
 		c.phase = phaseReadBack
@@ -204,8 +204,9 @@ func (p *Proc) finishIfQuorum(eff *proto.Effects) {
 		// A 1-process instance has its quorum immediately.
 		p.finishIfQuorum(eff)
 	case phaseReadBack:
+		// Rounds 2: the query round plus the write-back round.
 		p.cur = nil
-		eff.AddDone(c.op, proto.OpRead, c.val.Clone())
+		eff.AddDoneRounds(c.op, proto.OpRead, c.val.Clone(), 2)
 	}
 }
 

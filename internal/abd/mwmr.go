@@ -197,8 +197,9 @@ func (p *MWMRProc) finishIfQuorum(eff *proto.Effects) {
 		}
 		p.finishIfQuorum(eff)
 	case mwmrWriteProp:
+		// Rounds 2: the timestamp query plus the propagation round.
 		p.cur = nil
-		eff.AddDone(c.op, proto.OpWrite, nil)
+		eff.AddDoneRounds(c.op, proto.OpWrite, nil, 2)
 	case mwmrReadQuery:
 		c.phase = mwmrReadBack
 		c.ts = c.maxTS
@@ -214,7 +215,7 @@ func (p *MWMRProc) finishIfQuorum(eff *proto.Effects) {
 		p.finishIfQuorum(eff)
 	case mwmrReadBack:
 		p.cur = nil
-		eff.AddDone(c.op, proto.OpRead, c.val.Clone())
+		eff.AddDoneRounds(c.op, proto.OpRead, c.val.Clone(), 2)
 	}
 }
 

@@ -272,7 +272,7 @@ func (c *Cluster) invoke(pid int, kind proto.OpKind, v proto.Value) (proto.Compl
 		c.cfg.OnComplete(op, pid, r.c)
 	}
 	if c.cfg.Collector != nil {
-		c.cfg.Collector.OnOp(kind, time.Since(start).Seconds())
+		c.cfg.Collector.OnOp(kind, time.Since(start).Seconds(), r.c.Rounds)
 	}
 	return r.c, nil
 }

@@ -30,6 +30,7 @@ type options struct {
 	explicitSeqnums bool
 	writerLocalRead bool
 	gcHistory       bool
+	classicReads    bool
 	fault           Fault
 }
 
@@ -324,7 +325,7 @@ func (p *Proc) advanceOp(eff *proto.Effects) bool {
 		if p.lane.CountEq(p.cur.wsn) >= need {
 			op := p.cur
 			p.cur = nil
-			eff.AddDone(op.op, proto.OpWrite, nil)
+			eff.AddDoneRounds(op.op, proto.OpWrite, nil, 1)
 			return true
 		}
 	case phaseReadAck:
@@ -340,8 +341,8 @@ func (p *Proc) advanceOp(eff *proto.Effects) bool {
 		if p.lane.CountGE(p.cur.sn) >= p.quorum() {
 			op := p.cur
 			p.cur = nil
-			// Line 10.
-			eff.AddDone(op.op, proto.OpRead, p.lane.HistAt(op.sn).Clone())
+			// Line 10. Rounds 2: the PROCEED round plus the line-9 confirm.
+			eff.AddDoneRounds(op.op, proto.OpRead, p.lane.HistAt(op.sn).Clone(), 2)
 			return true
 		}
 	}

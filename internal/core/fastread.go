@@ -1,0 +1,323 @@
+package core
+
+// fastread.go implements the fast-path read variant of the two-bit register
+// (registered as "twobit-fastread"), in the spirit of the one-round /
+// one-and-a-half-round reads of Mostéfaoui & Raynal's time-efficient
+// register and Hadjistasi–Nicolaou–Schwarzmann's Oh-RAM!.
+//
+// The classic read (Figure 1, lines 5-10) is structurally two rounds: the
+// READ/PROCEED exchange — in which each responder PARKS the request behind
+// the line-20 guard until it believes the reader has caught up to its own
+// top — followed by the line-9 confirm wait. The fast variant removes the
+// parking and, when it can, the whole second round:
+//
+//   - The reader broadcasts READF(). Every responder answers IMMEDIATELY
+//     with PROCEEDF(top, conf): its current stream position top = w_sync[j]
+//     and conf, the largest index it knows a quorum to hold (the quorum-th
+//     largest entry of its w_sync vector; conf <= top by Lemma 2).
+//   - After n-t answers (its own position included) the reader forms
+//     T = max reported top and C = max reported conf.
+//   - Fast path (one round): if C >= T and the reader's own lane holds T,
+//     the freshest index in the answer set is already quorum-confirmed —
+//     no unconfirmed write forces a confirm phase — and the reader returns
+//     history[T] at once.
+//   - Slow path (two rounds): otherwise the reader pins sn = T and waits
+//     out the line-9 predicate locally (own top >= sn and n-t entries of
+//     w_sync at >= sn), served by the ordinary WRITE flood; then returns
+//     history[sn].
+//
+// Why this is still atomic. Let w be any write completed before the read
+// was invoked, at index k. The n-t answers counted toward the quorum are
+// fresh — the alternating READF/PROCEEDF counting (the same r_sync
+// discipline as lines 5-7) means the answer that fills each responder's
+// slot was sent after that responder received this read's request — so the
+// answer quorum intersects w's completion quorum in some p_j whose reported
+// top_j >= k, hence T >= k: no completed write is missed. The returned
+// index is quorum-confirmed in both paths (C >= T means some responder
+// genuinely knew a quorum at >= T; the slow path establishes the same fact
+// locally), so a later read's fresh answer quorum intersects that quorum
+// and reports T' >= T — reads never go backward. Stale answers from an
+// earlier request can only raise T toward a genuinely appended index,
+// which is harmless.
+//
+// What it costs: a PROCEEDF answer carries two 64-bit stream positions, so
+// its control size is 2+128 bits against the paper's pure two-bit census —
+// this is exactly the latency-vs-census tradeoff EXPERIMENTS.md E-FR1
+// tabulates. Writes are untouched: the lane engine propagates them with
+// two-bit WRITE messages exactly as in Figure 1.
+
+import (
+	"fmt"
+	"sort"
+
+	"twobitreg/internal/proto"
+)
+
+// FastCounterBits is the width of each stream-position counter a PROCEEDF
+// answer carries (top and conf), accounted honestly in its ControlBits.
+const FastCounterBits = 64
+
+// ReadFMsg is READF(): the fast-read request. Like READ it carries nothing
+// but its type.
+type ReadFMsg struct{}
+
+// TypeName returns "READF".
+func (ReadFMsg) TypeName() string { return "READF" }
+
+// ControlBits is 2.
+func (ReadFMsg) ControlBits() int { return 2 }
+
+// DataBytes is 0.
+func (ReadFMsg) DataBytes() int { return 0 }
+
+// ProceedFMsg is PROCEEDF(top, conf): the immediate fast-read answer. Top
+// is the responder's stream position w_sync[j]; Conf is the largest index
+// the responder knows a quorum to hold (Conf <= Top always).
+type ProceedFMsg struct {
+	Top  int
+	Conf int
+}
+
+// TypeName returns "PROCEEDF".
+func (ProceedFMsg) TypeName() string { return "PROCEEDF" }
+
+// ControlBits is 2 plus the two stream-position counters — the census price
+// of answering without parking.
+func (ProceedFMsg) ControlBits() int { return 2 + 2*FastCounterBits }
+
+// DataBytes is 0.
+func (ProceedFMsg) DataBytes() int { return 0 }
+
+// WithClassicReads forces the fast-read variant down the classic Figure-1
+// read path: StartRead delegates verbatim to the embedded Proc, so the
+// message stream is byte-identical to a plain twobit mesh. Differential
+// tests use it to pin that the fast-read machinery perturbs nothing when
+// the fast path is off.
+func WithClassicReads() Option { return func(o *options) { o.classicReads = true } }
+
+type fastPhase uint8
+
+const (
+	fastAck     fastPhase = iota + 1 // round 1: n-t PROCEEDF answers
+	fastConfirm                      // round 2: local line-9-style confirm at sn
+)
+
+type fastOp struct {
+	op      proto.OpID
+	phase   fastPhase
+	rsn     int // answer-counting sequence number (line-5 analog)
+	maxTop  int // T: freshest stream position reported
+	maxConf int // C: freshest quorum-confirmed position reported
+	sn      int // slow path: index pinned for the confirm wait
+}
+
+// FastProc is one process of the fast-read variant: the classic two-bit
+// engine (an embedded Proc drives the lane, the write protocol, and — under
+// WithClassicReads — the classic read protocol) plus the READF/PROCEEDF
+// fast-read client protocol. It implements proto.Process and must be driven
+// by a single goroutine.
+type FastProc struct {
+	p       *Proc
+	cur     *fastOp
+	scratch []int // confirmedIndex sort scratch
+}
+
+// NewFast returns the fast-read process with index id of an n-process
+// instance whose single writer is process writer.
+func NewFast(id, n, writer int, opts ...Option) *FastProc {
+	return &FastProc{p: New(id, n, writer, opts...)}
+}
+
+// FastAlgorithm returns a proto.Algorithm that builds fast-read processes
+// with the given options.
+func FastAlgorithm(opts ...Option) proto.Algorithm { return fastAlgorithm{opts: opts} }
+
+type fastAlgorithm struct{ opts []Option }
+
+func (fastAlgorithm) Name() string { return "twobit-fastread" }
+
+func (a fastAlgorithm) New(id, n, writer int) proto.Process {
+	return NewFast(id, n, writer, a.opts...)
+}
+
+// ID implements proto.Process.
+func (fp *FastProc) ID() int { return fp.p.id }
+
+// Writer returns the index of the designated writer.
+func (fp *FastProc) Writer() int { return fp.p.writer }
+
+// Base returns the embedded classic engine, whose lane state obeys the same
+// proof invariants as a plain Proc (the write path is untouched); the
+// explorer's invariant probes check it lane for lane.
+func (fp *FastProc) Base() *Proc { return fp.p }
+
+// StartWrite delegates to the classic write protocol (lines 1-3): the fast
+// variant changes nothing about writes.
+func (fp *FastProc) StartWrite(op proto.OpID, v proto.Value) proto.Effects {
+	if fp.cur != nil {
+		panic(fmt.Sprintf("core: process %d invoked write while a read is in flight (processes are sequential)", fp.p.id))
+	}
+	return fp.p.StartWrite(op, v)
+}
+
+// StartRead begins a fast read: broadcast READF and wait for n-t answers.
+// The writer's local fast path and the WithClassicReads mode delegate to the
+// classic protocol.
+func (fp *FastProc) StartRead(op proto.OpID) proto.Effects {
+	p := fp.p
+	if fp.cur != nil {
+		panic(fmt.Sprintf("core: process %d invoked read while a read is in flight (processes are sequential)", p.id))
+	}
+	if p.opts.classicReads || (p.id == p.writer && p.opts.writerLocalRead) {
+		return p.StartRead(op)
+	}
+	if p.cur != nil {
+		panic(fmt.Sprintf("core: process %d invoked read while a %s is in flight (processes are sequential)", p.id, p.cur.kind))
+	}
+	eff := proto.Effects{Sends: p.sends[:0]}
+	defer func() { p.sends = eff.Sends }()
+	// Line-5 analog: the r_sync counting discipline guarantees the answers
+	// counted below were sent after this request — the freshness the
+	// quorum-intersection argument needs.
+	rsn := p.rSync[p.id] + 1
+	p.rSync[p.id] = rsn
+	for j := 0; j < p.n; j++ {
+		if j != p.id {
+			eff.AddSend(j, ReadFMsg{})
+			p.msgsSent++
+		}
+	}
+	fp.cur = &fastOp{
+		op: op, phase: fastAck, rsn: rsn,
+		maxTop: p.lane.Top(), maxConf: fp.confirmedIndex(),
+	}
+	fp.advance(&eff)
+	return eff
+}
+
+// Deliver handles the fast-read messages and delegates everything else
+// (WRITEs, and classic READ/PROCEED in mixed or forced-classic meshes) to
+// the embedded engine, then re-examines the in-flight fast read.
+func (fp *FastProc) Deliver(from int, msg proto.Message) proto.Effects {
+	p := fp.p
+	switch m := msg.(type) {
+	case ReadFMsg:
+		eff := proto.Effects{Sends: p.sends[:0]}
+		// Answer immediately with this process's stream positions — no
+		// line-20 parking. That immediacy is the fast path's point: the
+		// reader, not the responder, decides whether a confirm is needed.
+		eff.AddSend(from, ProceedFMsg{Top: p.lane.Top(), Conf: fp.confirmedIndex()})
+		p.msgsSent++
+		p.sends = eff.Sends
+		return eff
+	case ProceedFMsg:
+		eff := proto.Effects{Sends: p.sends[:0]}
+		p.rSync[from]++
+		if c := fp.cur; c != nil && c.phase == fastAck {
+			if m.Top > c.maxTop {
+				c.maxTop = m.Top
+			}
+			if m.Conf > c.maxConf {
+				c.maxConf = m.Conf
+			}
+		}
+		fp.advance(&eff)
+		p.sends = eff.Sends
+		return eff
+	default:
+		eff := p.Deliver(from, msg)
+		fp.advance(&eff)
+		return eff
+	}
+}
+
+// advance evaluates the in-flight fast read's wait predicate and moves it
+// forward when satisfied (the drain analog for the fast-read phases; lane
+// state only changes inside p.Deliver, so one check per delivery suffices).
+func (fp *FastProc) advance(eff *proto.Effects) {
+	c := fp.cur
+	if c == nil {
+		return
+	}
+	p := fp.p
+	switch c.phase {
+	case fastAck:
+		if p.countRSyncEq(c.rsn) < p.quorum() {
+			return
+		}
+		// Fold in this process's own position once more: its lane may have
+		// advanced while the answers were in flight.
+		if t := p.lane.Top(); t > c.maxTop {
+			c.maxTop = t
+		}
+		if cf := fp.confirmedIndex(); cf > c.maxConf {
+			c.maxConf = cf
+		}
+		if p.opts.fault == FaultSkipConfirm {
+			// Mutant: return the local top unconditionally — correct only
+			// when the fast-path test would have passed anyway.
+			fp.cur = nil
+			eff.AddDoneRounds(c.op, proto.OpRead, p.lane.HistAt(p.lane.Top()).Clone(), 1)
+			return
+		}
+		if c.maxConf >= c.maxTop && p.lane.Top() >= c.maxTop {
+			// Fast path: the freshest reported index is already
+			// quorum-confirmed and locally held — one round.
+			fp.cur = nil
+			eff.AddDoneRounds(c.op, proto.OpRead, p.lane.HistAt(c.maxTop).Clone(), 1)
+			return
+		}
+		// Slow path: pin sn = T and wait out the line-9 predicate locally.
+		// The predicate is false here by construction (a local confirm at T
+		// would have made confirmedIndex() >= T above), so the op parks for
+		// a genuine second round, woken by WRITE deliveries.
+		c.sn = c.maxTop
+		c.phase = fastConfirm
+	case fastConfirm:
+		if p.lane.Top() >= c.sn && p.lane.CountGE(c.sn) >= p.quorum() {
+			fp.cur = nil
+			eff.AddDoneRounds(c.op, proto.OpRead, p.lane.HistAt(c.sn).Clone(), 2)
+		}
+	}
+}
+
+// confirmedIndex returns the largest history index this process knows a
+// quorum to hold: the quorum-th largest w_sync entry. By Lemma 2
+// (w_sync[j] <= w_sync[i] for all j) it never exceeds the local top, so a
+// responder always holds the value at the Conf it reports.
+func (fp *FastProc) confirmedIndex() int {
+	p := fp.p
+	if cap(fp.scratch) < p.n {
+		fp.scratch = make([]int, p.n)
+	}
+	s := fp.scratch[:p.n]
+	for j := 0; j < p.n; j++ {
+		s[j] = p.lane.WSync(j)
+	}
+	sort.Ints(s)
+	return s[p.n-p.quorum()]
+}
+
+// LocalMemoryBits adds the fast-read bookkeeping (one pinned index) to the
+// classic engine's accounting.
+func (fp *FastProc) LocalMemoryBits() int { return fp.p.LocalMemoryBits() + 64 }
+
+// --- introspection for tests and the eval harness ---
+
+// WSync returns w_sync[j].
+func (fp *FastProc) WSync(j int) int { return fp.p.WSync(j) }
+
+// HistoryLen returns the number of known values including v0.
+func (fp *FastProc) HistoryLen() int { return fp.p.HistoryLen() }
+
+// MsgsSent returns the number of messages this process has emitted.
+func (fp *FastProc) MsgsSent() int { return fp.p.MsgsSent() }
+
+// Idle reports whether the process has no in-flight client operation.
+func (fp *FastProc) Idle() bool { return fp.cur == nil && fp.p.Idle() }
+
+var (
+	_ proto.Process = (*FastProc)(nil)
+	_ proto.Message = ReadFMsg{}
+	_ proto.Message = ProceedFMsg{}
+)

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"twobitreg/internal/proto"
+)
+
+// fastHarness routes effects between FastProc instances synchronously, with
+// optional per-message holds so tests can park WRITE deliveries and force
+// the slow path. The simulator-level behaviour (delays, adversaries) is
+// exercised in internal/explore.
+type fastHarness struct {
+	t     *testing.T
+	procs []*FastProc
+	queue []queued
+	held  []queued
+	hold  func(q queued) bool
+	done  []proto.Completion
+}
+
+func newFastHarness(t *testing.T, n, writer int, opts ...Option) *fastHarness {
+	t.Helper()
+	h := &fastHarness{t: t}
+	for i := 0; i < n; i++ {
+		h.procs = append(h.procs, NewFast(i, n, writer, opts...))
+	}
+	return h
+}
+
+func (h *fastHarness) absorb(from int, eff proto.Effects) {
+	for _, s := range eff.Sends {
+		q := queued{from: from, to: s.To, msg: s.Msg}
+		if h.hold != nil && h.hold(q) {
+			h.held = append(h.held, q)
+			continue
+		}
+		h.queue = append(h.queue, q)
+	}
+	h.done = append(h.done, eff.Done...)
+}
+
+func (h *fastHarness) deliverAll() {
+	for len(h.queue) > 0 {
+		q := h.queue[0]
+		h.queue = h.queue[1:]
+		h.absorb(q.to, h.procs[q.to].Deliver(q.from, q.msg))
+	}
+}
+
+// release moves the held messages back into the live queue and drains.
+func (h *fastHarness) release() {
+	h.hold = nil
+	h.queue = append(h.queue, h.held...)
+	h.held = nil
+	h.deliverAll()
+}
+
+func (h *fastHarness) write(pid int, op proto.OpID, v proto.Value) {
+	h.absorb(pid, h.procs[pid].StartWrite(op, v))
+}
+
+func (h *fastHarness) read(pid int, op proto.OpID) {
+	h.absorb(pid, h.procs[pid].StartRead(op))
+}
+
+func (h *fastHarness) completed(op proto.OpID) (proto.Completion, bool) {
+	for _, c := range h.done {
+		if c.Op == op {
+			return c, true
+		}
+	}
+	return proto.Completion{}, false
+}
+
+func (h *fastHarness) mustComplete(op proto.OpID) proto.Completion {
+	h.t.Helper()
+	c, ok := h.completed(op)
+	if !ok {
+		h.t.Fatalf("operation %d did not complete", op)
+	}
+	return c
+}
+
+// TestFastReadQuiescentOneRound: with no write in flight every responder
+// reports Conf == Top, so the read completes on the PROCEEDF quorum alone —
+// one round — with the latest value.
+func TestFastReadQuiescentOneRound(t *testing.T) {
+	t.Parallel()
+	h := newFastHarness(t, 5, 0)
+	for k := 1; k <= 3; k++ {
+		h.write(0, proto.OpID(k), val(fmt.Sprintf("v%d", k)))
+		h.deliverAll()
+	}
+	h.read(1, 10)
+	h.deliverAll()
+	c := h.mustComplete(10)
+	if !c.Value.Equal(val("v3")) {
+		t.Fatalf("fast read = %q, want %q", c.Value, "v3")
+	}
+	if c.Rounds != 1 {
+		t.Fatalf("quiescent fast read took %d rounds, want 1", c.Rounds)
+	}
+}
+
+// TestFastReadSlowPathUnconfirmedWrite: a WRITE delivered to only one
+// responder leaves an index that is fresh but not quorum-confirmed
+// (Conf < Top at that responder), so a reader that hears of it must fall
+// back to the confirm round — and still returns the new value.
+func TestFastReadSlowPathUnconfirmedWrite(t *testing.T) {
+	t.Parallel()
+	h := newFastHarness(t, 5, 0)
+	// Park the writer's WRITEs to everyone but process 1.
+	h.hold = func(q queued) bool {
+		_, isWrite := q.msg.(WriteMsg)
+		return isWrite && q.to != 1
+	}
+	h.write(0, 1, val("v1"))
+	h.deliverAll()
+	if _, ok := h.completed(1); ok {
+		t.Fatal("write completed with only one WRITE delivered (quorum is 3)")
+	}
+	// Process 1 holds index 1 unconfirmed: its answer reports Top=1, Conf<1.
+	// The reader must take the slow path; releasing the WRITE flood then
+	// satisfies the line-9 predicate.
+	h.hold = func(q queued) bool {
+		_, isWrite := q.msg.(WriteMsg)
+		return isWrite
+	}
+	h.read(2, 10)
+	h.deliverAll()
+	if _, ok := h.completed(10); ok {
+		t.Fatal("read completed before the write was quorum-confirmed anywhere")
+	}
+	h.release()
+	c := h.mustComplete(10)
+	if !c.Value.Equal(val("v1")) {
+		t.Fatalf("slow-path read = %q, want %q", c.Value, "v1")
+	}
+	if c.Rounds != 2 {
+		t.Fatalf("slow-path read took %d rounds, want 2", c.Rounds)
+	}
+	h.mustComplete(1) // the write itself finishes once the flood lands
+}
+
+// TestFastReadWriterLocalRead: the writer's own reads stay local (the
+// classic writer-local path), costing zero rounds and zero messages.
+func TestFastReadWriterLocalRead(t *testing.T) {
+	t.Parallel()
+	h := newFastHarness(t, 3, 0)
+	h.write(0, 1, val("v1"))
+	h.deliverAll()
+	sent := h.procs[0].MsgsSent()
+	h.read(0, 2)
+	c := h.mustComplete(2)
+	if !c.Value.Equal(val("v1")) {
+		t.Fatalf("writer-local read = %q, want %q", c.Value, "v1")
+	}
+	if c.Rounds != 0 {
+		t.Fatalf("writer-local read took %d rounds, want 0", c.Rounds)
+	}
+	if h.procs[0].MsgsSent() != sent {
+		t.Fatal("writer-local read sent messages")
+	}
+}
+
+// TestFastReadMutantSkipsConfirm pins what FaultSkipConfirm breaks: in the
+// exact scenario of TestFastReadSlowPathUnconfirmedWrite the mutant returns
+// at the answer quorum with its own (stale) top instead of entering the
+// confirm round.
+func TestFastReadMutantSkipsConfirm(t *testing.T) {
+	t.Parallel()
+	h := newFastHarness(t, 5, 0, WithFault(FaultSkipConfirm))
+	h.write(0, 1, val("v1"))
+	h.deliverAll() // v1 quorum-confirmed everywhere
+	h.hold = func(q queued) bool {
+		_, isWrite := q.msg.(WriteMsg)
+		return isWrite && q.to != 1
+	}
+	h.write(0, 2, val("v2"))
+	h.deliverAll()
+	h.hold = func(q queued) bool {
+		_, isWrite := q.msg.(WriteMsg)
+		return isWrite
+	}
+	h.read(2, 10)
+	h.deliverAll()
+	c := h.mustComplete(10)
+	if c.Rounds != 1 {
+		t.Fatalf("mutant read took %d rounds, want 1 (it skips the confirm)", c.Rounds)
+	}
+	if !c.Value.Equal(val("v1")) {
+		t.Fatalf("mutant read = %q; this schedule should expose the stale value %q", c.Value, "v1")
+	}
+	// The correct protocol on the same schedule parks instead.
+	h2 := newFastHarness(t, 5, 0)
+	h2.write(0, 1, val("v1"))
+	h2.deliverAll()
+	h2.hold = func(q queued) bool {
+		_, isWrite := q.msg.(WriteMsg)
+		return isWrite && q.to != 1
+	}
+	h2.write(0, 2, val("v2"))
+	h2.deliverAll()
+	h2.hold = func(q queued) bool {
+		_, isWrite := q.msg.(WriteMsg)
+		return isWrite
+	}
+	h2.read(2, 10)
+	h2.deliverAll()
+	if _, ok := h2.completed(10); ok {
+		t.Fatal("correct protocol completed the read while index 2 was unconfirmed")
+	}
+	h2.release()
+	if c := h2.mustComplete(10); !c.Value.Equal(val("v2")) {
+		t.Fatalf("correct slow-path read = %q, want %q", c.Value, "v2")
+	}
+}
+
+// TestFastReadSequentialityGuard: a second client operation during an
+// in-flight fast read must panic (processes are sequential).
+func TestFastReadSequentialityGuard(t *testing.T) {
+	t.Parallel()
+	h := newFastHarness(t, 3, 0)
+	h.read(1, 1) // in flight: no answers delivered yet
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second operation during an in-flight fast read did not panic")
+		}
+	}()
+	h.procs[1].StartRead(2)
+}
+
+// fastMsgRecord is one observed send of the differential test.
+type fastMsgRecord struct {
+	from, to  int
+	typeName  string
+	ctrlBits  int
+	dataBytes int
+}
+
+// TestFastReadForcedClassicByteIdentical is the differential gate: a
+// FastProc mesh under WithClassicReads must put exactly the plain twobit
+// mesh's message stream on the wire — same types, sizes, endpoints, order —
+// and complete the same operations with the same values and rounds.
+func TestFastReadForcedClassicByteIdentical(t *testing.T) {
+	t.Parallel()
+	const n = 5
+	type op struct {
+		pid  int
+		kind proto.OpKind
+		val  string
+	}
+	var script []op
+	for round := 1; round <= 4; round++ {
+		script = append(script, op{pid: 0, kind: proto.OpWrite, val: fmt.Sprintf("v%d", round)})
+		script = append(script, op{pid: 1 + round%3, kind: proto.OpRead})
+		script = append(script, op{pid: 0, kind: proto.OpRead}) // writer-local
+	}
+
+	runMesh := func(start func(pid int, id proto.OpID, o op) proto.Effects,
+		deliver func(from, to int, m proto.Message) proto.Effects) ([]fastMsgRecord, []proto.Completion) {
+		var log []fastMsgRecord
+		var done []proto.Completion
+		var queue []queued
+		absorb := func(from int, eff proto.Effects) {
+			for _, s := range eff.Sends {
+				log = append(log, fastMsgRecord{from: from, to: s.To,
+					typeName: s.Msg.TypeName(), ctrlBits: s.Msg.ControlBits(), dataBytes: s.Msg.DataBytes()})
+				queue = append(queue, queued{from: from, to: s.To, msg: s.Msg})
+			}
+			done = append(done, eff.Done...)
+		}
+		for i, o := range script {
+			absorb(o.pid, start(o.pid, proto.OpID(i+1), o))
+			for len(queue) > 0 {
+				q := queue[0]
+				queue = queue[1:]
+				absorb(q.to, deliver(q.from, q.to, q.msg))
+			}
+		}
+		return log, done
+	}
+
+	fast := make([]*FastProc, n)
+	for i := range fast {
+		fast[i] = NewFast(i, n, 0, WithClassicReads())
+	}
+	gotLog, gotDone := runMesh(
+		func(pid int, id proto.OpID, o op) proto.Effects {
+			if o.kind == proto.OpWrite {
+				return fast[pid].StartWrite(id, val(o.val))
+			}
+			return fast[pid].StartRead(id)
+		},
+		func(from, to int, m proto.Message) proto.Effects { return fast[to].Deliver(from, m) },
+	)
+
+	plain := make([]*Proc, n)
+	for i := range plain {
+		plain[i] = New(i, n, 0)
+	}
+	wantLog, wantDone := runMesh(
+		func(pid int, id proto.OpID, o op) proto.Effects {
+			if o.kind == proto.OpWrite {
+				return plain[pid].StartWrite(id, val(o.val))
+			}
+			return plain[pid].StartRead(id)
+		},
+		func(from, to int, m proto.Message) proto.Effects { return plain[to].Deliver(from, m) },
+	)
+
+	if len(gotLog) == 0 {
+		t.Fatal("empty message stream — the script drove nothing")
+	}
+	if len(gotLog) != len(wantLog) {
+		t.Fatalf("message count diverged: forced-classic fastread sent %d, plain twobit %d", len(gotLog), len(wantLog))
+	}
+	for i := range gotLog {
+		if gotLog[i] != wantLog[i] {
+			t.Fatalf("message %d diverged:\n  fastread: %+v\n  twobit:   %+v", i, gotLog[i], wantLog[i])
+		}
+	}
+	if len(gotDone) != len(wantDone) {
+		t.Fatalf("completion count diverged: %d vs %d", len(gotDone), len(wantDone))
+	}
+	for i := range gotDone {
+		g, w := gotDone[i], wantDone[i]
+		if g.Op != w.Op || g.Kind != w.Kind || !g.Value.Equal(w.Value) || g.Rounds != w.Rounds {
+			t.Fatalf("completion %d diverged:\n  fastread: %+v\n  twobit:   %+v", i, g, w)
+		}
+	}
+}

@@ -647,7 +647,8 @@ func (p *MWProc) advanceOp(eff *proto.Effects) bool {
 		if p.ownLane().CountGE(p.cur.wsn) >= p.quorum() {
 			op := p.cur
 			p.cur = nil
-			eff.AddDone(op.op, proto.OpWrite, nil)
+			// Rounds 2: the freshness round plus the propagation quorum.
+			eff.AddDoneRounds(op.op, proto.OpWrite, nil, 2)
 			return true
 		}
 	case mwReadSync:
@@ -675,7 +676,8 @@ func (p *MWProc) advanceOp(eff *proto.Effects) bool {
 					u = k
 				}
 			}
-			eff.AddDone(op.op, proto.OpRead, p.lanes[u].HistAt(op.sn[u]).Clone())
+			// Rounds 2: the freshness round plus the vector confirm.
+			eff.AddDoneRounds(op.op, proto.OpRead, p.lanes[u].HistAt(op.sn[u]).Clone(), 2)
 			p.putSN(op.sn)
 			op.sn = nil
 			return true

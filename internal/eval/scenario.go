@@ -115,7 +115,7 @@ func RunScenario(alg proto.Algorithm, spec ScenarioSpec) (ScenarioResult, error)
 				val proto.Value
 			}{at, c.Value}
 			if info := invoked[c.Op]; info != nil {
-				col.OnOp(c.Kind, at-info.inv)
+				col.OnOp(c.Kind, at-info.inv, c.Rounds)
 			}
 		}),
 	}

@@ -26,19 +26,64 @@
 // # Replay tokens
 //
 // Every run is described completely by a Schedule — algorithm, strategy,
-// seed, and sizes — which serializes to a one-line token such as
+// seed, and sizes — which serializes to a one-line colon-separated token of
+// 8 to 11 fields:
 //
-//	xb1:twobit:slowquorum:7:5:30:0.6:1
+//	xb1:<alg>:<strategy>:<seed>:<n>:<ops>:<readfrac>:<crashes>[:<writers>[:<pct>[:<skew>]]]
 //
-// (multi-writer schedules carry the writer count as a 9th field, e.g.
-// xb1:abd-mwmr:race:7:5:30:0.6:1:3). Failures reproduce byte for byte from
-// their token:
+// The fields, in order:
+//
+//  1. version   — always "xb1" (tokenVersion). Bumped whenever a change
+//     alters what a descriptor reproduces; an old token must
+//     fail to parse rather than silently replay a different run.
+//  2. alg       — algorithm or mutant name (AlgorithmNames, MutantNames).
+//  3. strategy  — adversary name (StrategyNames).
+//  4. seed      — int64 driving every random choice: the workload, the
+//     adversary's delay draws, crash placement, tie-breaking.
+//     Decorrelated per consumer by the seedSalt* constants,
+//     which are part of the token-version contract.
+//  5. n         — process count; process 0 is the (first) writer.
+//  6. ops       — total client operations in the workload.
+//  7. readfrac  — read fraction in [0,1], %g-formatted.
+//  8. crashes   — processes the adversary crashes (capped at MaxFaulty(n)).
+//  9. writers   — OPTIONAL. Concurrent writer processes (pids
+//     0..writers-1). 0 and 1 both mean the classic
+//     single-writer workload; such schedules serialize to the
+//     8-field form (Run canonicalizes Writers 1 -> 0), so
+//     historical tokens stay byte-identical. A bare 9-field
+//     token therefore requires writers >= 2.
+//  10. pct       — OPTIONAL. Priority change points of the d-bounded PCT
+//     adversary (pct strategy only). A bare 10-field token
+//     requires pct >= 1; in that form a single-writer schedule
+//     carries the canonical writer count 1 in field 9. pct = 0
+//     keeps the legacy per-event random tie draw.
+//  11. skew      — OPTIONAL. Hot-writer weight: writer 0 issues skew times
+//     each peer's write rate. Requires writers >= 2 and
+//     skew >= 2 (0 and 1 are the balanced draw and serialize
+//     without the field); in the 11-field form the pct column
+//     rides along, possibly as its default 0, so skew lands in
+//     a fixed position.
+//
+// Worked example:
+//
+//	xb1:regmap-mwmr:slowquorum:42:5:60:0.9:0:3:0:10
+//
+// replays the keyed store under the quorum-slowing adversary: seed 42,
+// 5 processes, 60 operations at 90% reads, no crashes, 3 concurrent
+// writers, legacy tie-breaking (pct 0, present only to position the skew),
+// and a 10:1 hot-writer skew. A single-writer run of the fast-read variant
+// is the 8-field form, e.g. xb1:twobit-fastread:race:7:5:30:0.6:1.
+//
+// Failures reproduce byte for byte from their token:
 //
 //	go test ./internal/explore -run TestReplay -replay=xb1:twobit:slowquorum:7:5:30:0.6:1
 //
 // and shrink by bisecting the descriptor (Shrink), not the trace: candidate
 // schedules with fewer operations, processes, or crashes are re-run and kept
-// while they still fail.
+// while they still fail. Result carries derived per-kind means (rounds and
+// virtual-time latency per operation) alongside the judged history; they
+// replay deterministically but are not part of the frozen fingerprint byte
+// stream.
 //
 // # Parallel sweeps
 //
@@ -161,6 +206,17 @@ type Result struct {
 	// exhaustive linearizability search on a small history — a checker bug,
 	// whichever way it points.
 	CrossCheck string `json:"crosscheck_violation,omitempty"`
+	// ReadRounds and WriteRounds are the mean protocol rounds per completed
+	// operation (see proto.Completion.Rounds: phases entered, parked or
+	// not), and ReadLatency/WriteLatency the mean virtual-time latency in Δ
+	// units from invocation to completion. All four are derived from the
+	// recorded history, so they are exactly as deterministic as the
+	// fingerprint — but they are NOT hashed into it (the fingerprint byte
+	// stream is frozen; see fingerprint).
+	ReadRounds   float64 `json:"read_rounds,omitempty"`
+	WriteRounds  float64 `json:"write_rounds,omitempty"`
+	ReadLatency  float64 `json:"read_latency,omitempty"`
+	WriteLatency float64 `json:"write_latency,omitempty"`
 	// Fingerprint is a stable hash of the recorded history and run extent;
 	// equal descriptors must reproduce equal fingerprints.
 	Fingerprint string `json:"fingerprint"`
@@ -249,6 +305,11 @@ func Run(s Schedule) (Result, error) {
 		if cp, ok := p.(*core.Proc); ok {
 			coreProcs = append(coreProcs, cp)
 		}
+		if fp, ok := p.(*core.FastProc); ok {
+			// The fast-read variant leaves the lane engine untouched, so
+			// the embedded classic Proc obeys the same proof invariants.
+			coreProcs = append(coreProcs, fp.Base())
+		}
 		if mp, ok := p.(*core.MWProc); ok {
 			mwProcs = append(mwProcs, mp)
 		}
@@ -308,6 +369,7 @@ func Run(s Schedule) (Result, error) {
 	completions := make(map[proto.OpID]struct {
 		at       float64
 		val      proto.Value
+		rounds   int
 		rejected bool
 	})
 
@@ -396,8 +458,9 @@ func Run(s Schedule) (Result, error) {
 			completions[c.Op] = struct {
 				at       float64
 				val      proto.Value
+				rounds   int
 				rejected bool
-			}{at, c.Value, c.Rejected}
+			}{at, c.Value, c.Rounds, c.Rejected}
 			completedCount++
 			if !strat.phaseCrash && !strat.proceedCrash {
 				for victim, trig := range victims {
@@ -475,8 +538,12 @@ func Run(s Schedule) (Result, error) {
 	res.Entries = snap.LogicalEntries
 
 	// Assemble and judge the history. Operations never invoked (their
-	// process crashed first) are not part of it.
+	// process crashed first) are not part of it. The per-kind rounds and
+	// latency means accumulate alongside: both derive from the recorded
+	// completions only, so they replay as deterministically as the history.
 	h := check.History{}
+	var readN, writeN int
+	var readRounds, writeRounds, readLat, writeLat float64
 	for i := range infos {
 		info := &infos[i]
 		if !info.invoked {
@@ -497,6 +564,16 @@ func Run(s Schedule) (Result, error) {
 			if c.rejected {
 				res.RejectedWrites++
 			}
+			switch info.kind {
+			case proto.OpRead:
+				readN++
+				readRounds += float64(c.rounds)
+				readLat += c.at - info.inv
+			case proto.OpWrite:
+				writeN++
+				writeRounds += float64(c.rounds)
+				writeLat += c.at - info.inv
+			}
 		} else {
 			res.Pending++
 			// Pending is legitimate only for the ops a crash cut off:
@@ -513,6 +590,14 @@ func Run(s Schedule) (Result, error) {
 	// does the writer-interleaving evidence.
 	eh := check.Effective(h)
 	res.WriterProcs, res.WriteOverlaps = writerInterleaving(eh)
+	if readN > 0 {
+		res.ReadRounds = readRounds / float64(readN)
+		res.ReadLatency = readLat / float64(readN)
+	}
+	if writeN > 0 {
+		res.WriteRounds = writeRounds / float64(writeN)
+		res.WriteLatency = writeLat / float64(writeN)
+	}
 
 	if ka, ok := alg.(keyedAlgorithm); ok {
 		// Keyed stores are judged register by register: the history splits
@@ -592,7 +677,7 @@ func isQuorumAck(msg proto.Message) bool {
 		return false
 	}
 	name := msg.TypeName()
-	return name == "PROCEED" || strings.HasSuffix(name, "_ACK")
+	return name == "PROCEED" || name == "PROCEEDF" || strings.HasSuffix(name, "_ACK")
 }
 
 // writerInterleaving summarizes a history's multi-writer structure: how

@@ -1,0 +1,73 @@
+package explore
+
+import (
+	"testing"
+
+	"twobitreg/internal/eval"
+)
+
+// BenchmarkFastRead measures the fast-path read variant against the classic
+// two-round register, reporting rounds/op (the tentpole's headline number)
+// and msgs/op alongside ns/op.
+//
+// quiescent/* drives one read at a time through a quiet 5-process instance
+// via the eval driver: the fast variant must answer in exactly 1 round where
+// the classic register takes 2. contended/* runs the adversarial mixed
+// workload (explore.Run, race strategy, 60% reads) where some fast reads are
+// forced onto the confirm round, so the fast mean lands strictly between 1
+// and 2 against the classic register's pinned 2.
+func BenchmarkFastRead(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		alg  string
+	}{{"quiescent/fastread", "twobit-fastread"}, {"quiescent/twobit", "twobit"}} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			alg, ok := ByName(bc.alg)
+			if !ok {
+				b.Fatalf("unknown algorithm %q", bc.alg)
+			}
+			d := eval.NewDriver(alg, 5)
+			d.Write(eval.Value(1))
+			d.ResetMetrics()
+			b.ReportAllocs()
+			b.ResetTimer()
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				d.Read(1)
+				rounds += d.LastOpRounds()
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+			b.ReportMetric(float64(d.Snapshot().TotalMsgs)/float64(b.N), "msgs/op")
+		})
+	}
+	for _, bc := range []struct {
+		name string
+		alg  string
+	}{{"contended/fastread", "twobit-fastread"}, {"contended/twobit", "twobit"}} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var rounds, lat, msgs, runs float64
+			for i := 0; i < b.N; i++ {
+				r, err := Run(Schedule{
+					Alg: bc.alg, Strategy: "race", Seed: int64(i + 1),
+					N: 5, Ops: 40, ReadFrac: 0.6,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Failed() {
+					b.Fatalf("violation on %s: %s", r.Token, r.Violation())
+				}
+				rounds += r.ReadRounds
+				lat += r.ReadLatency
+				msgs += float64(r.Msgs) / float64(r.Completed)
+				runs++
+			}
+			b.ReportMetric(rounds/runs, "rounds/op")
+			b.ReportMetric(lat/runs, "delta/op")
+			b.ReportMetric(msgs/runs, "msgs/op")
+		})
+	}
+}

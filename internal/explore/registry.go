@@ -34,9 +34,16 @@ func buildRegistry() map[string]proto.Algorithm {
 		"twobit":        core.Algorithm(),
 		"twobit-gc":     proto.Alg("twobit-gc", core.Algorithm(core.WithHistoryGC()).New),
 		"twobit-oracle": proto.Alg("twobit-oracle", core.Algorithm(core.WithExplicitSeqnums()).New),
-		"abd":           abd.Algorithm(),
-		"abd-mwmr":      abd.MWMRAlgorithm(),
-		"twobit-mwmr":   core.MWMRAlgorithm(),
+		// The fast-path read variant: writes are the unmodified Figure-1
+		// protocol, reads broadcast READF and complete in ONE round when the
+		// freshest reported index is already quorum-confirmed (no
+		// unconfirmed write in flight), falling back to a local line-9-style
+		// confirm round otherwise. PROCEEDF answers carry two 64-bit stream
+		// positions — the census price of the saved round (E-FR1).
+		"twobit-fastread": core.FastAlgorithm(),
+		"abd":             abd.Algorithm(),
+		"abd-mwmr":        abd.MWMRAlgorithm(),
+		"twobit-mwmr":     core.MWMRAlgorithm(),
 		// The pre-batching multi-writer register: one WRITE per padded
 		// index per link round trip. Kept as the differential baseline for
 		// the batched frames and as the message-cost comparison point
@@ -92,8 +99,15 @@ func buildRegistry() map[string]proto.Algorithm {
 		// run these outside detection tests.
 		"mut-ack-early":    proto.Alg("mut-ack-early", core.Algorithm(core.WithFault(core.FaultAckBeforeQuorum)).New),
 		"mut-skip-proceed": proto.Alg("mut-skip-proceed", core.Algorithm(core.WithFault(core.FaultSkipProceedWait)).New),
-		"mut-stale-read":   proto.Alg("mut-stale-read", newStaleReader),
-		"mut-mwmr-stale":   proto.Alg("mut-mwmr-stale", newMWMRStaleReader),
+		// The fast-read cheat: once the PROCEEDF answer quorum fills, return
+		// the local top unconditionally — skipping the confirm phase that a
+		// fresher-but-unconfirmed reported index demands. A reader whose
+		// lane lags a completed write terminates with the overwritten value
+		// (core.FaultSkipConfirm).
+		"mut-fastread-skipconfirm": proto.Alg("mut-fastread-skipconfirm",
+			core.FastAlgorithm(core.WithFault(core.FaultSkipConfirm)).New),
+		"mut-stale-read": proto.Alg("mut-stale-read", newStaleReader),
+		"mut-mwmr-stale": proto.Alg("mut-mwmr-stale", newMWMRStaleReader),
 		// The lost-write bug of the multi-writer two-bit register: the
 		// write's freshness phase is skipped, so a lagging writer's value
 		// can be ordered before already-completed writes (see

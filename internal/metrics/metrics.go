@@ -49,6 +49,7 @@ type Collector struct {
 	addressingBits  int64
 	reads, writes   int64
 	readLat, wrtLat latencyAgg
+	readRnd, wrtRnd latencyAgg
 }
 
 type latencyAgg struct {
@@ -98,19 +99,22 @@ func (c *Collector) OnSend(msg proto.Message) {
 	}
 }
 
-// OnOp records a completed operation and its latency. The latency unit is
+// OnOp records a completed operation, its latency, and its round complexity
+// (proto.Completion.Rounds — quorum-wait phases). The latency unit is
 // whatever the caller measures in (Δ units under the simulator, seconds under
 // the cluster runtime); Snapshot reports it back unchanged.
-func (c *Collector) OnOp(kind proto.OpKind, latency float64) {
+func (c *Collector) OnOp(kind proto.OpKind, latency float64, rounds int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch kind {
 	case proto.OpRead:
 		c.reads++
 		c.readLat.add(latency)
+		c.readRnd.add(float64(rounds))
 	case proto.OpWrite:
 		c.writes++
 		c.wrtLat.add(latency)
+		c.wrtRnd.add(float64(rounds))
 	}
 }
 
@@ -130,12 +134,17 @@ type Snapshot struct {
 	LogicalEntries int64
 	AddressingBits int64
 
-	Reads, Writes        int64
-	ReadMean, ReadMax    float64
-	WriteMean, WriteMax  float64
-	MeanCtrlBitsPerMsg   float64
-	MeanCtrlBitsPerEntry float64
-	DistinctMessageTypes int
+	Reads, Writes       int64
+	ReadMean, ReadMax   float64
+	WriteMean, WriteMax float64
+	// Rounds aggregates (mean/max quorum-wait phases per operation, from
+	// proto.Completion.Rounds): the round-complexity axis of the fast-read
+	// tradeoff table, reported next to the latency means above.
+	ReadRoundsMean, ReadRoundsMax   float64
+	WriteRoundsMean, WriteRoundsMax float64
+	MeanCtrlBitsPerMsg              float64
+	MeanCtrlBitsPerEntry            float64
+	DistinctMessageTypes            int
 }
 
 // Snapshot returns a copy of the current counters.
@@ -160,6 +169,10 @@ func (c *Collector) Snapshot() Snapshot {
 		ReadMax:              c.readLat.max,
 		WriteMean:            c.wrtLat.mean(),
 		WriteMax:             c.wrtLat.max,
+		ReadRoundsMean:       c.readRnd.mean(),
+		ReadRoundsMax:        c.readRnd.max,
+		WriteRoundsMean:      c.wrtRnd.mean(),
+		WriteRoundsMax:       c.wrtRnd.max,
 		DistinctMessageTypes: len(c.msgsByType),
 	}
 	if c.totalMsgs > 0 {
@@ -186,6 +199,8 @@ func (c *Collector) Reset() {
 	c.writes = 0
 	c.readLat = latencyAgg{}
 	c.wrtLat = latencyAgg{}
+	c.readRnd = latencyAgg{}
+	c.wrtRnd = latencyAgg{}
 }
 
 // String renders the snapshot as a compact single-line summary.

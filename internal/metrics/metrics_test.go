@@ -48,9 +48,9 @@ func TestCollectorCounts(t *testing.T) {
 func TestCollectorOps(t *testing.T) {
 	t.Parallel()
 	var c Collector
-	c.OnOp(proto.OpRead, 1.0)
-	c.OnOp(proto.OpRead, 3.0)
-	c.OnOp(proto.OpWrite, 2.0)
+	c.OnOp(proto.OpRead, 1.0, 1)
+	c.OnOp(proto.OpRead, 3.0, 2)
+	c.OnOp(proto.OpWrite, 2.0, 1)
 	s := c.Snapshot()
 	if s.Reads != 2 || s.Writes != 1 {
 		t.Fatalf("reads=%d writes=%d", s.Reads, s.Writes)
@@ -61,13 +61,19 @@ func TestCollectorOps(t *testing.T) {
 	if s.WriteMean != 2.0 || s.WriteMax != 2.0 {
 		t.Fatalf("write latency mean=%v max=%v", s.WriteMean, s.WriteMax)
 	}
+	if s.ReadRoundsMean != 1.5 || s.ReadRoundsMax != 2.0 {
+		t.Fatalf("read rounds mean=%v max=%v", s.ReadRoundsMean, s.ReadRoundsMax)
+	}
+	if s.WriteRoundsMean != 1.0 || s.WriteRoundsMax != 1.0 {
+		t.Fatalf("write rounds mean=%v max=%v", s.WriteRoundsMean, s.WriteRoundsMax)
+	}
 }
 
 func TestCollectorReset(t *testing.T) {
 	t.Parallel()
 	var c Collector
 	c.OnSend(msg{"A", 2, 1})
-	c.OnOp(proto.OpWrite, 1)
+	c.OnOp(proto.OpWrite, 1, 1)
 	c.Reset()
 	s := c.Snapshot()
 	if s.TotalMsgs != 0 || s.Writes != 0 || s.MaxCtrlBits != 0 || len(s.MsgsByType) != 0 {
@@ -91,7 +97,7 @@ func TestCollectorConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
 				c.OnSend(msg{"X", 2, 1})
-				c.OnOp(proto.OpRead, 0.5)
+				c.OnOp(proto.OpRead, 0.5, 2)
 			}
 		}()
 	}

@@ -268,11 +268,13 @@ func (p *Proc) finishIfQuorum(eff *proto.Effects) {
 	}
 	if c.phase >= c.last {
 		p.cur = nil
+		// Rounds = the configured phase count: each phase is one
+		// broadcast/quorum-ack exchange.
 		switch c.kind {
 		case proto.OpWrite:
-			eff.AddDone(c.op, proto.OpWrite, nil)
+			eff.AddDoneRounds(c.op, proto.OpWrite, nil, int(c.last))
 		case proto.OpRead:
-			eff.AddDone(c.op, proto.OpRead, c.maxVal.Clone())
+			eff.AddDoneRounds(c.op, proto.OpRead, c.maxVal.Clone(), int(c.last))
 		}
 		return
 	}

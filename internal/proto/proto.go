@@ -103,6 +103,15 @@ type Completion struct {
 	// (its invoker may proceed) but never took effect: atomicity checkers
 	// must exclude it from the judged history.
 	Rejected bool
+	// Rounds counts the quorum-wait phases the operation passed through —
+	// the round complexity the fast-read comparison measures. A phase counts
+	// whether or not it had to park (it is protocol structure, not timing):
+	// the two-bit read is always 2 (the PROCEED round plus the line-9
+	// confirm), its fast-path variant 1 when the confirm is skipped, ABD
+	// reads 2 (query + write-back). Zero means the operation completed
+	// locally (a writer-local read, a rejected write) or the protocol
+	// predates the metric.
+	Rounds int
 }
 
 // Effects is what a Process step produces: messages to send and operations
@@ -129,9 +138,16 @@ func (e *Effects) AddSend(to int, msg Message) {
 	e.Sends = append(e.Sends, Send{To: to, Msg: msg})
 }
 
-// AddDone appends a single completion.
+// AddDone appends a single completion with no round count (local
+// completions, or protocols that do not report rounds).
 func (e *Effects) AddDone(op OpID, kind OpKind, v Value) {
 	e.Done = append(e.Done, Completion{Op: op, Kind: kind, Value: v})
+}
+
+// AddDoneRounds appends a single completion carrying its round complexity
+// (the number of quorum-wait phases the operation passed through).
+func (e *Effects) AddDoneRounds(op OpID, kind OpKind, v Value, rounds int) {
+	e.Done = append(e.Done, Completion{Op: op, Kind: kind, Value: v, Rounds: rounds})
 }
 
 // Process is a register protocol instance at one process, written as a
