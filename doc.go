@@ -149,6 +149,32 @@
 // mut-fastread-skipconfirm, and core.WithClassicReads pins the variant to
 // the classic read path for byte-identical differential runs.
 //
+// # The TCP runtime and the regload harness
+//
+// internal/transport.Mesh carries the same state machines over real
+// sockets: a fully connected loopback/LAN mesh of length-framed two-bit
+// wire messages (internal/wire) under cluster.Node's event loop — the
+// stack cmd/regnode deploys. The send path is pipelined per peer: Send
+// enqueues on the destination's bounded queue and a dedicated sender
+// goroutine drains everything queued per wakeup into a single conn.Write
+// (writev-style batching through one reused encode buffer), with an
+// inline fast path that writes a lone frame on the caller when the link
+// is idle. Dialing — jittered backoff, counted redials — lives on the
+// sender goroutine of the one peer concerned, so a dead peer's dial cycle
+// never head-of-line-blocks frames to live peers; its queue overflow is
+// absorbed by a declared policy (DropNewest by default, Block opt-in),
+// which is exactly the paper's crash model: reliable FIFO links between
+// live processes, loss toward crashed ones. Receive reuses one frame
+// buffer per connection (wire.Codec.Decode copies what it keeps), and
+// MeshStats exports the counters — frames per conn.Write is the measured
+// batching ratio. cmd/regload is the closed-loop load harness over this
+// stack (internal/regload + internal/metrics latency histograms):
+// configurable clients/keys/read-fraction drive a real TCP cluster and
+// report ops/sec, p50/p95/p99 latency, and the mesh counters;
+// BenchmarkMeshSend and BenchmarkTCPRegload commit the trajectory to
+// BENCH_tcp.json (benchdiff-gated), and EXPERIMENTS.md E-TCP1 tabulates
+// the batching and dead-peer results.
+//
 // # Registered algorithms
 //
 // The explorer's registry (explore.AlgorithmNames, explore.MutantNames)

@@ -32,6 +32,29 @@ func TestDocListsAllAlgorithms(t *testing.T) {
 	}
 }
 
+// TestDocTCPRuntime keeps the TCP-runtime documentation in lockstep with
+// the code: ARCHITECTURE.md must carry the "The TCP runtime" section and
+// doc.go must point at cmd/regload and the BENCH_tcp.json trajectory.
+func TestDocTCPRuntime(t *testing.T) {
+	t.Parallel()
+	arch, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(arch), "## The TCP runtime") {
+		t.Fatal(`ARCHITECTURE.md lost its "## The TCP runtime" section`)
+	}
+	doc, err := os.ReadFile("doc.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cmd/regload", "BENCH_tcp.json"} {
+		if !strings.Contains(string(doc), want) {
+			t.Fatalf("doc.go does not mention %s", want)
+		}
+	}
+}
+
 // TestDocLinksArchitecture keeps the doc.go pointer to ARCHITECTURE.md and
 // the document itself from drifting apart.
 func TestDocLinksArchitecture(t *testing.T) {

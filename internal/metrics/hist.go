@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"time"
+)
+
+// Histogram is a log-linear latency histogram in the HDR style: each
+// power-of-two range of the recorded value is split into histSubBuckets
+// linear sub-buckets, giving a constant relative error (~1/histSubBuckets)
+// across the full range with a small fixed memory footprint. Values are
+// recorded as int64 counts of an arbitrary unit (the load harness uses
+// nanoseconds).
+//
+// A Histogram is NOT safe for concurrent use. Closed-loop load clients each
+// own one and Merge them after the run — recording stays contention-free on
+// the measurement path, which is the whole point of measuring.
+type Histogram struct {
+	counts  [histBuckets]int64
+	total   int64
+	sum     float64
+	max     int64
+	min     int64
+	hasData bool
+}
+
+const (
+	// histSubBits fixes the relative resolution: 2^histSubBits linear
+	// sub-buckets per power of two, i.e. ~1.5% worst-case bucket error —
+	// far below scheduler noise on any real latency measurement.
+	histSubBits   = 6
+	histSubCount  = 1 << histSubBits
+	histTopExp    = 64 - histSubBits
+	histBuckets   = histTopExp * histSubCount
+	histMaxRecord = int64(math.MaxInt64)
+)
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	if v < histSubCount {
+		// The first power-of-two ranges are exact: one value per bucket.
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // position of the high bit, >= histSubBits
+	sub := int((v >> (uint(exp) - histSubBits)) & (histSubCount - 1))
+	return (exp-histSubBits+1)*histSubCount + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket i (the quantile
+// estimate reported for the bucket).
+func bucketLow(i int) int64 {
+	if i < histSubCount {
+		return int64(i)
+	}
+	exp := i/histSubCount + histSubBits - 1
+	sub := int64(i % histSubCount)
+	return (1 << uint(exp)) | sub<<(uint(exp)-histSubBits)
+}
+
+// Observe records one value. Negative values clamp to zero (a clock step
+// backwards is not a latency).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.total++
+	h.sum += float64(v)
+	if v > h.max {
+		h.max = v
+	}
+	if !h.hasData || v < h.min {
+		h.min = v
+	}
+	h.hasData = true
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the arithmetic mean of recorded values (exact, not
+// bucket-quantized), or 0 with no data.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the largest recorded value (exact), or 0 with no data.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Min returns the smallest recorded value (exact), or 0 with no data.
+func (h *Histogram) Min() int64 {
+	if !h.hasData {
+		return 0
+	}
+	return h.min
+}
+
+// Quantile returns the value at quantile q in [0, 1] — the lower bound of
+// the bucket holding the q-th recorded value, clamped to the exact observed
+// min/max so Quantile(0) and Quantile(1) are exact. Returns 0 with no data.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(math.Ceil(q * float64(h.total)))
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketLow(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds o's recordings into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+	if !h.hasData || (o.hasData && o.min < h.min) {
+		h.min = o.min
+	}
+	h.hasData = true
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Summary renders count/mean/p50/p95/p99/max with values interpreted as
+// nanosecond durations — the load harness's human-readable line.
+func (h *Histogram) Summary() string {
+	if h.total == 0 {
+		return "no samples"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%s p50=%s p95=%s p99=%s max=%s",
+		h.total,
+		time.Duration(int64(h.Mean())).Round(time.Microsecond),
+		time.Duration(h.Quantile(0.50)).Round(time.Microsecond),
+		time.Duration(h.Quantile(0.95)).Round(time.Microsecond),
+		time.Duration(h.Quantile(0.99)).Round(time.Microsecond),
+		time.Duration(h.max).Round(time.Microsecond))
+	return b.String()
+}

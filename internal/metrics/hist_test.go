@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	t.Parallel()
+	var h Histogram
+	for v := int64(0); v < 64; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 64 {
+		t.Fatalf("count = %d, want 64", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 63 {
+		t.Fatalf("min/max = %d/%d, want 0/63", h.Min(), h.Max())
+	}
+	// Values below histSubCount land one per bucket, so quantiles are exact.
+	if got := h.Quantile(0.5); got != 31 && got != 32 {
+		t.Fatalf("p50 = %d, want 31 or 32", got)
+	}
+	if got := h.Quantile(1); got != 63 {
+		t.Fatalf("p100 = %d, want 63", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %d, want 0", got)
+	}
+}
+
+// TestHistogramRelativeError drives random values across six orders of
+// magnitude and checks every reported quantile against the exact sorted
+// answer within the structure's relative-error bound (one sub-bucket,
+// ~2/2^histSubBits).
+func TestHistogramRelativeError(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	vals := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := int64(math.Exp(rng.Float64() * 14)) // 1 .. ~1.2e6
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		exact := vals[int(math.Ceil(q*float64(len(vals))))-1]
+		got := h.Quantile(q)
+		relErr := math.Abs(float64(got-exact)) / float64(exact)
+		if relErr > 2.0/histSubCount {
+			t.Errorf("q%.3f: got %d, exact %d (rel err %.4f > bound %.4f)",
+				q, got, exact, relErr, 2.0/histSubCount)
+		}
+	}
+	if mean := h.Mean(); math.Abs(mean-exactMean(vals)) > 1e-6 {
+		t.Errorf("mean = %f, want exact %f", mean, exactMean(vals))
+	}
+}
+
+func exactMean(vals []int64) float64 {
+	var s float64
+	for _, v := range vals {
+		s += float64(v)
+	}
+	return s / float64(len(vals))
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	t.Parallel()
+	// bucketLow(bucketOf(v)) <= v for all v, and bucketOf(bucketLow(i)) == i
+	// for all buckets: the quantile estimate never overstates.
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<40 + 12345, histMaxRecord} {
+		b := bucketOf(v)
+		if low := bucketLow(b); low > v {
+			t.Errorf("bucketLow(bucketOf(%d)) = %d > input", v, low)
+		}
+	}
+	for i := 0; i < histBuckets; i += 7 {
+		if got := bucketOf(bucketLow(i)); got != i {
+			t.Errorf("bucketOf(bucketLow(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	t.Parallel()
+	var a, b, whole Histogram
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << 30)
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	a.Merge(nil) // no-op
+	if a.Count() != whole.Count() || a.Max() != whole.Max() || a.Min() != whole.Min() {
+		t.Fatalf("merge count/max/min = %d/%d/%d, want %d/%d/%d",
+			a.Count(), a.Max(), a.Min(), whole.Count(), whole.Max(), whole.Min())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q%.2f: merged %d != whole %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	t.Parallel()
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Summary() != "no samples" {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(-5) // clamps to 0
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative observation: min/max/count = %d/%d/%d", h.Min(), h.Max(), h.Count())
+	}
+	h.ObserveDuration(3 * time.Millisecond)
+	if h.Max() != int64(3*time.Millisecond) {
+		t.Fatalf("duration observation: max = %d", h.Max())
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}

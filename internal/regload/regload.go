@@ -1,0 +1,383 @@
+// Package regload is the closed-loop load harness for the TCP runtime: it
+// stands up an n-process regnode-style cluster (cluster.Node + transport.Mesh
+// over loopback, the exact production stack minus the client line protocol)
+// running the coalescing keyed store, drives it with a configurable number of
+// closed-loop clients, and reports ops/sec plus latency histograms.
+//
+// Closed-loop means each client issues its next operation only after the
+// previous one completes — throughput and latency are measured under
+// self-limiting load, the regime quorum protocols actually run in (every
+// operation is a round trip; there is no open-loop arrival process to
+// overrun). cmd/regload is the CLI; BenchmarkTCPRegload feeds the
+// BENCH_tcp.json perf trajectory from the same engine.
+package regload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twobitreg/internal/cluster"
+	"twobitreg/internal/metrics"
+	"twobitreg/internal/proto"
+	"twobitreg/internal/regmap"
+	"twobitreg/internal/transport"
+	"twobitreg/internal/wire"
+)
+
+// Spec configures one load run. Validate reports the first problem as a
+// typed *SpecError; Run validates internally.
+type Spec struct {
+	// Procs is the cluster size n. Quorums are majorities, so a run with
+	// dead processes needs len(Dead) <= proto.MaxFaulty(Procs).
+	Procs int
+	// Clients is the number of closed-loop client goroutines, spread
+	// round-robin over the live processes.
+	Clients int
+	// Keys is the key-space size of the keyed store; operations spread
+	// round-robin over it (regmap.KeyedAlgorithm's derived keys).
+	Keys int
+	// ReadFrac in [0, 1] is the probability each operation is a read.
+	ReadFrac float64
+	// Duration bounds the run in wall-clock time; Ops bounds it in total
+	// operations. Exactly one must be set (nonzero).
+	Duration time.Duration
+	Ops      int64
+	// ValueSize is the written payload size in bytes (0 = 16).
+	ValueSize int
+	// Coalesce enables regmap's cross-key frame coalescing.
+	Coalesce bool
+	// PerFrame disables the meshes' batched drains (one conn.Write per
+	// frame) — the E-TCP1 measurement baseline for the batching win.
+	PerFrame bool
+	// FlushWindow makes each peer sender linger this long before draining,
+	// trading latency for larger batches (transport.WithSendFlushWindow).
+	FlushWindow time.Duration
+	// Seed drives the clients' read/write choice; runs with the same spec
+	// issue the same operation mix.
+	Seed int64
+	// Dead lists processes to kill (node stopped, mesh closed) after
+	// startup, before load: the dead-peer scenario. Clients only target
+	// live processes.
+	Dead []int
+}
+
+// SpecError reports an invalid Spec field, errors.As-friendly so flag
+// layers can render the field name.
+type SpecError struct {
+	Field  string
+	Reason string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("regload: invalid -%s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the spec, returning a *SpecError for the first problem.
+func (s *Spec) Validate() error {
+	fail := func(field, reason string) error { return &SpecError{Field: field, Reason: reason} }
+	if s.Procs < 1 || s.Procs > 255 {
+		return fail("procs", fmt.Sprintf("need 1..255 processes, got %d", s.Procs))
+	}
+	if s.Clients < 1 {
+		return fail("clients", fmt.Sprintf("need at least 1 client, got %d", s.Clients))
+	}
+	if s.Keys < 1 {
+		return fail("keys", fmt.Sprintf("need at least 1 key, got %d", s.Keys))
+	}
+	if s.ReadFrac < 0 || s.ReadFrac > 1 {
+		return fail("read-frac", fmt.Sprintf("need a fraction in [0,1], got %g", s.ReadFrac))
+	}
+	if (s.Duration > 0) == (s.Ops > 0) {
+		return fail("duration", "exactly one of -duration and -ops must be positive")
+	}
+	if s.ValueSize < 0 || s.ValueSize > 1<<20 {
+		return fail("value-size", fmt.Sprintf("need 0..1MiB, got %d", s.ValueSize))
+	}
+	if s.FlushWindow < 0 || s.FlushWindow > time.Second {
+		return fail("flush-window", fmt.Sprintf("need 0..1s, got %s", s.FlushWindow))
+	}
+	if len(s.Dead) > proto.MaxFaulty(s.Procs) {
+		return fail("dead", fmt.Sprintf("%d dead of %d processes breaks the majority quorum (max %d)",
+			len(s.Dead), s.Procs, proto.MaxFaulty(s.Procs)))
+	}
+	seen := make(map[int]bool, len(s.Dead))
+	for _, d := range s.Dead {
+		if d < 0 || d >= s.Procs {
+			return fail("dead", fmt.Sprintf("process %d out of range [0,%d)", d, s.Procs))
+		}
+		if seen[d] {
+			return fail("dead", fmt.Sprintf("process %d listed twice", d))
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Procs     int           `json:"procs"`
+	Clients   int           `json:"clients"`
+	Keys      int           `json:"keys"`
+	ReadFrac  float64       `json:"read_frac"`
+	Coalesce  bool          `json:"coalesce"`
+	PerFrame  bool          `json:"per_frame,omitempty"`
+	FlushWin  time.Duration `json:"flush_window_ns,omitempty"`
+	Dead      []int         `json:"dead,omitempty"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	Ops       int64         `json:"ops"`
+	Reads     int64         `json:"reads"`
+	Writes    int64         `json:"writes"`
+	OpErrors  int64         `json:"op_errors"`
+	SendErrs  int64         `json:"send_errors"`
+	OpsPerSec float64       `json:"ops_per_sec"`
+
+	ReadLat  LatencySummary `json:"read_latency"`
+	WriteLat LatencySummary `json:"write_latency"`
+
+	// Mesh aggregates the transport counters over every live process:
+	// frames vs batched writes is the syscalls-per-frame figure E-TCP1
+	// tracks.
+	Mesh transport.MeshStats `json:"mesh"`
+
+	// readHist/writeHist keep the merged histograms for callers that want
+	// more quantiles than the summary carries.
+	readHist, writeHist metrics.Histogram
+}
+
+// LatencySummary is the JSON-friendly slice of a histogram (nanoseconds).
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P95Ns  int64   `json:"p95_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+func summarize(h *metrics.Histogram) LatencySummary {
+	return LatencySummary{
+		Count:  h.Count(),
+		MeanNs: h.Mean(),
+		P50Ns:  h.Quantile(0.50),
+		P95Ns:  h.Quantile(0.95),
+		P99Ns:  h.Quantile(0.99),
+		MaxNs:  h.Max(),
+	}
+}
+
+// ReadHistogram returns the merged read-latency histogram.
+func (r *Report) ReadHistogram() *metrics.Histogram { return &r.readHist }
+
+// WriteHistogram returns the merged write-latency histogram.
+func (r *Report) WriteHistogram() *metrics.Histogram { return &r.writeHist }
+
+// String renders the human-readable report.
+func (r *Report) String() string {
+	s := fmt.Sprintf("regload: n=%d clients=%d keys=%d reads=%.0f%% coalesce=%v",
+		r.Procs, r.Clients, r.Keys, 100*r.ReadFrac, r.Coalesce)
+	if r.PerFrame {
+		s += " per-frame"
+	}
+	if r.FlushWin > 0 {
+		s += fmt.Sprintf(" flush-window=%s", r.FlushWin)
+	}
+	if len(r.Dead) > 0 {
+		s += fmt.Sprintf(" dead=%v", r.Dead)
+	}
+	s += fmt.Sprintf("\n  %d ops in %s = %.0f ops/sec (%d reads, %d writes, %d op errors, %d send errors)",
+		r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec, r.Reads, r.Writes, r.OpErrors, r.SendErrs)
+	s += fmt.Sprintf("\n  read  latency: %s", r.readHist.Summary())
+	s += fmt.Sprintf("\n  write latency: %s", r.writeHist.Summary())
+	s += fmt.Sprintf("\n  mesh: %s", r.Mesh)
+	return s
+}
+
+// Run executes one load run per spec: build the cluster over loopback TCP,
+// kill the Dead processes, drive the clients, tear everything down.
+func Run(spec Spec) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := spec.Procs
+	valueSize := spec.ValueSize
+	if valueSize == 0 {
+		valueSize = 16
+	}
+
+	alg := regmap.NewKeyedAlgorithm("regload", spec.Keys, regmap.Config{Coalesce: spec.Coalesce})
+
+	// Phase 1: bind every listener on an ephemeral port (same two-phase
+	// construction as cmd/regnode; the deliver closure indirects through
+	// the nodes slice, filled in before any node is driven).
+	nodes := make([]*cluster.Node, n)
+	meshes := make([]*transport.Mesh, n)
+	addrs := make([]string, n)
+	var sendErrs atomic.Int64
+	var meshOpts []transport.MeshOption
+	if spec.PerFrame {
+		meshOpts = append(meshOpts, transport.WithPerFrameWrites())
+	}
+	if spec.FlushWindow > 0 {
+		meshOpts = append(meshOpts, transport.WithSendFlushWindow(spec.FlushWindow))
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		m, err := transport.NewMesh(i, n, "127.0.0.1:0", wire.Codec{}, func(from int, msg proto.Message) {
+			nodes[i].Deliver(from, msg)
+		}, meshOpts...)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				meshes[j].Close()
+			}
+			return nil, fmt.Errorf("regload: mesh %d: %w", i, err)
+		}
+		meshes[i] = m
+		addrs[i] = m.Addr()
+	}
+	for _, m := range meshes {
+		if err := m.SetPeers(addrs); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		nodes[i] = cluster.NewNode(i, n, 0, alg, func(to int, msg proto.Message) {
+			if err := meshes[i].Send(to, msg); err != nil {
+				sendErrs.Add(1)
+			}
+		})
+	}
+	defer func() {
+		for i, nd := range nodes {
+			if !contains(spec.Dead, i) {
+				nd.Stop()
+			}
+		}
+		for i, m := range meshes {
+			if !contains(spec.Dead, i) {
+				m.Close()
+			}
+		}
+	}()
+
+	// The dead-peer scenario: these processes were reachable at startup
+	// (peers may have dialed them) and now crash — node stopped, listener
+	// and connections closed. Live processes keep (re)trying them.
+	live := make([]*cluster.Node, 0, n)
+	for i := 0; i < n; i++ {
+		if contains(spec.Dead, i) {
+			nodes[i].Stop()
+			meshes[i].Close()
+		} else {
+			live = append(live, nodes[i])
+		}
+	}
+
+	// Closed-loop clients. Each owns its rng and histograms; merge at the
+	// end keeps the measurement path contention-free.
+	type clientStats struct {
+		readLat, writeLat metrics.Histogram
+		reads, writes     int64
+		errors            int64
+	}
+	var (
+		wg       sync.WaitGroup
+		stats    = make([]clientStats, spec.Clients)
+		budget   atomic.Int64
+		deadline = make(chan struct{})
+	)
+	budget.Store(spec.Ops) // 0 when duration-bounded: budget check disabled
+	payload := make([]byte, valueSize)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	start := time.Now()
+	if spec.Duration > 0 {
+		timer := time.AfterFunc(spec.Duration, func() { close(deadline) })
+		defer timer.Stop()
+	}
+	for c := 0; c < spec.Clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := &stats[c]
+			nd := live[c%len(live)]
+			rng := rand.New(rand.NewSource(spec.Seed + int64(c)*7919))
+			for {
+				select {
+				case <-deadline:
+					return
+				default:
+				}
+				if spec.Ops > 0 && budget.Add(-1) < 0 {
+					return
+				}
+				if rng.Float64() < spec.ReadFrac {
+					t0 := time.Now()
+					if _, err := nd.Read(); err != nil {
+						st.errors++
+						continue
+					}
+					st.readLat.ObserveDuration(time.Since(t0))
+					st.reads++
+				} else {
+					t0 := time.Now()
+					if err := nd.Write(payload); err != nil {
+						st.errors++
+						continue
+					}
+					st.writeLat.ObserveDuration(time.Since(t0))
+					st.writes++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Procs:    spec.Procs,
+		Clients:  spec.Clients,
+		Keys:     spec.Keys,
+		ReadFrac: spec.ReadFrac,
+		Coalesce: spec.Coalesce,
+		PerFrame: spec.PerFrame,
+		FlushWin: spec.FlushWindow,
+		Dead:     append([]int(nil), spec.Dead...),
+		Elapsed:  elapsed,
+		SendErrs: sendErrs.Load(),
+	}
+	for c := range stats {
+		st := &stats[c]
+		rep.readHist.Merge(&st.readLat)
+		rep.writeHist.Merge(&st.writeLat)
+		rep.Reads += st.reads
+		rep.Writes += st.writes
+		rep.OpErrors += st.errors
+	}
+	rep.Ops = rep.Reads + rep.Writes
+	if elapsed > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / elapsed.Seconds()
+	}
+	for i, m := range meshes {
+		if !contains(spec.Dead, i) {
+			rep.Mesh.Add(m.Stats())
+		}
+	}
+	rep.ReadLat = summarize(&rep.readHist)
+	rep.WriteLat = summarize(&rep.writeHist)
+	return rep, nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,148 @@
+package regload_test
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"twobitreg/internal/regload"
+)
+
+func TestSpecValidate(t *testing.T) {
+	base := func() regload.Spec {
+		return regload.Spec{Procs: 3, Clients: 2, Keys: 4, ReadFrac: 0.5, Ops: 10}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*regload.Spec)
+		field  string // "" = valid
+	}{
+		{"valid", func(s *regload.Spec) {}, ""},
+		{"zero procs", func(s *regload.Spec) { s.Procs = 0 }, "procs"},
+		{"too many procs", func(s *regload.Spec) { s.Procs = 256 }, "procs"},
+		{"zero clients", func(s *regload.Spec) { s.Clients = 0 }, "clients"},
+		{"zero keys", func(s *regload.Spec) { s.Keys = 0 }, "keys"},
+		{"read frac above 1", func(s *regload.Spec) { s.ReadFrac = 1.5 }, "read-frac"},
+		{"read frac negative", func(s *regload.Spec) { s.ReadFrac = -0.1 }, "read-frac"},
+		{"no bound", func(s *regload.Spec) { s.Ops = 0 }, "duration"},
+		{"both bounds", func(s *regload.Spec) { s.Duration = time.Second }, "duration"},
+		{"value too big", func(s *regload.Spec) { s.ValueSize = 1<<20 + 1 }, "value-size"},
+		{"negative flush window", func(s *regload.Spec) { s.FlushWindow = -time.Millisecond }, "flush-window"},
+		{"huge flush window", func(s *regload.Spec) { s.FlushWindow = 2 * time.Second }, "flush-window"},
+		{"majority dead", func(s *regload.Spec) { s.Dead = []int{0, 1} }, "dead"},
+		{"dead out of range", func(s *regload.Spec) { s.Dead = []int{3} }, "dead"},
+		{"dead negative", func(s *regload.Spec) { s.Dead = []int{-1} }, "dead"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := base()
+			tc.mutate(&spec)
+			err := spec.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("valid spec rejected: %v", err)
+				}
+				return
+			}
+			var se *regload.SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("want *SpecError, got %v", err)
+			}
+			if se.Field != tc.field {
+				t.Fatalf("flagged field %q, want %q (%v)", se.Field, tc.field, err)
+			}
+		})
+	}
+	// A duplicate-dead spec needs a majority-safe cluster to reach the
+	// uniqueness check.
+	spec := regload.Spec{Procs: 5, Clients: 1, Keys: 1, Ops: 1, Dead: []int{1, 1}}
+	var se *regload.SpecError
+	if err := spec.Validate(); !errors.As(err, &se) || se.Field != "dead" {
+		t.Fatalf("duplicate dead entry not flagged: %v", err)
+	}
+}
+
+// TestRunShortLoad is the in-process smoke of the whole harness: a real
+// 3-process TCP cluster, a handful of ops, a coherent report.
+func TestRunShortLoad(t *testing.T) {
+	rep, err := regload.Run(regload.Spec{
+		Procs: 3, Clients: 4, Keys: 8, ReadFrac: 0.5, Ops: 60, Seed: 7, Coalesce: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops < 60 {
+		t.Fatalf("completed %d ops, budget was 60", rep.Ops)
+	}
+	if rep.OpErrors != 0 || rep.SendErrs != 0 {
+		t.Fatalf("errors in a healthy run: op=%d send=%d", rep.OpErrors, rep.SendErrs)
+	}
+	if rep.Reads+rep.Writes != rep.Ops {
+		t.Fatalf("reads %d + writes %d != ops %d", rep.Reads, rep.Writes, rep.Ops)
+	}
+	if rep.OpsPerSec <= 0 {
+		t.Fatal("no throughput computed")
+	}
+	if got := rep.ReadHistogram().Count() + rep.WriteHistogram().Count(); got != rep.Ops {
+		t.Fatalf("histograms hold %d samples for %d ops", got, rep.Ops)
+	}
+	if rep.Mesh.FramesSent == 0 || rep.Mesh.FramesReceived == 0 {
+		t.Fatalf("no mesh traffic recorded: %+v", rep.Mesh)
+	}
+	if rep.Mesh.DecodeErrors != 0 {
+		t.Fatalf("%d decode errors", rep.Mesh.DecodeErrors)
+	}
+	s := rep.String()
+	for _, want := range []string{"ops/sec", "read  latency", "write latency", "mesh:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report rendering lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunDeadPeer kills a minority and asserts the run still completes its
+// budget promptly — the live peers must never block behind the dead one's
+// dial cycle.
+func TestRunDeadPeer(t *testing.T) {
+	start := time.Now()
+	rep, err := regload.Run(regload.Spec{
+		Procs: 3, Clients: 4, Keys: 8, ReadFrac: 0.5, Ops: 60, Seed: 7, Dead: []int{2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("dead-peer run took %s — head-of-line blocking is back", elapsed)
+	}
+	if rep.Ops < 60 {
+		t.Fatalf("completed %d ops with a dead minority, budget was 60", rep.Ops)
+	}
+	if rep.OpErrors != 0 {
+		t.Fatalf("%d op errors", rep.OpErrors)
+	}
+	if !reflect.DeepEqual(rep.Dead, []int{2}) {
+		t.Errorf("report lost the dead list: %v", rep.Dead)
+	}
+}
+
+// TestRunPerFrameAndFlushWindow exercises the two measurement knobs end to
+// end (they must not affect correctness, only batching shape).
+func TestRunPerFrameAndFlushWindow(t *testing.T) {
+	for _, spec := range []regload.Spec{
+		{Procs: 3, Clients: 2, Keys: 4, ReadFrac: 0.5, Ops: 30, PerFrame: true},
+		{Procs: 3, Clients: 2, Keys: 4, ReadFrac: 0.5, Ops: 30, FlushWindow: 200 * time.Microsecond},
+	} {
+		rep, err := regload.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Ops < 30 || rep.OpErrors != 0 {
+			t.Fatalf("spec %+v: ops=%d errors=%d", spec, rep.Ops, rep.OpErrors)
+		}
+		if spec.PerFrame && rep.Mesh.ConnWrites != rep.Mesh.FramesSent {
+			t.Fatalf("per-frame run batched: %s", rep.Mesh)
+		}
+	}
+}

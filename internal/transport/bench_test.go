@@ -1,0 +1,96 @@
+package transport_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"twobitreg/internal/proto"
+	"twobitreg/internal/transport"
+	"twobitreg/internal/wire"
+)
+
+// benchMeshPair builds two connected meshes for benchmarks, counting b's
+// deliveries.
+func benchMeshPair(b *testing.B, delivered *atomic.Int64, opts ...transport.MeshOption) *transport.Mesh {
+	b.Helper()
+	opts = append(opts, transport.WithQueueCap(1<<16))
+	a, err := transport.NewMesh(0, 2, "127.0.0.1:0", wire.Codec{}, func(int, proto.Message) {}, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { a.Close() })
+	recv, err := transport.NewMesh(1, 2, "127.0.0.1:0", wire.Codec{}, func(int, proto.Message) {
+		delivered.Add(1)
+	}, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { recv.Close() })
+	addrs := []string{a.Addr(), recv.Addr()}
+	if err := a.SetPeers(addrs); err != nil {
+		b.Fatal(err)
+	}
+	if err := recv.SetPeers(addrs); err != nil {
+		b.Fatal(err)
+	}
+	// Prime the link so the measured loop never pays the initial dial.
+	if err := a.Send(1, seqMsg(0)); err != nil {
+		b.Fatal(err)
+	}
+	for delivered.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	delivered.Store(0)
+	return a
+}
+
+// BenchmarkMeshSend measures the TCP send path end to end (Send through
+// delivery on the remote mesh) and reports the batching ratio. The batched
+// and per-frame variants are the E-TCP1 measurement pair: same payloads,
+// same loopback link, the only difference being whether a sender's drain
+// coalesces queued frames into one conn.Write. allocs/op covers both the
+// send path (reused encode buffers) and the receive path (reused frame
+// buffer) — the zero-alloc claims of the pipelined transport.
+func BenchmarkMeshSend(b *testing.B) {
+	run := func(b *testing.B, parallel bool, opts ...transport.MeshOption) {
+		var delivered atomic.Int64
+		a := benchMeshPair(b, &delivered, opts...)
+		b.ReportAllocs()
+		b.ResetTimer()
+		if parallel {
+			var i atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := a.Send(1, seqMsg(uint64(i.Add(1)))); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		} else {
+			for i := 0; i < b.N; i++ {
+				if err := a.Send(1, seqMsg(uint64(i+1))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		for delivered.Load() < int64(b.N) {
+			time.Sleep(100 * time.Microsecond)
+		}
+		b.StopTimer()
+		st := a.Stats()
+		if st.FramesDropped != 0 {
+			b.Fatalf("%d frames dropped on a live link", st.FramesDropped)
+		}
+		b.ReportMetric(st.FramesPerWrite(), "frames/write")
+	}
+	b.Run("serial/batched", func(b *testing.B) { run(b, false) })
+	b.Run("serial/per-frame", func(b *testing.B) {
+		run(b, false, transport.WithPerFrameWrites())
+	})
+	b.Run("burst/batched", func(b *testing.B) { run(b, true) })
+	b.Run("burst/per-frame", func(b *testing.B) {
+		run(b, true, transport.WithPerFrameWrites())
+	})
+}

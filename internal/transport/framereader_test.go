@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"twobitreg/internal/core"
+	"twobitreg/internal/proto"
+	"twobitreg/internal/wire"
+)
+
+// frameStream encodes the given messages length-prefixed, the inbound wire
+// format.
+func frameStream(t testing.TB, msgs ...proto.Message) []byte {
+	t.Helper()
+	var buf []byte
+	for _, m := range msgs {
+		start := len(buf)
+		buf = append(buf, 0, 0, 0, 0)
+		out, err := wire.Codec{}.AppendEncode(buf, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.BigEndian.PutUint32(out[start:], uint32(len(out)-start-4))
+		buf = out
+	}
+	return buf
+}
+
+// TestFrameReaderReusesBuffer pins the satellite property directly: once
+// the read buffer has grown to fit the largest frame, subsequent frames
+// decode through the same backing array — no per-frame allocation on the
+// receive path. Safe only because wire.Codec.Decode copies everything it
+// keeps.
+func TestFrameReaderReusesBuffer(t *testing.T) {
+	big := core.WriteMsg{Bit: 1, Val: bytes.Repeat([]byte{'x'}, 256)}
+	small := core.WriteMsg{Bit: 0, Val: []byte("abc")}
+	stream := frameStream(t, big, small, small, big, small)
+	fr := frameReader{r: bytes.NewReader(stream), codec: wire.Codec{}}
+
+	if _, err := fr.next(); err != nil {
+		t.Fatal(err)
+	}
+	first := &fr.buf[0]
+	for i := 0; i < 4; i++ {
+		msg, err := fr.next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i+1, err)
+		}
+		if &fr.buf[0] != first {
+			t.Fatalf("frame %d reallocated the read buffer", i+1)
+		}
+		if _, ok := msg.(core.WriteMsg); !ok {
+			t.Fatalf("frame %d decoded to %T", i+1, msg)
+		}
+	}
+	if _, err := fr.next(); err != io.EOF {
+		t.Fatalf("expected EOF at stream end, got %v", err)
+	}
+}
+
+// TestFrameReaderRejectsBadSizes covers the framing guards: zero-length
+// and oversized frames are errors, not allocations.
+func TestFrameReaderRejectsBadSizes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		size uint32
+	}{
+		{"zero", 0},
+		{"huge", maxFrame + 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], tc.size)
+			fr := frameReader{r: bytes.NewReader(hdr[:]), codec: wire.Codec{}}
+			if _, err := fr.next(); err == nil {
+				t.Fatal("bad frame size accepted")
+			}
+		})
+	}
+}
+
+// TestFrameReaderDecodedValuesSurviveReuse guards the contract the reuse
+// rests on: values decoded from one frame must stay intact after the
+// buffer is overwritten by the next frame.
+func TestFrameReaderDecodedValuesSurviveReuse(t *testing.T) {
+	v1 := bytes.Repeat([]byte{'1'}, 64)
+	v2 := bytes.Repeat([]byte{'2'}, 64)
+	stream := frameStream(t,
+		core.WriteMsg{Bit: 0, Val: v1},
+		core.WriteMsg{Bit: 1, Val: v2})
+	fr := frameReader{r: bytes.NewReader(stream), codec: wire.Codec{}}
+	m1, err := fr.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.next(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m1.(core.WriteMsg).Val; !bytes.Equal(got, v1) {
+		t.Fatalf("first frame's value corrupted by buffer reuse: %q", got)
+	}
+}

@@ -1,0 +1,62 @@
+package transport
+
+import "fmt"
+
+// MeshStats are one mesh's (or, via Add, a whole cluster's) transport
+// counters. FramesSent vs ConnWrites is the batching figure of merit: the
+// pipelined sender drains every queued frame per wakeup into one
+// conn.Write, so ConnWrites counts syscalls and FramesSent/ConnWrites is
+// the frames-per-syscall ratio (1.0 = the per-frame baseline).
+type MeshStats struct {
+	// FramesSent counts protocol frames handed to the kernel (frames
+	// dropped by the queue policy are counted in FramesDropped instead).
+	FramesSent int64 `json:"frames_sent"`
+	// ConnWrites counts conn.Write calls (syscalls on the send path).
+	ConnWrites int64 `json:"conn_writes"`
+	// BytesSent counts payload bytes written, length prefixes included.
+	BytesSent int64 `json:"bytes_sent"`
+	// MaxBatch is the largest number of frames one write carried.
+	MaxBatch int64 `json:"max_batch"`
+	// FramesDropped counts frames discarded by the bounded-queue drop
+	// policy (dead or stalled peers under DropNewest).
+	FramesDropped int64 `json:"frames_dropped"`
+	// Redials counts outbound connection (re-)establishments after the
+	// initial dial.
+	Redials int64 `json:"redials"`
+	// FramesReceived counts inbound frames decoded and delivered.
+	FramesReceived int64 `json:"frames_received"`
+	// DecodeErrors counts inbound frames the codec rejected — nonzero
+	// means frame interleaving or corruption on some connection.
+	DecodeErrors int64 `json:"decode_errors"`
+}
+
+// Add accumulates o into s (MaxBatch takes the maximum).
+func (s *MeshStats) Add(o MeshStats) {
+	s.FramesSent += o.FramesSent
+	s.ConnWrites += o.ConnWrites
+	s.BytesSent += o.BytesSent
+	if o.MaxBatch > s.MaxBatch {
+		s.MaxBatch = o.MaxBatch
+	}
+	s.FramesDropped += o.FramesDropped
+	s.Redials += o.Redials
+	s.FramesReceived += o.FramesReceived
+	s.DecodeErrors += o.DecodeErrors
+}
+
+// FramesPerWrite returns FramesSent/ConnWrites (0 with no writes) — the
+// batching ratio.
+func (s MeshStats) FramesPerWrite() float64 {
+	if s.ConnWrites == 0 {
+		return 0
+	}
+	return float64(s.FramesSent) / float64(s.ConnWrites)
+}
+
+// String renders the counters on one line.
+func (s MeshStats) String() string {
+	return fmt.Sprintf(
+		"frames=%d writes=%d (%.2f frames/write, max batch %d) bytes=%d dropped=%d redials=%d recv=%d decode_errs=%d",
+		s.FramesSent, s.ConnWrites, s.FramesPerWrite(), s.MaxBatch,
+		s.BytesSent, s.FramesDropped, s.Redials, s.FramesReceived, s.DecodeErrors)
+}

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"twobitreg/internal/proto"
@@ -21,15 +23,97 @@ type Codec interface {
 }
 
 // AppendCodec is the optional scratch-reuse extension of Codec: encoders
-// that can append into a caller-owned buffer let the mesh assemble each
-// outbound frame (header and body) in one reused buffer and one Write,
-// instead of allocating per message. wire.Codec implements it.
+// that can append into a caller-owned buffer let each peer's sender
+// assemble a whole batch of outbound frames in one reused buffer, with no
+// per-message allocation. wire.Codec implements it.
 type AppendCodec interface {
 	AppendEncode(dst []byte, msg proto.Message) ([]byte, error)
 }
 
 // maxFrame bounds inbound frames against corrupt or malicious peers.
 const maxFrame = 1 << 24
+
+// maxBatchBytes flushes a sender's coalescing buffer mid-drain once it
+// grows past this size, bounding memory and syscall payload alike.
+const maxBatchBytes = 256 << 10
+
+// Dial behaviour: a peer's sender keeps the link up, redialing with
+// jittered backoff between attempts. One full cycle of DialRetries spans
+// ~10s of base backoff — long enough to ride out a peer restart.
+const (
+	DialRetries = 40
+	DialBackoff = 250 * time.Millisecond
+)
+
+// DefaultQueueCap is the per-peer outbound queue bound: far above the
+// in-flight frame count a live peer ever accumulates under the closed-loop
+// quorum protocols, so the policy below only ever fires for dead or
+// wedged peers.
+const DefaultQueueCap = 1024
+
+// SendPolicy is the bounded-queue backpressure policy applied when a
+// peer's outbound queue is full.
+type SendPolicy int
+
+const (
+	// DropNewest (the default) discards the new frame and counts it in
+	// MeshStats.FramesDropped. A full queue means the peer is dead or
+	// wedged; the crash-fault model already tolerates losing messages to
+	// crashed processes (quorums are majorities), and never blocking the
+	// caller is what keeps one dead peer from stalling traffic to the
+	// rest.
+	DropNewest SendPolicy = iota
+	// Block makes Send wait for queue space (or mesh shutdown). Lossless
+	// toward slow-but-live peers, at the price of coupling the caller to
+	// the slowest peer — callers opting in should bound their own
+	// exposure.
+	Block
+)
+
+// meshConfig is the tunable behaviour, set via MeshOption.
+type meshConfig struct {
+	queueCap    int
+	policy      SendPolicy
+	perFrame    bool
+	dialRetries int
+	dialBackoff time.Duration
+	flushWindow time.Duration
+}
+
+// MeshOption customizes NewMesh.
+type MeshOption func(*meshConfig)
+
+// WithQueueCap sets the per-peer outbound queue bound (frames).
+func WithQueueCap(frames int) MeshOption {
+	return func(c *meshConfig) { c.queueCap = frames }
+}
+
+// WithSendPolicy selects the full-queue backpressure policy.
+func WithSendPolicy(p SendPolicy) MeshOption {
+	return func(c *meshConfig) { c.policy = p }
+}
+
+// WithPerFrameWrites disables batched drains: each frame gets its own
+// conn.Write. This is the measurement baseline for the batching win
+// (E-TCP1), not a production mode.
+func WithPerFrameWrites() MeshOption {
+	return func(c *meshConfig) { c.perFrame = true }
+}
+
+// WithDialRetry overrides the per-cycle dial attempt count and base
+// backoff (jitter is applied on top).
+func WithDialRetry(retries int, backoff time.Duration) MeshOption {
+	return func(c *meshConfig) { c.dialRetries, c.dialBackoff = retries, backoff }
+}
+
+// WithSendFlushWindow makes each sender linger up to d after its first
+// pending frame before draining, trading latency for larger batches — the
+// socket-level analogue of the simulator's flush window. Zero (the
+// default) drains immediately; batching then comes only from frames that
+// queued while a write was in flight.
+func WithSendFlushWindow(d time.Duration) MeshOption {
+	return func(c *meshConfig) { c.flushWindow = d }
+}
 
 // Mesh is one process's TCP endpoint in a fully connected cluster running
 // the two-bit register. Messages travel length-framed in the two-bit wire
@@ -38,46 +122,78 @@ const maxFrame = 1 << 24
 //
 // Construction is two-phase so clusters can bind ephemeral ports first and
 // exchange the resulting addresses afterwards: NewMesh starts the listener,
-// SetPeers supplies the full address table, and only then may Send be used.
+// SetPeers supplies the full address table (and starts one pipelined sender
+// per peer), and only then may Send be used.
 //
-// The mesh provides exactly the paper's channel model over TCP: reliable, no
-// duplication, and — because each ordered pair uses an independent
-// connection while the runtime interleaves deliveries — no cross-channel
-// ordering guarantees beyond what the protocol itself enforces.
+// # The send path
+//
+// Send enqueues the frame on the destination peer's bounded queue and
+// returns; each peer's dedicated sender goroutine drains *everything*
+// queued per wakeup into a single conn.Write (writev-style batching through
+// one reused encode buffer), so frames that accumulate while a write or a
+// redial is in flight share one syscall. Dialing — with jittered backoff
+// between attempts — happens on the sender goroutine of the one peer
+// concerned: a dead peer's redial cycle never delays frames to live peers,
+// and its queue overflow is absorbed by the SendPolicy instead of the
+// caller. proto.Flusher-style coalescing composes: a flush burst handed to
+// Send in one event-loop step lands in one queue drain, hence one syscall
+// per peer.
+//
+// Delivery semantics are at-most-once: frames to one peer never duplicate
+// or interleave, and are FIFO within a connection's lifetime; frames
+// buffered or mid-write when a connection breaks (or queued beyond the
+// bound of a dead peer) are dropped, counted in MeshStats, never resent.
+// That is exactly the paper's crash model: reliable FIFO links between
+// live processes in the steady state, loss toward crashed ones. (Across a
+// forced reconnect the old connection's in-flight tail may drain
+// concurrently with the new connection's first frames — loss plus a
+// bounded reorder window, which the protocol's quorum retries and rejoin
+// re-anchor absorb.)
 type Mesh struct {
 	self    int
 	n       int
 	codec   Codec
 	deliver func(from int, msg proto.Message)
 	ln      net.Listener
+	cfg     meshConfig
 
 	mu      sync.Mutex
-	peers   []string
-	conns   map[int]net.Conn      // outbound, lazily dialed
+	peers   []*peer               // index = process id, nil for self; set once by SetPeers
 	inbound map[net.Conn]struct{} // accepted, closed on shutdown
-	sendBuf []byte                // frame scratch, guarded by mu (AppendCodec path)
-	done    chan struct{}
-	wg      sync.WaitGroup
-}
 
-// Dial behaviour: Send waits for peers to come up, backing off between
-// attempts.
-const (
-	DialRetries = 40
-	DialBackoff = 250 * time.Millisecond
-)
+	framesRecv atomic.Int64
+	decodeErrs atomic.Int64
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
 
 // NewMesh starts listening for process self of an n-process cluster on
 // listenAddr (which may name an ephemeral port, e.g. "127.0.0.1:0").
 // Inbound messages are decoded with codec and passed to deliver from
 // connection goroutines; the consumer must be thread-safe. Callers must
 // Close the mesh.
-func NewMesh(self, n int, listenAddr string, codec Codec, deliver func(from int, msg proto.Message)) (*Mesh, error) {
+func NewMesh(self, n int, listenAddr string, codec Codec, deliver func(from int, msg proto.Message), opts ...MeshOption) (*Mesh, error) {
 	if self < 0 || self >= n {
 		return nil, fmt.Errorf("transport: self %d out of range [0,%d)", self, n)
 	}
 	if codec == nil {
 		return nil, errors.New("transport: codec is required")
+	}
+	cfg := meshConfig{
+		queueCap:    DefaultQueueCap,
+		policy:      DropNewest,
+		dialRetries: DialRetries,
+		dialBackoff: DialBackoff,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.queueCap < 1 {
+		return nil, fmt.Errorf("transport: queue cap %d, need at least 1", cfg.queueCap)
+	}
+	if cfg.dialRetries < 1 {
+		return nil, fmt.Errorf("transport: dial retries %d, need at least 1", cfg.dialRetries)
 	}
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
@@ -89,7 +205,7 @@ func NewMesh(self, n int, listenAddr string, codec Codec, deliver func(from int,
 		codec:   codec,
 		deliver: deliver,
 		ln:      ln,
-		conns:   make(map[int]net.Conn),
+		cfg:     cfg,
 		inbound: make(map[net.Conn]struct{}),
 		done:    make(chan struct{}),
 	}
@@ -101,16 +217,446 @@ func NewMesh(self, n int, listenAddr string, codec Codec, deliver func(from int,
 // Addr returns the mesh's bound listen address.
 func (m *Mesh) Addr() string { return m.ln.Addr().String() }
 
-// SetPeers supplies the cluster's address table (index = process id). It
-// must be called before the first Send.
+// SetPeers supplies the cluster's address table (index = process id) and
+// starts the per-peer senders. It must be called exactly once, before the
+// first Send.
 func (m *Mesh) SetPeers(addrs []string) error {
 	if len(addrs) != m.n {
 		return fmt.Errorf("transport: %d peer addrs for an %d-process mesh", len(addrs), m.n)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.peers = append([]string(nil), addrs...)
+	if m.peers != nil {
+		return errors.New("transport: SetPeers called twice")
+	}
+	select {
+	case <-m.done:
+		return errors.New("transport: mesh closed")
+	default:
+	}
+	m.peers = make([]*peer, m.n)
+	for id, addr := range addrs {
+		if id == m.self {
+			continue
+		}
+		p := &peer{m: m, id: id, addr: addr}
+		p.cond = sync.NewCond(&p.mu)
+		p.rng = rand.New(rand.NewSource(int64(m.self)<<16 ^ int64(id) ^ time.Now().UnixNano()))
+		m.peers[id] = p
+		m.wg.Add(1)
+		go p.run()
+	}
 	return nil
+}
+
+// Send enqueues msg for peer `to` and returns without waiting for the
+// write (under the Block policy it may wait for queue space). A nil return
+// means the frame was accepted by the queue — or, under DropNewest against
+// a full queue, counted as dropped; delivery itself is asynchronous and
+// at-most-once. Errors report misuse (bad destination, SetPeers not yet
+// called, mesh closed), not peer health. Safe for concurrent use; frames
+// to one peer are written by one goroutine and never interleave.
+func (m *Mesh) Send(to int, msg proto.Message) error {
+	if to == m.self || to < 0 || to >= m.n {
+		return fmt.Errorf("transport: bad destination %d", to)
+	}
+	m.mu.Lock()
+	p := (*peer)(nil)
+	if m.peers != nil {
+		p = m.peers[to]
+	}
+	m.mu.Unlock()
+	if p == nil {
+		return errors.New("transport: Send before SetPeers")
+	}
+	return p.enqueue(msg)
+}
+
+// Stats returns a snapshot of the mesh's transport counters, aggregated
+// over all peers.
+func (m *Mesh) Stats() MeshStats {
+	var s MeshStats
+	m.mu.Lock()
+	peers := m.peers
+	m.mu.Unlock()
+	for _, p := range peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		s.Add(p.stats)
+		p.mu.Unlock()
+	}
+	s.FramesReceived = m.framesRecv.Load()
+	s.DecodeErrors = m.decodeErrs.Load()
+	return s
+}
+
+// DropConn forcibly closes the current outbound connection to peer `to`,
+// if one is up, and reports whether it did. Frames queued or mid-write are
+// lost (at-most-once); the peer's sender redials on its next drain. This
+// is fault injection for tests and chaos drills — the mid-stream
+// connection-drop scenario — not part of normal operation.
+func (m *Mesh) DropConn(to int) bool {
+	m.mu.Lock()
+	p := (*peer)(nil)
+	if m.peers != nil && to >= 0 && to < len(m.peers) {
+		p = m.peers[to]
+	}
+	m.mu.Unlock()
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	c := p.conn
+	p.mu.Unlock()
+	if c == nil {
+		return false
+	}
+	c.Close()
+	return true
+}
+
+// Close shuts the mesh down and waits for its goroutines. Queued and
+// in-flight frames are discarded.
+func (m *Mesh) Close() error {
+	select {
+	case <-m.done:
+	default:
+		close(m.done)
+	}
+	err := m.ln.Close()
+	m.mu.Lock()
+	peers := m.peers
+	for c := range m.inbound {
+		c.Close() // unblocks serveConn reads
+	}
+	m.mu.Unlock()
+	for _, p := range peers {
+		if p != nil {
+			p.close()
+		}
+	}
+	m.wg.Wait()
+	return err
+}
+
+// peer is the send-side state for one destination: a bounded frame queue
+// drained by a dedicated sender goroutine that owns the connection, the
+// dial loop, and the encode buffer.
+type peer struct {
+	m    *Mesh
+	id   int
+	addr string
+
+	mu      sync.Mutex
+	cond    *sync.Cond // frames/space/write-turn availability
+	queue   []proto.Message
+	closed  bool
+	writing bool     // a goroutine (sender or inline Send) owns the conn's write side
+	conn    net.Conn // nil while down; the sender dials, DropConn/close break it
+	dialed  bool     // a connection has been established at least once
+	stats   MeshStats
+
+	// Sender-goroutine-owned state (no locking needed).
+	rng    *rand.Rand
+	encBuf []byte
+	batch  []proto.Message
+
+	// inlineBuf is the inline fast path's encode scratch, guarded by the
+	// writing flag (exactly one writer at a time).
+	inlineBuf []byte
+}
+
+// enqueue applies the queue bound and policy, then hands msg to the
+// sender — or, when the link is idle (connection up, nothing queued, no
+// write in progress), writes the single frame inline on the caller: the
+// quiescent case keeps synchronous-path latency, while any concurrency
+// falls through to the queue and gets drained in batches. Dialing never
+// happens inline, so a down peer costs its callers nothing. A configured
+// flush window disables the inline path — that option explicitly trades
+// latency for batches, so every frame must ride the lingering drain.
+func (p *peer) enqueue(msg proto.Message) error {
+	p.mu.Lock()
+	if !p.writing && len(p.queue) == 0 && p.conn != nil && !p.closed &&
+		p.m.cfg.flushWindow == 0 {
+		c := p.conn
+		p.writing = true
+		p.mu.Unlock()
+		p.writeInline(c, msg)
+		p.mu.Lock()
+		p.writing = false
+		if len(p.queue) > 0 || p.closed {
+			p.cond.Broadcast() // the sender parked while we held the write turn
+		}
+		p.mu.Unlock()
+		return nil
+	}
+	defer p.mu.Unlock()
+	for len(p.queue) >= p.m.cfg.queueCap {
+		if p.closed {
+			return errors.New("transport: mesh closed")
+		}
+		if p.m.cfg.policy == DropNewest {
+			p.stats.FramesDropped++
+			return nil
+		}
+		p.cond.Wait()
+	}
+	if p.closed {
+		return errors.New("transport: mesh closed")
+	}
+	p.queue = append(p.queue, msg)
+	if len(p.queue) == 1 {
+		p.cond.Broadcast() // wake the parked sender on empty -> non-empty
+	}
+	return nil
+}
+
+// writeInline ships one frame on the caller's goroutine. The caller holds
+// the write turn (p.writing); a write error breaks the connection exactly
+// like the sender's path.
+func (p *peer) writeInline(c net.Conn, msg proto.Message) {
+	buf, err := p.appendFrame(p.inlineBuf[:0], msg)
+	p.inlineBuf = buf[:0]
+	if err != nil {
+		p.mu.Lock()
+		p.stats.FramesDropped++
+		p.mu.Unlock()
+		return
+	}
+	if _, err := c.Write(buf); err != nil {
+		p.breakConn(c)
+		p.mu.Lock()
+		p.stats.FramesDropped++
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Lock()
+	p.stats.ConnWrites++
+	p.stats.FramesSent++
+	p.stats.BytesSent += int64(len(buf))
+	if p.stats.MaxBatch < 1 {
+		p.stats.MaxBatch = 1
+	}
+	p.mu.Unlock()
+}
+
+// close wakes and terminates the sender; queued frames are dropped.
+func (p *peer) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.stats.FramesDropped += int64(len(p.queue))
+	p.queue = p.queue[:0]
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// take blocks until frames are pending AND the write turn is free, then
+// claims the turn and drains the whole queue into p.batch. Holding the
+// turn from drain to flush keeps the inline fast path from jumping ahead
+// of (or interleaving with) a batch in flight. With a flush window
+// configured it lingers after claiming the turn — the turn blocks inline
+// writes, so a burst in progress accumulates in the queue and lands in
+// one drain.
+func (p *peer) take() bool {
+	p.mu.Lock()
+	for (len(p.queue) == 0 || p.writing) && !p.closed {
+		p.cond.Wait()
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	p.writing = true
+	if w := p.m.cfg.flushWindow; w > 0 {
+		p.mu.Unlock()
+		time.Sleep(w)
+		p.mu.Lock()
+		if p.closed {
+			p.writing = false
+			p.mu.Unlock()
+			return false
+		}
+	}
+	p.batch = append(p.batch[:0], p.queue...)
+	for i := range p.queue {
+		p.queue[i] = nil // no retention across drains
+	}
+	p.queue = p.queue[:0]
+	p.cond.Broadcast() // space for Block-policy senders
+	p.mu.Unlock()
+	return true
+}
+
+// run is the sender goroutine: drain, connect if needed, write the whole
+// batch, release the write turn, repeat. Connection failures drop the
+// affected frames (counted) and never propagate beyond this peer.
+func (p *peer) run() {
+	defer p.m.wg.Done()
+	for p.take() {
+		var lost int64
+		c := p.ensureConn()
+		if c == nil {
+			// Dial cycle exhausted (or shutdown): this batch is lost.
+			lost = int64(len(p.batch))
+		} else {
+			lost = p.writeBatch(c)
+		}
+		p.mu.Lock()
+		p.writing = false
+		p.stats.FramesDropped += lost
+		p.mu.Unlock()
+	}
+}
+
+// ensureConn returns the peer's connection, dialing with jittered backoff
+// if it is down. Returns nil after a full failed dial cycle or on
+// shutdown.
+func (p *peer) ensureConn() net.Conn {
+	p.mu.Lock()
+	c := p.conn
+	p.mu.Unlock()
+	if c != nil {
+		return c
+	}
+	cfg := &p.m.cfg
+	for attempt := 0; attempt < cfg.dialRetries; attempt++ {
+		if attempt > 0 && !p.backoff() {
+			return nil
+		}
+		select {
+		case <-p.m.done:
+			return nil
+		default:
+		}
+		c, err := net.Dial("tcp", p.addr)
+		if err != nil {
+			continue
+		}
+		if _, err := c.Write([]byte{byte(p.m.self)}); err != nil {
+			c.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		p.conn = c
+		if p.dialed {
+			p.stats.Redials++
+		}
+		p.dialed = true
+		p.mu.Unlock()
+		return c
+	}
+	return nil
+}
+
+// backoff sleeps the jittered inter-attempt delay, interruptible by
+// shutdown; the jitter (50–150% of base) keeps a cluster's redial cycles
+// from synchronizing against a restarting peer.
+func (p *peer) backoff() bool {
+	base := p.m.cfg.dialBackoff
+	d := time.Duration(float64(base) * (0.5 + p.rng.Float64()))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-p.m.done:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// writeBatch encodes every frame of p.batch into the reused buffer and
+// ships it in as few conn.Write calls as possible (one, unless the batch
+// exceeds maxBatchBytes or per-frame mode is on). A write error closes the
+// connection and drops the batch's unwritten remainder — frames are never
+// resent, so a reconnect cannot duplicate or interleave them. Returns the
+// number of frames lost (unwritten or unencodable).
+func (p *peer) writeBatch(c net.Conn) (lost int64) {
+	buf := p.encBuf[:0]
+	frames := int64(0)
+	flush := func() bool {
+		if len(buf) == 0 {
+			return true
+		}
+		if _, err := c.Write(buf); err != nil {
+			p.breakConn(c)
+			lost += frames
+			return false
+		}
+		p.mu.Lock()
+		p.stats.ConnWrites++
+		p.stats.FramesSent += frames
+		p.stats.BytesSent += int64(len(buf))
+		if frames > p.stats.MaxBatch {
+			p.stats.MaxBatch = frames
+		}
+		p.mu.Unlock()
+		buf = buf[:0]
+		frames = 0
+		return true
+	}
+	for i, msg := range p.batch {
+		var err error
+		buf, err = p.appendFrame(buf, msg)
+		if err != nil {
+			// Unencodable message: a programmer error surfaced as a counted
+			// drop rather than a poisoned connection.
+			lost++
+			continue
+		}
+		frames++
+		if len(buf) >= maxBatchBytes || p.m.cfg.perFrame {
+			if !flush() {
+				p.encBuf = buf[:0]
+				return lost + int64(len(p.batch)-i-1)
+			}
+		}
+	}
+	if !flush() {
+		p.encBuf = buf[:0]
+		return lost
+	}
+	p.encBuf = buf
+	return lost
+}
+
+// appendFrame appends one length-prefixed frame to dst.
+func (p *peer) appendFrame(dst []byte, msg proto.Message) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	if ac, ok := p.m.codec.(AppendCodec); ok {
+		out, err := ac.AppendEncode(dst, msg)
+		if err != nil {
+			return dst[:start], err
+		}
+		binary.BigEndian.PutUint32(out[start:], uint32(len(out)-start-4))
+		return out, nil
+	}
+	body, err := p.m.codec.Encode(msg)
+	if err != nil {
+		return dst[:start], err
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(body)))
+	return append(dst, body...), nil
+}
+
+// breakConn tears down the connection after a write error.
+func (p *peer) breakConn(c net.Conn) {
+	c.Close()
+	p.mu.Lock()
+	if p.conn == c {
+		p.conn = nil
+	}
+	p.mu.Unlock()
 }
 
 func (m *Mesh) acceptLoop() {
@@ -157,134 +703,59 @@ func (m *Mesh) serveConn(conn net.Conn) {
 	if from < 0 || from >= m.n || from == m.self {
 		return
 	}
+	fr := frameReader{r: conn, codec: m.codec}
 	for {
-		msg, err := m.readFrame(conn)
+		msg, err := fr.next()
 		if err != nil {
-			return // EOF or broken peer: the dialer reconnects if needed
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !isConnReset(err) {
+				m.decodeErrs.Add(1)
+			}
+			return // broken peer: its dialer reconnects if it is alive
 		}
 		select {
 		case <-m.done:
 			return
 		default:
 		}
+		m.framesRecv.Add(1)
 		m.deliver(from, msg)
 	}
 }
 
-func (m *Mesh) readFrame(r io.Reader) (proto.Message, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+// isConnReset reports transport-level termination errors that are part of
+// normal peer churn (as opposed to framing/decode corruption).
+func isConnReset(err error) bool {
+	var ne *net.OpError
+	return errors.As(err, &ne) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// frameReader reads length-prefixed frames through one reused buffer: the
+// codec copies every byte it keeps (values, keys) out of the input during
+// Decode, so the buffer is safe to overwrite on the next frame and the
+// steady-state read path performs no per-frame allocation beyond the
+// decoded message itself.
+type frameReader struct {
+	r     io.Reader
+	codec Codec
+	hdr   [4]byte
+	buf   []byte
+}
+
+// next reads and decodes one frame.
+func (fr *frameReader) next() (proto.Message, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
 		return nil, err
 	}
-	size := binary.BigEndian.Uint32(hdr[:])
+	size := binary.BigEndian.Uint32(fr.hdr[:])
 	if size == 0 || size > maxFrame {
 		return nil, fmt.Errorf("transport: bad frame size %d", size)
 	}
-	body := make([]byte, size)
-	if _, err := io.ReadFull(r, body); err != nil {
+	if cap(fr.buf) < int(size) {
+		fr.buf = make([]byte, size)
+	}
+	body := fr.buf[:size]
+	if _, err := io.ReadFull(fr.r, body); err != nil {
 		return nil, err
 	}
-	return m.codec.Decode(body)
-}
-
-// writeFrame writes one length-prefixed message. Callers hold m.mu, which
-// makes the scratch buffer safe to reuse across sends.
-func (m *Mesh) writeFrame(w io.Writer, msg proto.Message) error {
-	if ac, ok := m.codec.(AppendCodec); ok {
-		buf := append(m.sendBuf[:0], 0, 0, 0, 0)
-		buf, err := ac.AppendEncode(buf, msg)
-		m.sendBuf = buf
-		if err != nil {
-			return err
-		}
-		binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
-		_, err = w.Write(buf)
-		return err
-	}
-	body, err := m.codec.Encode(msg)
-	if err != nil {
-		return err
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
-	return err
-}
-
-// Send transmits msg to peer `to`, dialing (with retry) on first use. It is
-// safe for concurrent use; frames to one peer are written under a lock and
-// never interleave.
-func (m *Mesh) Send(to int, msg proto.Message) error {
-	if to == m.self || to < 0 || to >= m.n {
-		return fmt.Errorf("transport: bad destination %d", to)
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.peers == nil {
-		return errors.New("transport: Send before SetPeers")
-	}
-	conn, err := m.conn(to)
-	if err != nil {
-		return err
-	}
-	if err := m.writeFrame(conn, msg); err != nil {
-		// Drop the broken connection; the next Send redials.
-		conn.Close()
-		delete(m.conns, to)
-		return fmt.Errorf("transport: send to %d: %w", to, err)
-	}
-	return nil
-}
-
-// conn returns the outbound connection to peer, dialing if necessary.
-// Callers hold m.mu.
-func (m *Mesh) conn(to int) (net.Conn, error) {
-	if c, ok := m.conns[to]; ok {
-		return c, nil
-	}
-	var lastErr error
-	for attempt := 0; attempt < DialRetries; attempt++ {
-		select {
-		case <-m.done:
-			return nil, errors.New("transport: mesh closed")
-		default:
-		}
-		c, err := net.Dial("tcp", m.peers[to])
-		if err == nil {
-			if _, werr := c.Write([]byte{byte(m.self)}); werr != nil {
-				c.Close()
-				lastErr = werr
-				continue
-			}
-			m.conns[to] = c
-			return c, nil
-		}
-		lastErr = err
-		time.Sleep(DialBackoff)
-	}
-	return nil, fmt.Errorf("transport: dial peer %d at %s: %w", to, m.peers[to], lastErr)
-}
-
-// Close shuts the mesh down and waits for its goroutines.
-func (m *Mesh) Close() error {
-	select {
-	case <-m.done:
-	default:
-		close(m.done)
-	}
-	err := m.ln.Close()
-	m.mu.Lock()
-	for to, c := range m.conns {
-		c.Close()
-		delete(m.conns, to)
-	}
-	for c := range m.inbound {
-		c.Close() // unblocks serveConn reads
-	}
-	m.mu.Unlock()
-	m.wg.Wait()
-	return err
+	return fr.codec.Decode(body)
 }
