@@ -9,6 +9,7 @@
 //	regload -procs 3 -clients 16 -keys 64 -read-frac 0.6 -duration 5s
 //	regload -procs 5 -clients 32 -keys 200 -ops 20000 -coalesce=false -json
 //	regload -procs 3 -clients 8 -duration 5s -dead 2   # dead-peer scenario
+//	regload -procs 3 -clients 8 -duration 5s -restart 2@1.5   # kill p2 at 1.5s, revive from its log
 //
 // Exactly one of -duration and -ops bounds the run. -min-ops makes the run
 // a gate: fewer completed operations exit non-zero (the CI loopback smoke).
@@ -47,6 +48,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		flushWin = fs.Duration("flush-window", 0, "sender linger before each drain (bigger batches, added latency)")
 		seed     = fs.Int64("seed", 1, "workload seed (same spec + seed = same op mix)")
 		dead     = fs.String("dead", "", "comma-separated process ids to kill before load (dead-peer scenario)")
+		restart  = fs.String("restart", "", "comma-separated proc@seconds kill-and-revive faults, e.g. 2@1.5 (revived from the durable log after the default downtime)")
 		minOps   = fs.Int64("min-ops", 0, "exit non-zero if fewer operations complete (CI smoke gate)")
 		asJSON   = fs.Bool("json", false, "emit the report as JSON")
 	)
@@ -56,6 +58,11 @@ func run(args []string, stdout, stderr *os.File) int {
 	deadList, err := parseDead(*dead)
 	if err != nil {
 		fmt.Fprintln(stderr, "regload: invalid -dead:", err)
+		return 2
+	}
+	restarts, err := parseRestarts(*restart)
+	if err != nil {
+		fmt.Fprintln(stderr, "regload: invalid -restart:", err)
 		return 2
 	}
 	spec := regload.Spec{
@@ -69,6 +76,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		FlushWindow: *flushWin,
 		Seed:        *seed,
 		Dead:        deadList,
+		Restart:     restarts,
 	}
 	if *ops > 0 {
 		spec.Ops = *ops
@@ -104,6 +112,37 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// parseRestarts parses the comma-separated -restart list of proc@seconds
+// entries (downtime uses the Restart default); range and quorum checks
+// live in Spec.Validate.
+func parseRestarts(s string) ([]regload.Restart, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]regload.Restart, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		proc, at, ok := strings.Cut(p, "@")
+		if !ok {
+			return nil, fmt.Errorf("%q is not proc@seconds", p)
+		}
+		id, err := strconv.Atoi(proc)
+		if err != nil {
+			return nil, fmt.Errorf("%q is not a process id", proc)
+		}
+		secs, err := strconv.ParseFloat(at, 64)
+		if err != nil || secs <= 0 {
+			return nil, fmt.Errorf("%q is not a positive kill offset in seconds", at)
+		}
+		out = append(out, regload.Restart{
+			Proc:  id,
+			After: time.Duration(secs * float64(time.Second)),
+		})
+	}
+	return out, nil
 }
 
 // parseDead parses the comma-separated -dead list; range checks live in

@@ -7,6 +7,9 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
+
+	"twobitreg/internal/regload"
 )
 
 // capture runs run() with stdout/stderr redirected to files and returns
@@ -85,6 +88,12 @@ func TestRegloadFlagValidation(t *testing.T) {
 		{"dead majority", []string{"-dead", "0,1", "-ops", "10"}, "-dead"},
 		{"negative min-ops", []string{"-ops", "10", "-min-ops", "-1"}, "-min-ops"},
 		{"bad flush window", []string{"-ops", "10", "-flush-window", "2s"}, "-flush-window"},
+		{"restart missing offset", []string{"-restart", "2", "-ops", "10"}, "-restart"},
+		{"restart bad proc", []string{"-restart", "x@1", "-ops", "10"}, "-restart"},
+		{"restart negative offset", []string{"-restart", "1@-2", "-ops", "10"}, "-restart"},
+		{"restart out of range", []string{"-restart", "9@1", "-ops", "10"}, "-restart"},
+		{"restart of dead proc", []string{"-dead", "2", "-restart", "2@1", "-ops", "10"}, "-restart"},
+		{"restart breaks quorum", []string{"-dead", "2", "-restart", "1@1", "-ops", "10"}, "-restart"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -109,6 +118,28 @@ func TestRegloadMinOpsGate(t *testing.T) {
 	}
 	if !strings.Contains(errs, "below the -min-ops gate") {
 		t.Fatalf("gate message missing:\n%s", errs)
+	}
+}
+
+func TestParseRestarts(t *testing.T) {
+	got, err := parseRestarts(" 2@1.5 ,0@0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []regload.Restart{
+		{Proc: 2, After: 1500 * time.Millisecond},
+		{Proc: 0, After: 250 * time.Millisecond},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseRestarts = %+v, want %+v", got, want)
+	}
+	if out, err := parseRestarts(""); err != nil || out != nil {
+		t.Fatalf("empty list = %v, %v", out, err)
+	}
+	for _, bad := range []string{"2", "@1", "2@", "2@zero", "2@0", "1@1,,2@1"} {
+		if _, err := parseRestarts(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
 	}
 }
 

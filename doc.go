@@ -175,6 +175,34 @@
 // BENCH_tcp.json (benchdiff-gated), and EXPERIMENTS.md E-TCP1 tabulates
 // the batching and dead-peer results.
 //
+// # Durable registers: crash-restart recovery
+//
+// The paper's model is crash-stop; internal/storage makes the registers
+// crash-RESTART capable. StableStorage is the pluggable persistence
+// interface (an in-memory log with injectable sync-loss for tests, a
+// file-backed append-only WAL with explicit Sync points for deployments),
+// and the durability contract is one line: log every lane append, sync
+// before any attestation leaves. Every outbound message attests to lane
+// state — a WRITE echo fills a quorum, a PROCEED certifies a freshness
+// bar — so core.Proc, core.MWProc and the regmap node sync at their drain
+// fixpoints, before a step's effects release to the transport; what was
+// never synced was never attested and may be lost. Recovery
+// (storage.Recoverable: Recover replays the log into a fresh process,
+// PeerRestarted resets BOTH ends of every link of the revived process and
+// re-ships backlogs from position zero) restores exactly the attested
+// state; link counters deliberately restart at zero because wSync doubles
+// as a receive count and in-flight frames died with the old incarnation.
+// The explorer's crashrestart strategy is the adversary for this layer:
+// victims (drawn from ALL pids, writer included) crash at a seeded
+// protocol phase, their unsynced tail is discarded, and a seeded
+// virtual-time later they revive behind the simulator's incarnation fence
+// (transport.SimNet.Revive) — the durability cheat mut-wal-skipsync is
+// invisible to every crash-stop adversary and only this one catches it.
+// BenchmarkWALWrite prices the contract (file-backed synced vs unsynced
+// vs in-memory appends, BENCH_wal.json; EXPERIMENTS.md E-WAL1), and the
+// TCP runtime rehearses the same kill-and-revive cycle over real sockets
+// (regload -restart proc@seconds — zero acknowledged writes lost).
+//
 // # Registered algorithms
 //
 // The explorer's registry (explore.AlgorithmNames, explore.MutantNames)
@@ -206,6 +234,7 @@
 //   - mut-twobit-mwmr — multi-writer write skips its freshness round
 //   - mut-lane-batch — receiver tears batched lane frames
 //   - mut-regmap-frame — receiver drops cross-key multi-frame tails
+//   - mut-wal-skipsync — WAL appends never sync, a crash empties the log
 //
 // ARCHITECTURE.md maps how these pieces fit — the package graph from proto
 // through the lane engine, runtimes, and harnesses, with worked message
@@ -220,8 +249,9 @@
 // (slowquorum), writer/reader phase races (race), burst reordering (burst),
 // crash-at-protocol-phase triggers (crashphase), writer crashes targeted at
 // the freshness-round/append boundary (crashwrite — the victim dies on its
-// k-th PROCEED delivery, probing the padded-append window), and PCT-style
-// random-priority scheduling (pct). Runs that quiesce with an operation
+// k-th PROCEED delivery, probing the padded-append window), crash-restart
+// faults replayed from stable storage (crashrestart — see the durable
+// registers section), and PCT-style random-priority scheduling (pct). Runs that quiesce with an operation
 // still pending on a process that never crashed are flagged as liveness
 // violations (Result.Stalled). Every explored run is described by a
 // compact descriptor — algorithm, strategy, seed, sizes — that serializes

@@ -55,6 +55,29 @@ func TestDocTCPRuntime(t *testing.T) {
 	}
 }
 
+// TestDocDurability keeps the durability documentation in lockstep with
+// the code: ARCHITECTURE.md must carry the "Durability" section and doc.go
+// must point at the storage package and the BENCH_wal.json trajectory.
+func TestDocDurability(t *testing.T) {
+	t.Parallel()
+	arch, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(arch), "## Durability") {
+		t.Fatal(`ARCHITECTURE.md lost its "## Durability" section`)
+	}
+	doc, err := os.ReadFile("doc.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"internal/storage", "BENCH_wal.json", "crashrestart"} {
+		if !strings.Contains(string(doc), want) {
+			t.Fatalf("doc.go does not mention %s", want)
+		}
+	}
+}
+
 // TestDocLinksArchitecture keeps the doc.go pointer to ARCHITECTURE.md and
 // the document itself from drifting apart.
 func TestDocLinksArchitecture(t *testing.T) {

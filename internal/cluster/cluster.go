@@ -80,16 +80,20 @@ type result struct {
 	err error
 }
 
-// event is a mailbox entry: either a peer message or a client op request.
+// event is a mailbox entry: a peer message, a client op request, or a
+// protocol step injected by the restart path (Node.PeerRestarted).
 type event struct {
 	// message fields
 	from int
 	msg  proto.Message
-	// op fields (msg == nil means op request)
+	// op fields (msg == nil and step == nil means op request)
 	op    proto.OpID
 	kind  proto.OpKind
 	val   proto.Value
 	reply chan result
+	// step, when non-nil, runs against the process on the event loop and
+	// its effects route like a delivery's.
+	step func(proto.Process) proto.Effects
 }
 
 type node struct {

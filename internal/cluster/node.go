@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"twobitreg/internal/proto"
+	"twobitreg/internal/storage"
 )
 
 // Node is a standalone single-process runtime for deployments where each
@@ -29,15 +30,55 @@ type Node struct {
 // send is invoked (from the node's event loop) for every outbound message;
 // inbound messages arrive via Deliver. Callers must Stop the node.
 func NewNode(id, n, writer int, alg proto.Algorithm, send func(to int, msg proto.Message)) *Node {
+	return NewNodeWithProcess(id, alg.New(id, n, writer), send)
+}
+
+// NewNodeWithProcess starts the event loop around an already-constructed
+// process. This is the crash-restart entry point: the caller rebuilds the
+// process from its stable-storage log (storage.Recoverable.Recover) before
+// any traffic flows, hands it here, and then runs the bilateral link reset
+// — PeerRestarted on this node for every peer, and on every peer's node
+// for this one.
+func NewNodeWithProcess(id int, proc proto.Process, send func(to int, msg proto.Message)) *Node {
 	nd := &Node{
 		id:   id,
-		proc: alg.New(id, n, writer),
+		proc: proc,
 		send: send,
 	}
 	nd.cond = sync.NewCond(&nd.mu)
 	nd.wg.Add(1)
 	go nd.run()
 	return nd
+}
+
+// PeerRestarted enqueues the restart protocol's link reset for peer onto
+// the node's event loop: the process's view of the peer resets and its
+// backlog re-ships (storage.Recoverable.PeerRestarted). The node's process
+// must be recoverable. Safe for concurrent use, like Deliver.
+func (nd *Node) PeerRestarted(peer int) {
+	nd.PeerRestartedFunc(peer, nil)
+}
+
+// PeerRestartedFunc is PeerRestarted with a transport hook: pre (if
+// non-nil) runs on the event loop immediately before the process's reset.
+// Transports purge the frames still queued for the peer's dead incarnation
+// there — in the same step, so no frame the process emitted before the
+// reset can slip out after the purge and precede the re-shipped backlog.
+// Returns false (pre will never run) if the node is stopping.
+func (nd *Node) PeerRestartedFunc(peer int, pre func()) bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.stopping {
+		return false
+	}
+	nd.queue = append(nd.queue, event{step: func(p proto.Process) proto.Effects {
+		if pre != nil {
+			pre()
+		}
+		return p.(storage.Recoverable).PeerRestarted(peer)
+	}})
+	nd.cond.Signal()
+	return true
 }
 
 // ID returns the node's process index.
@@ -172,15 +213,18 @@ func (nd *Node) run() {
 			nd.queue = nil
 			nd.mu.Unlock()
 			for _, q := range rest {
-				if q.msg == nil {
+				if q.msg == nil && q.step == nil {
 					q.reply <- result{err: ErrStopped}
 				}
 			}
 			return
 		}
-		if ev.msg != nil {
+		switch {
+		case ev.step != nil:
+			handleEffects(ev.step(nd.proc))
+		case ev.msg != nil:
 			handleEffects(nd.proc.Deliver(ev.from, ev.msg))
-		} else {
+		default:
 			opQueue = append(opQueue, ev)
 		}
 		startNext()

@@ -59,6 +59,12 @@ type Lane struct {
 	// but a gap of any size crosses a link in one frame.
 	pipelined bool
 	sent      []int
+
+	// onAppend, when set, observes every history append (index, value) —
+	// the durability hook: a durable owner logs each append to stable
+	// storage through it. Recovery replays install it only after the
+	// replayed entries are in place, so replay itself is never re-logged.
+	onAppend func(index int, v proto.Value)
 }
 
 // emitFn transmits the lane WRITE for stream index wsn to peer `to`. Owners
@@ -331,6 +337,52 @@ func (l *Lane) appendHistory(wsn int, v proto.Value) {
 			l.self, wsn, len(l.history), l.histBase))
 	}
 	l.history = append(l.history, v)
+	if l.onAppend != nil {
+		l.onAppend(wsn, v)
+	}
+}
+
+// OnAppend installs the durability hook: fn observes every subsequent
+// history append. See the onAppend field.
+func (l *Lane) OnAppend(fn func(index int, v proto.Value)) { l.onAppend = fn }
+
+// RecoverAppend installs a replayed history entry during crash-restart
+// recovery: the next consecutive index, adopted as this process's own
+// position without emitting anything and without re-logging (the entry
+// came FROM the log). Only valid before any message flows.
+func (l *Lane) RecoverAppend(index int, v proto.Value) error {
+	if index != l.HistoryLen() {
+		return fmt.Errorf("core: process %d replaying index %d onto %d entries (log gap)",
+			l.self, index, l.HistoryLen())
+	}
+	if l.onAppend != nil {
+		return fmt.Errorf("core: process %d RecoverAppend after storage attach", l.self)
+	}
+	l.wSync[l.self] = index
+	l.appendHistory(index, v.Clone())
+	return nil
+}
+
+// ResetLink zeroes this lane's view of the link to peer j after one end
+// of it restarted: knowledge of j's position, the link's send cursor, and
+// the parked reorder buffer all reset, because the counting discipline
+// that made them meaningful died with the old connection (frames in
+// flight at the crash are gone, so every surviving count would undercount
+// forever — and a permanently undercounted column deadlocks the line-3
+// exact-count wait). Understating knowledge is the safe direction: quorum
+// counts re-fill as the link re-ships (ShipBacklog) from position zero.
+func (l *Lane) ResetLink(j int) {
+	if j == l.self {
+		panic(fmt.Sprintf("core: process %d ResetLink on itself", l.self))
+	}
+	l.wSync[j] = 0
+	if l.pipelined {
+		l.sent[j] = 0
+	}
+	for k := range l.pending[j] {
+		l.pending[j][k] = WriteMsg{}
+	}
+	l.pending[j] = l.pending[j][:0]
 }
 
 // histAt returns history[x]. Accessing a compacted index is a bug in the

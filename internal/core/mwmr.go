@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"twobitreg/internal/proto"
+	"twobitreg/internal/storage"
 )
 
 // This file implements twobit-mwmr, a multi-writer multi-reader extension of
@@ -100,6 +101,12 @@ type MWProc struct {
 	sends []proto.Send
 
 	msgsSent int
+
+	// store, when attached, receives every lane append (own writes and
+	// adopted peer values alike) and is synced at the end of every dirty
+	// drain, before the step's outbound frames release (see durable.go).
+	store storage.StableStorage
+	dirty bool
 }
 
 type pendingSync struct {
@@ -318,6 +325,25 @@ func (b *laneBatcher) add(w, to, wsn int, val proto.Value) {
 		}
 	}
 	b.runs = append(b.runs, batchRun{w: w, to: to, start: wsn, vals: b.newVals(val)})
+}
+
+// dropPeer discards the runs held for one link. A restarted peer's queued
+// frames were addressed to its previous incarnation (see PeerRestarted) —
+// the re-shipped backlog covers their content, so shipping them too would
+// deliver duplicates the receiver's parity guard can only park.
+func (b *laneBatcher) dropPeer(peer int) {
+	kept := b.runs[:0]
+	for _, r := range b.runs {
+		if r.to == peer {
+			for i := range r.vals {
+				r.vals[i] = nil
+			}
+			b.free = append(b.free, r.vals[:0])
+			continue
+		}
+		kept = append(kept, r)
+	}
+	b.runs = kept
 }
 
 // newVals returns a recycled (or fresh) one-element value slice.
@@ -576,6 +602,11 @@ func (p *MWProc) drain(eff *proto.Effects) {
 	for _, l := range p.lanes {
 		l.NoteQuiesced()
 	}
+	// Durability point: appends stabilize before the step's frames release.
+	// Note this covers the flush-window mode too — frames may ship on a
+	// later tick, but their entries were synced when this drain appended
+	// them, which is earlier, hence still sync-before-attest.
+	p.syncStorage()
 }
 
 // flushPendingSyncs answers freshness requests whose requester caught up on

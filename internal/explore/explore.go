@@ -6,7 +6,8 @@
 // vanishingly thin slice of that space. This package generates the hostile
 // slices systematically: a family of adversary strategies (per-link
 // asymmetric delays, targeted quorum-slowing, writer/reader phase races,
-// burst reordering, crash-at-protocol-phase triggers, and PCT-style
+// burst reordering, crash-at-protocol-phase triggers, seeded crash-restart
+// faults replayed from stable storage, and PCT-style
 // random-priority scheduling — see StrategyNames and the per-strategy docs
 // in strategies.go) layered on the deterministic simulator (sim.Scheduler)
 // and the transport delay hooks, driving every registered algorithm and
@@ -125,6 +126,7 @@ import (
 	"twobitreg/internal/proto"
 	"twobitreg/internal/regmap"
 	"twobitreg/internal/sim"
+	"twobitreg/internal/storage"
 	"twobitreg/internal/transport"
 	"twobitreg/internal/workload"
 )
@@ -318,6 +320,30 @@ func Run(s Schedule) (Result, error) {
 		}
 	}
 
+	// Crash-restart runs arm stable storage on every process — uniformly,
+	// so the invariant probes see one consistent lane mode (attaching
+	// pipelines SWMR lanes) — before the transport reads the FIFO
+	// declaration at construction. An algorithm without recovery support
+	// (or with it disabled, e.g. under history GC) degrades to plain
+	// crash-stop: victims die at the same seeded phase and stay down.
+	restartable := strat.restart
+	var logs []*storage.MemLog
+	if strat.restart {
+		for _, p := range procs {
+			if r, ok := p.(storage.Recoverable); !ok || !r.RecoveryEnabled() {
+				restartable = false
+				break
+			}
+		}
+		if restartable {
+			logs = make([]*storage.MemLog, s.N)
+			for i, p := range procs {
+				logs[i] = storage.NewMemLog()
+				p.(storage.Recoverable).AttachStorage(logs[i])
+			}
+		}
+	}
+
 	res := Result{Schedule: s, Token: s.Token()}
 
 	// Single-writer schedules keep the original derivation byte for byte so
@@ -376,13 +402,19 @@ func Run(s Schedule) (Result, error) {
 	col := &metrics.Collector{}
 	var net *transport.SimNet
 	var inject func(pid int)
+	// fireArmed[pid] marks a scheduled-but-not-yet-fired invocation, so a
+	// revival knows whether its re-kick would double-pump the (sequential)
+	// operation stream.
+	fireArmed := make([]bool, s.N)
 	inject = func(pid int) {
 		if next[pid] >= len(queues[pid]) || net.Crashed(pid) {
 			return
 		}
 		id := queues[pid][next[pid]]
 		next[pid]++
+		fireArmed[pid] = true
 		fire := func() {
+			fireArmed[pid] = false
 			if net.Crashed(pid) {
 				return // the op is never invoked; the queue stalls
 			}
@@ -405,7 +437,12 @@ func Run(s Schedule) (Result, error) {
 
 	// Crash plan: victims are drawn from processes 1..N-1 (in multi-writer
 	// runs that may include writers, leaving pending writes the checker
-	// must reason about); crashphase trips a victim on its k-th message
+	// must reason about), except under restart strategies with a
+	// recoverable algorithm, which draw from ALL pids — revival keeps the
+	// run live even when the writer dies. A non-recoverable algorithm
+	// degrades to crash-stop and keeps the crash-stop pool: permanently
+	// killing the writer would gut the workload, not test the protocol.
+	// crashphase (and crashrestart) trips a victim on its k-th message
 	// delivery, crashwrite on its k-th PROCEED delivery (preferring writer
 	// victims: a writer's PROCEED count is its freshness-round progress,
 	// so the crash lands at a freshness-round/append boundary), and every
@@ -416,10 +453,19 @@ func Run(s Schedule) (Result, error) {
 	if crashes > s.N-1 {
 		crashes = s.N - 1
 	}
-	victims := make(map[int]int) // victim pid -> trigger count
+	victims := make(map[int]int)         // victim pid -> trigger count
+	reviveDelay := make(map[int]float64) // restart strategies: victim pid -> downtime
 	if crashes > 0 {
 		var pool []int
-		if strat.proceedCrash && s.Writers >= 2 {
+		switch {
+		case restartable:
+			// Restart victims come from ALL pids: revival keeps the run
+			// live even when the writer dies, and a revived writer's
+			// recovered-then-reused state is exactly where durability bugs
+			// hide (a reader victim is re-fed by its peers' backlogs and
+			// masks an empty log).
+			pool = crashRng.Perm(s.N)
+		case strat.proceedCrash && s.Writers >= 2:
 			// Writers first (the padded-append window), then the rest.
 			for _, i := range crashRng.Perm(s.Writers - 1) {
 				pool = append(pool, 1+i)
@@ -427,7 +473,7 @@ func Run(s Schedule) (Result, error) {
 			for _, i := range crashRng.Perm(s.N - s.Writers) {
 				pool = append(pool, s.Writers+i)
 			}
-		} else {
+		default:
 			for _, i := range crashRng.Perm(s.N - 1) {
 				pool = append(pool, 1+i)
 			}
@@ -441,6 +487,73 @@ func Run(s Schedule) (Result, error) {
 				victims[pid] = 1 + crashRng.Intn(4*s.N)
 			default:
 				victims[pid] = 1 + crashRng.Intn(max(1, s.Ops))
+			}
+			if restartable {
+				// Downtime past the strategy's max delay: the fence drops
+				// the dead incarnation's traffic, not live catch-up.
+				reviveDelay[pid] = 2 + 8*crashRng.Float64()
+			}
+		}
+	}
+
+	// Crash-restart bookkeeping: crashAt records each victim's crash
+	// instant so the liveness judgment can excuse exactly the operations
+	// the old incarnation took to its grave, and revive is the seeded
+	// restart itself — discard the unsynced tail, replay the log into a
+	// fresh process, swap it into the transport and the invariant probes,
+	// run the bilateral PeerRestarted reset with every live peer, and
+	// re-kick the victim's operation stream.
+	everCrashed := make([]bool, s.N)
+	crashAt := make([]float64, s.N)
+	var revive func(pid int)
+	if restartable {
+		revive = func(pid int) {
+			logs[pid].DropUnsynced()
+			fresh := alg.New(pid, s.N, 0)
+			if err := fresh.(storage.Recoverable).Recover(logs[pid]); err != nil {
+				if res.Invariant == "" {
+					res.Invariant = fmt.Sprintf("recovery of p%d failed: %v", pid, err)
+				}
+				return
+			}
+			procs[pid] = fresh
+			switch p := fresh.(type) {
+			case *core.Proc:
+				if len(coreProcs) == s.N {
+					coreProcs[pid] = p
+				}
+			case *core.FastProc:
+				if len(coreProcs) == s.N {
+					coreProcs[pid] = p.Base()
+				}
+			case *core.MWProc:
+				if len(mwProcs) == s.N {
+					mwProcs[pid] = p
+				}
+			case *regmap.KeyedProc:
+				if len(keyedProcs) == s.N {
+					keyedProcs[pid] = p
+				}
+			}
+			net.Revive(pid, fresh)
+			for j := 0; j < s.N; j++ {
+				if j == pid || net.Crashed(j) {
+					continue
+				}
+				peer := j
+				net.Step(pid, func(p proto.Process) proto.Effects {
+					return p.(storage.Recoverable).PeerRestarted(peer)
+				})
+				net.Step(peer, func(p proto.Process) proto.Effects {
+					return p.(storage.Recoverable).PeerRestarted(pid)
+				})
+			}
+			// Restart the victim's operation stream — unless an invocation
+			// scheduled before the crash is still pending (it will fire on
+			// the fresh process; injecting too would double-pump the
+			// sequential stream).
+			if !fireArmed[pid] {
+				inject(pid)
 			}
 		}
 	}
@@ -485,6 +598,12 @@ func Run(s Schedule) (Result, error) {
 				// on it — for the two-bit registers, the
 				// freshness-round/append boundary.
 				net.Crash(to)
+				if revive != nil {
+					everCrashed[to] = true
+					crashAt[to] = sched.Now()
+					pid := to
+					sched.After(reviveDelay[pid], func() { revive(pid) })
+				}
 			}
 		}))
 	}
@@ -578,8 +697,12 @@ func Run(s Schedule) (Result, error) {
 			res.Pending++
 			// Pending is legitimate only for the ops a crash cut off:
 			// after quiescence, an incomplete op on a live process can
-			// never complete — a liveness violation.
-			if !res.Truncated && !net.Crashed(info.pid) {
+			// never complete — a liveness violation. A revived process
+			// counts as live again, but the operations its previous
+			// incarnation took down with it are excused; anything it
+			// invoked after the crash must terminate.
+			if !res.Truncated && !net.Crashed(info.pid) &&
+				!(everCrashed[info.pid] && info.inv <= crashAt[info.pid]) {
 				res.Stalled++
 			}
 		}
@@ -608,6 +731,15 @@ func Run(s Schedule) (Result, error) {
 		res.Atomicity = judgePerKey(ka, eh)
 	} else {
 		judge := check.For(eh)
+		if writeFollowsPendingWrite(eh) {
+			// A crashed-and-revived writer leaves a forever-pending write
+			// followed by its successor incarnation's writes. The Lemma-10
+			// characterisation requires a sequential never-crashed writer
+			// and rejects that shape as a precondition violation; the
+			// cluster checker judges it per the atomicity definition (a
+			// pending write may take effect if read, or never).
+			judge = check.MWMR()
+		}
 		res.Checker = judge.Name()
 		fastErr := judge.Check(eh)
 		if fastErr != nil {
@@ -650,11 +782,40 @@ func judgePerKey(ka keyedAlgorithm, h check.History) string {
 	for _, k := range keys {
 		sub := check.History{Ops: byKey[k]}
 		judge := check.For(sub)
+		if writeFollowsPendingWrite(sub) {
+			// See Run: a crashed-and-revived writer's key needs the
+			// cluster checker.
+			judge = check.MWMR()
+		}
 		if err := judge.Check(sub); err != nil {
 			return fmt.Sprintf("key %d (%s): %v", k, judge.Name(), err)
 		}
 	}
 	return ""
+}
+
+// writeFollowsPendingWrite reports whether some process invoked a write
+// after an earlier write of its own was left forever pending — only a
+// crash-restart schedule produces this shape (the incarnation that invoked
+// the pending write died; its successor wrote again). Operations appear in
+// h in op-id order, which is invocation order per process.
+func writeFollowsPendingWrite(h check.History) bool {
+	var hasPending map[int]bool
+	for _, op := range h.Ops {
+		if op.Kind != proto.OpWrite {
+			continue
+		}
+		if hasPending[op.Proc] {
+			return true
+		}
+		if !op.Completed {
+			if hasPending == nil {
+				hasPending = make(map[int]bool)
+			}
+			hasPending[op.Proc] = true
+		}
+	}
+	return false
 }
 
 // isQuorumAck reports whether msg is (or carries) a quorum acknowledgement

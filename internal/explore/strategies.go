@@ -40,6 +40,16 @@ type strategy struct {
 	// the two-bit registers, the freshness-round/append boundary whose
 	// padded-append window is where lane-batching bugs hide.
 	proceedCrash bool
+	// restart, when true, turns crashes into crash-restart faults against
+	// recoverable algorithms (storage.Recoverable): every process logs to
+	// seeded stable storage, a victim's unsynced tail is discarded at the
+	// crash, and a seeded virtual-time later a fresh process replays the
+	// log, rejoins through the bilateral PeerRestarted reset, and resumes
+	// its operation stream. Victims are drawn from ALL pids — including
+	// writer 0, whose recovered-then-reused state is where durability bugs
+	// (mut-wal-skipsync) surface. Algorithms without recovery support
+	// degrade to plain crash-stop under this strategy.
+	restart bool
 }
 
 // strategies returns the adversary families, in stable order.
@@ -67,6 +77,13 @@ type strategy struct {
 //	              protocols), i.e. mid-freshness-round or exactly as its
 //	              quorum fills and the padded append begins — the window
 //	              where lane batching and padding bugs hide.
+//	crashrestart— crash-restart faults: victims crash at a protocol phase
+//	              (like crashphase, but drawn from ALL pids, writer 0
+//	              included) and revive a seeded virtual-time later by
+//	              replaying their stable-storage log — unsynced tail
+//	              discarded — then rejoining via the bilateral link reset.
+//	              The seeded durability bug (mut-wal-skipsync) only
+//	              surfaces under this adversary.
 //	pct         — random-priority scheduling: delays quantized to a small
 //	              integer grid so deliveries pile onto the same instants,
 //	              and the scheduler breaks those ties by seeded random
@@ -191,6 +208,23 @@ func strategies() []strategy {
 			// outstanding.
 			gap:          func(rng *rand.Rand) float64 { return 0.05 + 0.25*rng.Float64() },
 			proceedCrash: true,
+		},
+		{
+			name:     "crashrestart",
+			doc:      "victims crash at a protocol phase, then revive from stable storage",
+			maxDelay: 2.0,
+			delay: func(_ int, _ *rand.Rand) transport.DelayFn {
+				return func(_, _ int, mrng *rand.Rand) float64 {
+					return 0.2 + 1.8*mrng.Float64()
+				}
+			},
+			// Near-zero op spacing: a revived process must field reads
+			// before its catch-up frames land (delivery delay >= 0.2Δ), so
+			// what the checkers judge is its recovered — not re-learned —
+			// state.
+			gap:        func(rng *rand.Rand) float64 { return 0.01 + 0.04*rng.Float64() },
+			phaseCrash: true,
+			restart:    true,
 		},
 		{
 			name:     "pct",

@@ -112,6 +112,58 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeEdgeCases covers the merges the load harness actually
+// performs outside the happy path: empty receivers (per-client histograms
+// that saw no ops), empty sources (must not clobber the receiver's min
+// with a zero), and sources whose samples landed in disjoint bucket
+// regimes (sub-linear small values vs logarithmic large ones).
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	t.Parallel()
+
+	var a, b Histogram
+	a.Merge(&b) // empty into empty
+	if a.Count() != 0 || a.Summary() != "no samples" {
+		t.Fatalf("empty merge produced samples: %s", a.Summary())
+	}
+
+	b.Observe(100)
+	b.Observe(200)
+	a.Merge(&b) // into an empty receiver: adopt count, min, max wholesale
+	if a.Count() != 2 || a.Min() != 100 || a.Max() != 200 {
+		t.Fatalf("merge into empty: count/min/max = %d/%d/%d", a.Count(), a.Min(), a.Max())
+	}
+
+	var empty Histogram
+	a.Merge(&empty) // empty source: a no-op, min must survive as 100, not 0
+	if a.Count() != 2 || a.Min() != 100 || a.Max() != 200 {
+		t.Fatalf("merge of empty source changed state: count/min/max = %d/%d/%d",
+			a.Count(), a.Min(), a.Max())
+	}
+
+	// Disjoint bucket regimes: small values use the one-per-value linear
+	// buckets, large ones the log layout. The merged histogram must agree
+	// with one that observed everything, across both regimes.
+	var small, large, whole Histogram
+	for v := int64(1); v <= 32; v++ {
+		small.Observe(v)
+		whole.Observe(v)
+	}
+	for v := int64(1 << 20); v < 1<<20+32; v++ {
+		large.Observe(v)
+		whole.Observe(v)
+	}
+	small.Merge(&large)
+	if small.Count() != whole.Count() || small.Min() != whole.Min() || small.Max() != whole.Max() {
+		t.Fatalf("disjoint merge count/min/max = %d/%d/%d, want %d/%d/%d",
+			small.Count(), small.Min(), small.Max(), whole.Count(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		if small.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q%.2f: merged %d != whole %d", q, small.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
 func TestHistogramEdgeCases(t *testing.T) {
 	t.Parallel()
 	var h Histogram

@@ -13,8 +13,11 @@
 package regload
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +26,7 @@ import (
 	"twobitreg/internal/metrics"
 	"twobitreg/internal/proto"
 	"twobitreg/internal/regmap"
+	"twobitreg/internal/storage"
 	"twobitreg/internal/transport"
 	"twobitreg/internal/wire"
 )
@@ -62,6 +66,29 @@ type Spec struct {
 	// startup, before load: the dead-peer scenario. Clients only target
 	// live processes.
 	Dead []int
+	// Restart schedules mid-run kill-and-revive faults (see Restart).
+	// Dead and restarting processes together must stay a minority, so a
+	// quorum survives even if every scheduled downtime overlaps. A
+	// victim's pre-crash mesh counters are lost with it; Report.Mesh
+	// counts its revived mesh from zero.
+	Restart []Restart
+}
+
+// Restart schedules one kill-and-revive fault: process Proc is crashed
+// (node stopped, mesh and connections closed mid-stream) After into the
+// run and revived Down later (0 = 250ms). Revival replays the victim's
+// stable-storage log into a fresh process — regload arms an in-memory
+// log per process whenever restarts are scheduled — rebinds its original
+// address, and runs the bilateral PeerRestarted reset with every live
+// peer. Just before the kill the harness issues one write through the
+// victim; if acknowledged, it must still be in the durable log after the
+// crash drops the unsynced tail (Report.LostAckWrites counts violations
+// — the zero-lost-acknowledged-writes gate), and after revival the
+// process must complete a read (Report.RestartErrs counts failures).
+type Restart struct {
+	Proc  int
+	After time.Duration
+	Down  time.Duration
 }
 
 // SpecError reports an invalid Spec field, errors.As-friendly so flag
@@ -113,26 +140,58 @@ func (s *Spec) Validate() error {
 		}
 		seen[d] = true
 	}
+	if len(s.Dead)+len(s.Restart) > proto.MaxFaulty(s.Procs) {
+		return fail("restart", fmt.Sprintf(
+			"%d dead + %d restarting of %d processes can break the majority quorum (max %d down at once)",
+			len(s.Dead), len(s.Restart), s.Procs, proto.MaxFaulty(s.Procs)))
+	}
+	seenR := make(map[int]bool, len(s.Restart))
+	for _, r := range s.Restart {
+		if r.Proc < 0 || r.Proc >= s.Procs {
+			return fail("restart", fmt.Sprintf("process %d out of range [0,%d)", r.Proc, s.Procs))
+		}
+		if contains(s.Dead, r.Proc) {
+			return fail("restart", fmt.Sprintf("process %d is already dead", r.Proc))
+		}
+		if seenR[r.Proc] {
+			return fail("restart", fmt.Sprintf("process %d listed twice", r.Proc))
+		}
+		seenR[r.Proc] = true
+		if r.After <= 0 {
+			return fail("restart", fmt.Sprintf("process %d needs a positive kill offset, got %s", r.Proc, r.After))
+		}
+		if r.Down < 0 {
+			return fail("restart", fmt.Sprintf("process %d has a negative downtime %s", r.Proc, r.Down))
+		}
+	}
 	return nil
 }
 
 // Report is the outcome of one load run.
 type Report struct {
-	Procs     int           `json:"procs"`
-	Clients   int           `json:"clients"`
-	Keys      int           `json:"keys"`
-	ReadFrac  float64       `json:"read_frac"`
-	Coalesce  bool          `json:"coalesce"`
-	PerFrame  bool          `json:"per_frame,omitempty"`
-	FlushWin  time.Duration `json:"flush_window_ns,omitempty"`
-	Dead      []int         `json:"dead,omitempty"`
-	Elapsed   time.Duration `json:"elapsed_ns"`
-	Ops       int64         `json:"ops"`
-	Reads     int64         `json:"reads"`
-	Writes    int64         `json:"writes"`
-	OpErrors  int64         `json:"op_errors"`
-	SendErrs  int64         `json:"send_errors"`
-	OpsPerSec float64       `json:"ops_per_sec"`
+	Procs    int           `json:"procs"`
+	Clients  int           `json:"clients"`
+	Keys     int           `json:"keys"`
+	ReadFrac float64       `json:"read_frac"`
+	Coalesce bool          `json:"coalesce"`
+	PerFrame bool          `json:"per_frame,omitempty"`
+	FlushWin time.Duration `json:"flush_window_ns,omitempty"`
+	Dead     []int         `json:"dead,omitempty"`
+	// Restarted lists the processes that were killed mid-run and came
+	// back; RestartErrs counts revivals whose recovery or post-revival
+	// read failed, and LostAckWrites counts pre-kill acknowledged writes
+	// missing from the victim's durable log after the crash. A healthy
+	// run reports both as zero.
+	Restarted     []int         `json:"restarted,omitempty"`
+	RestartErrs   int64         `json:"restart_errors,omitempty"`
+	LostAckWrites int64         `json:"lost_ack_writes,omitempty"`
+	Elapsed       time.Duration `json:"elapsed_ns"`
+	Ops           int64         `json:"ops"`
+	Reads         int64         `json:"reads"`
+	Writes        int64         `json:"writes"`
+	OpErrors      int64         `json:"op_errors"`
+	SendErrs      int64         `json:"send_errors"`
+	OpsPerSec     float64       `json:"ops_per_sec"`
 
 	ReadLat  LatencySummary `json:"read_latency"`
 	WriteLat LatencySummary `json:"write_latency"`
@@ -187,6 +246,10 @@ func (r *Report) String() string {
 	if len(r.Dead) > 0 {
 		s += fmt.Sprintf(" dead=%v", r.Dead)
 	}
+	if len(r.Restarted) > 0 || r.RestartErrs > 0 {
+		s += fmt.Sprintf("\n  restarts: revived %v (%d errors, %d lost acknowledged writes)",
+			r.Restarted, r.RestartErrs, r.LostAckWrites)
+	}
 	s += fmt.Sprintf("\n  %d ops in %s = %.0f ops/sec (%d reads, %d writes, %d op errors, %d send errors)",
 		r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec, r.Reads, r.Writes, r.OpErrors, r.SendErrs)
 	s += fmt.Sprintf("\n  read  latency: %s", r.readHist.Summary())
@@ -196,7 +259,8 @@ func (r *Report) String() string {
 }
 
 // Run executes one load run per spec: build the cluster over loopback TCP,
-// kill the Dead processes, drive the clients, tear everything down.
+// kill the Dead processes, drive the clients (with any scheduled Restart
+// faults firing mid-load), tear everything down.
 func Run(spec Spec) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -209,12 +273,29 @@ func Run(spec Spec) (*Report, error) {
 
 	alg := regmap.NewKeyedAlgorithm("regload", spec.Keys, regmap.Config{Coalesce: spec.Coalesce})
 
-	// Phase 1: bind every listener on an ephemeral port (same two-phase
-	// construction as cmd/regnode; the deliver closure indirects through
-	// the nodes slice, filled in before any node is driven).
-	nodes := make([]*cluster.Node, n)
-	meshes := make([]*transport.Mesh, n)
+	// Restart runs arm an in-memory log per process so a victim can be
+	// rebuilt from its durable state; plain runs skip the logging overhead
+	// (the BENCH_tcp trajectory measures the unlogged path).
+	var logs []*storage.MemLog
+	if len(spec.Restart) > 0 {
+		logs = make([]*storage.MemLog, n)
+		for i := range logs {
+			logs[i] = storage.NewMemLog()
+		}
+	}
+
+	// Node and mesh slots are atomic pointers because restarts swap them
+	// mid-run: a nil slot is a crashed process — sends toward it fail,
+	// frames addressed to it drop — exactly the asymmetry a crash
+	// produces.
+	nodes := make([]atomic.Pointer[cluster.Node], n)
+	meshes := make([]atomic.Pointer[transport.Mesh], n)
 	addrs := make([]string, n)
+	// gate sequences a revival's slot swap against inbound deliveries and
+	// client ops: while a revival holds it exclusively, deliveries and
+	// clients wait (frames are delayed, not dropped) and first see the
+	// revived node with its link resets already enqueued ahead of them.
+	var gate sync.RWMutex
 	var sendErrs atomic.Int64
 	var meshOpts []transport.MeshOption
 	if spec.PerFrame {
@@ -223,57 +304,237 @@ func Run(spec Spec) (*Report, error) {
 	if spec.FlushWindow > 0 {
 		meshOpts = append(meshOpts, transport.WithSendFlushWindow(spec.FlushWindow))
 	}
-	for i := 0; i < n; i++ {
-		i := i
-		m, err := transport.NewMesh(i, n, "127.0.0.1:0", wire.Codec{}, func(from int, msg proto.Message) {
-			nodes[i].Deliver(from, msg)
-		}, meshOpts...)
-		if err != nil {
-			for j := 0; j < i; j++ {
-				meshes[j].Close()
+	newMesh := func(pid int, addr string) (*transport.Mesh, error) {
+		return transport.NewMesh(pid, n, addr, wire.Codec{}, func(from int, msg proto.Message) {
+			gate.RLock()
+			nd := nodes[pid].Load()
+			gate.RUnlock()
+			if nd != nil {
+				nd.Deliver(from, msg)
 			}
-			return nil, fmt.Errorf("regload: mesh %d: %w", i, err)
-		}
-		meshes[i] = m
-		addrs[i] = m.Addr()
+		}, meshOpts...)
 	}
-	for _, m := range meshes {
-		if err := m.SetPeers(addrs); err != nil {
-			return nil, err
-		}
-	}
-	for i := 0; i < n; i++ {
-		i := i
-		nodes[i] = cluster.NewNode(i, n, 0, alg, func(to int, msg proto.Message) {
-			if err := meshes[i].Send(to, msg); err != nil {
+	sender := func(pid int) func(to int, msg proto.Message) {
+		return func(to int, msg proto.Message) {
+			m := meshes[pid].Load()
+			if m == nil || m.Send(to, msg) != nil {
 				sendErrs.Add(1)
 			}
-		})
+		}
 	}
 	defer func() {
-		for i, nd := range nodes {
-			if !contains(spec.Dead, i) {
+		for i := range nodes {
+			if nd := nodes[i].Swap(nil); nd != nil {
 				nd.Stop()
 			}
-		}
-		for i, m := range meshes {
-			if !contains(spec.Dead, i) {
+			if m := meshes[i].Swap(nil); m != nil {
 				m.Close()
 			}
 		}
 	}()
 
+	// Phase 1: bind every listener on an ephemeral port (same two-phase
+	// construction as cmd/regnode; the deliver closure indirects through
+	// the node slots, filled in before any node is driven).
+	for i := 0; i < n; i++ {
+		m, err := newMesh(i, "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("regload: mesh %d: %w", i, err)
+		}
+		meshes[i].Store(m)
+		addrs[i] = m.Addr()
+	}
+	for i := 0; i < n; i++ {
+		if err := meshes[i].Load().SetPeers(addrs); err != nil {
+			return nil, err
+		}
+	}
+	// Phase 2: the nodes, sending through their current mesh slot. With
+	// restarts scheduled every process logs to stable storage, so a victim
+	// can be replayed back.
+	for i := 0; i < n; i++ {
+		if logs == nil {
+			nodes[i].Store(cluster.NewNode(i, n, 0, alg, sender(i)))
+			continue
+		}
+		p := alg.New(i, n, 0)
+		rec, ok := p.(storage.Recoverable)
+		if !ok || !rec.RecoveryEnabled() {
+			return nil, fmt.Errorf("regload: the keyed store is not recoverable; -restart needs a durable configuration")
+		}
+		rec.AttachStorage(logs[i])
+		nodes[i].Store(cluster.NewNodeWithProcess(i, p, sender(i)))
+	}
+
+	// kill crashes one process: node stopped, listener and connections
+	// closed, slots nilled so peers' frames toward it drop.
+	kill := func(pid int) {
+		if nd := nodes[pid].Swap(nil); nd != nil {
+			nd.Stop()
+		}
+		if m := meshes[pid].Swap(nil); m != nil {
+			m.Close()
+		}
+	}
+
+	// revive rebuilds a killed process from its durable log: replay into a
+	// fresh process, reset every live peer's link to it, rebind the
+	// original address (the peers' tables are fixed), and swap the
+	// recovered node in with its own link resets queued first.
+	revive := func(pid int) error {
+		fresh := alg.New(pid, n, 0)
+		if err := fresh.(storage.Recoverable).Recover(logs[pid]); err != nil {
+			return fmt.Errorf("recover p%d: %w", pid, err)
+		}
+		// Every live peer resets its link to the victim while the victim's
+		// listener is still down: the purge of frames queued for the dead
+		// incarnation runs inside the peer's reset step, so once the
+		// listener returns, the peer's queue holds nothing older than the
+		// re-shipped backlog, in FIFO order behind the dial retry. The
+		// listener must stay down until the steps have run — hence the
+		// wait, bounded in case a peer is stopped out from under it by an
+		// overlapping restart.
+		//
+		// The gate closes over the whole reset-to-swap window, not just the
+		// swap: everything a peer emits toward the victim after its purge is
+		// addressed to the live incarnation and must not be lost, but the
+		// victim cannot drain its bounded transport queue until the listener
+		// is back. Quiescing deliveries and new client ops caps what
+		// accumulates in that window at the re-shipped backlog plus whatever
+		// the event loops had in flight — comfortably inside the queue bound
+		// — where free-running load could overflow it and wedge the cluster
+		// on the silently dropped frames (lanes never resend: a sent cursor
+		// only moves forward).
+		gate.Lock()
+		var resetWG sync.WaitGroup
+		for j := 0; j < n; j++ {
+			if j == pid {
+				continue
+			}
+			pn := nodes[j].Load()
+			if pn == nil {
+				continue
+			}
+			pm := meshes[j].Load()
+			resetWG.Add(1)
+			ok := pn.PeerRestartedFunc(pid, func() {
+				if pm != nil {
+					pm.PeerRestarted(pid)
+				}
+				resetWG.Done()
+			})
+			if !ok {
+				resetWG.Done()
+			}
+		}
+		resets := make(chan struct{})
+		go func() { resetWG.Wait(); close(resets) }()
+		select {
+		case <-resets:
+		case <-time.After(5 * time.Second):
+		}
+		var m *transport.Mesh
+		var err error
+		for try := 0; ; try++ {
+			m, err = newMesh(pid, addrs[pid])
+			if err == nil {
+				break
+			}
+			if try >= 200 {
+				gate.Unlock()
+				return fmt.Errorf("rebind %s: %w", addrs[pid], err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if err := m.SetPeers(addrs); err != nil {
+			gate.Unlock()
+			m.Close()
+			return err
+		}
+		nd := cluster.NewNodeWithProcess(pid, fresh, sender(pid))
+		meshes[pid].Store(m)
+		nodes[pid].Store(nd)
+		// The victim's own link resets enqueue before the gate opens, so
+		// they run ahead of every inbound frame and client op. The dial
+		// kicks break the peers' senders out of their reconnect backoff now
+		// that the listener is provably up: the re-shipped backlogs (queued
+		// since the purge) start draining in milliseconds, before the
+		// post-gate load resumes and contends for queue space.
+		for j := 0; j < n; j++ {
+			if j == pid {
+				continue
+			}
+			if nodes[j].Load() != nil {
+				nd.PeerRestarted(j)
+			}
+			if pm := meshes[j].Load(); pm != nil {
+				pm.KickDial(pid)
+			}
+		}
+		gate.Unlock()
+		// The revived process must serve again: one read through it proves
+		// it recovered, reconnected, and reaches a quorum.
+		if _, err := nd.Read(); err != nil {
+			return fmt.Errorf("post-revival read on p%d: %w", pid, err)
+		}
+		return nil
+	}
+
 	// The dead-peer scenario: these processes were reachable at startup
 	// (peers may have dialed them) and now crash — node stopped, listener
 	// and connections closed. Live processes keep (re)trying them.
-	live := make([]*cluster.Node, 0, n)
+	livePids := make([]int, 0, n)
 	for i := 0; i < n; i++ {
 		if contains(spec.Dead, i) {
-			nodes[i].Stop()
-			meshes[i].Close()
+			kill(i)
 		} else {
-			live = append(live, nodes[i])
+			livePids = append(livePids, i)
 		}
+	}
+
+	// Schedule the kill-and-revive faults. Each victim gets a final
+	// acknowledged write just before the kill; losing it across the crash
+	// is the durability violation the harness exists to catch.
+	var (
+		restartWG   sync.WaitGroup
+		restartMu   sync.Mutex
+		restarted   []int
+		restartErrs atomic.Int64
+		lostAcks    atomic.Int64
+	)
+	for _, rs := range spec.Restart {
+		rs := rs
+		restartWG.Add(1)
+		go func() {
+			defer restartWG.Done()
+			time.Sleep(rs.After)
+			marker := []byte(fmt.Sprintf("ack-probe-p%d", rs.Proc))
+			acked := false
+			if nd := nodes[rs.Proc].Load(); nd != nil {
+				acked = nd.Write(marker) == nil
+			}
+			debugf("marker write p%d acked=%v", rs.Proc, acked)
+			kill(rs.Proc)
+			debugf("killed p%d", rs.Proc)
+			logs[rs.Proc].DropUnsynced() // the crash: the unsynced tail vanishes
+			if acked && !logContains(logs[rs.Proc], marker) {
+				lostAcks.Add(1)
+			}
+			down := rs.Down
+			if down == 0 {
+				down = 250 * time.Millisecond
+			}
+			time.Sleep(down)
+			if err := revive(rs.Proc); err != nil {
+				debugf("revive p%d failed: %v", rs.Proc, err)
+				restartErrs.Add(1)
+				return
+			}
+			debugf("revived p%d", rs.Proc)
+			restartMu.Lock()
+			restarted = append(restarted, rs.Proc)
+			restartMu.Unlock()
+		}()
 	}
 
 	// Closed-loop clients. Each owns its rng and histograms; merge at the
@@ -282,6 +543,7 @@ func Run(spec Spec) (*Report, error) {
 		readLat, writeLat metrics.Histogram
 		reads, writes     int64
 		errors            int64
+		inflight          atomic.Int64 // debug: op start unixnano, 0 = idle
 	}
 	var (
 		wg       sync.WaitGroup
@@ -305,7 +567,7 @@ func Run(spec Spec) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			st := &stats[c]
-			nd := live[c%len(live)]
+			pid := livePids[c%len(livePids)]
 			rng := rand.New(rand.NewSource(spec.Seed + int64(c)*7919))
 			for {
 				select {
@@ -313,12 +575,25 @@ func Run(spec Spec) (*Report, error) {
 					return
 				default:
 				}
+				gate.RLock()
+				nd := nodes[pid].Load()
+				gate.RUnlock()
+				if nd == nil {
+					// The client's process is down (a restart in flight):
+					// a real client would retry the endpoint, so wait out
+					// the revival rather than burn the op budget.
+					time.Sleep(time.Millisecond)
+					continue
+				}
 				if spec.Ops > 0 && budget.Add(-1) < 0 {
 					return
 				}
 				if rng.Float64() < spec.ReadFrac {
 					t0 := time.Now()
-					if _, err := nd.Read(); err != nil {
+					st.inflight.Store(t0.UnixNano())
+					_, err := nd.Read()
+					st.inflight.Store(0)
+					if err != nil {
 						st.errors++
 						continue
 					}
@@ -326,7 +601,10 @@ func Run(spec Spec) (*Report, error) {
 					st.reads++
 				} else {
 					t0 := time.Now()
-					if err := nd.Write(payload); err != nil {
+					st.inflight.Store(-t0.UnixNano())
+					err := nd.Write(payload)
+					st.inflight.Store(0)
+					if err != nil {
 						st.errors++
 						continue
 					}
@@ -336,20 +614,59 @@ func Run(spec Spec) (*Report, error) {
 			}
 		}()
 	}
+	if os.Getenv("REGLOAD_DEBUG") != "" {
+		watchStop := make(chan struct{})
+		defer close(watchStop)
+		go func() {
+			for {
+				select {
+				case <-watchStop:
+					return
+				case <-time.After(2 * time.Second):
+				}
+				for c := range stats {
+					v := stats[c].inflight.Load()
+					if v == 0 {
+						continue
+					}
+					kind, ts := "read", v
+					if v < 0 {
+						kind, ts = "write", -v
+					}
+					age := time.Since(time.Unix(0, ts))
+					if age > time.Second {
+						debugf("client %d pid %d stuck in %s for %s (reads=%d writes=%d errs=%d)",
+							c, livePids[c%len(livePids)], kind, age.Round(time.Millisecond),
+							stats[c].reads, stats[c].writes, stats[c].errors)
+					}
+				}
+				for i := range meshes {
+					if m := meshes[i].Load(); m != nil {
+						debugf("mesh %d: %s", i, m.Stats())
+					}
+				}
+			}
+		}()
+	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	restartWG.Wait() // revivals scheduled past the load window still run
 
+	sort.Ints(restarted)
 	rep := &Report{
-		Procs:    spec.Procs,
-		Clients:  spec.Clients,
-		Keys:     spec.Keys,
-		ReadFrac: spec.ReadFrac,
-		Coalesce: spec.Coalesce,
-		PerFrame: spec.PerFrame,
-		FlushWin: spec.FlushWindow,
-		Dead:     append([]int(nil), spec.Dead...),
-		Elapsed:  elapsed,
-		SendErrs: sendErrs.Load(),
+		Procs:         spec.Procs,
+		Clients:       spec.Clients,
+		Keys:          spec.Keys,
+		ReadFrac:      spec.ReadFrac,
+		Coalesce:      spec.Coalesce,
+		PerFrame:      spec.PerFrame,
+		FlushWin:      spec.FlushWindow,
+		Dead:          append([]int(nil), spec.Dead...),
+		Restarted:     restarted,
+		RestartErrs:   restartErrs.Load(),
+		LostAckWrites: lostAcks.Load(),
+		Elapsed:       elapsed,
+		SendErrs:      sendErrs.Load(),
 	}
 	for c := range stats {
 		st := &stats[c]
@@ -363,14 +680,35 @@ func Run(spec Spec) (*Report, error) {
 	if elapsed > 0 {
 		rep.OpsPerSec = float64(rep.Ops) / elapsed.Seconds()
 	}
-	for i, m := range meshes {
-		if !contains(spec.Dead, i) {
+	for i := range meshes {
+		if m := meshes[i].Load(); m != nil {
 			rep.Mesh.Add(m.Stats())
 		}
 	}
 	rep.ReadLat = summarize(&rep.readHist)
 	rep.WriteLat = summarize(&rep.writeHist)
 	return rep, nil
+}
+
+// logContains reports whether any durable record's value contains want.
+// The keyed store stamps the key into the stored value, so containment,
+// not equality, is the right match.
+func logContains(log storage.StableStorage, want []byte) bool {
+	found := false
+	_ = log.Replay(func(r storage.Record) error {
+		if bytes.Contains(r.Val, want) {
+			found = true
+		}
+		return nil
+	})
+	return found
+}
+
+func debugf(format string, args ...any) {
+	if os.Getenv("REGLOAD_DEBUG") != "" {
+		fmt.Fprintf(os.Stderr, "regload[%s]: "+format+"\n",
+			append([]any{time.Now().Format("15:04:05.000")}, args...)...)
+	}
 }
 
 func contains(xs []int, x int) bool {

@@ -34,6 +34,31 @@ func TestSpecValidate(t *testing.T) {
 		{"majority dead", func(s *regload.Spec) { s.Dead = []int{0, 1} }, "dead"},
 		{"dead out of range", func(s *regload.Spec) { s.Dead = []int{3} }, "dead"},
 		{"dead negative", func(s *regload.Spec) { s.Dead = []int{-1} }, "dead"},
+		{"dead plus restart breaks quorum", func(s *regload.Spec) {
+			s.Dead = []int{2}
+			s.Restart = []regload.Restart{{Proc: 1, After: time.Millisecond}}
+		}, "restart"},
+		{"restart out of range", func(s *regload.Spec) {
+			s.Restart = []regload.Restart{{Proc: 3, After: time.Millisecond}}
+		}, "restart"},
+		{"restart of dead process", func(s *regload.Spec) {
+			s.Procs = 5
+			s.Dead = []int{1}
+			s.Restart = []regload.Restart{{Proc: 1, After: time.Millisecond}}
+		}, "restart"},
+		{"restart listed twice", func(s *regload.Spec) {
+			s.Procs = 5
+			s.Restart = []regload.Restart{
+				{Proc: 1, After: time.Millisecond},
+				{Proc: 1, After: 2 * time.Millisecond},
+			}
+		}, "restart"},
+		{"restart without kill offset", func(s *regload.Spec) {
+			s.Restart = []regload.Restart{{Proc: 1}}
+		}, "restart"},
+		{"restart negative downtime", func(s *regload.Spec) {
+			s.Restart = []regload.Restart{{Proc: 1, After: time.Millisecond, Down: -time.Second}}
+		}, "restart"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -144,5 +169,39 @@ func TestRunPerFrameAndFlushWindow(t *testing.T) {
 		if spec.PerFrame && rep.Mesh.ConnWrites != rep.Mesh.FramesSent {
 			t.Fatalf("per-frame run batched: %s", rep.Mesh)
 		}
+	}
+}
+
+// TestRunRestart is the kill-and-revive acceptance run: a process crashes
+// mid-load over real loopback TCP, loses its unsynced tail, and is revived
+// from its durable log. The run must report the revival, zero lost
+// acknowledged writes, zero revival errors — and the peers' meshes must
+// have counted the victim's reconnect.
+func TestRunRestart(t *testing.T) {
+	rep, err := regload.Run(regload.Spec{
+		Procs: 3, Clients: 6, Keys: 8, ReadFrac: 0.5, Seed: 7, Coalesce: true,
+		Duration: 1200 * time.Millisecond,
+		Restart:  []regload.Restart{{Proc: 2, After: 200 * time.Millisecond, Down: 200 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Restarted, []int{2}) {
+		t.Fatalf("restarted %v, want [2]", rep.Restarted)
+	}
+	if rep.RestartErrs != 0 {
+		t.Fatalf("%d restart errors", rep.RestartErrs)
+	}
+	if rep.LostAckWrites != 0 {
+		t.Fatalf("%d acknowledged writes lost across the crash", rep.LostAckWrites)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("no operations completed around the restart")
+	}
+	if rep.Mesh.Reconnects == 0 {
+		t.Fatalf("no reconnect counted after the revival: %s", rep.Mesh)
+	}
+	if !strings.Contains(rep.String(), "restarts: revived [2]") {
+		t.Errorf("report rendering lacks the restart line:\n%s", rep.String())
 	}
 }

@@ -1,0 +1,155 @@
+package regmap
+
+// durable.go fans the crash-restart recovery contract (storage.Recoverable)
+// out across a keyed store node: one stable-storage log per node, shared by
+// every hosted register through a key-stamping view, so a single WAL replay
+// rebuilds the whole key space. The per-register protocol (replay the
+// histories, reset both ends of every link, re-ship backlogs) lives in
+// core/durable.go; this file only routes.
+
+import (
+	"fmt"
+
+	"twobitreg/internal/proto"
+	"twobitreg/internal/storage"
+)
+
+// keyStore is the key-stamping view of the node's log one register writes
+// through: appends gain the register's key, syncs share the node's single
+// sync point (a no-op sync is free, so per-register syncing costs one real
+// sync per dirty register per step).
+type keyStore struct {
+	key string
+	s   storage.StableStorage
+}
+
+func (k keyStore) Append(r storage.Record) {
+	r.Key = k.key
+	k.s.Append(r)
+}
+
+func (k keyStore) Sync() error { return k.s.Sync() }
+
+func (k keyStore) Replay(fn func(storage.Record) error) error {
+	return k.s.Replay(func(r storage.Record) error {
+		if r.Key != k.key {
+			return nil
+		}
+		r.Key = ""
+		return fn(r)
+	})
+}
+
+func (k keyStore) Close() error { return nil }
+
+// RecoveryEnabled implements storage.Recoverable: every register this node
+// can host must itself be recoverable. Multi-writer keys always are (the
+// store runs them batched); single-writer keys are unless history GC is on
+// (a compacted history cannot be replayed from index 1).
+func (nd *Node) RecoveryEnabled() bool { return !nd.sh.gc }
+
+// AttachStorage arms durability logging on every hosted register, current
+// and future (lazily created registers attach at creation). Must be called
+// before any message flows.
+func (nd *Node) AttachStorage(s storage.StableStorage) {
+	if !nd.RecoveryEnabled() {
+		panic(fmt.Sprintf("regmap: node %d cannot attach storage (history GC is on)", nd.id))
+	}
+	if nd.store != nil {
+		panic(fmt.Sprintf("regmap: node %d already has storage attached", nd.id))
+	}
+	nd.store = s
+	for _, key := range nd.Keys() {
+		nd.regs[key].attachStorage(key, s)
+	}
+}
+
+// Recover replays a fresh node's durable state from s — creating each
+// logged key's register on first contact, exactly as live traffic would —
+// and attaches s for further logging.
+func (nd *Node) Recover(s storage.StableStorage) error {
+	if nd.store != nil {
+		return fmt.Errorf("regmap: node %d Recover after storage attach", nd.id)
+	}
+	if err := s.Replay(func(rec storage.Record) error {
+		r := nd.reg(rec.Key)
+		key := rec.Key
+		rec.Key = ""
+		if err := r.recoverRecord(rec); err != nil {
+			return fmt.Errorf("key %s: %w", key, err)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	nd.AttachStorage(s)
+	return nil
+}
+
+// PeerRestarted runs the link reset for peer across every hosted register
+// (sorted key order, so the emitted catch-up traffic is deterministic) and
+// routes the resulting re-ship frames through the ordinary keyed emit
+// path — coalesced stores buffer them for the next flush tick like any
+// other burst.
+func (nd *Node) PeerRestarted(peer int) proto.Effects {
+	// Purge coalescer frames held for the peer first: they were addressed
+	// to its previous incarnation, and the lane cursors that counted them
+	// are about to reset. Left in place they would flush AFTER the
+	// revival — past the transport's incarnation fence — and duplicate
+	// the re-shipped backlog. A real stream transport does the same by
+	// discarding the peer's send queue when its connection drops.
+	if nd.hold != nil && len(nd.hold[peer]) > 0 {
+		nd.held -= len(nd.hold[peer])
+		nd.hold[peer] = nil
+	}
+	out := proto.Effects{Sends: nd.sends[:0]}
+	defer func() { nd.sends = out.Sends }()
+	for _, key := range nd.Keys() {
+		r := nd.regs[key]
+		nd.pump(key, r, r.peerRestarted(peer), &out)
+	}
+	return out
+}
+
+func (r *reg) attachStorage(key string, s storage.StableStorage) {
+	ks := keyStore{key: key, s: s}
+	if r.swmr != nil {
+		r.swmr.AttachStorage(ks)
+	} else {
+		r.mw.AttachStorage(ks)
+	}
+}
+
+func (r *reg) recoverRecord(rec storage.Record) error {
+	if r.swmr != nil {
+		return r.swmr.RecoverRecord(rec)
+	}
+	return r.mw.RecoverRecord(rec)
+}
+
+func (r *reg) peerRestarted(peer int) proto.Effects {
+	if r.swmr != nil {
+		return r.swmr.PeerRestarted(peer)
+	}
+	return r.mw.PeerRestarted(peer)
+}
+
+// --- KeyedProc: recovery delegates to the node ---
+
+// RecoveryEnabled delegates to the node.
+func (p *KeyedProc) RecoveryEnabled() bool { return p.node.RecoveryEnabled() }
+
+// AttachStorage delegates to the node.
+func (p *KeyedProc) AttachStorage(s storage.StableStorage) { p.node.AttachStorage(s) }
+
+// Recover delegates to the node.
+func (p *KeyedProc) Recover(s storage.StableStorage) error { return p.node.Recover(s) }
+
+// PeerRestarted delegates to the node.
+func (p *KeyedProc) PeerRestarted(peer int) proto.Effects { return p.node.PeerRestarted(peer) }
+
+var (
+	_ storage.StableStorage = keyStore{}
+	_ storage.Recoverable   = (*Node)(nil)
+	_ storage.Recoverable   = (*KeyedProc)(nil)
+)

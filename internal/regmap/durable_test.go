@@ -1,0 +1,196 @@
+package regmap
+
+import (
+	"fmt"
+	"testing"
+
+	"twobitreg/internal/proto"
+	"twobitreg/internal/storage"
+)
+
+// keyedMesh is a minimal deterministic FIFO mesh over Nodes for the
+// crash-restart tests, mirroring core's durableMesh at the keyed layer.
+type keyedMesh struct {
+	t      *testing.T
+	nodes  []*Node
+	queues [][][]proto.Message
+	down   []bool
+	done   map[proto.OpID]proto.Completion
+}
+
+func newKeyedMesh(t *testing.T, nodes []*Node) *keyedMesh {
+	m := &keyedMesh{t: t, nodes: nodes, down: make([]bool, len(nodes)), done: map[proto.OpID]proto.Completion{}}
+	m.queues = make([][][]proto.Message, len(nodes))
+	for i := range m.queues {
+		m.queues[i] = make([][]proto.Message, len(nodes))
+	}
+	return m
+}
+
+func (m *keyedMesh) route(from int, eff proto.Effects) {
+	for _, s := range eff.Sends {
+		m.queues[from][s.To] = append(m.queues[from][s.To], s.Msg)
+	}
+	for _, d := range eff.Done {
+		m.done[d.Op] = d
+	}
+}
+
+func (m *keyedMesh) pump() {
+	for progress := true; progress; {
+		progress = false
+		for from := range m.nodes {
+			for to := range m.nodes {
+				if len(m.queues[from][to]) == 0 {
+					continue
+				}
+				msg := m.queues[from][to][0]
+				m.queues[from][to] = m.queues[from][to][1:]
+				progress = true
+				if m.down[to] {
+					continue
+				}
+				m.route(to, m.nodes[to].Deliver(from, msg))
+			}
+		}
+	}
+}
+
+func (m *keyedMesh) start(pid int, key string, op proto.OpID, kind proto.OpKind, v proto.Value) {
+	m.t.Helper()
+	m.route(pid, m.nodes[pid].Start(key, op, kind, v))
+	m.pump()
+	if _, ok := m.done[op]; !ok {
+		m.t.Fatalf("op %d (%v on %s at p%d) did not complete", op, kind, key, pid)
+	}
+}
+
+func (m *keyedMesh) crash(pid int) {
+	m.down[pid] = true
+	for j := range m.nodes {
+		m.queues[pid][j] = nil
+		m.queues[j][pid] = nil
+	}
+}
+
+func (m *keyedMesh) revive(pid int, fresh *Node) {
+	m.down[pid] = false
+	m.nodes[pid] = fresh
+	for j := range m.nodes {
+		if j == pid {
+			continue
+		}
+		m.route(pid, fresh.PeerRestarted(j))
+		m.route(j, m.nodes[j].PeerRestarted(pid))
+	}
+	m.pump()
+}
+
+func TestNodeDurableRecovery(t *testing.T) {
+	const n = 3
+	cfg := Config{N: n, DefaultWriters: []int{0, 1, 2}, Writers: map[string][]int{
+		"solo": {1}, // single-writer key: exercises the SWMR path too
+	}}
+	nodes := make([]*Node, n)
+	logs := make([]*storage.MemLog, n)
+	for i := 0; i < n; i++ {
+		nd, err := NewNode(i, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs[i] = storage.NewMemLog()
+		nd.AttachStorage(logs[i])
+		nodes[i] = nd
+	}
+	m := newKeyedMesh(t, nodes)
+
+	m.start(0, "alpha", 1, proto.OpWrite, proto.Value("a1"))
+	m.start(1, "solo", 2, proto.OpWrite, proto.Value("s1"))
+	m.start(2, "alpha", 3, proto.OpWrite, proto.Value("a2"))
+	m.start(1, "solo", 4, proto.OpWrite, proto.Value("s2"))
+
+	// Crash node 1 — writer of both an MWMR lane and the SWMR "solo" key —
+	// and recover it from its own log alone.
+	m.crash(1)
+	logs[1].DropUnsynced()
+	fresh, err := NewNode(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Recover(logs[1]); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	// Both keys' registers were rebuilt from the one log.
+	if got := fresh.Keys(); len(got) != 2 || got[0] != "alpha" || got[1] != "solo" {
+		t.Fatalf("recovered keys = %v, want [alpha solo]", got)
+	}
+	m.revive(1, fresh)
+
+	// The revived node serves its recovered SWMR key (writer-local read).
+	m.start(1, "solo", 10, proto.OpRead, nil)
+	if got := m.done[10].Value; string(got) != "s2" {
+		t.Fatalf("revived solo read = %q, want s2", got)
+	}
+	// And continues writing both keys.
+	m.start(1, "solo", 11, proto.OpWrite, proto.Value("s3"))
+	m.start(1, "alpha", 12, proto.OpWrite, proto.Value("a3"))
+	m.start(2, "alpha", 13, proto.OpRead, nil)
+	if got := m.done[13].Value; string(got) != "a3" {
+		t.Fatalf("alpha read after revival = %q, want a3", got)
+	}
+	m.start(0, "solo", 14, proto.OpRead, nil)
+	if got := m.done[14].Value; string(got) != "s3" {
+		t.Fatalf("solo read after revival = %q, want s3", got)
+	}
+}
+
+func TestNodeRecoverRejectsAfterAttach(t *testing.T) {
+	nd, err := NewNode(0, Config{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.AttachStorage(storage.NewMemLog())
+	if err := nd.Recover(storage.NewMemLog()); err == nil {
+		t.Fatal("Recover after AttachStorage accepted")
+	}
+}
+
+func TestNodeRecoveryDisabledUnderGC(t *testing.T) {
+	nd, err := NewNode(0, Config{N: 3, HistoryGC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.RecoveryEnabled() {
+		t.Fatal("GC'd store reports RecoveryEnabled")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AttachStorage under GC did not panic")
+		}
+	}()
+	nd.AttachStorage(storage.NewMemLog())
+}
+
+func TestKeyStoreStampsAndFilters(t *testing.T) {
+	base := storage.NewMemLog()
+	ka := keyStore{key: "ka", s: base}
+	kb := keyStore{key: "kb", s: base}
+	ka.Append(storage.Record{Lane: 0, Index: 1, Val: proto.Value("va")})
+	kb.Append(storage.Record{Lane: 1, Index: 1, Val: proto.Value("vb")})
+	if err := ka.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := kb.Replay(func(r storage.Record) error {
+		if r.Key != "" {
+			t.Fatalf("keyStore leaked key %q through Replay", r.Key)
+		}
+		got = append(got, fmt.Sprintf("%d:%s", r.Lane, r.Val))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "1:vb" {
+		t.Fatalf("kb replay = %v, want [1:vb]", got)
+	}
+}

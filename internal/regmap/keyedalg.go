@@ -137,8 +137,12 @@ func (p *KeyedProc) Flush() proto.Effects { return p.node.Flush() }
 // RequiresFIFOLinks implements proto.FIFOLinks: multi-writer keys run the
 // batched lane frames, which assume per-link FIFO delivery (and cross-key
 // multi-frames unpack in link order). Single-writer-only stores keep the
-// paper's unordered-channel model, like the original regmap.
-func (p *KeyedProc) RequiresFIFOLinks() bool { return p.node.sh.multiWriter() }
+// paper's unordered-channel model, like the original regmap — unless
+// storage is attached, which pipelines the SWMR lanes for restart
+// catch-up and therefore assumes FIFO links too.
+func (p *KeyedProc) RequiresFIFOLinks() bool {
+	return p.node.sh.multiWriter() || p.node.store != nil
+}
 
 // Node exposes the underlying keyed state machine (tests, invariants).
 func (p *KeyedProc) Node() *Node { return p.node }

@@ -6,6 +6,7 @@ import (
 
 	"twobitreg/internal/core"
 	"twobitreg/internal/proto"
+	"twobitreg/internal/storage"
 )
 
 // Node is the keyed store's state machine at one process: a map from key to
@@ -26,6 +27,10 @@ type Node struct {
 	// sends is the Effects.Sends scratch reused across steps (see the
 	// proto.Effects contract: callers consume Sends before re-entering).
 	sends []proto.Send
+
+	// store, when attached, is the node's stable storage: every hosted
+	// register logs through a key-stamping view of it (see durable.go).
+	store storage.StableStorage
 }
 
 // reg is one key's register instance: exactly one of swmr/mw is set,
@@ -104,6 +109,9 @@ func (nd *Node) reg(key string) *reg {
 			r.swmr = core.New(nd.id, nd.sh.n, ws[0], opts...)
 		} else {
 			r.mw = core.NewMWMR(nd.id, nd.sh.n, core.WithMWWriters(ws))
+		}
+		if nd.store != nil {
+			r.attachStorage(key, nd.store)
 		}
 		nd.regs[key] = r
 	}

@@ -1,0 +1,73 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+
+	"twobitreg/internal/proto"
+)
+
+// BenchmarkWALWrite measures the per-write durability cost on the write
+// path: one Append + one Sync per operation, the exact shape a durable
+// register process pays per protocol step. The three variants isolate
+// where the time goes — file/sync is the honest fsync price, file/nosync
+// is encode+write alone, and memlog is the explorer's in-memory fake.
+// Recorded into the BENCH_wal.json trajectory (EXPERIMENTS.md E-WAL1).
+func BenchmarkWALWrite(b *testing.B) {
+	val := proto.Value("0123456789abcdef") // 16-byte payload, regload's default scale
+	rec := Record{Key: "k0001", Lane: 2, Index: 1}
+
+	b.Run("file/sync", func(b *testing.B) {
+		w, err := OpenFileWAL(filepath.Join(b.TempDir(), "wal"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := rec
+			r.Index = i + 1
+			r.Val = val
+			w.Append(r)
+			if err := w.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("file/nosync", func(b *testing.B) {
+		w, err := OpenFileWAL(filepath.Join(b.TempDir(), "wal"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		w.noFsync = true
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := rec
+			r.Index = i + 1
+			r.Val = val
+			w.Append(r)
+			if err := w.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("memlog", func(b *testing.B) {
+		m := NewMemLog()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := rec
+			r.Index = i + 1
+			r.Val = val
+			m.Append(r)
+			if err := m.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

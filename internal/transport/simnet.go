@@ -68,6 +68,13 @@ type SimNet struct {
 	// allocate a capturing closure; the pooled struct implements sim.Event
 	// so the scheduler's hot path stays allocation-free per message.
 	freeDeliveries []*deliveryEvent
+	// incs, once any process has been revived (Revive), carries each pid's
+	// incarnation number. Deliveries are stamped with both endpoints'
+	// incarnations at send time and dropped when either end has since been
+	// reborn — the fence a real transport provides by killing a crashed
+	// process's connections. nil until the first revival, so pure
+	// crash-stop runs are byte-identical to before the fencing existed.
+	incs []uint32
 }
 
 // deliveryEvent is one in-flight message, scheduled on the simulator as a
@@ -77,14 +84,18 @@ type deliveryEvent struct {
 	net      *SimNet
 	from, to int
 	msg      proto.Message
+	// fromInc/toInc fence the delivery against revivals at either end
+	// (stamped at send time; see SimNet.incs).
+	fromInc, toInc uint32
 }
 
 // Run implements sim.Event: deliver the message.
 func (d *deliveryEvent) Run() {
 	n, from, to, msg := d.net, d.from, d.to, d.msg
+	fromInc, toInc := d.fromInc, d.toInc
 	d.net, d.msg = nil, nil
 	n.freeDeliveries = append(n.freeDeliveries, d)
-	n.deliver(from, to, msg)
+	n.deliver(from, to, msg, fromInc, toInc)
 }
 
 // fifoEps separates two same-link deliveries that would otherwise land on
@@ -176,6 +187,55 @@ func (n *SimNet) Crash(pid int) { n.crashed[pid] = true }
 // Crashed reports whether pid has crashed.
 func (n *SimNet) Crashed(pid int) bool { return n.crashed[pid] }
 
+// inc returns pid's current incarnation (0 until the first Revive anywhere).
+func (n *SimNet) inc(pid int) uint32 {
+	if n.incs == nil {
+		return 0
+	}
+	return n.incs[pid]
+}
+
+// Revive replaces a crashed process with its recovered successor p and
+// clears the crash mark. Messages sent to or by the previous incarnation —
+// including any still in flight — are fenced off and silently dropped at
+// delivery time; a previously armed flush tick for the old incarnation is
+// likewise disarmed. p.ID() must equal pid. The caller is responsible for
+// the state-level reset handshake (storage.Recoverable.PeerRestarted on
+// both sides); Revive only swaps the transport endpoint.
+func (n *SimNet) Revive(pid int, p proto.Process) {
+	if !n.crashed[pid] {
+		panic(fmt.Sprintf("transport: Revive(%d) but process is not crashed", pid))
+	}
+	if p.ID() != pid {
+		panic(fmt.Sprintf("transport: Revive(%d) with process ID %d", pid, p.ID()))
+	}
+	if n.incs == nil {
+		n.incs = make([]uint32, len(n.procs))
+	}
+	n.incs[pid]++
+	n.crashed[pid] = false
+	n.procs[pid] = p
+	if n.flushArmed != nil {
+		// Any pending flush tick was armed for the dead incarnation and will
+		// fence itself out when it fires; re-open the slot so the successor
+		// can arm its own tick immediately.
+		n.flushArmed[pid] = false
+	}
+}
+
+// Step runs fn against process pid's state machine outside any delivery —
+// the hook for restart-time resets (PeerRestarted) that must route their
+// effects like ordinary protocol steps. No-op when pid is crashed.
+func (n *SimNet) Step(pid int, fn func(proto.Process) proto.Effects) {
+	if n.crashed[pid] {
+		return
+	}
+	n.route(pid, fn(n.procs[pid]))
+	if n.postDelivery != nil {
+		n.postDelivery()
+	}
+}
+
 // InFlight returns the number of undelivered messages from->to.
 func (n *SimNet) InFlight(from, to int) int { return n.inFlight[from][to] }
 
@@ -243,7 +303,15 @@ func (n *SimNet) armFlush(pid int) {
 		return
 	}
 	n.flushArmed[pid] = true
+	inc0 := n.inc(pid)
 	n.sched.After(n.flushWindow, func() {
+		if n.inc(pid) != inc0 {
+			// The tick belongs to a dead incarnation: its captured Flusher is
+			// the pre-crash state machine, whose buffered frames must not
+			// leak into the successor's links. Revive already re-opened the
+			// armed slot; do not touch the flag.
+			return
+		}
 		n.flushArmed[pid] = false
 		if n.crashed[pid] {
 			return
@@ -273,6 +341,7 @@ func (n *SimNet) send(from, to int, msg proto.Message) {
 	}
 	ev := n.allocDelivery()
 	ev.net, ev.from, ev.to, ev.msg = n, from, to, msg
+	ev.fromInc, ev.toInc = n.inc(from), n.inc(to)
 	if n.priority != nil {
 		n.sched.AtTieEvent(at, n.priority(from, to), ev)
 	} else {
@@ -291,8 +360,11 @@ func (n *SimNet) allocDelivery() *deliveryEvent {
 }
 
 // deliver is the delivery body, run at the message's scheduled instant.
-func (n *SimNet) deliver(from, to int, msg proto.Message) {
+func (n *SimNet) deliver(from, to int, msg proto.Message, fromInc, toInc uint32) {
 	n.inFlight[from][to]--
+	if fromInc != n.inc(from) || toInc != n.inc(to) {
+		return // incarnation fence: one endpoint was reborn since the send
+	}
 	if n.crashed[to] {
 		return // crash-stop: the recipient takes no further steps
 	}

@@ -247,3 +247,94 @@ func TestSimNetObserverCrashDropsMessage(t *testing.T) {
 		t.Fatal("a dropped ping still produced a pong")
 	}
 }
+
+// TestSimNetReviveFencesInFlight: messages crossing a crash—revive boundary
+// in either direction are fenced out — the in-memory analogue of a restart
+// killing a TCP connection — while the successor communicates normally.
+func TestSimNetReviveFencesInFlight(t *testing.T) {
+	t.Parallel()
+	net, procs, sched := newEchoNet(t)
+
+	// Inbound fence: a ping in flight to p1 when p1 is reborn must vanish.
+	net.StartRead(0, 1) // ping departs at t=0, lands at t=1
+	net.CrashAt(0.4, 1)
+	fresh1 := &echoProc{id: 1}
+	sched.At(0.6, func() { net.Revive(1, fresh1) })
+	net.Run()
+	if len(fresh1.received) != 0 {
+		t.Fatalf("revived p1 received %v from its predecessor's link", fresh1.received)
+	}
+	if len(procs[0].received) != 0 {
+		t.Fatalf("p0 received %v, want nothing (ping was fenced)", procs[0].received)
+	}
+	if net.InFlight(0, 1) != 0 || net.Crashed(1) {
+		t.Fatalf("post-revival state: inFlight=%d crashed=%v", net.InFlight(0, 1), net.Crashed(1))
+	}
+
+	// Outbound fence: a pong sent by an incarnation that dies before it
+	// lands must not reach the live peer either.
+	net.StartRead(0, 2) // ping at t; pong departs t+1, lands t+2
+	sched.After(1.5, func() {
+		net.Crash(1)
+		net.Revive(1, &echoProc{id: 1})
+	})
+	net.Run()
+	if len(procs[0].received) != 0 {
+		t.Fatalf("p0 received %v from a dead incarnation", procs[0].received)
+	}
+
+	// The successor is a full participant: a fresh round trip completes.
+	net.StartRead(0, 3)
+	net.Run()
+	if len(procs[0].received) != 1 || procs[0].received[0] != "PONG" {
+		t.Fatalf("p0 received %v after revival, want [PONG]", procs[0].received)
+	}
+}
+
+func TestSimNetRevivePanics(t *testing.T) {
+	t.Parallel()
+	t.Run("not crashed", func(t *testing.T) {
+		net, _, _ := newEchoNet(t)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Revive of a live process did not panic")
+			}
+		}()
+		net.Revive(1, &echoProc{id: 1})
+	})
+	t.Run("wrong id", func(t *testing.T) {
+		net, _, _ := newEchoNet(t)
+		net.Crash(1)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Revive with mismatched ID did not panic")
+			}
+		}()
+		net.Revive(1, &echoProc{id: 0})
+	})
+}
+
+// TestSimNetStep: Step routes the produced effects like a delivery and is a
+// no-op on crashed processes.
+func TestSimNetStep(t *testing.T) {
+	t.Parallel()
+	hooks := 0
+	net, procs, _ := newEchoNet(t, transport.WithPostDelivery(func() { hooks++ }))
+	net.Step(0, func(p proto.Process) proto.Effects {
+		var eff proto.Effects
+		eff.AddSend(1, ping{})
+		return eff
+	})
+	net.Run()
+	if len(procs[1].received) != 1 || procs[1].received[0] != "PING" {
+		t.Fatalf("p1 received %v, want [PING]", procs[1].received)
+	}
+	if hooks == 0 {
+		t.Fatal("Step did not run the post-delivery hook")
+	}
+	net.Crash(0)
+	net.Step(0, func(p proto.Process) proto.Effects {
+		t.Fatal("Step ran its body on a crashed process")
+		return proto.Effects{}
+	})
+}

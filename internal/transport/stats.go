@@ -23,6 +23,10 @@ type MeshStats struct {
 	// Redials counts outbound connection (re-)establishments after the
 	// initial dial.
 	Redials int64 `json:"redials"`
+	// Reconnects counts inbound connections from a sender that had
+	// already connected once — the receive-side view of peer churn
+	// (a crashed-and-restarted peer, or a dropped connection redialed).
+	Reconnects int64 `json:"reconnects"`
 	// FramesReceived counts inbound frames decoded and delivered.
 	FramesReceived int64 `json:"frames_received"`
 	// DecodeErrors counts inbound frames the codec rejected — nonzero
@@ -40,6 +44,7 @@ func (s *MeshStats) Add(o MeshStats) {
 	}
 	s.FramesDropped += o.FramesDropped
 	s.Redials += o.Redials
+	s.Reconnects += o.Reconnects
 	s.FramesReceived += o.FramesReceived
 	s.DecodeErrors += o.DecodeErrors
 }
@@ -56,7 +61,7 @@ func (s MeshStats) FramesPerWrite() float64 {
 // String renders the counters on one line.
 func (s MeshStats) String() string {
 	return fmt.Sprintf(
-		"frames=%d writes=%d (%.2f frames/write, max batch %d) bytes=%d dropped=%d redials=%d recv=%d decode_errs=%d",
+		"frames=%d writes=%d (%.2f frames/write, max batch %d) bytes=%d dropped=%d redials=%d reconnects=%d recv=%d decode_errs=%d",
 		s.FramesSent, s.ConnWrites, s.FramesPerWrite(), s.MaxBatch,
-		s.BytesSent, s.FramesDropped, s.Redials, s.FramesReceived, s.DecodeErrors)
+		s.BytesSent, s.FramesDropped, s.Redials, s.Reconnects, s.FramesReceived, s.DecodeErrors)
 }

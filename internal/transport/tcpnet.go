@@ -157,12 +157,14 @@ type Mesh struct {
 	ln      net.Listener
 	cfg     meshConfig
 
-	mu      sync.Mutex
-	peers   []*peer               // index = process id, nil for self; set once by SetPeers
-	inbound map[net.Conn]struct{} // accepted, closed on shutdown
+	mu       sync.Mutex
+	peers    []*peer               // index = process id, nil for self; set once by SetPeers
+	inbound  map[net.Conn]struct{} // accepted, closed on shutdown
+	seenFrom []bool                // senders that have completed a handshake once
 
 	framesRecv atomic.Int64
 	decodeErrs atomic.Int64
+	reconnects atomic.Int64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -200,14 +202,15 @@ func NewMesh(self, n int, listenAddr string, codec Codec, deliver func(from int,
 		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
 	}
 	m := &Mesh{
-		self:    self,
-		n:       n,
-		codec:   codec,
-		deliver: deliver,
-		ln:      ln,
-		cfg:     cfg,
-		inbound: make(map[net.Conn]struct{}),
-		done:    make(chan struct{}),
+		self:     self,
+		n:        n,
+		codec:    codec,
+		deliver:  deliver,
+		ln:       ln,
+		cfg:      cfg,
+		inbound:  make(map[net.Conn]struct{}),
+		seenFrom: make([]bool, n),
+		done:     make(chan struct{}),
 	}
 	m.wg.Add(1)
 	go m.acceptLoop()
@@ -239,7 +242,7 @@ func (m *Mesh) SetPeers(addrs []string) error {
 		if id == m.self {
 			continue
 		}
-		p := &peer{m: m, id: id, addr: addr}
+		p := &peer{m: m, id: id, addr: addr, kick: make(chan struct{}, 1)}
 		p.cond = sync.NewCond(&p.mu)
 		p.rng = rand.New(rand.NewSource(int64(m.self)<<16 ^ int64(id) ^ time.Now().UnixNano()))
 		m.peers[id] = p
@@ -289,6 +292,7 @@ func (m *Mesh) Stats() MeshStats {
 	}
 	s.FramesReceived = m.framesRecv.Load()
 	s.DecodeErrors = m.decodeErrs.Load()
+	s.Reconnects = m.reconnects.Load()
 	return s
 }
 
@@ -315,6 +319,62 @@ func (m *Mesh) DropConn(to int) bool {
 	}
 	c.Close()
 	return true
+}
+
+// PeerRestarted is the transport half of the crash-restart protocol for
+// peer `to`: every frame still queued for it is purged (counted in
+// FramesDropped — it was addressed to the dead incarnation, and delivering
+// it to the revived one would bypass the restart reset's re-shipped
+// backlog) and the current connection, if up, is closed so the sender
+// redials the revived peer's fresh listener. The caller then runs the
+// protocol half (storage.Recoverable.PeerRestarted on both sides).
+func (m *Mesh) PeerRestarted(to int) {
+	m.mu.Lock()
+	p := (*peer)(nil)
+	if m.peers != nil && to >= 0 && to < len(m.peers) {
+		p = m.peers[to]
+	}
+	m.mu.Unlock()
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.stats.FramesDropped += int64(len(p.queue))
+	for i := range p.queue {
+		p.queue[i] = nil
+	}
+	p.queue = p.queue[:0]
+	p.epoch++ // fence any batch already taken but still unwritten
+	c := p.conn
+	p.cond.Broadcast() // wake a Block-policy enqueue waiting on queue space
+	p.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// KickDial wakes peer `to`'s sender out of its dial backoff so the next
+// attempt happens immediately. Call it when the peer's listener is known
+// to be up — the revival choreography posts it right after rebinding, so
+// the re-shipped backlog drains within milliseconds instead of waiting
+// out a backoff interval (during which the bounded queue could overflow
+// and drop frames addressed to the live incarnation). A no-op if the
+// sender is not currently backing off; the buffered signal then shortens
+// the next backoff, which is harmless.
+func (m *Mesh) KickDial(to int) {
+	m.mu.Lock()
+	p := (*peer)(nil)
+	if m.peers != nil && to >= 0 && to < len(m.peers) {
+		p = m.peers[to]
+	}
+	m.mu.Unlock()
+	if p == nil {
+		return
+	}
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
 }
 
 // Close shuts the mesh down and waits for its goroutines. Queued and
@@ -357,6 +417,18 @@ type peer struct {
 	conn    net.Conn // nil while down; the sender dials, DropConn/close break it
 	dialed  bool     // a connection has been established at least once
 	stats   MeshStats
+	// epoch fences batches across PeerRestarted: a batch taken before the
+	// purge (and possibly parked in the dial cycle) must not be written to
+	// the peer's next incarnation. takenEpoch is stamped at drain time and
+	// compared after the connection is (re-)established.
+	epoch      uint64
+	takenEpoch uint64
+
+	// kick interrupts the sender's dial backoff: a buffered signal posted
+	// when the peer's listener is known to be up right now (a revival just
+	// rebound it), so the reconnect pays milliseconds instead of a full
+	// jittered backoff interval.
+	kick chan struct{}
 
 	// Sender-goroutine-owned state (no locking needed).
 	rng    *rand.Rand
@@ -483,6 +555,7 @@ func (p *peer) take() bool {
 		}
 	}
 	p.batch = append(p.batch[:0], p.queue...)
+	p.takenEpoch = p.epoch
 	for i := range p.queue {
 		p.queue[i] = nil // no retention across drains
 	}
@@ -500,10 +573,19 @@ func (p *peer) run() {
 	for p.take() {
 		var lost int64
 		c := p.ensureConn()
-		if c == nil {
+		p.mu.Lock()
+		stale := p.takenEpoch != p.epoch
+		p.mu.Unlock()
+		switch {
+		case c == nil:
 			// Dial cycle exhausted (or shutdown): this batch is lost.
 			lost = int64(len(p.batch))
-		} else {
+		case stale:
+			// PeerRestarted ran while the batch waited out the dial
+			// cycle: it was addressed to the peer's previous incarnation
+			// and must not reach the next one.
+			lost = int64(len(p.batch))
+		default:
 			lost = p.writeBatch(c)
 		}
 		p.mu.Lock()
@@ -559,8 +641,8 @@ func (p *peer) ensureConn() net.Conn {
 }
 
 // backoff sleeps the jittered inter-attempt delay, interruptible by
-// shutdown; the jitter (50–150% of base) keeps a cluster's redial cycles
-// from synchronizing against a restarting peer.
+// shutdown or a dial kick; the jitter (50–150% of base) keeps a cluster's
+// redial cycles from synchronizing against a restarting peer.
 func (p *peer) backoff() bool {
 	base := p.m.cfg.dialBackoff
 	d := time.Duration(float64(base) * (0.5 + p.rng.Float64()))
@@ -569,6 +651,8 @@ func (p *peer) backoff() bool {
 	select {
 	case <-p.m.done:
 		return false
+	case <-p.kick:
+		return true
 	case <-t.C:
 		return true
 	}
@@ -703,6 +787,15 @@ func (m *Mesh) serveConn(conn net.Conn) {
 	if from < 0 || from >= m.n || from == m.self {
 		return
 	}
+	// A second handshake from the same sender is peer churn: either its
+	// process restarted or its previous connection dropped and redialed.
+	m.mu.Lock()
+	if m.seenFrom[from] {
+		m.reconnects.Add(1)
+	} else {
+		m.seenFrom[from] = true
+	}
+	m.mu.Unlock()
 	fr := frameReader{r: conn, codec: m.codec}
 	for {
 		msg, err := fr.next()
