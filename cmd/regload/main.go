@@ -1,12 +1,15 @@
-// Command regload is the closed-loop load harness for the TCP runtime: it
-// stands up an n-process cluster of the coalescing keyed store over loopback
-// TCP (the cmd/regnode production stack), drives it with closed-loop client
-// goroutines, and reports ops/sec plus read/write latency histograms
-// (p50/p95/p99) and the mesh's batching counters.
+// Command regload is the closed-loop load harness for the sharded keyed
+// TCP service: it stands up a shards×(procs/shards) cluster of the
+// coalescing keyed store over loopback TCP (the cmd/regnode v2 production
+// stack, client-protocol servers included), drives it through
+// internal/regclient with closed-loop client goroutines, and reports
+// ops/sec plus read/write latency histograms (p50/p95/p99) and the mesh's
+// batching counters.
 //
 // Examples:
 //
 //	regload -procs 3 -clients 16 -keys 64 -read-frac 0.6 -duration 5s
+//	regload -procs 6 -shards 2 -clients 16 -duration 5s   # two independent quorum groups
 //	regload -procs 5 -clients 32 -keys 200 -ops 20000 -coalesce=false -json
 //	regload -procs 3 -clients 8 -duration 5s -dead 2   # dead-peer scenario
 //	regload -procs 3 -clients 8 -duration 5s -restart 2@1.5   # kill p2 at 1.5s, revive from its log
@@ -36,7 +39,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("regload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		procs    = fs.Int("procs", 3, "cluster size n (majority quorums: dead peers must stay a minority)")
+		procs    = fs.Int("procs", 3, "total process count (majority quorums per shard: dead peers must stay a minority)")
+		shards   = fs.Int("shards", 1, "shard count (-procs must divide evenly; each shard is an independent quorum group)")
 		clients  = fs.Int("clients", 8, "closed-loop client goroutines, spread over the live processes")
 		keys     = fs.Int("keys", 64, "key-space size of the keyed store")
 		readFrac = fs.Float64("read-frac", 0.6, "fraction of operations that are reads, in [0,1]")
@@ -67,6 +71,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	spec := regload.Spec{
 		Procs:       *procs,
+		Shards:      *shards,
 		Clients:     *clients,
 		Keys:        *keys,
 		ReadFrac:    *readFrac,

@@ -1,21 +1,46 @@
-// Command regnode runs one process of the two-bit atomic register over TCP.
-// Start n of them (in any order — peers retry dialing), then drive reads and
-// writes with regctl through the client port.
+// Command regnode runs one process of the sharded keyed register service:
+// one member of one shard's quorum group, serving the versioned binary
+// keyed client protocol (internal/wire, v2) on its client port and the
+// two-bit register mesh protocol toward its shard peers. Start every
+// process of the topology (in any order — peers retry dialing), then
+// drive keyed reads and writes with regctl.
 //
-// Example 3-process cluster on one machine:
+// The topology comes from one validated shard.ClusterConfig, given either
+// as a JSON file:
 //
-//	regnode -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -client 127.0.0.1:7100 &
-//	regnode -id 1 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -client 127.0.0.1:7101 &
-//	regnode -id 2 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -client 127.0.0.1:7102 &
-//	regctl -addr 127.0.0.1:7100 write hello     # process 0 is the writer
-//	regctl -addr 127.0.0.1:7102 read
+//	regnode -config cluster.json -shard 0 -id 1
 //
-// The client protocol is line-oriented: "read\n" or "write <text>\n",
-// answered with "ok <value>\n", "ok\n" or "err <reason>\n".
+// with cluster.json like
+//
+//	{"shards": [
+//	  {"procs": [{"mesh": "127.0.0.1:7000", "client": "127.0.0.1:7100"},
+//	             {"mesh": "127.0.0.1:7001", "client": "127.0.0.1:7101"},
+//	             {"mesh": "127.0.0.1:7002", "client": "127.0.0.1:7102"}]},
+//	  {"procs": [{"mesh": "127.0.0.1:7010", "client": "127.0.0.1:7110"},
+//	             {"mesh": "127.0.0.1:7011", "client": "127.0.0.1:7111"},
+//	             {"mesh": "127.0.0.1:7012", "client": "127.0.0.1:7112"}]}]}
+//
+// or as flag tables (semicolon-separated shards of comma-separated
+// addresses, mesh and client tables with identical shapes):
+//
+//	regnode -peers "127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002;127.0.0.1:7010,127.0.0.1:7011,127.0.0.1:7012" \
+//	        -clients "127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102;127.0.0.1:7110,127.0.0.1:7111,127.0.0.1:7112" \
+//	        -shard 0 -id 1
+//
+// Each shard is an independent quorum group over the coalescing keyed
+// store; every member of a shard may write every key the shard owns
+// (last-write-wins multi-writer registers). A key is placed on exactly
+// one shard by hash (shard.ShardOfKey); requests for foreign keys answer
+// StatusWrongShard.
+//
+// -legacy serves the deprecated v1 line protocol ("read\n" /
+// "write <text>\n") on the client port instead, for one release — see the
+// protocol mapping in the repository's doc.go.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -24,73 +49,130 @@ import (
 	"strings"
 
 	"twobitreg/internal/cluster"
-	"twobitreg/internal/core"
 	"twobitreg/internal/proto"
+	"twobitreg/internal/regmap"
+	"twobitreg/internal/shard"
 	"twobitreg/internal/transport"
 	"twobitreg/internal/wire"
 )
 
+// legacyKey is the key the -legacy line protocol's read/write map to: the
+// v1 service had exactly one register, which the keyed service hosts
+// under this name.
+const legacyKey = "default"
+
 func main() {
-	id := flag.Int("id", 0, "this process's index")
-	peers := flag.String("peers", "", "comma-separated mesh addresses, index = process id")
-	clientAddr := flag.String("client", "", "address to serve regctl clients on")
-	writer := flag.Int("writer", 0, "index of the writer process")
+	configPath := flag.String("config", "", "JSON cluster config file (shard.ClusterConfig)")
+	peers := flag.String("peers", "", "mesh address table: ';'-separated shards of ','-separated addresses")
+	clients := flag.String("clients", "", "client address table, same shape as -peers")
+	shardIdx := flag.Int("shard", 0, "this process's shard index")
+	id := flag.Int("id", 0, "this process's index within its shard")
+	legacy := flag.Bool("legacy", false, "serve the deprecated v1 line protocol on the client port (one release; see doc.go)")
 	flag.Parse()
 
-	if err := run(*id, *peers, *clientAddr, *writer); err != nil {
-		fmt.Fprintln(os.Stderr, "regnode:", err)
+	if err := run(*configPath, *peers, *clients, *shardIdx, *id, *legacy); err != nil {
+		var cerr *shard.ConfigError
+		if errors.As(err, &cerr) {
+			fmt.Fprintf(os.Stderr, "regnode: bad configuration at %s: %s\n", cerr.Field, cerr.Reason)
+		} else {
+			fmt.Fprintln(os.Stderr, "regnode:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(id int, peerList, clientAddr string, writer int) error {
-	addrs := strings.Split(peerList, ",")
-	if len(addrs) < 1 || peerList == "" {
-		return fmt.Errorf("need -peers with at least one address")
+func run(configPath, peers, clients string, shardIdx, id int, legacy bool) error {
+	cfg, err := loadConfig(configPath, peers, clients)
+	if err != nil {
+		return err
 	}
-	if id < 0 || id >= len(addrs) {
-		return fmt.Errorf("-id %d out of range for %d peers", id, len(addrs))
+	if shardIdx < 0 || shardIdx >= cfg.NumShards() {
+		return fmt.Errorf("-shard %d out of range for %d shards", shardIdx, cfg.NumShards())
 	}
-	if clientAddr == "" {
-		return fmt.Errorf("need -client address")
+	procs := cfg.Shards[shardIdx].Procs
+	if id < 0 || id >= len(procs) {
+		return fmt.Errorf("-id %d out of range for shard %d's %d processes", id, shardIdx, len(procs))
 	}
-	n := len(addrs)
+	n := len(procs)
+	meshAddrs := make([]string, n)
+	writers := make([]int, n)
+	for i, p := range procs {
+		meshAddrs[i] = p.Mesh
+		writers[i] = i
+	}
 
-	var node *cluster.Node
-	mesh, err := transport.NewMesh(id, n, addrs[id], wire.Codec{}, func(from int, msg proto.Message) {
+	// Two-phase construction: the mesh binds first (the deliver closure
+	// indirects through the node variable, assigned before peers can
+	// produce traffic — they only send once we do).
+	var node *cluster.KeyedNode
+	mesh, err := transport.NewMesh(id, n, meshAddrs[id], wire.Codec{}, func(from int, msg proto.Message) {
 		node.Deliver(from, msg)
 	})
 	if err != nil {
 		return err
 	}
 	defer mesh.Close()
-	if err := mesh.SetPeers(addrs); err != nil {
+	if err := mesh.SetPeers(meshAddrs); err != nil {
 		return err
 	}
-	node = cluster.NewNode(id, n, writer, core.Algorithm(), func(to int, msg proto.Message) {
+	store, err := regmap.NewNode(id, regmap.Config{N: n, DefaultWriters: writers, Coalesce: true})
+	if err != nil {
+		return err
+	}
+	node = cluster.NewKeyedNode(id, store, func(to int, msg proto.Message) {
 		if err := mesh.Send(to, msg); err != nil {
 			log.Printf("send to %d: %v", to, err)
 		}
 	})
 	defer node.Stop()
 
-	ln, err := net.Listen("tcp", clientAddr)
+	ln, err := net.Listen("tcp", procs[id].Client)
 	if err != nil {
 		return fmt.Errorf("client listener: %w", err)
 	}
-	defer ln.Close()
-	log.Printf("process %d/%d up: mesh %s, clients %s, writer %d", id, n, addrs[id], clientAddr, writer)
-
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return err
-		}
-		go serveClient(conn, node, id == writer)
+	pname := "binary v2"
+	if legacy {
+		pname = "legacy line"
 	}
+	log.Printf("shard %d/%d process %d/%d up: mesh %s, clients %s (%s protocol)",
+		shardIdx, cfg.NumShards(), id, n, meshAddrs[id], procs[id].Client, pname)
+
+	if legacy {
+		defer ln.Close()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return err
+			}
+			go serveLegacy(conn, node)
+		}
+	}
+	srv, err := shard.Serve(ln, shardIdx, cfg.NumShards(), shard.NodeHandler(node))
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	defer srv.Close()
+	select {} // serve until killed
 }
 
-func serveClient(conn net.Conn, node *cluster.Node, isWriter bool) {
+// loadConfig resolves the config surface: a JSON file, or the flag tables.
+func loadConfig(configPath, peers, clients string) (*shard.ClusterConfig, error) {
+	if configPath != "" {
+		if peers != "" || clients != "" {
+			return nil, fmt.Errorf("-config excludes -peers/-clients")
+		}
+		return shard.LoadFile(configPath)
+	}
+	if peers == "" || clients == "" {
+		return nil, fmt.Errorf("need -config, or both -peers and -clients")
+	}
+	return shard.ParseTopology(peers, clients)
+}
+
+// serveLegacy speaks the deprecated v1 line protocol, mapped onto the
+// keyed store: read → get of the "default" key, write → put of it.
+func serveLegacy(conn net.Conn, node *cluster.KeyedNode) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	for sc.Scan() {
@@ -98,18 +180,14 @@ func serveClient(conn net.Conn, node *cluster.Node, isWriter bool) {
 		cmd, rest, _ := strings.Cut(line, " ")
 		switch cmd {
 		case "read":
-			v, err := node.Read()
+			v, err := node.Get(legacyKey)
 			if err != nil {
 				fmt.Fprintf(conn, "err %v\n", err)
 				continue
 			}
 			fmt.Fprintf(conn, "ok %s\n", v)
 		case "write":
-			if !isWriter {
-				fmt.Fprintln(conn, "err this process is not the writer")
-				continue
-			}
-			if err := node.Write([]byte(rest)); err != nil {
+			if err := node.Put(legacyKey, []byte(rest)); err != nil {
 				fmt.Fprintf(conn, "err %v\n", err)
 				continue
 			}

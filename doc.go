@@ -175,6 +175,36 @@
 // BENCH_tcp.json (benchdiff-gated), and EXPERIMENTS.md E-TCP1 tabulates
 // the batching and dead-peer results.
 //
+// # The sharded keyed service
+//
+// cmd/regnode v2 deploys the keyed store as a sharded TCP service. A
+// cluster (internal/shard.ClusterConfig — one validated configuration
+// type shared by regnode's JSON file and flags, regload's Spec, and the
+// client; invalid fields come back as typed *ConfigError values naming
+// the field path, e.g. "shards[1].procs[2].mesh") is a list of shards,
+// each an INDEPENDENT quorum group of processes running the coalescing
+// keyed store over its own transport.Mesh. A key lives on exactly one
+// shard — hash placement via shard.ShardOfKey — so capacity grows with
+// machines. Clients speak a versioned binary keyed protocol
+// (wire.ClientRequest/ClientResponse, version 2): requests carry a
+// request id, op, key, and value over one connection-multiplexed session;
+// the server answers in completion order, matched back by id, and checks
+// placement before the handler runs (StatusWrongShard). The Go client is
+// internal/regclient — Session (one node, pipelined concurrent requests)
+// and Client (placement routing plus failover across a shard's quorum
+// group members) — consumed by cmd/regctl and cmd/regload alike. The
+// sharded throughput scaling is recorded in EXPERIMENTS.md E-SH1.
+//
+// The v1 line-oriented text protocol is deprecated and kept for one
+// release behind regnode -legacy (regctl -legacy speaks it). The mapping
+// onto the keyed protocol: the v1 service was one unnamed register, so
+//
+//	v1 "read\n"         ->  v2 get "default"
+//	v1 "write <text>\n" ->  v2 put "default" <text>
+//
+// with v1's "ok ..."/"err ..." reply lines replaced by the binary
+// response statuses (OK, Err, WrongShard, Unavailable).
+//
 // # Durable registers: crash-restart recovery
 //
 // The paper's model is crash-stop; internal/storage makes the registers

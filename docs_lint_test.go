@@ -55,6 +55,30 @@ func TestDocTCPRuntime(t *testing.T) {
 	}
 }
 
+// TestDocShardedService keeps the sharded-service documentation in
+// lockstep with the code: ARCHITECTURE.md must carry the "Sharded
+// service" section and doc.go must point at the shard/regclient packages,
+// the E-SH1 experiment, and the legacy-protocol mapping.
+func TestDocShardedService(t *testing.T) {
+	t.Parallel()
+	arch, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(arch), "## Sharded service") {
+		t.Fatal(`ARCHITECTURE.md lost its "## Sharded service" section`)
+	}
+	doc, err := os.ReadFile("doc.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"internal/shard", "internal/regclient", "E-SH1", "-legacy"} {
+		if !strings.Contains(string(doc), want) {
+			t.Fatalf("doc.go does not mention %s", want)
+		}
+	}
+}
+
 // TestDocDurability keeps the durability documentation in lockstep with
 // the code: ARCHITECTURE.md must carry the "Durability" section and doc.go
 // must point at the storage package and the BENCH_wal.json trajectory.

@@ -1,8 +1,9 @@
 // Config store: the read-dominated application the paper's conclusion
-// motivates, built on internal/regmap — one two-bit register per key,
-// multiplexed over a single set of five processes. A control plane (the
-// writer) publishes configuration revisions; many data-plane workers read
-// them continuously through their nearest process.
+// motivates, served by the sharded keyed register service. A control
+// plane (the writer) publishes configuration revisions through the binary
+// client protocol; many data-plane workers read them continuously, each
+// worker preferring a different member of every shard's quorum group so
+// the read load spreads.
 package main
 
 import (
@@ -11,30 +12,35 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"twobitreg/internal/metrics"
-	"twobitreg/internal/regmap"
+	"twobitreg/internal/regclient"
+	"twobitreg/internal/shard"
 )
 
 func main() {
-	col := &metrics.Collector{}
-	store, err := regmap.New(regmap.Config{N: 5, Collector: col, HistoryGC: true})
+	lc, err := shard.StartLocal(2, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer store.Stop()
+	defer lc.Close()
 
 	keys := []string{"routing/table", "limits/qps", "flags/rollout"}
 
-	// Control plane: three revisions per key.
+	// Control plane: three revisions per key, through one client.
+	control, err := regclient.New(lc.Config, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer control.Close()
 	for rev := 1; rev <= 3; rev++ {
 		for _, k := range keys {
-			if err := store.Write(k, []byte(fmt.Sprintf("%s@rev%d", k, rev))); err != nil {
+			if err := control.Put(k, []byte(fmt.Sprintf("%s@rev%d", k, rev))); err != nil {
 				log.Fatal(err)
 			}
 		}
 	}
 
-	// Data plane: workers hammer reads through different processes.
+	// Data plane: workers hammer reads, each preferring a different shard
+	// member (regclient.New's prefer offset rotates the quorum group).
 	var reads atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
@@ -42,9 +48,15 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			cl, err := regclient.New(lc.Config, w)
+			if err != nil {
+				log.Printf("client: %v", err)
+				return
+			}
+			defer cl.Close()
 			for i := 0; i < 50; i++ {
 				k := keys[(w+i)%len(keys)]
-				if _, err := store.Read(1+(w+i)%4, k); err != nil {
+				if _, err := cl.Get(k); err != nil {
 					log.Printf("read: %v", err)
 					return
 				}
@@ -55,14 +67,12 @@ func main() {
 	wg.Wait()
 
 	for _, k := range keys {
-		v, err := store.Read(2, k)
+		v, err := control.Get(k)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-14s = %s\n", k, v)
+		fmt.Printf("%-14s = %s (shard %d)\n", k, v, lc.Config.ShardOf(k))
 	}
-
-	s := col.Snapshot()
-	fmt.Printf("\n%d worker reads; %d protocol messages total\n", reads.Load(), s.TotalMsgs)
-	fmt.Printf("per-message control: 2 register bits + key bytes (max seen %d bits)\n", s.MaxCtrlBits)
+	fmt.Printf("\n%d worker reads over connection-multiplexed client sessions\n", reads.Load())
+	fmt.Println("across 2 independent quorum groups of 3 processes each.")
 }

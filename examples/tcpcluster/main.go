@@ -1,75 +1,58 @@
-// TCP cluster: three register processes connected over loopback TCP, each
-// with its own event loop and mesh endpoint, exchanging the 2-bit wire
-// format. This is the full production stack of cmd/regnode inside one
-// program — run regnode/regctl for the multi-process version.
+// TCP cluster: a 2-shard × 3-process keyed register service over loopback
+// TCP, driven through the versioned binary client protocol — the full
+// production stack of cmd/regnode v2 inside one program (per-shard quorum
+// groups, hash placement, connection-multiplexed client sessions). Run
+// regnode/regctl for the multi-process version.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"twobitreg/internal/cluster"
-	"twobitreg/internal/core"
-	"twobitreg/internal/proto"
-	"twobitreg/internal/transport"
-	"twobitreg/internal/wire"
+	"twobitreg/internal/regclient"
+	"twobitreg/internal/shard"
 )
 
 func main() {
-	const n = 3
-	nodes := make([]*cluster.Node, n)
-	meshes := make([]*transport.Mesh, n)
-
-	// Bind ephemeral listeners first, then exchange the address table.
-	addrs := make([]string, n)
-	for i := 0; i < n; i++ {
-		i := i
-		m, err := transport.NewMesh(i, n, "127.0.0.1:0", wire.Codec{}, func(from int, msg proto.Message) {
-			nodes[i].Deliver(from, msg)
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		meshes[i] = m
-		addrs[i] = m.Addr()
-	}
-	for _, m := range meshes {
-		if err := m.SetPeers(addrs); err != nil {
-			log.Fatal(err)
-		}
-	}
-	for i := 0; i < n; i++ {
-		i := i
-		nodes[i] = cluster.NewNode(i, n, 0, core.Algorithm(), func(to int, msg proto.Message) {
-			if err := meshes[i].Send(to, msg); err != nil {
-				log.Printf("send: %v", err)
-			}
-		})
-	}
-	defer func() {
-		for _, nd := range nodes {
-			nd.Stop()
-		}
-		for _, m := range meshes {
-			m.Close()
-		}
-	}()
-
-	fmt.Println("3-process register over loopback TCP:")
-	for i, a := range addrs {
-		fmt.Printf("  process %d at %s\n", i, a)
-	}
-
-	if err := nodes[0].Write([]byte("framed in 2 bits")); err != nil {
+	lc, err := shard.StartLocal(2, 3)
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nwriter (process 0) wrote: framed in 2 bits")
-	for i := 0; i < n; i++ {
-		v, err := nodes[i].Read()
+	defer lc.Close()
+
+	fmt.Println("2-shard × 3-process keyed register service over loopback TCP:")
+	for s, sh := range lc.Config.Shards {
+		for p, proc := range sh.Procs {
+			fmt.Printf("  shard %d process %d: mesh %s, clients %s\n", s, p, proc.Mesh, proc.Client)
+		}
+	}
+
+	cl, err := regclient.New(lc.Config, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	keys := []string{"alpha", "beta", "gamma", "delta"}
+	fmt.Println("\nkeyed writes through the binary client protocol:")
+	for _, k := range keys {
+		if err := cl.Put(k, []byte("value of "+k)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  put %-5s -> shard %d\n", k, lc.Config.ShardOf(k))
+	}
+
+	// One process per shard dies; the client fails over to the surviving
+	// majority of each quorum group.
+	lc.KillProc(0, 0)
+	lc.KillProc(1, 2)
+	fmt.Println("\nkilled shard 0 process 0 and shard 1 process 2; reading through survivors:")
+	for _, k := range keys {
+		v, err := cl.Get(k)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("process %d reads over TCP: %s\n", i, v)
+		fmt.Printf("  get %-5s = %s (shard %d)\n", k, v, lc.Config.ShardOf(k))
 	}
-	fmt.Println("\nevery frame's first byte used only its two low bits for control.")
+	fmt.Println("\neach shard is an independent quorum group: capacity grows with machines.")
 }

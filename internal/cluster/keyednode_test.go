@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"twobitreg/internal/proto"
+	"twobitreg/internal/regmap"
+)
+
+// keyedTrio wires three KeyedNodes directly to each other in memory — the
+// regnode stack minus the TCP mesh, so these tests pin the event loop.
+func keyedTrio(t *testing.T, cfg regmap.Config) []*KeyedNode {
+	t.Helper()
+	cfg.N = 3
+	nodes := make([]*KeyedNode, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		st, err := regmap.NewNode(i, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = NewKeyedNode(i, st, func(to int, msg proto.Message) {
+			// nodes[to] is written before any send can happen: sends only
+			// occur on event loops, which only get events after this loop.
+			nodes[to].Deliver(i, msg)
+		})
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	})
+	return nodes
+}
+
+func TestKeyedNodeMultiKeyConcurrent(t *testing.T) {
+	nodes := keyedTrio(t, regmap.Config{DefaultWriters: []int{0, 1, 2}, Coalesce: true})
+
+	const keysN = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, keysN)
+	for k := 0; k < keysN; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%d", k)
+			writer := nodes[k%3]
+			reader := nodes[(k+1)%3]
+			for rev := 0; rev < 5; rev++ {
+				want := fmt.Sprintf("%s@%d", key, rev)
+				if err := writer.Put(key, []byte(want)); err != nil {
+					errs <- fmt.Errorf("put %s: %w", want, err)
+					return
+				}
+				got, err := reader.Get(key)
+				if err != nil {
+					errs <- fmt.Errorf("get %s: %w", key, err)
+					return
+				}
+				// The write completed before the read started, so the read
+				// must not return an older revision (atomicity).
+				if string(got) != want {
+					errs <- fmt.Errorf("key %s: read %q after writing %q", key, got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestKeyedNodeWriterSetBoundary(t *testing.T) {
+	nodes := keyedTrio(t, regmap.Config{DefaultWriters: []int{0}})
+
+	if err := nodes[0].Put("owned", []byte("v1")); err != nil {
+		t.Fatalf("writer's own put: %v", err)
+	}
+	err := nodes[1].Put("owned", []byte("usurped"))
+	if !errors.Is(err, ErrNotWriter) {
+		t.Fatalf("foreign write: %v, want ErrNotWriter", err)
+	}
+	// The rejected write must not have disturbed the register.
+	got, err := nodes[2].Get("owned")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read after rejected write: %q, %v", got, err)
+	}
+}
+
+func TestKeyedNodeStopFailsPending(t *testing.T) {
+	// A single node whose sends go nowhere: every quorum round stalls, so
+	// operations park until Stop fails them.
+	st, err := regmap.NewNode(0, regmap.Config{N: 3, DefaultWriters: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := NewKeyedNode(0, st, func(to int, msg proto.Message) {})
+
+	const n = 3
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			_, err := nd.Get(fmt.Sprintf("parked-%d", i))
+			done <- err
+		}()
+	}
+	// The gets are enqueued (possibly not yet started); Stop must fail
+	// both started and queued operations.
+	nd.Stop()
+	for i := 0; i < n; i++ {
+		if err := <-done; !errors.Is(err, ErrStopped) {
+			t.Fatalf("pending op failed with %v, want ErrStopped", err)
+		}
+	}
+	if err := nd.Put("after", []byte("x")); !errors.Is(err, ErrStopped) {
+		t.Fatalf("op after Stop: %v, want ErrStopped", err)
+	}
+}

@@ -1,0 +1,369 @@
+package regclient
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"twobitreg/internal/shard"
+	"twobitreg/internal/wire"
+)
+
+// serveStub mounts a shard.Server with the given handler on a loopback
+// listener — the real server stack minus the quorum group, so these tests
+// pin the session layer alone.
+func serveStub(t *testing.T, h shard.Handler) *shard.Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := shard.Serve(ln, 0, 1, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func oneShardConfig(addrs ...string) *shard.ClusterConfig {
+	procs := make([]shard.Proc, len(addrs))
+	for i, a := range addrs {
+		procs[i] = shard.Proc{Client: a}
+	}
+	return &shard.ClusterConfig{Shards: []shard.Shard{{Procs: procs}}}
+}
+
+// Pipelined requests over ONE connection, with the server completing them
+// out of order: every caller must get the response carrying its own id.
+func TestSessionPipelinedReordering(t *testing.T) {
+	// Requests park until released; release order is the reverse of
+	// arrival, so responses come back maximally reordered.
+	type parked struct {
+		key     string
+		release chan struct{}
+	}
+	var mu sync.Mutex
+	var waiting []parked
+	arrived := make(chan struct{}, 64)
+	srv := serveStub(t, func(op wire.ClientOp, key string, val []byte) ([]byte, error) {
+		ch := make(chan struct{})
+		mu.Lock()
+		waiting = append(waiting, parked{key, ch})
+		mu.Unlock()
+		arrived <- struct{}{}
+		<-ch
+		return []byte("echo:" + key), nil
+	})
+
+	sess, err := DialNode(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	const n = 16
+	results := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%02d", i)
+			got, err := sess.Get(key)
+			if err != nil {
+				results[i] = err
+				return
+			}
+			if string(got) != "echo:"+key {
+				results[i] = fmt.Errorf("key %q got %q", key, got)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-arrived // all n requests are in flight on the one connection
+	}
+	mu.Lock()
+	for i := len(waiting) - 1; i >= 0; i-- {
+		close(waiting[i].release)
+	}
+	mu.Unlock()
+	wg.Wait()
+	for i, err := range results {
+		if err != nil {
+			t.Errorf("caller %d: %v", i, err)
+		}
+	}
+}
+
+// A fast request behind a stuck one must complete: the session does not
+// serialize responses in request order.
+func TestSessionSlowRequestDoesNotBlockFast(t *testing.T) {
+	release := make(chan struct{})
+	srv := serveStub(t, func(op wire.ClientOp, key string, val []byte) ([]byte, error) {
+		if key == "slow" {
+			<-release
+		}
+		return []byte(key), nil
+	})
+	sess, err := DialNode(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := sess.Get("slow")
+		slowDone <- err
+	}()
+	// The fast request completes while "slow" is parked server-side.
+	if v, err := sess.Get("fast"); err != nil || string(v) != "fast" {
+		t.Fatalf("fast behind slow: %q, %v", v, err)
+	}
+	select {
+	case err := <-slowDone:
+		t.Fatalf("slow request finished early: %v", err)
+	default:
+	}
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow request: %v", err)
+	}
+}
+
+// Closing the session fails every in-flight waiter with ErrSessionClosed
+// instead of leaving them parked forever.
+func TestSessionCloseFailsWaiters(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	srv := serveStub(t, func(op wire.ClientOp, key string, val []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	sess, err := DialNode(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := sess.Get("parked")
+			done <- err
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the requests reach the wire
+	sess.Close()
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrSessionClosed) {
+				t.Fatalf("waiter failed with %v, want ErrSessionClosed", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("waiter still parked after Close")
+		}
+	}
+	if sess.Alive() {
+		t.Fatal("session reports alive after Close")
+	}
+	if _, err := sess.Get("after"); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("op on closed session: %v", err)
+	}
+}
+
+// Server-side teardown (node dies mid-request) surfaces as ErrSessionClosed
+// too — the waiters' channels are closed when the reader loop exits.
+func TestSessionServerDeathFailsWaiters(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	srv := serveStub(t, func(op wire.ClientOp, key string, val []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	sess, err := DialNode(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.Get("parked")
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	go srv.Close() // Close blocks on the parked handler; the conn dies first
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrSessionClosed) {
+			t.Fatalf("waiter failed with %v, want ErrSessionClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter still parked after server close")
+	}
+}
+
+// The routing client fails over to the next quorum-group member when its
+// preferred one is unreachable, and sticks to working sessions after.
+func TestClientFailover(t *testing.T) {
+	var served atomic.Int32
+	srv := serveStub(t, func(op wire.ClientOp, key string, val []byte) ([]byte, error) {
+		served.Add(1)
+		return []byte("live"), nil
+	})
+
+	// A listener that is already closed: dials are refused immediately.
+	deadLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := deadLn.Addr().String()
+	deadLn.Close()
+
+	cl, err := New(oneShardConfig(deadAddr, srv.Addr()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 3; i++ {
+		if v, err := cl.Get("k"); err != nil || string(v) != "live" {
+			t.Fatalf("get %d through failover: %q, %v", i, v, err)
+		}
+	}
+	if got := served.Load(); got != 3 {
+		t.Fatalf("live member served %d requests, want 3", got)
+	}
+}
+
+// StatusUnavailable is retried on the next member; a member that answers
+// (even with an application error) is terminal.
+func TestClientUnavailableRetriesErrDoesNot(t *testing.T) {
+	var unavailCalls, errCalls atomic.Int32
+	unavail := serveStub(t, func(op wire.ClientOp, key string, val []byte) ([]byte, error) {
+		unavailCalls.Add(1)
+		return nil, shard.ErrUnavailable
+	})
+	healthy := serveStub(t, func(op wire.ClientOp, key string, val []byte) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	cl, err := New(oneShardConfig(unavail.Addr(), healthy.Addr()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if v, err := cl.Get("k"); err != nil || string(v) != "ok" {
+		t.Fatalf("failover past unavailable member: %q, %v", v, err)
+	}
+	if unavailCalls.Load() != 1 {
+		t.Fatalf("unavailable member tried %d times", unavailCalls.Load())
+	}
+
+	failing := serveStub(t, func(op wire.ClientOp, key string, val []byte) ([]byte, error) {
+		errCalls.Add(1)
+		return nil, errors.New("application says no")
+	})
+	cl2, err := New(oneShardConfig(failing.Addr(), healthy.Addr()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	var se *ServerError
+	if _, err := cl2.Get("k"); !errors.As(err, &se) {
+		t.Fatalf("application error not surfaced: %v", err)
+	}
+	if errCalls.Load() != 1 {
+		t.Fatalf("terminal error retried: %d calls", errCalls.Load())
+	}
+}
+
+// Every member down: the error names the shard and wraps the last cause so
+// callers can still errors.Is it.
+func TestClientAllMembersDown(t *testing.T) {
+	lns := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln.Addr().String()
+		ln.Close()
+	}
+	cl, err := New(oneShardConfig(lns...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Get("k"); err == nil {
+		t.Fatal("get succeeded with every member down")
+	} else if !strings.Contains(err.Error(), "shard 0") {
+		t.Fatalf("error does not name the shard: %v", err)
+	}
+}
+
+// Keys route by placement: with two shards mounted as separate stub
+// servers, each key's request lands on the server owning its shard.
+func TestClientRoutesByShard(t *testing.T) {
+	var hits [2]atomic.Int32
+	srvs := make([]*shard.Server, 2)
+	addrs := make([]string, 2)
+	for s := 0; s < 2; s++ {
+		s := s
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := shard.Serve(ln, s, 2, func(op wire.ClientOp, key string, val []byte) ([]byte, error) {
+			hits[s].Add(1)
+			return []byte(fmt.Sprintf("shard%d", s)), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		srvs[s] = srv
+		addrs[s] = srv.Addr()
+	}
+	cfg := &shard.ClusterConfig{Shards: []shard.Shard{
+		{Procs: []shard.Proc{{Client: addrs[0]}}},
+		{Procs: []shard.Proc{{Client: addrs[1]}}},
+	}}
+	cl, err := New(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	total := 0
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("route-key-%03d", i)
+		want := fmt.Sprintf("shard%d", cfg.ShardOf(key))
+		v, err := cl.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v) != want {
+			t.Fatalf("key %q served by %q, want %q", key, v, want)
+		}
+		total++
+	}
+	if hits[0].Load() == 0 || hits[1].Load() == 0 || int(hits[0].Load()+hits[1].Load()) != total {
+		t.Fatalf("hit spread %d/%d over %d ops", hits[0].Load(), hits[1].Load(), total)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	var ce *shard.ConfigError
+	if _, err := New(&shard.ClusterConfig{}, 0); !errors.As(err, &ce) {
+		t.Fatalf("empty config: %v", err)
+	}
+	if _, err := New(oneShardConfig("127.0.0.1:9"), -1); !errors.As(err, &ce) {
+		t.Fatalf("negative prefer: %v", err)
+	}
+}

@@ -1,8 +1,10 @@
-// Package regload is the closed-loop load harness for the TCP runtime: it
-// stands up an n-process regnode-style cluster (cluster.Node + transport.Mesh
-// over loopback, the exact production stack minus the client line protocol)
-// running the coalescing keyed store, drives it with a configurable number of
-// closed-loop clients, and reports ops/sec plus latency histograms.
+// Package regload is the closed-loop load harness for the sharded keyed
+// TCP service: it stands up a shards×(procs/shards) regnode-style cluster
+// (cluster.KeyedNode + transport.Mesh quorum groups per shard, client-
+// protocol session servers per process — the exact cmd/regnode v2
+// production stack over loopback), drives it through internal/regclient
+// with a configurable number of closed-loop clients, and reports ops/sec
+// plus latency histograms.
 //
 // Closed-loop means each client issues its next operation only after the
 // previous one completes — throughput and latency are measured under
@@ -14,8 +16,10 @@ package regload
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"sort"
 	"sync"
@@ -25,7 +29,9 @@ import (
 	"twobitreg/internal/cluster"
 	"twobitreg/internal/metrics"
 	"twobitreg/internal/proto"
+	"twobitreg/internal/regclient"
 	"twobitreg/internal/regmap"
+	"twobitreg/internal/shard"
 	"twobitreg/internal/storage"
 	"twobitreg/internal/transport"
 	"twobitreg/internal/wire"
@@ -34,14 +40,20 @@ import (
 // Spec configures one load run. Validate reports the first problem as a
 // typed *SpecError; Run validates internally.
 type Spec struct {
-	// Procs is the cluster size n. Quorums are majorities, so a run with
-	// dead processes needs len(Dead) <= proto.MaxFaulty(Procs).
+	// Procs is the total process count across all shards. Each shard is an
+	// independent majority-quorum group of Procs/Shards processes, so a
+	// run with dead processes needs every shard's dead count to stay
+	// within proto.MaxFaulty(Procs/Shards).
 	Procs int
-	// Clients is the number of closed-loop client goroutines, spread
-	// round-robin over the live processes.
+	// Shards is the shard count; Procs must divide evenly across it.
+	// 0 means 1 — the unsharded service.
+	Shards int
+	// Clients is the number of closed-loop client goroutines. Each drives
+	// a routing regclient.Client; preference offsets spread the clients
+	// over every shard's members.
 	Clients int
-	// Keys is the key-space size of the keyed store; operations spread
-	// round-robin over it (regmap.KeyedAlgorithm's derived keys).
+	// Keys is the key-space size; operations pick keys uniformly and hash
+	// placement spreads them over the shards.
 	Keys int
 	// ReadFrac in [0, 1] is the probability each operation is a read.
 	ReadFrac float64
@@ -59,32 +71,34 @@ type Spec struct {
 	// FlushWindow makes each peer sender linger this long before draining,
 	// trading latency for larger batches (transport.WithSendFlushWindow).
 	FlushWindow time.Duration
-	// Seed drives the clients' read/write choice; runs with the same spec
-	// issue the same operation mix.
+	// Seed drives the clients' read/write and key choice; runs with the
+	// same spec issue the same operation mix.
 	Seed int64
-	// Dead lists processes to kill (node stopped, mesh closed) after
-	// startup, before load: the dead-peer scenario. Clients only target
-	// live processes.
+	// Dead lists global process ids to kill (node stopped, mesh and client
+	// server closed) after startup, before load: the dead-peer scenario.
+	// Clients fail over to each dead process's live shard siblings.
 	Dead []int
 	// Restart schedules mid-run kill-and-revive faults (see Restart).
-	// Dead and restarting processes together must stay a minority, so a
-	// quorum survives even if every scheduled downtime overlaps. A
-	// victim's pre-crash mesh counters are lost with it; Report.Mesh
-	// counts its revived mesh from zero.
+	// Within each shard, dead and restarting processes together must stay
+	// a minority, so a quorum survives even if every scheduled downtime
+	// overlaps. A victim's pre-crash mesh counters are lost with it;
+	// Report.Mesh counts its revived mesh from zero.
 	Restart []Restart
 }
 
-// Restart schedules one kill-and-revive fault: process Proc is crashed
-// (node stopped, mesh and connections closed mid-stream) After into the
-// run and revived Down later (0 = 250ms). Revival replays the victim's
-// stable-storage log into a fresh process — regload arms an in-memory
-// log per process whenever restarts are scheduled — rebinds its original
-// address, and runs the bilateral PeerRestarted reset with every live
-// peer. Just before the kill the harness issues one write through the
-// victim; if acknowledged, it must still be in the durable log after the
-// crash drops the unsynced tail (Report.LostAckWrites counts violations
-// — the zero-lost-acknowledged-writes gate), and after revival the
-// process must complete a read (Report.RestartErrs counts failures).
+// Restart schedules one kill-and-revive fault: global process Proc is
+// crashed (node stopped, mesh, connections and client server closed
+// mid-stream) After into the run and revived Down later (0 = 250ms).
+// Revival replays the victim's stable-storage log into a fresh process —
+// regload arms an in-memory log per process whenever restarts are
+// scheduled — rebinds its original addresses, and runs the bilateral
+// PeerRestarted reset with every live shard peer. Just before the kill
+// the harness issues one write through the victim's client port (a key
+// placed on its shard); if acknowledged, it must still be in the durable
+// log after the crash drops the unsynced tail (Report.LostAckWrites
+// counts violations — the zero-lost-acknowledged-writes gate), and after
+// revival the process must serve a client-protocol read
+// (Report.RestartErrs counts failures).
 type Restart struct {
 	Proc  int
 	After time.Duration
@@ -102,12 +116,28 @@ func (e *SpecError) Error() string {
 	return fmt.Sprintf("regload: invalid -%s: %s", e.Field, e.Reason)
 }
 
+// shardCount normalizes Spec.Shards (0 means 1).
+func (s *Spec) shardCount() int {
+	if s.Shards == 0 {
+		return 1
+	}
+	return s.Shards
+}
+
 // Validate checks the spec, returning a *SpecError for the first problem.
 func (s *Spec) Validate() error {
 	fail := func(field, reason string) error { return &SpecError{Field: field, Reason: reason} }
 	if s.Procs < 1 || s.Procs > 255 {
 		return fail("procs", fmt.Sprintf("need 1..255 processes, got %d", s.Procs))
 	}
+	shards := s.shardCount()
+	if shards < 1 {
+		return fail("shards", fmt.Sprintf("need at least 1 shard, got %d", s.Shards))
+	}
+	if s.Procs%shards != 0 {
+		return fail("shards", fmt.Sprintf("%d processes do not divide evenly over %d shards", s.Procs, shards))
+	}
+	per := s.Procs / shards
 	if s.Clients < 1 {
 		return fail("clients", fmt.Sprintf("need at least 1 client, got %d", s.Clients))
 	}
@@ -126,25 +156,28 @@ func (s *Spec) Validate() error {
 	if s.FlushWindow < 0 || s.FlushWindow > time.Second {
 		return fail("flush-window", fmt.Sprintf("need 0..1s, got %s", s.FlushWindow))
 	}
-	if len(s.Dead) > proto.MaxFaulty(s.Procs) {
-		return fail("dead", fmt.Sprintf("%d dead of %d processes breaks the majority quorum (max %d)",
-			len(s.Dead), s.Procs, proto.MaxFaulty(s.Procs)))
-	}
+	deadPerShard := make([]int, shards)
 	seen := make(map[int]bool, len(s.Dead))
 	for _, d := range s.Dead {
 		if d < 0 || d >= s.Procs {
 			return fail("dead", fmt.Sprintf("process %d out of range [0,%d)", d, s.Procs))
 		}
+		deadPerShard[d/per]++
+	}
+	for sh, c := range deadPerShard {
+		if c > proto.MaxFaulty(per) {
+			return fail("dead", fmt.Sprintf(
+				"%d dead of shard %d's %d processes breaks its majority quorum (max %d)",
+				c, sh, per, proto.MaxFaulty(per)))
+		}
+	}
+	for _, d := range s.Dead {
 		if seen[d] {
 			return fail("dead", fmt.Sprintf("process %d listed twice", d))
 		}
 		seen[d] = true
 	}
-	if len(s.Dead)+len(s.Restart) > proto.MaxFaulty(s.Procs) {
-		return fail("restart", fmt.Sprintf(
-			"%d dead + %d restarting of %d processes can break the majority quorum (max %d down at once)",
-			len(s.Dead), len(s.Restart), s.Procs, proto.MaxFaulty(s.Procs)))
-	}
+	downPerShard := append([]int(nil), deadPerShard...)
 	seenR := make(map[int]bool, len(s.Restart))
 	for _, r := range s.Restart {
 		if r.Proc < 0 || r.Proc >= s.Procs {
@@ -157,6 +190,12 @@ func (s *Spec) Validate() error {
 			return fail("restart", fmt.Sprintf("process %d listed twice", r.Proc))
 		}
 		seenR[r.Proc] = true
+		downPerShard[r.Proc/per]++
+		if downPerShard[r.Proc/per] > proto.MaxFaulty(per) {
+			return fail("restart", fmt.Sprintf(
+				"shard %d's dead + restarting processes can break its majority quorum (max %d down at once of %d)",
+				r.Proc/per, proto.MaxFaulty(per), per))
+		}
 		if r.After <= 0 {
 			return fail("restart", fmt.Sprintf("process %d needs a positive kill offset, got %s", r.Proc, r.After))
 		}
@@ -170,6 +209,7 @@ func (s *Spec) Validate() error {
 // Report is the outcome of one load run.
 type Report struct {
 	Procs    int           `json:"procs"`
+	Shards   int           `json:"shards"`
 	Clients  int           `json:"clients"`
 	Keys     int           `json:"keys"`
 	ReadFrac float64       `json:"read_frac"`
@@ -196,9 +236,9 @@ type Report struct {
 	ReadLat  LatencySummary `json:"read_latency"`
 	WriteLat LatencySummary `json:"write_latency"`
 
-	// Mesh aggregates the transport counters over every live process:
-	// frames vs batched writes is the syscalls-per-frame figure E-TCP1
-	// tracks.
+	// Mesh aggregates the transport counters over every live process
+	// across all shards: frames vs batched writes is the
+	// syscalls-per-frame figure E-TCP1 tracks.
 	Mesh transport.MeshStats `json:"mesh"`
 
 	// readHist/writeHist keep the merged histograms for callers that want
@@ -235,8 +275,8 @@ func (r *Report) WriteHistogram() *metrics.Histogram { return &r.writeHist }
 
 // String renders the human-readable report.
 func (r *Report) String() string {
-	s := fmt.Sprintf("regload: n=%d clients=%d keys=%d reads=%.0f%% coalesce=%v",
-		r.Procs, r.Clients, r.Keys, 100*r.ReadFrac, r.Coalesce)
+	s := fmt.Sprintf("regload: n=%d shards=%d clients=%d keys=%d reads=%.0f%% coalesce=%v",
+		r.Procs, r.Shards, r.Clients, r.Keys, 100*r.ReadFrac, r.Coalesce)
 	if r.PerFrame {
 		s += " per-frame"
 	}
@@ -258,20 +298,47 @@ func (r *Report) String() string {
 	return s
 }
 
-// Run executes one load run per spec: build the cluster over loopback TCP,
-// kill the Dead processes, drive the clients (with any scheduled Restart
-// faults firing mid-load), tear everything down.
+// keyName renders key index i as the store key (the same namespace the
+// sharded smoke and E-SH1 measurements use).
+func keyName(i int) string { return fmt.Sprintf("k%04d", i) }
+
+// probeKey derives a key placed on pid's shard, for the restart marker
+// write and post-revival read: the suffix walks until the hash lands.
+func probeKey(pid, shardIdx, shards int) string {
+	for j := 0; ; j++ {
+		k := fmt.Sprintf("restart-probe-p%d-%d", pid, j)
+		if shard.ShardOfKey(k, shards) == shardIdx {
+			return k
+		}
+	}
+}
+
+// Run executes one load run per spec: build the sharded cluster over
+// loopback TCP, kill the Dead processes, drive the clients through the
+// binary client protocol (with any scheduled Restart faults firing
+// mid-load), tear everything down.
 func Run(spec Spec) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	n := spec.Procs
+	shards := spec.shardCount()
+	per := n / shards
 	valueSize := spec.ValueSize
 	if valueSize == 0 {
 		valueSize = 16
 	}
-
-	alg := regmap.NewKeyedAlgorithm("regload", spec.Keys, regmap.Config{Coalesce: spec.Coalesce})
+	shardOf := func(pid int) int { return pid / per }
+	localOf := func(pid int) int { return pid % per }
+	allWriters := make([]int, per)
+	for i := range allWriters {
+		allWriters[i] = i
+	}
+	newStore := func(pid int) (*regmap.Node, error) {
+		return regmap.NewNode(localOf(pid), regmap.Config{
+			N: per, DefaultWriters: allWriters, Coalesce: spec.Coalesce,
+		})
+	}
 
 	// Restart runs arm an in-memory log per process so a victim can be
 	// rebuilt from its durable state; plain runs skip the logging overhead
@@ -284,17 +351,20 @@ func Run(spec Spec) (*Report, error) {
 		}
 	}
 
-	// Node and mesh slots are atomic pointers because restarts swap them
-	// mid-run: a nil slot is a crashed process — sends toward it fail,
-	// frames addressed to it drop — exactly the asymmetry a crash
-	// produces.
-	nodes := make([]atomic.Pointer[cluster.Node], n)
+	// Node, mesh and server slots are atomic pointers because restarts
+	// swap them mid-run: a nil slot is a crashed process — sends toward it
+	// fail, frames addressed to it drop, its client port refuses — exactly
+	// the asymmetry a crash produces.
+	nodes := make([]atomic.Pointer[cluster.KeyedNode], n)
 	meshes := make([]atomic.Pointer[transport.Mesh], n)
-	addrs := make([]string, n)
+	servers := make([]atomic.Pointer[shard.Server], n)
+	meshAddrs := make([]string, n)
+	clientAddrs := make([]string, n)
 	// gate sequences a revival's slot swap against inbound deliveries and
 	// client ops: while a revival holds it exclusively, deliveries and
-	// clients wait (frames are delayed, not dropped) and first see the
-	// revived node with its link resets already enqueued ahead of them.
+	// client-protocol requests wait (frames are delayed, not dropped) and
+	// first see the revived node with its link resets already enqueued
+	// ahead of them.
 	var gate sync.RWMutex
 	var sendErrs atomic.Int64
 	var meshOpts []transport.MeshOption
@@ -304,8 +374,9 @@ func Run(spec Spec) (*Report, error) {
 	if spec.FlushWindow > 0 {
 		meshOpts = append(meshOpts, transport.WithSendFlushWindow(spec.FlushWindow))
 	}
+	shardMeshAddrs := func(s int) []string { return meshAddrs[s*per : (s+1)*per] }
 	newMesh := func(pid int, addr string) (*transport.Mesh, error) {
-		return transport.NewMesh(pid, n, addr, wire.Codec{}, func(from int, msg proto.Message) {
+		return transport.NewMesh(localOf(pid), per, addr, wire.Codec{}, func(from int, msg proto.Message) {
 			gate.RLock()
 			nd := nodes[pid].Load()
 			gate.RUnlock()
@@ -322,10 +393,38 @@ func Run(spec Spec) (*Report, error) {
 			}
 		}
 	}
+	// handler serves pid's client port: requests against a crashed slot
+	// answer StatusUnavailable so clients fail over within the shard.
+	handler := func(pid int) shard.Handler {
+		return func(op wire.ClientOp, key string, val []byte) ([]byte, error) {
+			gate.RLock()
+			nd := nodes[pid].Load()
+			gate.RUnlock()
+			if nd == nil {
+				return nil, shard.ErrUnavailable
+			}
+			var v []byte
+			var err error
+			if op == wire.ClientGet {
+				v, err = nd.Get(key)
+			} else {
+				err = nd.Put(key, val)
+			}
+			if errors.Is(err, cluster.ErrStopped) {
+				// The node died under the request (a kill racing the
+				// session): unavailable, not terminal — fail over.
+				return nil, shard.ErrUnavailable
+			}
+			return v, err
+		}
+	}
 	defer func() {
 		for i := range nodes {
 			if nd := nodes[i].Swap(nil); nd != nil {
 				nd.Stop()
+			}
+			if srv := servers[i].Swap(nil); srv != nil {
+				srv.Close()
 			}
 			if m := meshes[i].Swap(nil); m != nil {
 				m.Close()
@@ -333,19 +432,20 @@ func Run(spec Spec) (*Report, error) {
 		}
 	}()
 
-	// Phase 1: bind every listener on an ephemeral port (same two-phase
-	// construction as cmd/regnode; the deliver closure indirects through
-	// the node slots, filled in before any node is driven).
+	// Phase 1: bind every mesh listener on an ephemeral port (same
+	// two-phase construction as cmd/regnode; the deliver closure indirects
+	// through the node slots, filled in before any node is driven), then
+	// wire each shard's peer table.
 	for i := 0; i < n; i++ {
 		m, err := newMesh(i, "127.0.0.1:0")
 		if err != nil {
 			return nil, fmt.Errorf("regload: mesh %d: %w", i, err)
 		}
 		meshes[i].Store(m)
-		addrs[i] = m.Addr()
+		meshAddrs[i] = m.Addr()
 	}
 	for i := 0; i < n; i++ {
-		if err := meshes[i].Load().SetPeers(addrs); err != nil {
+		if err := meshes[i].Load().SetPeers(shardMeshAddrs(shardOf(i))); err != nil {
 			return nil, err
 		}
 	}
@@ -353,24 +453,65 @@ func Run(spec Spec) (*Report, error) {
 	// restarts scheduled every process logs to stable storage, so a victim
 	// can be replayed back.
 	for i := 0; i < n; i++ {
-		if logs == nil {
-			nodes[i].Store(cluster.NewNode(i, n, 0, alg, sender(i)))
-			continue
+		st, err := newStore(i)
+		if err != nil {
+			return nil, err
 		}
-		p := alg.New(i, n, 0)
-		rec, ok := p.(storage.Recoverable)
-		if !ok || !rec.RecoveryEnabled() {
-			return nil, fmt.Errorf("regload: the keyed store is not recoverable; -restart needs a durable configuration")
+		if logs != nil {
+			if !st.RecoveryEnabled() {
+				return nil, fmt.Errorf("regload: the keyed store is not recoverable; -restart needs a durable configuration")
+			}
+			st.AttachStorage(logs[i])
 		}
-		rec.AttachStorage(logs[i])
-		nodes[i].Store(cluster.NewNodeWithProcess(i, p, sender(i)))
+		nodes[i].Store(cluster.NewKeyedNode(localOf(i), st, sender(i)))
+	}
+	// Phase 3: the client-protocol servers, one per process.
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("regload: client listener %d: %w", i, err)
+		}
+		srv, err := shard.Serve(ln, shardOf(i), shards, handler(i))
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		servers[i].Store(srv)
+		clientAddrs[i] = srv.Addr()
+	}
+	clientCfg := &shard.ClusterConfig{Shards: make([]shard.Shard, shards)}
+	for i := 0; i < n; i++ {
+		s := shardOf(i)
+		clientCfg.Shards[s].Procs = append(clientCfg.Shards[s].Procs, shard.Proc{Client: clientAddrs[i]})
 	}
 
-	// kill crashes one process: node stopped, listener and connections
-	// closed, slots nilled so peers' frames toward it drop.
+	// The routing client pool: one Client per shard-member offset, shared
+	// by the client goroutines (goroutine c uses pool[c%per]) — sessions
+	// are connection-multiplexed, so many goroutines pipelining requests
+	// over one conn per node is the intended shape.
+	pool := make([]*regclient.Client, per)
+	for j := range pool {
+		cl, err := regclient.New(clientCfg, j)
+		if err != nil {
+			return nil, err
+		}
+		pool[j] = cl
+	}
+	defer func() {
+		for _, cl := range pool {
+			cl.Close()
+		}
+	}()
+
+	// kill crashes one process: node stopped, client server and mesh
+	// listener and connections closed, slots nilled so peers' frames
+	// toward it drop and clients' dials are refused.
 	kill := func(pid int) {
 		if nd := nodes[pid].Swap(nil); nd != nil {
 			nd.Stop()
+		}
+		if srv := servers[pid].Swap(nil); srv != nil {
+			srv.Close()
 		}
 		if m := meshes[pid].Swap(nil); m != nil {
 			m.Close()
@@ -378,36 +519,41 @@ func Run(spec Spec) (*Report, error) {
 	}
 
 	// revive rebuilds a killed process from its durable log: replay into a
-	// fresh process, reset every live peer's link to it, rebind the
-	// original address (the peers' tables are fixed), and swap the
-	// recovered node in with its own link resets queued first.
+	// fresh process, reset every live shard peer's link to it, rebind the
+	// original addresses (the peers' tables and the clients' routing
+	// config are fixed), and swap the recovered node in with its own link
+	// resets queued first.
 	revive := func(pid int) error {
-		fresh := alg.New(pid, n, 0)
-		if err := fresh.(storage.Recoverable).Recover(logs[pid]); err != nil {
+		sh := shardOf(pid)
+		fresh, err := newStore(pid)
+		if err != nil {
+			return err
+		}
+		if err := fresh.Recover(logs[pid]); err != nil {
 			return fmt.Errorf("recover p%d: %w", pid, err)
 		}
-		// Every live peer resets its link to the victim while the victim's
-		// listener is still down: the purge of frames queued for the dead
-		// incarnation runs inside the peer's reset step, so once the
-		// listener returns, the peer's queue holds nothing older than the
-		// re-shipped backlog, in FIFO order behind the dial retry. The
+		// Every live shard peer resets its link to the victim while the
+		// victim's listener is still down: the purge of frames queued for
+		// the dead incarnation runs inside the peer's reset step, so once
+		// the listener returns, the peer's queue holds nothing older than
+		// the re-shipped backlog, in FIFO order behind the dial retry. The
 		// listener must stay down until the steps have run — hence the
 		// wait, bounded in case a peer is stopped out from under it by an
 		// overlapping restart.
 		//
-		// The gate closes over the whole reset-to-swap window, not just the
-		// swap: everything a peer emits toward the victim after its purge is
-		// addressed to the live incarnation and must not be lost, but the
-		// victim cannot drain its bounded transport queue until the listener
-		// is back. Quiescing deliveries and new client ops caps what
-		// accumulates in that window at the re-shipped backlog plus whatever
-		// the event loops had in flight — comfortably inside the queue bound
-		// — where free-running load could overflow it and wedge the cluster
-		// on the silently dropped frames (lanes never resend: a sent cursor
-		// only moves forward).
+		// The gate closes over the whole reset-to-swap window, not just
+		// the swap: everything a peer emits toward the victim after its
+		// purge is addressed to the live incarnation and must not be lost,
+		// but the victim cannot drain its bounded transport queue until
+		// the listener is back. Quiescing deliveries and new client ops
+		// caps what accumulates in that window at the re-shipped backlog
+		// plus whatever the event loops had in flight — comfortably inside
+		// the queue bound — where free-running load could overflow it and
+		// wedge the cluster on the silently dropped frames (lanes never
+		// resend: a sent cursor only moves forward).
 		gate.Lock()
 		var resetWG sync.WaitGroup
-		for j := 0; j < n; j++ {
+		for j := sh * per; j < (sh+1)*per; j++ {
 			if j == pid {
 				continue
 			}
@@ -417,9 +563,9 @@ func Run(spec Spec) (*Report, error) {
 			}
 			pm := meshes[j].Load()
 			resetWG.Add(1)
-			ok := pn.PeerRestartedFunc(pid, func() {
+			ok := pn.PeerRestartedFunc(localOf(pid), func() {
 				if pm != nil {
-					pm.PeerRestarted(pid)
+					pm.PeerRestarted(localOf(pid))
 				}
 				resetWG.Done()
 			})
@@ -434,67 +580,90 @@ func Run(spec Spec) (*Report, error) {
 		case <-time.After(5 * time.Second):
 		}
 		var m *transport.Mesh
-		var err error
+		var err2 error
 		for try := 0; ; try++ {
-			m, err = newMesh(pid, addrs[pid])
-			if err == nil {
+			m, err2 = newMesh(pid, meshAddrs[pid])
+			if err2 == nil {
 				break
 			}
 			if try >= 200 {
 				gate.Unlock()
-				return fmt.Errorf("rebind %s: %w", addrs[pid], err)
+				return fmt.Errorf("rebind %s: %w", meshAddrs[pid], err2)
 			}
 			time.Sleep(5 * time.Millisecond)
 		}
-		if err := m.SetPeers(addrs); err != nil {
+		if err := m.SetPeers(shardMeshAddrs(sh)); err != nil {
 			gate.Unlock()
 			m.Close()
 			return err
 		}
-		nd := cluster.NewNodeWithProcess(pid, fresh, sender(pid))
+		nd := cluster.NewKeyedNode(localOf(pid), fresh, sender(pid))
 		meshes[pid].Store(m)
 		nodes[pid].Store(nd)
 		// The victim's own link resets enqueue before the gate opens, so
 		// they run ahead of every inbound frame and client op. The dial
-		// kicks break the peers' senders out of their reconnect backoff now
-		// that the listener is provably up: the re-shipped backlogs (queued
-		// since the purge) start draining in milliseconds, before the
-		// post-gate load resumes and contends for queue space.
-		for j := 0; j < n; j++ {
+		// kicks break the peers' senders out of their reconnect backoff
+		// now that the listener is provably up: the re-shipped backlogs
+		// (queued since the purge) start draining in milliseconds, before
+		// the post-gate load resumes and contends for queue space.
+		for j := sh * per; j < (sh+1)*per; j++ {
 			if j == pid {
 				continue
 			}
 			if nodes[j].Load() != nil {
-				nd.PeerRestarted(j)
+				nd.PeerRestarted(localOf(j))
 			}
 			if pm := meshes[j].Load(); pm != nil {
-				pm.KickDial(pid)
+				pm.KickDial(localOf(pid))
 			}
 		}
 		gate.Unlock()
-		// The revived process must serve again: one read through it proves
-		// it recovered, reconnected, and reaches a quorum.
-		if _, err := nd.Read(); err != nil {
+		// Rebind the client port so the routing config stays valid.
+		var ln net.Listener
+		for try := 0; ; try++ {
+			ln, err2 = net.Listen("tcp", clientAddrs[pid])
+			if err2 == nil {
+				break
+			}
+			if try >= 200 {
+				return fmt.Errorf("rebind client %s: %w", clientAddrs[pid], err2)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		srv, err := shard.Serve(ln, sh, shards, handler(pid))
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		servers[pid].Store(srv)
+		// The revived process must serve again: one client-protocol read
+		// through its own port proves it recovered, reconnected, and
+		// reaches a quorum.
+		sess, err := regclient.DialNode(clientAddrs[pid])
+		if err != nil {
+			return fmt.Errorf("post-revival dial p%d: %w", pid, err)
+		}
+		defer sess.Close()
+		if _, err := sess.Get(probeKey(pid, sh, shards)); err != nil {
 			return fmt.Errorf("post-revival read on p%d: %w", pid, err)
 		}
 		return nil
 	}
 
 	// The dead-peer scenario: these processes were reachable at startup
-	// (peers may have dialed them) and now crash — node stopped, listener
-	// and connections closed. Live processes keep (re)trying them.
-	livePids := make([]int, 0, n)
+	// (peers may have dialed them) and now crash — node stopped, listeners
+	// and connections closed. Live processes keep (re)trying them; clients
+	// fail over to their shard siblings.
 	for i := 0; i < n; i++ {
 		if contains(spec.Dead, i) {
 			kill(i)
-		} else {
-			livePids = append(livePids, i)
 		}
 	}
 
 	// Schedule the kill-and-revive faults. Each victim gets a final
-	// acknowledged write just before the kill; losing it across the crash
-	// is the durability violation the harness exists to catch.
+	// acknowledged write through its client port just before the kill;
+	// losing it across the crash is the durability violation the harness
+	// exists to catch.
 	var (
 		restartWG   sync.WaitGroup
 		restartMu   sync.Mutex
@@ -510,8 +679,9 @@ func Run(spec Spec) (*Report, error) {
 			time.Sleep(rs.After)
 			marker := []byte(fmt.Sprintf("ack-probe-p%d", rs.Proc))
 			acked := false
-			if nd := nodes[rs.Proc].Load(); nd != nil {
-				acked = nd.Write(marker) == nil
+			if sess, err := regclient.DialNode(clientAddrs[rs.Proc]); err == nil {
+				acked = sess.Put(probeKey(rs.Proc, shardOf(rs.Proc), shards), marker) == nil
+				sess.Close()
 			}
 			debugf("marker write p%d acked=%v", rs.Proc, acked)
 			kill(rs.Proc)
@@ -537,8 +707,9 @@ func Run(spec Spec) (*Report, error) {
 		}()
 	}
 
-	// Closed-loop clients. Each owns its rng and histograms; merge at the
-	// end keeps the measurement path contention-free.
+	// Closed-loop clients, each driving its pooled routing client. Each
+	// owns its rng and histograms; merge at the end keeps the measurement
+	// path contention-free.
 	type clientStats struct {
 		readLat, writeLat metrics.Histogram
 		reads, writes     int64
@@ -567,7 +738,7 @@ func Run(spec Spec) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			st := &stats[c]
-			pid := livePids[c%len(livePids)]
+			cl := pool[c%per]
 			rng := rand.New(rand.NewSource(spec.Seed + int64(c)*7919))
 			for {
 				select {
@@ -575,23 +746,14 @@ func Run(spec Spec) (*Report, error) {
 					return
 				default:
 				}
-				gate.RLock()
-				nd := nodes[pid].Load()
-				gate.RUnlock()
-				if nd == nil {
-					// The client's process is down (a restart in flight):
-					// a real client would retry the endpoint, so wait out
-					// the revival rather than burn the op budget.
-					time.Sleep(time.Millisecond)
-					continue
-				}
 				if spec.Ops > 0 && budget.Add(-1) < 0 {
 					return
 				}
+				key := keyName(rng.Intn(spec.Keys))
 				if rng.Float64() < spec.ReadFrac {
 					t0 := time.Now()
 					st.inflight.Store(t0.UnixNano())
-					_, err := nd.Read()
+					_, err := cl.Get(key)
 					st.inflight.Store(0)
 					if err != nil {
 						st.errors++
@@ -602,7 +764,7 @@ func Run(spec Spec) (*Report, error) {
 				} else {
 					t0 := time.Now()
 					st.inflight.Store(-t0.UnixNano())
-					err := nd.Write(payload)
+					err := cl.Put(key, payload)
 					st.inflight.Store(0)
 					if err != nil {
 						st.errors++
@@ -635,8 +797,8 @@ func Run(spec Spec) (*Report, error) {
 					}
 					age := time.Since(time.Unix(0, ts))
 					if age > time.Second {
-						debugf("client %d pid %d stuck in %s for %s (reads=%d writes=%d errs=%d)",
-							c, livePids[c%len(livePids)], kind, age.Round(time.Millisecond),
+						debugf("client %d stuck in %s for %s (reads=%d writes=%d errs=%d)",
+							c, kind, age.Round(time.Millisecond),
 							stats[c].reads, stats[c].writes, stats[c].errors)
 					}
 				}
@@ -655,6 +817,7 @@ func Run(spec Spec) (*Report, error) {
 	sort.Ints(restarted)
 	rep := &Report{
 		Procs:         spec.Procs,
+		Shards:        shards,
 		Clients:       spec.Clients,
 		Keys:          spec.Keys,
 		ReadFrac:      spec.ReadFrac,

@@ -59,6 +59,29 @@ func TestSpecValidate(t *testing.T) {
 		{"restart negative downtime", func(s *regload.Spec) {
 			s.Restart = []regload.Restart{{Proc: 1, After: time.Millisecond, Down: -time.Second}}
 		}, "restart"},
+		{"two shards", func(s *regload.Spec) { s.Procs = 6; s.Shards = 2 }, ""},
+		{"zero shards defaults", func(s *regload.Spec) { s.Shards = 0 }, ""},
+		{"negative shards", func(s *regload.Spec) { s.Shards = -1 }, "shards"},
+		{"procs not divisible", func(s *regload.Spec) { s.Shards = 2 }, "shards"},
+		{"more shards than procs", func(s *regload.Spec) { s.Procs = 2; s.Shards = 4 }, "shards"},
+		{"dead majority within one shard", func(s *regload.Spec) {
+			// 6 procs over 2 shards = 3 per shard: procs 3,4 are a majority
+			// of shard 1 even though they are a minority of the cluster.
+			s.Procs = 6
+			s.Shards = 2
+			s.Dead = []int{3, 4}
+		}, "dead"},
+		{"dead minority per shard", func(s *regload.Spec) {
+			s.Procs = 6
+			s.Shards = 2
+			s.Dead = []int{0, 3}
+		}, ""},
+		{"restart breaks one shard's quorum", func(s *regload.Spec) {
+			s.Procs = 6
+			s.Shards = 2
+			s.Dead = []int{4}
+			s.Restart = []regload.Restart{{Proc: 5, After: time.Millisecond}}
+		}, "restart"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -169,6 +192,61 @@ func TestRunPerFrameAndFlushWindow(t *testing.T) {
 		if spec.PerFrame && rep.Mesh.ConnWrites != rep.Mesh.FramesSent {
 			t.Fatalf("per-frame run batched: %s", rep.Mesh)
 		}
+	}
+}
+
+// TestRunSharded splits the cluster into two independent quorum groups and
+// asserts the keyed workload completes across both, including with one
+// process down in each shard.
+func TestRunSharded(t *testing.T) {
+	rep, err := regload.Run(regload.Spec{
+		Procs: 6, Shards: 2, Clients: 4, Keys: 16, ReadFrac: 0.5, Ops: 80, Seed: 7, Coalesce: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops < 80 || rep.OpErrors != 0 {
+		t.Fatalf("sharded run: ops=%d errors=%d", rep.Ops, rep.OpErrors)
+	}
+	if rep.Shards != 2 {
+		t.Fatalf("report shards=%d", rep.Shards)
+	}
+	if !strings.Contains(rep.String(), "shards=2") {
+		t.Errorf("report rendering lacks the shard count:\n%s", rep.String())
+	}
+
+	// One process down per shard: both groups still hold majorities.
+	rep, err = regload.Run(regload.Spec{
+		Procs: 6, Shards: 2, Clients: 4, Keys: 16, ReadFrac: 0.5, Ops: 80, Seed: 7,
+		Dead: []int{1, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops < 80 || rep.OpErrors != 0 {
+		t.Fatalf("sharded dead-peer run: ops=%d errors=%d", rep.Ops, rep.OpErrors)
+	}
+}
+
+// TestRunShardedRestart crashes and revives one member of one shard while
+// the other shard keeps serving — the fault stays contained.
+func TestRunShardedRestart(t *testing.T) {
+	rep, err := regload.Run(regload.Spec{
+		Procs: 6, Shards: 2, Clients: 6, Keys: 16, ReadFrac: 0.5, Seed: 7, Coalesce: true,
+		Duration: 1200 * time.Millisecond,
+		Restart:  []regload.Restart{{Proc: 4, After: 200 * time.Millisecond, Down: 200 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Restarted, []int{4}) {
+		t.Fatalf("restarted %v, want [4]", rep.Restarted)
+	}
+	if rep.RestartErrs != 0 || rep.LostAckWrites != 0 {
+		t.Fatalf("restart errors=%d lost acked writes=%d", rep.RestartErrs, rep.LostAckWrites)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("no operations completed around the restart")
 	}
 }
 

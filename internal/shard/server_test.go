@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"twobitreg/internal/wire"
+)
+
+func serveTest(t *testing.T, shardIdx, nshards int, h Handler) *Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(ln, shardIdx, nshards, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func sendReq(t *testing.T, conn net.Conn, req wire.ClientRequest) {
+	t.Helper()
+	var fw wire.ClientFrameWriter
+	if err := fw.WriteRequest(conn, req); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readResp(t *testing.T, conn net.Conn) wire.ClientResponse {
+	t.Helper()
+	body, err := wire.ReadClientFrame(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.DecodeClientResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func waitSessions(t *testing.T, srv *Server, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.ActiveSessions() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions stuck at %d, want %d", srv.ActiveSessions(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A session must stay accounted for until both the connection is gone and
+// every in-flight request has drained, so Close never abandons work.
+func TestSessionTeardownWaitsForInflight(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv := serveTest(t, 0, 1, func(op wire.ClientOp, key string, val []byte) ([]byte, error) {
+		entered <- struct{}{}
+		<-release
+		return []byte("late"), nil
+	})
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendReq(t, conn, wire.ClientRequest{ID: 1, Op: wire.ClientGet, Key: "k"})
+	<-entered
+	if got := srv.ActiveSessions(); got != 1 {
+		t.Fatalf("sessions=%d with a request in flight", got)
+	}
+
+	// Client vanishes mid-request: the handler is still running, so the
+	// session must not be torn down yet.
+	conn.Close()
+	time.Sleep(20 * time.Millisecond)
+	if got := srv.ActiveSessions(); got != 1 {
+		t.Fatalf("sessions=%d after disconnect with handler still running", got)
+	}
+
+	close(release)
+	waitSessions(t, srv, 0)
+}
+
+func TestSessionTeardownOnDisconnect(t *testing.T) {
+	srv := serveTest(t, 0, 1, func(op wire.ClientOp, key string, val []byte) ([]byte, error) {
+		return nil, nil
+	})
+	conns := make([]net.Conn, 3)
+	for i := range conns {
+		c, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Prove the session is live before counting it.
+		sendReq(t, c, wire.ClientRequest{ID: uint64(i + 1), Op: wire.ClientGet, Key: "k"})
+		readResp(t, c)
+		conns[i] = c
+	}
+	waitSessions(t, srv, 3)
+	conns[1].Close()
+	waitSessions(t, srv, 2)
+	conns[0].Close()
+	conns[2].Close()
+	waitSessions(t, srv, 0)
+}
+
+func TestServerWrongShard(t *testing.T) {
+	srv := serveTest(t, 1, 4, func(op wire.ClientOp, key string, val []byte) ([]byte, error) {
+		return []byte("served"), nil
+	})
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Find one key this shard owns and one it does not.
+	var owned, foreign string
+	for i := 0; owned == "" || foreign == ""; i++ {
+		k := "probe-" + strings.Repeat("x", i%7) + string(rune('a'+i%26))
+		if ShardOfKey(k, 4) == 1 {
+			owned = k
+		} else {
+			foreign = k
+		}
+	}
+
+	sendReq(t, conn, wire.ClientRequest{ID: 1, Op: wire.ClientGet, Key: foreign})
+	if resp := readResp(t, conn); resp.Status != wire.StatusWrongShard {
+		t.Fatalf("foreign key: %+v", resp)
+	}
+	sendReq(t, conn, wire.ClientRequest{ID: 2, Op: wire.ClientGet, Key: owned})
+	if resp := readResp(t, conn); resp.Status != wire.StatusOK || string(resp.Val) != "served" {
+		t.Fatalf("owned key: %+v", resp)
+	}
+}
+
+// Handler errors map onto protocol statuses, including wrapped sentinels.
+func TestServerStatusMapping(t *testing.T) {
+	srv := serveTest(t, 0, 1, func(op wire.ClientOp, key string, val []byte) ([]byte, error) {
+		switch key {
+		case "unavail":
+			return nil, ErrUnavailable
+		case "wrapped":
+			return nil, &wrapErr{ErrUnavailable}
+		default:
+			return nil, &ConfigError{Field: "x", Reason: "generic failure"}
+		}
+	})
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	sendReq(t, conn, wire.ClientRequest{ID: 1, Op: wire.ClientGet, Key: "unavail"})
+	if resp := readResp(t, conn); resp.Status != wire.StatusUnavailable {
+		t.Fatalf("sentinel: %+v", resp)
+	}
+	sendReq(t, conn, wire.ClientRequest{ID: 2, Op: wire.ClientGet, Key: "wrapped"})
+	if resp := readResp(t, conn); resp.Status != wire.StatusUnavailable {
+		t.Fatalf("wrapped sentinel: %+v", resp)
+	}
+	sendReq(t, conn, wire.ClientRequest{ID: 3, Op: wire.ClientGet, Key: "other"})
+	resp := readResp(t, conn)
+	if resp.Status != wire.StatusErr || resp.Err == "" {
+		t.Fatalf("generic error: %+v", resp)
+	}
+}
+
+type wrapErr struct{ inner error }
+
+func (w *wrapErr) Error() string { return "wrapped: " + w.inner.Error() }
+func (w *wrapErr) Unwrap() error { return w.inner }
+
+// A malformed frame gets one StatusErr response and then the session dies;
+// it must not take the rest of the server with it.
+func TestServerDropsMalformedSession(t *testing.T) {
+	srv := serveTest(t, 0, 1, func(op wire.ClientOp, key string, val []byte) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	bad, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	if _, err := bad.Write([]byte{0, 0, 0, 2, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	if resp := readResp(t, bad); resp.Status != wire.StatusErr {
+		t.Fatalf("malformed frame: %+v", resp)
+	}
+	if _, err := wire.ReadClientFrame(bad, nil); err == nil {
+		t.Fatal("session survived a malformed frame")
+	}
+	waitSessions(t, srv, 0)
+
+	good, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	sendReq(t, good, wire.ClientRequest{ID: 1, Op: wire.ClientGet, Key: "k"})
+	if resp := readResp(t, good); resp.Status != wire.StatusOK {
+		t.Fatalf("server unhealthy after dropping a bad session: %+v", resp)
+	}
+}
+
+// StartLocal is the in-process production stack: keyed reads and writes land
+// on the right quorum group and survive the loss of one process per shard.
+func TestStartLocalSmoke(t *testing.T) {
+	lc, err := StartLocal(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	if got := lc.Config.NumShards(); got != 2 {
+		t.Fatalf("shards=%d", got)
+	}
+
+	var fw wire.ClientFrameWriter
+	put := func(s, proc int, key, val string) wire.ClientResponse {
+		conn, err := net.Dial("tcp", lc.Server(s, proc).Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := fw.WriteRequest(conn, wire.ClientRequest{ID: 1, Op: wire.ClientPut, Key: key, Val: []byte(val)}); err != nil {
+			t.Fatal(err)
+		}
+		return readResp(t, conn)
+	}
+	get := func(s, proc int, key string) wire.ClientResponse {
+		conn, err := net.Dial("tcp", lc.Server(s, proc).Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := fw.WriteRequest(conn, wire.ClientRequest{ID: 2, Op: wire.ClientGet, Key: key}); err != nil {
+			t.Fatal(err)
+		}
+		return readResp(t, conn)
+	}
+
+	// One key per shard, written and read through different members.
+	keys := [2]string{}
+	for i := 0; keys[0] == "" || keys[1] == ""; i++ {
+		k := "smoke-" + string(rune('a'+i%26)) + string(rune('0'+i%10))
+		keys[lc.Config.ShardOf(k)] = k
+	}
+	for s, k := range keys {
+		if resp := put(s, 0, k, "v-"+k); resp.Status != wire.StatusOK {
+			t.Fatalf("put shard %d: %+v", s, resp)
+		}
+		if resp := get(s, 1, k); resp.Status != wire.StatusOK || string(resp.Val) != "v-"+k {
+			t.Fatalf("get shard %d: %+v", s, resp)
+		}
+	}
+
+	// Kill one process per shard; the survivors still hold a majority.
+	lc.KillProc(0, 0)
+	lc.KillProc(1, 2)
+	if resp := get(0, 1, keys[0]); resp.Status != wire.StatusOK || string(resp.Val) != "v-"+keys[0] {
+		t.Fatalf("shard 0 after kill: %+v", resp)
+	}
+	if resp := put(1, 0, keys[1], "v2"); resp.Status != wire.StatusOK {
+		t.Fatalf("shard 1 write after kill: %+v", resp)
+	}
+	if resp := get(1, 1, keys[1]); resp.Status != wire.StatusOK || string(resp.Val) != "v2" {
+		t.Fatalf("shard 1 read after kill: %+v", resp)
+	}
+}
